@@ -1,0 +1,386 @@
+// One benchmark per exhibit of the paper's evaluation (see DESIGN.md §4
+// and EXPERIMENTS.md), plus ablation benches for the design choices the
+// architecture calls out. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/med"
+	"repro/internal/netsim"
+	"repro/internal/sqldb"
+	"repro/internal/sqltypes"
+	"repro/internal/webui"
+	"repro/internal/xuis"
+)
+
+// BenchmarkE1_BandwidthTable regenerates the paper's Table 1 (the FTP
+// bandwidth measurements and derived transfer times).
+func BenchmarkE1_BandwidthTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := netsim.Table1(netsim.SuperJANET1999)
+		if len(rows) != 4 || netsim.FormatDuration(rows[0].SmallTime) != "45m20s" {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+// BenchmarkE2_CentralVsDistributed evaluates the "Bandwidth Problems"
+// comparison across sizes and periods.
+func BenchmarkE2_CentralVsDistributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int64{netsim.SmallSimulationBytes, netsim.LargeSimulationBytes} {
+			for _, p := range []netsim.Period{netsim.Day, netsim.Evening} {
+				r := exp.E2CentralVsDistributed(size, 100, 10, p)
+				if r.EASIAWANBytes >= r.CentralWANBytes {
+					b.Fatal("distributed must move fewer bytes")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE3_DataReduction runs the real archived GetImage operation:
+// fetch code, unpack, sandboxed slice+render — the paper's server-side
+// data-reduction path.
+func BenchmarkE3_DataReduction(b *testing.B) {
+	d, err := exp.BuildDemoArchive(b, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := d.RunDemoOperation("z")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out <= 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+// BenchmarkE4_ServerScaling runs the max-min fair contention simulation
+// behind the distribution experiment.
+func BenchmarkE4_ServerScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.E4ServerScaling(16, []int{1, 2, 4, 8, 16}, netsim.SmallSimulationBytes)
+		if rows[4].Speedup < 15 {
+			b.Fatalf("speedup %v", rows[4].Speedup)
+		}
+	}
+}
+
+// BenchmarkE5_ParallelOps measures real slice+render jobs spread over
+// 1 vs 8 worker hosts.
+func BenchmarkE5_ParallelOps(b *testing.B) {
+	for _, hosts := range []int{1, 8} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exp.E5ParallelOps(32, 8, []int{hosts})
+			}
+		})
+	}
+}
+
+// BenchmarkE6_EndToEnd runs the full architecture flow: archive, link,
+// search, browse, token download, operation.
+func BenchmarkE6_EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E6EndToEnd(b); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_XUISGeneration measures default-XUIS generation from the
+// five-table catalogue.
+func BenchmarkE7_XUISGeneration(b *testing.B) {
+	d, err := exp.BuildDemoArchive(b, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (xuis.Generator{MaxSamples: 4}).Generate(d.Archive.DB, "TURBULENCE"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_ResultPage measures rendering the hyperlinked result
+// table over HTTP (the paper's "Result table" figure).
+func BenchmarkE8_ResultPage(b *testing.B) {
+	d, err := exp.BuildDemoArchive(b, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Archive.Users.Add(core.User{Name: "bench"}, "pw"); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(webui.NewServer(d.Archive))
+	defer srv.Close()
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+	if _, err := client.PostForm(srv.URL+"/login", url.Values{"username": {"bench"}, "password": {"pw"}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(srv.URL + "/query?table=RESULT_FILE&all=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkE9_XUISMarshal measures serialising the XUIS fragments.
+func BenchmarkE9_XUISMarshal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E9Report(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_Tokens measures the DATALINK access-token lifecycle
+// (AES-GCM mint + validate).
+func BenchmarkE10_Tokens(b *testing.B) {
+	auth, err := med.NewTokenAuthority([]byte("bench-secret"), time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const path = "/vol0/run1/ts4.tsf"
+	b.Run("mint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := auth.Mint(path, "bench", 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("validate", func(b *testing.B) {
+		tok, _ := auth.Mint(path, "bench", 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := auth.Validate(tok, path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11_SandboxUpload measures the full code-upload path:
+// unpack, chdir, sandboxed execution, output collection.
+func BenchmarkE11_SandboxUpload(b *testing.B) {
+	d, err := exp.BuildDemoArchive(b, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	code := []byte(`
+let st = sliceStats(filename, "u", "z", 6)
+writeFile("report.txt", "rms=" + str(st.rms))
+`)
+	key := map[string]string{"FILE_NAME": "ts4.tsf", "SIMULATION_KEY": "S19990110150932"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Archive.UploadAndRun("RESULT_FILE.DOWNLOAD_RESULT", "RESULT_FILE", key,
+			code, "easl", "main.easl", nil, core.User{Name: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Files) != 1 {
+			b.Fatal("output missing")
+		}
+	}
+}
+
+// BenchmarkE12_LinkControl measures the transactional link/unlink cycle
+// (INSERT with PrepareLink+Commit, DELETE with PrepareUnlink+Commit).
+func BenchmarkE12_LinkControl(b *testing.B) {
+	d, err := exp.BuildDemoArchive(b, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	// Pre-create the files to link.
+	for i := 0; i < 512; i++ {
+		path := fmt.Sprintf("/bench/f%04d.dat", i)
+		if _, err := d.FS1.Put(path, io.LimitReader(zeroReader{}, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/bench/f%04d.dat", i%512)
+		url := "http://fs1.sim:80" + path
+		if _, err := d.Archive.DB.Exec(
+			`INSERT INTO RESULT_FILE VALUES (?, 'S19990110150932', 0, 'u', 'TSF', 64, DLVALUE(?))`,
+			sqltypes.NewString(fmt.Sprintf("bench-%d", i)), sqltypes.NewString(url)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Archive.DB.Exec(`DELETE FROM RESULT_FILE WHERE FILE_NAME = ?`,
+			sqltypes.NewString(fmt.Sprintf("bench-%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// ---------- ablation benches (DESIGN.md §5) ----------
+
+// BenchmarkAblation_IndexVsScan shows the effect of the hash index the
+// schema creates on RESULT_FILE.SIMULATION_KEY.
+func BenchmarkAblation_IndexVsScan(b *testing.B) {
+	build := func(withIndex bool) *sqldb.DB {
+		db, err := sqldb.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, sim VARCHAR(30), v DOUBLE)`); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			if _, err := db.Exec(`INSERT INTO t VALUES (?, ?, ?)`,
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewString(fmt.Sprintf("S%03d", i%100)),
+				sqltypes.NewDouble(float64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if withIndex {
+			if _, err := db.Exec(`CREATE INDEX idx_sim ON t (sim)`); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	for _, mode := range []struct {
+		name string
+		idx  bool
+	}{{"scan", false}, {"indexed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := build(mode.idx)
+			defer db.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := db.Query(`SELECT COUNT(*) FROM t WHERE sim = 'S042'`)
+				if err != nil || rows.Data[0][0].Int() != 50 {
+					b.Fatalf("rows=%v err=%v", rows, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_OpCache shows the paper's future-work result cache.
+func BenchmarkAblation_OpCache(b *testing.B) {
+	for _, cached := range []bool{false, true} {
+		name := "off"
+		if cached {
+			name = "on"
+		}
+		b.Run("cache="+name, func(b *testing.B) {
+			d, err := exp.BuildDemoArchive(b, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			d.Archive.Ops().SetCaching(cached)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.RunDemoOperation("z"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_WALCommit compares in-memory commits against
+// durable WAL commits (fsync per transaction).
+func BenchmarkAblation_WALCommit(b *testing.B) {
+	for _, durable := range []bool{false, true} {
+		name := "memory"
+		if durable {
+			name = "wal"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := ""
+			if durable {
+				dir = b.TempDir()
+			}
+			db, err := sqldb.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			db.CheckpointEvery = 0
+			if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(40))`); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(`INSERT INTO t VALUES (?, ?)`,
+					sqltypes.NewInt(int64(i)), sqltypes.NewString("metadata row")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_TokenTTLZeroAlloc: repeated validation of the same
+// token (the browse-page hot path).
+func BenchmarkAblation_QBECompile(b *testing.B) {
+	d, err := exp.BuildDemoArchive(b, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	q := core.QBE{
+		Table:  "RESULT_FILE",
+		Select: []string{"FILE_NAME", "SIMULATION_KEY", "DOWNLOAD_RESULT"},
+		Restrictions: []core.Restriction{
+			{Column: "MEASUREMENT", Op: "CONTAINS", Value: "u,v"},
+			{Column: "TIMESTEP", Op: ">=", Value: "0"},
+		},
+		OrderBy: "FILE_NAME",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := d.Archive.Search(q)
+		if err != nil || len(rs.Rows) != 1 {
+			b.Fatalf("rows=%d err=%v", len(rs.Rows), err)
+		}
+	}
+}

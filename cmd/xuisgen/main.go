@@ -1,0 +1,73 @@
+// Command xuisgen is the paper's default-XUIS generation tool: it walks
+// the database catalogue (tables, columns, types, primary and foreign
+// keys) and samples column values, emitting the XML user interface
+// specification that drives the web front end. The output can be
+// customised by hand or with the xuis package before installing it.
+//
+// Usage:
+//
+//	xuisgen -db ./easia-db -name TURBULENCE -o turbulence.xuis
+//	xuisgen -db ./easia-db -validate customised.xuis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/sqldb"
+	"repro/internal/xuis"
+)
+
+func main() {
+	var (
+		dbDir    = flag.String("db", "", "database directory (required)")
+		name     = flag.String("name", "ARCHIVE", "database name recorded in the XUIS")
+		out      = flag.String("o", "", "output file (default: stdout)")
+		samples  = flag.Int("samples", 4, "sample values captured per column")
+		validate = flag.String("validate", "", "validate an existing XUIS file against the catalogue instead of generating")
+	)
+	flag.Parse()
+	if *dbDir == "" {
+		log.Fatal("xuisgen: -db is required")
+	}
+	db, err := sqldb.Open(*dbDir)
+	if err != nil {
+		log.Fatalf("xuisgen: %v", err)
+	}
+	defer db.Close()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			log.Fatalf("xuisgen: %v", err)
+		}
+		spec, err := xuis.Parse(data)
+		if err != nil {
+			log.Fatalf("xuisgen: %v", err)
+		}
+		if err := xuis.Validate(spec, db.Catalog()); err != nil {
+			log.Fatalf("xuisgen: %s is INVALID:\n%v", *validate, err)
+		}
+		fmt.Printf("%s is valid against %s\n", *validate, *dbDir)
+		return
+	}
+
+	spec, err := xuis.Generator{MaxSamples: *samples}.Generate(db, *name)
+	if err != nil {
+		log.Fatalf("xuisgen: %v", err)
+	}
+	data, err := spec.Marshal()
+	if err != nil {
+		log.Fatalf("xuisgen: %v", err)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("xuisgen: %v", err)
+	}
+	fmt.Printf("wrote %s (%d bytes, %d tables)\n", *out, len(data), len(spec.Tables))
+}

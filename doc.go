@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "An Architecture
+// for Archiving and Post-Processing Large, Distributed, Scientific Data
+// Using SQL/MED and XML" (Papiani, Wason, Nicole; EDBT 2000) — the
+// EASIA system: a web-based active archive where multi-gigabyte
+// simulation results stay on the file servers that generated them,
+// managed through SQL/MED DATALINKs, while a schema-derived XML user
+// interface specification (XUIS) drives searching, browsing and
+// server-side post-processing.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure. The library
+// lives under internal/ (core is the archive facade); cmd/ holds the
+// runnable daemons and tools; examples/ holds runnable walkthroughs.
+package repro

@@ -1,0 +1,275 @@
+// Operations: the paper's server-side post-processing machinery end to
+// end — an archived EASL code bound to datasets through XUIS markup
+// (with a generated parameter form), an external URL operation (the
+// paper's NCSA SDB splice), authorised code upload with the sandbox
+// refusing hostile programs, and the future-work result cache with
+// execution statistics.
+//
+//	go run ./examples/operations
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dlfs"
+	"repro/internal/med"
+	"repro/internal/ops"
+	"repro/internal/script"
+	"repro/internal/turb"
+	"repro/internal/xuis"
+)
+
+const getImage = `
+let axis = params["slice"]
+let comp = params["type"]
+if (axis == nil) { axis = "z" }
+if (comp == nil) { comp = "u" }
+let info = datasetInfo(filename)
+let mid = floor(info.n / 2)
+let bytes = writeImage("slice.pgm", filename, comp, axis, mid)
+let st = sliceStats(filename, comp, axis, mid)
+print("rendered", comp, "slice", axis, "=", mid, "->", bytes, "bytes, rms", st.rms)
+`
+
+func main() {
+	secret := []byte("operations-secret")
+	work, err := os.MkdirTemp("", "easia-operations-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	archive, err := core.Open(core.Config{
+		Secret:   secret,
+		WorkRoot: work + "/ops",
+		ScriptLimits: script.Limits{
+			MaxSteps: 5_000_000, MaxHeap: 32 << 20, MaxOutput: 1 << 20,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer archive.Close()
+	auth, err := med.NewTokenAuthority(secret, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := dlfs.NewStore(work + "/fs1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	archive.AttachFileServer(core.WrapManager(dlfs.NewManager("fs1.site:80", store, auth)))
+	if err := archive.InitTurbulenceSchema(); err != nil {
+		log.Fatal(err)
+	}
+	mustExec(archive, `INSERT INTO AUTHOR VALUES ('A1', 'Wason', 'Southampton', NULL)`)
+	mustExec(archive, `INSERT INTO SIMULATION VALUES ('S1', 'A1', 'Operations demo', NULL, 24, 100.0, 1, NOW())`)
+
+	var tsf bytes.Buffer
+	if _, err := turb.Generate(24, 0, 3).WriteTo(&tsf); err != nil {
+		log.Fatal(err)
+	}
+	dsURL, err := archive.ArchiveFile("fs1.site:80", "/runs/s1/ts0.tsf", bytes.NewReader(tsf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustExec(archive, fmt.Sprintf(
+		`INSERT INTO RESULT_FILE VALUES ('ts0.tsf', 'S1', 0, 'u,v,w,p', 'TSF', %d, DLVALUE('%s'))`,
+		tsf.Len(), dsURL))
+	// The post-processing code is itself archived as a DATALINK.
+	codeURL, err := archive.ArchiveFile("fs1.site:80", "/codes/getimage.easl", strings.NewReader(getImage))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustExec(archive, fmt.Sprintf(
+		`INSERT INTO CODE_FILE VALUES ('GetImage.easl', 'S1', 'EASL', 'Slice renderer', DLVALUE('%s'))`, codeURL))
+
+	// A stand-in for NCSA's Scientific Data Browser: any HTTP service
+	// can be spliced into the archive purely through XUIS markup.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdb := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "SDB view of %s (view=%s)\n", r.URL.Query().Get("dataset"), r.URL.Query().Get("view"))
+	})}
+	go sdb.Serve(ln) //nolint:errcheck // closed on exit
+	defer sdb.Close()
+
+	// Bind both operations and the upload capability through the XUIS.
+	spec, err := archive.GenerateXUIS("TURBULENCE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Operation{
+		Name: "GetImage", Type: "EASL", Filename: "getimage.easl", Format: "easl", GuestAccess: true,
+		Location: &xuis.Location{DatabaseResult: &xuis.DatabaseResult{
+			ColID:      "CODE_FILE.DOWNLOAD_CODE_FILE",
+			Conditions: []xuis.Condition{{ColID: "CODE_FILE.CODE_NAME", Eq: "'GetImage.easl'"}},
+		}},
+		Description: "Visualise one slice of the dataset",
+		Parameters: &xuis.Parameters{Params: []xuis.Param{
+			{Variable: xuis.Variable{
+				Description: "Select the slice you wish to visualise:",
+				Select: &xuis.Select{Name: "slice", Size: 3, Options: []xuis.Option{
+					{Value: "x", Label: "x plane"}, {Value: "y", Label: "y plane"}, {Value: "z", Label: "z plane"},
+				}},
+			}},
+		}},
+	}))
+	must(spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Operation{
+		Name: "SDB", GuestAccess: true,
+		Location:    &xuis.Location{URL: "http://" + ln.Addr().String() + "/servlet/SDBservlet"},
+		Description: "External Scientific Data Browser service",
+	}))
+	must(spec.SetUpload("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Upload{
+		Type: "EASL", Format: "easl", GuestAccess: false,
+	}))
+	must(archive.SetSpec(spec))
+	archive.Ops().SetCaching(true)
+
+	key := map[string]string{"FILE_NAME": "ts0.tsf", "SIMULATION_KEY": "S1"}
+	guest := core.User{Name: "guest", Guest: true}
+	scientist := core.User{Name: "wason"}
+
+	// 1. The archived operation, run twice to show the result cache.
+	for i := 0; i < 2; i++ {
+		res, err := archive.RunOperation("GetImage", "RESULT_FILE.DOWNLOAD_RESULT", "RESULT_FILE",
+			key, map[string]string{"slice": "z", "type": "u"}, guest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GetImage run %d: %s(cache=%v) -> %d bytes shipped instead of %d\n",
+			i+1, strings.TrimSpace(res.Stdout), res.FromCache, res.TotalOutputBytes(), tsf.Len())
+	}
+
+	// 2. The URL operation: the external service receives the DATALINK.
+	res, err := archive.RunOperation("SDB", "RESULT_FILE.DOWNLOAD_RESULT", "RESULT_FILE", key,
+		map[string]string{"view": "contours"}, guest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SDB operation: %s", res.Stdout)
+
+	// 3. Code upload: a scientist's own analysis runs in the sandbox.
+	uploaded := []byte(`
+fn mean(xs) {
+	let total = 0
+	for (x in xs) { total = total + x }
+	return total / len(xs)
+}
+let data = loadSlice(filename, "p", "z", 12)
+writeFile("analysis.txt", "mean pressure on z=12: " + str(mean(data)))
+print("analysis complete,", len(data), "points")
+`)
+	upRes, err := archive.UploadAndRun("RESULT_FILE.DOWNLOAD_RESULT", "RESULT_FILE", key,
+		uploaded, "easl", "analysis.easl", nil, scientist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded analysis: %s", upRes.Stdout)
+	fmt.Printf("  produced %s (%d bytes)\n", upRes.Files[0].Name, len(upRes.Files[0].Data))
+	fmt.Printf("  batch plan:\n%s", indent(upRes.BatchPlan))
+
+	// 4. Guests may not upload; hostile code is refused.
+	if _, err := archive.UploadAndRun("RESULT_FILE.DOWNLOAD_RESULT", "RESULT_FILE", key,
+		uploaded, "easl", "x.easl", nil, guest); err != nil {
+		fmt.Printf("guest upload -> refused (%v)\n", err)
+	}
+	if _, err := archive.UploadAndRun("RESULT_FILE.DOWNLOAD_RESULT", "RESULT_FILE", key,
+		[]byte(`writeFile("/etc/passwd", "x")`), "easl", "evil.easl", nil, scientist); err != nil {
+		fmt.Println("hostile upload (absolute path) -> refused by the sandbox")
+	}
+	if _, err := archive.UploadAndRun("RESULT_FILE.DOWNLOAD_RESULT", "RESULT_FILE", key,
+		[]byte(`while (true) { }`), "easl", "loop.easl", nil, scientist); err != nil {
+		fmt.Println("hostile upload (infinite loop) -> stopped by the step budget")
+	}
+
+	// 5. Operation chaining (paper future work): GetImage renders the
+	// slice, Shrink halves it — the intermediate image never leaves the
+	// server.
+	shrinkURL, err := archive.ArchiveFile("fs1.site:80", "/codes/shrink.easl", strings.NewReader(`
+let img = readFile(filename)
+// Parse the "P5\nW H\n255\n" header.
+let i = 0
+let nl = 0
+while (nl < 3) {
+	if (img[i] == chr(10)) { nl = nl + 1 }
+	i = i + 1
+}
+let header = substr(img, 0, i)
+let dims = split(split(header, chr(10))[1], " ")
+let w = num(dims[0])
+let out = "P5" + chr(10) + str(floor(w/2)) + " " + str(floor(w/2)) + chr(10) + "255" + chr(10)
+let y = 0
+while (y < floor(w/2)) {
+	let x = 0
+	while (x < floor(w/2)) {
+		out = out + img[i + (y*2)*w + x*2]
+		x = x + 1
+	}
+	y = y + 1
+}
+writeFile("small.pgm", out)
+print("shrunk", w, "->", floor(w/2))
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustExec(archive, fmt.Sprintf(
+		`INSERT INTO CODE_FILE VALUES ('Shrink.easl', 'S1', 'EASL', 'Image downscaler', DLVALUE('%s'))`, shrinkURL))
+	must(spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Operation{
+		Name: "Shrink", Type: "EASL", Filename: "shrink.easl", Format: "easl", GuestAccess: true,
+		Location: &xuis.Location{DatabaseResult: &xuis.DatabaseResult{
+			ColID:      "CODE_FILE.DOWNLOAD_CODE_FILE",
+			Conditions: []xuis.Condition{{ColID: "CODE_FILE.CODE_NAME", Eq: "'Shrink.easl'"}},
+		}},
+	}))
+	must(archive.SetSpec(spec))
+	archive.Ops().SetCaching(true)
+	row, err := archive.RowByKey("RESULT_FILE", key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chain, err := archive.Ops().RunChain("RESULT_FILE.DOWNLOAD_RESULT", row, []ops.ChainStep{
+		{Op: "GetImage", Params: map[string]string{"slice": "z", "type": "p"}},
+		{Op: "Shrink"},
+	}, ops.User{Name: "wason"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chained GetImage|Shrink: %d steps, final %s (%d bytes; first stage was %d bytes)\n",
+		len(chain.Steps), chain.Final.Files[0].Name, len(chain.Final.Files[0].Data),
+		len(chain.Steps[0].Files[0].Data))
+
+	// 6. Operation statistics (paper future work).
+	fmt.Println("operation statistics:")
+	for name, st := range archive.Ops().Stats() {
+		fmt.Printf("  %-20s runs=%d cacheHits=%d totalOutput=%dB\n",
+			name, st.Runs, st.CacheHits, st.TotalOutput)
+	}
+}
+
+func mustExec(a *core.Archive, sql string) {
+	if _, err := a.DB.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}

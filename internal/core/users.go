@@ -1,0 +1,123 @@
+package core
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// User is an authenticated archive user. The privilege model mirrors
+// the paper's demo: "Guest users cannot download datasets, cannot
+// upload post-processing codes, and are limited in the types of
+// operations they can run."
+type User struct {
+	Name  string
+	Guest bool
+	// Admin users manage accounts and run coordinated backups.
+	Admin bool
+}
+
+// CanDownload reports whether the user may retrieve archived datasets.
+func (u User) CanDownload() bool { return !u.Guest }
+
+// CanUpload reports whether the user may upload post-processing codes.
+func (u User) CanUpload() bool { return !u.Guest }
+
+// UserStore is the web-based user-management backend: a salted-hash
+// credential table with the guest account pre-provisioned.
+type UserStore struct {
+	mu    sync.RWMutex
+	users map[string]storedUser
+}
+
+type storedUser struct {
+	User
+	hash [32]byte
+}
+
+// NewUserStore creates a store holding the paper's guest/guest account.
+func NewUserStore() *UserStore {
+	s := &UserStore{users: make(map[string]storedUser)}
+	// Demo account from the paper: username guest, password guest.
+	if err := s.Add(User{Name: "guest", Guest: true}, "guest"); err != nil {
+		panic("core: provisioning guest account: " + err.Error())
+	}
+	return s
+}
+
+func credentialHash(name, password string) [32]byte {
+	return sha256.Sum256([]byte("easia:" + name + ":" + password))
+}
+
+// Add provisions an account.
+func (s *UserStore) Add(u User, password string) error {
+	if u.Name == "" {
+		return fmt.Errorf("core: user name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.users[u.Name]; exists {
+		return fmt.Errorf("core: user %s already exists", u.Name)
+	}
+	s.users[u.Name] = storedUser{User: u, hash: credentialHash(u.Name, password)}
+	return nil
+}
+
+// Remove deletes an account (the guest account may not be removed).
+func (s *UserStore) Remove(name string) error {
+	if name == "guest" {
+		return fmt.Errorf("core: the guest account cannot be removed")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.users[name]; !exists {
+		return fmt.Errorf("core: user %s does not exist", name)
+	}
+	delete(s.users, name)
+	return nil
+}
+
+// SetPassword rotates a credential.
+func (s *UserStore) SetPassword(name, password string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	su, exists := s.users[name]
+	if !exists {
+		return fmt.Errorf("core: user %s does not exist", name)
+	}
+	su.hash = credentialHash(name, password)
+	s.users[name] = su
+	return nil
+}
+
+// Authenticate verifies credentials in constant time.
+func (s *UserStore) Authenticate(name, password string) (User, error) {
+	s.mu.RLock()
+	su, exists := s.users[name]
+	s.mu.RUnlock()
+	candidate := credentialHash(name, password)
+	if !exists {
+		// Burn the same comparison time for unknown users.
+		var zero [32]byte
+		subtle.ConstantTimeCompare(candidate[:], zero[:])
+		return User{}, fmt.Errorf("core: invalid username or password")
+	}
+	if subtle.ConstantTimeCompare(candidate[:], su.hash[:]) != 1 {
+		return User{}, fmt.Errorf("core: invalid username or password")
+	}
+	return su.User, nil
+}
+
+// Names lists account names, sorted.
+func (s *UserStore) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.users))
+	for n := range s.users {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,174 @@
+package dlfs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/med"
+	"repro/internal/sqltypes"
+)
+
+// Client is the database host's handle on a remote file-manager daemon.
+// It implements med.FileServer over the dlfs HTTP protocol, so a
+// Coordinator can drive remote hosts exactly like in-process Managers.
+type Client struct {
+	host    string // host[:port] as it appears in DATALINK URLs
+	baseURL string // e.g. "http://host:port"
+	hc      *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL serving DATALINK
+// host name host.
+func NewClient(host, baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{host: host, baseURL: strings.TrimSuffix(baseURL, "/"), hc: hc}
+}
+
+// Host implements med.FileServer.
+func (c *Client) Host() string { return c.host }
+
+func (c *Client) post(path string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.baseURL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return remoteError(resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// remoteError maps HTTP status codes back onto the store's sentinel
+// errors so callers can errors.Is on either side of the wire.
+func remoteError(code int, msg string) error {
+	base := fmt.Errorf("dlfs: remote: %s", msg)
+	switch code {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	case http.StatusConflict:
+		switch {
+		case strings.Contains(msg, "already linked"):
+			return fmt.Errorf("%w: %s", ErrAlreadyLinked, msg)
+		case strings.Contains(msg, "not linked"):
+			return fmt.Errorf("%w: %s", ErrNotLinked, msg)
+		case strings.Contains(msg, "WRITE PERMISSION"):
+			return fmt.Errorf("%w: %s", ErrWriteBlocked, msg)
+		default:
+			return fmt.Errorf("%w: %s", ErrLinked, msg)
+		}
+	case http.StatusForbidden:
+		switch {
+		case strings.Contains(msg, "expired"):
+			return med.ErrTokenExpired
+		case strings.Contains(msg, "different file"):
+			return med.ErrTokenWrongFile
+		case strings.Contains(msg, "token required"):
+			return fmt.Errorf("%w: %s", ErrTokenRequired, msg)
+		default:
+			return med.ErrTokenTampered
+		}
+	case http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadPath, msg)
+	}
+	return base
+}
+
+// Prepare implements med.FileServer.
+func (c *Client) Prepare(txID uint64, op med.LinkOp) error {
+	return c.post("/dlfm/prepare", prepareReq{Tx: txID, Kind: op.Kind, Path: op.Path, Opts: op.Opts})
+}
+
+// Commit implements med.FileServer.
+func (c *Client) Commit(txID uint64) error { return c.post("/dlfm/commit", txReq{Tx: txID}) }
+
+// Abort implements med.FileServer. Abort is best-effort over the wire:
+// an unreachable daemon will discard the pending work when the
+// transaction never commits.
+func (c *Client) Abort(txID uint64) { _ = c.post("/dlfm/abort", txReq{Tx: txID}) }
+
+// EnsureLinked implements med.FileServer.
+func (c *Client) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
+	return c.post("/dlfm/ensure", ensureReq{Path: path, Opts: opts})
+}
+
+// Put uploads a file to the remote store.
+func (c *Client) Put(path string, r io.Reader) error {
+	req, err := http.NewRequest(http.MethodPut, c.baseURL+"/files"+path, r)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return remoteError(resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Open downloads a file; token may be empty for READ PERMISSION FS files.
+func (c *Client) Open(path, token string) (io.ReadCloser, error) {
+	url := c.baseURL + "/files" + path
+	if token != "" {
+		u, err := sqltypes.ParseDatalinkURL("http://" + c.host + path)
+		if err != nil {
+			return nil, err
+		}
+		url = c.baseURL + "/files" + u.Dir() + "/" + token + ";" + u.File()
+	}
+	resp, err := c.hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, remoteError(resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return resp.Body, nil
+}
+
+// Stat queries file metadata.
+func (c *Client) Stat(path string) (FileInfo, error) {
+	resp, err := c.hc.Get(c.baseURL + "/dlfm/stat?path=" + path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return FileInfo{}, remoteError(resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var sr statResp
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Path: sr.Path, Size: sr.Size, Linked: sr.Linked}, nil
+}
+
+// Rename asks the remote store to rename a file (refused while linked).
+func (c *Client) Rename(oldPath, newPath string) error {
+	return c.post("/dlfm/rename", renameReq{Old: oldPath, New: newPath})
+}
+
+// Remove asks the remote store to delete a file (refused while linked).
+func (c *Client) Remove(path string) error {
+	return c.post("/dlfm/remove", pathReq{Path: path})
+}
+
+var _ med.FileServer = (*Client)(nil)

@@ -1,0 +1,442 @@
+package dlfs
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/med"
+	"repro/internal/sqltypes"
+)
+
+func newAuth(t *testing.T) *med.TokenAuthority {
+	t.Helper()
+	ta, err := med.NewTokenAuthority([]byte("test-secret"), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ta
+}
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager("fs1.sim:80", store, newAuth(t))
+}
+
+func putFile(t *testing.T, m *Manager, path, content string) {
+	t.Helper()
+	if _, err := m.Put(path, strings.NewReader(content)); err != nil {
+		t.Fatalf("Put(%s): %v", path, err)
+	}
+}
+
+func linkFile(t *testing.T, m *Manager, tx uint64, path string, opts sqltypes.DatalinkOptions) {
+	t.Helper()
+	if err := m.Prepare(tx, med.LinkOp{Kind: med.OpLink, Path: path, Opts: opts}); err != nil {
+		t.Fatalf("Prepare link %s: %v", path, err)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestLinkRequiresExistingFile(t *testing.T) {
+	m := newManager(t)
+	err := m.Prepare(1, med.LinkOp{Kind: med.OpLink, Path: "/data/missing.tsf", Opts: sqltypes.DefaultEASIA()})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLinkedFileCannotBeRenamedOrDeleted(t *testing.T) {
+	m := newManager(t)
+	putFile(t, m, "/data/run1/ts1.tsf", "payload")
+	linkFile(t, m, 1, "/data/run1/ts1.tsf", sqltypes.DefaultEASIA())
+
+	if err := m.Store().Remove("/data/run1/ts1.tsf"); !errors.Is(err, ErrLinked) {
+		t.Fatalf("Remove: %v, want ErrLinked", err)
+	}
+	if err := m.Store().Rename("/data/run1/ts1.tsf", "/data/run1/moved.tsf"); !errors.Is(err, ErrLinked) {
+		t.Fatalf("Rename: %v, want ErrLinked", err)
+	}
+	// WRITE PERMISSION BLOCKED refuses overwrites.
+	if _, err := m.Put("/data/run1/ts1.tsf", strings.NewReader("overwrite")); !errors.Is(err, ErrWriteBlocked) {
+		t.Fatalf("Put: %v, want ErrWriteBlocked", err)
+	}
+}
+
+func TestUnlinkRestoreReleasesFile(t *testing.T) {
+	m := newManager(t)
+	opts := sqltypes.DefaultEASIA() // ON UNLINK RESTORE
+	putFile(t, m, "/d/f.dat", "x")
+	linkFile(t, m, 1, "/d/f.dat", opts)
+
+	if err := m.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: "/d/f.dat", Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// File still exists and is now mutable again.
+	if _, err := m.Stat("/d/f.dat"); err != nil {
+		t.Fatalf("file vanished after RESTORE unlink: %v", err)
+	}
+	if err := m.Store().Remove("/d/f.dat"); err != nil {
+		t.Fatalf("unlinked file still protected: %v", err)
+	}
+}
+
+func TestUnlinkDeleteRemovesFile(t *testing.T) {
+	m := newManager(t)
+	opts := sqltypes.DefaultEASIA()
+	opts.OnUnlink = sqltypes.UnlinkDelete
+	putFile(t, m, "/d/f.dat", "x")
+	linkFile(t, m, 1, "/d/f.dat", opts)
+
+	if err := m.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: "/d/f.dat", Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat("/d/f.dat"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("file survived DELETE unlink: %v", err)
+	}
+}
+
+func TestDoubleLinkRejected(t *testing.T) {
+	m := newManager(t)
+	putFile(t, m, "/d/f.dat", "x")
+	linkFile(t, m, 1, "/d/f.dat", sqltypes.DefaultEASIA())
+	err := m.Prepare(2, med.LinkOp{Kind: med.OpLink, Path: "/d/f.dat", Opts: sqltypes.DefaultEASIA()})
+	if !errors.Is(err, ErrAlreadyLinked) {
+		t.Fatalf("err = %v, want ErrAlreadyLinked", err)
+	}
+}
+
+func TestConcurrentTxReservationConflict(t *testing.T) {
+	m := newManager(t)
+	putFile(t, m, "/d/f.dat", "x")
+	if err := m.Prepare(1, med.LinkOp{Kind: med.OpLink, Path: "/d/f.dat", Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatal(err)
+	}
+	// A second transaction cannot claim the same path.
+	if err := m.Prepare(2, med.LinkOp{Kind: med.OpLink, Path: "/d/f.dat", Opts: sqltypes.DefaultEASIA()}); err == nil {
+		t.Fatal("conflicting prepare accepted")
+	}
+	// After abort the path is free again.
+	m.Abort(1)
+	if err := m.Prepare(2, med.LinkOp{Kind: med.OpLink, Path: "/d/f.dat", Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatalf("prepare after abort: %v", err)
+	}
+}
+
+func TestReadPermissionDBRequiresToken(t *testing.T) {
+	m := newManager(t)
+	putFile(t, m, "/d/secret.dat", "classified")
+	linkFile(t, m, 1, "/d/secret.dat", sqltypes.DefaultEASIA())
+
+	if _, _, err := m.Open("/d/secret.dat", ""); !errors.Is(err, ErrTokenRequired) {
+		t.Fatalf("tokenless read: %v, want ErrTokenRequired", err)
+	}
+	// A token minted under the right secret is accepted.
+	goodTok, _ := newAuth(t).Mint("/d/secret.dat", "u", 0)
+	rc, _, err := m.Open("/d/secret.dat", goodTok)
+	if err != nil {
+		t.Fatalf("valid token rejected: %v", err)
+	}
+	rc.Close()
+	// A token minted by a different authority (wrong secret) fails.
+	rogue, _ := med.NewTokenAuthority([]byte("rogue-secret"), time.Minute)
+	badTok, _ := rogue.Mint("/d/secret.dat", "u", 0)
+	if _, _, err := m.Open("/d/secret.dat", badTok); err == nil {
+		t.Fatal("cross-secret token accepted")
+	}
+}
+
+func TestReadPermissionFSNeedsNoToken(t *testing.T) {
+	m := newManager(t)
+	opts := sqltypes.DatalinkOptions{
+		FileLinkControl: true, IntegrityAll: true,
+		ReadPerm: sqltypes.ReadFS, WritePerm: sqltypes.WriteFS,
+		OnUnlink: sqltypes.UnlinkRestore,
+	}
+	putFile(t, m, "/d/open.dat", "public")
+	linkFile(t, m, 1, "/d/open.dat", opts)
+	rc, fi, err := m.Open("/d/open.dat", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if fi.Size != 6 {
+		t.Fatalf("size = %d", fi.Size)
+	}
+}
+
+func TestPathTraversalRejected(t *testing.T) {
+	m := newManager(t)
+	if _, err := m.Put("../escape.dat", strings.NewReader("x")); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("relative path: %v", err)
+	}
+	if _, err := m.Stat("/../../etc/passwd"); err == nil {
+		// Clean() collapses this inside the root; ensure it did not escape.
+		p, _ := m.Store().resolve("/../../etc/passwd")
+		if !strings.HasPrefix(p, m.Store().Root()) {
+			t.Fatal("path escaped the store root")
+		}
+	}
+	// The registry file is not addressable.
+	if _, err := m.Stat("/.dlfm-links.json"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("registry addressable: %v", err)
+	}
+}
+
+func TestRegistryPersistence(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager("fs1.sim:80", store, nil)
+	putFile(t, m, "/d/f.dat", "x")
+	linkFile(t, m, 1, "/d/f.dat", sqltypes.DefaultEASIA())
+
+	// Re-open the store: the link must survive.
+	store2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store2.LinkedCount() != 1 {
+		t.Fatalf("links lost across restart: %d", store2.LinkedCount())
+	}
+	if err := store2.Remove("/d/f.dat"); !errors.Is(err, ErrLinked) {
+		t.Fatalf("protection lost across restart: %v", err)
+	}
+}
+
+func TestEnsureLinkedIdempotent(t *testing.T) {
+	m := newManager(t)
+	putFile(t, m, "/d/f.dat", "x")
+	for i := 0; i < 3; i++ {
+		if err := m.EnsureLinked("/d/f.dat", sqltypes.DefaultEASIA()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Store().LinkedCount() != 1 {
+		t.Fatalf("LinkedCount = %d", m.Store().LinkedCount())
+	}
+	if err := m.EnsureLinked("/d/missing.dat", sqltypes.DefaultEASIA()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("EnsureLinked missing: %v", err)
+	}
+}
+
+func TestBackupRestore(t *testing.T) {
+	m := newManager(t)
+	putFile(t, m, "/d/a.dat", "aaa")
+	putFile(t, m, "/d/b.dat", "bbb")
+	putFile(t, m, "/d/c.dat", "ccc") // not linked: excluded from backup
+	linkFile(t, m, 1, "/d/a.dat", sqltypes.DefaultEASIA())
+	linkFile(t, m, 2, "/d/b.dat", sqltypes.DefaultEASIA())
+
+	backupDir := t.TempDir()
+	n, err := m.BackupLinked(backupDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("backed up %d files, want 2", n)
+	}
+
+	// Restore into a fresh store (disaster recovery of a file host).
+	store2, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager("fs1.sim:80", store2, nil)
+	rn, err := m2.RestoreLinked(backupDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != 2 || store2.LinkedCount() != 2 {
+		t.Fatalf("restore: n=%d linked=%d", rn, store2.LinkedCount())
+	}
+	rc, _, err := store2.Open("/d/a.dat", "", nil)
+	if err == nil {
+		defer rc.Close()
+		b, _ := io.ReadAll(rc)
+		if string(b) != "aaa" {
+			t.Fatalf("restored content = %q", b)
+		}
+	} else if !errors.Is(err, ErrTokenRequired) {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryNoFilesExcludedFromBackup(t *testing.T) {
+	m := newManager(t)
+	opts := sqltypes.DefaultEASIA()
+	opts.RecoveryYes = false
+	putFile(t, m, "/d/volatile.dat", "x")
+	linkFile(t, m, 1, "/d/volatile.dat", opts)
+	n, err := m.BackupLinked(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("RECOVERY NO file was backed up")
+	}
+}
+
+// TestHTTPRoundTrip drives the full daemon+client stack over real HTTP:
+// upload, link via the coordinator protocol, token-gated download,
+// integrity enforcement.
+func TestHTTPRoundTrip(t *testing.T) {
+	auth := newAuth(t)
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager("fs1.sim:80", store, auth)
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+
+	client := NewClient("fs1.sim:80", srv.URL, srv.Client())
+
+	// Upload.
+	if err := client.Put("/data/run1/ts1.tsf", strings.NewReader("timestep-data")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := client.Stat("/data/run1/ts1.tsf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != int64(len("timestep-data")) || fi.Linked {
+		t.Fatalf("stat = %+v", fi)
+	}
+
+	// Two-phase link over HTTP.
+	opts := sqltypes.DefaultEASIA()
+	if err := client.Prepare(1, med.LinkOp{Kind: med.OpLink, Path: "/data/run1/ts1.tsf", Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tokenless download refused; tokened download succeeds.
+	if _, err := client.Open("/data/run1/ts1.tsf", ""); err == nil {
+		t.Fatal("tokenless read of READ PERMISSION DB file succeeded")
+	}
+	tok, _ := auth.Mint("/data/run1/ts1.tsf", "guest", 0)
+	rc, err := client.Open("/data/run1/ts1.tsf", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(body) != "timestep-data" {
+		t.Fatalf("downloaded %q", body)
+	}
+
+	// Remote delete/rename of a linked file is refused with a mapped error.
+	if err := client.Remove("/data/run1/ts1.tsf"); !errors.Is(err, ErrLinked) {
+		t.Fatalf("remote remove: %v, want ErrLinked", err)
+	}
+	if err := client.Rename("/data/run1/ts1.tsf", "/data/run1/x.tsf"); !errors.Is(err, ErrLinked) {
+		t.Fatalf("remote rename: %v, want ErrLinked", err)
+	}
+
+	// Unlink over HTTP, then the file is mutable again.
+	if err := client.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: "/data/run1/ts1.tsf", Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Remove("/data/run1/ts1.tsf"); err != nil {
+		t.Fatalf("remove after unlink: %v", err)
+	}
+}
+
+func TestHTTPExpiredToken(t *testing.T) {
+	auth := newAuth(t)
+	now := time.Date(2000, 3, 27, 12, 0, 0, 0, time.UTC)
+	auth.SetClock(func() time.Time { return now })
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager("fs1.sim:80", store, auth)
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+	client := NewClient("fs1.sim:80", srv.URL, srv.Client())
+
+	if err := client.Put("/d/f.dat", strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Prepare(1, med.LinkOp{Kind: med.OpLink, Path: "/d/f.dat", Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	tok, _ := auth.Mint("/d/f.dat", "u", 10*time.Second)
+	now = now.Add(time.Hour) // the token is now long expired
+	if _, err := client.Open("/d/f.dat", tok); !errors.Is(err, med.ErrTokenExpired) {
+		t.Fatalf("expired token: %v, want ErrTokenExpired", err)
+	}
+}
+
+func TestStoreFilePlacement(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put("/vol0/run 1/f.dat", strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(store.Root(), "vol0", "run 1", "f.dat")
+	if _, err := filepath.Glob(want); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := store.Stat("/vol0/run 1/f.dat")
+	if err != nil || fi.Size != 1 {
+		t.Fatalf("stat: %+v err=%v", fi, err)
+	}
+}
+
+// TestHTTPWriteBlocked: WRITE PERMISSION BLOCKED is enforced for
+// uploads arriving over the wire, not just local Put calls.
+func TestHTTPWriteBlocked(t *testing.T) {
+	auth := newAuth(t)
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager("fs1.sim:80", store, auth)
+	srv := httptest.NewServer(NewServer(mgr))
+	defer srv.Close()
+	client := NewClient("fs1.sim:80", srv.URL, srv.Client())
+
+	if err := client.Put("/d/frozen.dat", strings.NewReader("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Prepare(1, med.LinkOp{Kind: med.OpLink, Path: "/d/frozen.dat", Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	err = client.Put("/d/frozen.dat", strings.NewReader("v2 overwrite"))
+	if !errors.Is(err, ErrWriteBlocked) {
+		t.Fatalf("remote overwrite of linked file: %v, want ErrWriteBlocked", err)
+	}
+}

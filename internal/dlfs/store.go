@@ -1,0 +1,491 @@
+// Package dlfs implements the Data Links File Manager: the daemon that
+// runs on every file-server host and gives the database SQL/MED control
+// over external files. It enforces the paper's four DATALINK guarantees
+// on the file side:
+//
+//	referential integrity — linked files cannot be renamed or deleted;
+//	transaction consistency — link/unlink happens under a two-phase
+//	  protocol driven by the database engine;
+//	security — READ PERMISSION DB files are only served against a valid
+//	  encrypted access token;
+//	coordinated backup — linked RECOVERY YES files can be captured and
+//	  restored in sync with the database.
+//
+// The package provides the on-disk Store, an in-process Manager that
+// implements med.FileServer (used in tests, simulations and benches),
+// and an HTTP daemon plus client for real distributed deployment.
+package dlfs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/med"
+	"repro/internal/sqltypes"
+)
+
+// Store errors surfaced to the database and web layers.
+var (
+	ErrNotFound      = errors.New("dlfs: file not found")
+	ErrAlreadyLinked = errors.New("dlfs: file is already linked")
+	ErrNotLinked     = errors.New("dlfs: file is not linked")
+	ErrLinked        = errors.New("dlfs: operation refused: file is under database link control")
+	ErrWriteBlocked  = errors.New("dlfs: write refused: linked with WRITE PERMISSION BLOCKED")
+	ErrTokenRequired = errors.New("dlfs: access token required (READ PERMISSION DB)")
+	ErrBadPath       = errors.New("dlfs: invalid path")
+)
+
+// LinkState records one linked file in the manager's registry.
+type LinkState struct {
+	Path     string                   `json:"path"`
+	Opts     sqltypes.DatalinkOptions `json:"opts"`
+	LinkedAt time.Time                `json:"linked_at"`
+}
+
+// FileInfo describes a stored file for the UI layer (the paper's result
+// tables display object sizes beside each hyperlink).
+type FileInfo struct {
+	Path    string
+	Size    int64
+	ModTime time.Time
+	Linked  bool
+	Opts    sqltypes.DatalinkOptions // meaningful when Linked
+}
+
+// Store is the on-disk file store plus link registry of one file-server
+// host. Server-local paths always start with "/" and are mapped below
+// the root directory; traversal outside the root is rejected.
+type Store struct {
+	mu      sync.Mutex
+	root    string
+	links   map[string]LinkState
+	pending map[uint64][]med.LinkOp
+	// reserved tracks paths claimed by in-flight transactions so two
+	// concurrent transactions cannot prepare conflicting work.
+	reserved map[string]uint64
+}
+
+// NewStore opens (creating if needed) a store rooted at dir, loading any
+// persisted link registry.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		root:     dir,
+		links:    make(map[string]LinkState),
+		pending:  make(map[uint64][]med.LinkOp),
+		reserved: make(map[string]uint64),
+	}
+	if err := s.loadRegistry(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) registryPath() string { return filepath.Join(s.root, ".dlfm-links.json") }
+
+func (s *Store) loadRegistry() error {
+	b, err := os.ReadFile(s.registryPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var list []LinkState
+	if err := json.Unmarshal(b, &list); err != nil {
+		return fmt.Errorf("dlfs: corrupt link registry: %w", err)
+	}
+	for _, ls := range list {
+		s.links[ls.Path] = ls
+	}
+	return nil
+}
+
+// saveRegistryLocked persists the link registry (atomic rename).
+func (s *Store) saveRegistryLocked() error {
+	list := make([]LinkState, 0, len(s.links))
+	for _, ls := range s.links {
+		list = append(list, ls)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Path < list[j].Path })
+	b, err := json.MarshalIndent(list, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.registryPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.registryPath())
+}
+
+// resolve maps a server-local path ("/dir/file") to a filesystem path,
+// rejecting traversal.
+func (s *Store) resolve(path string) (string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return "", ErrBadPath
+	}
+	clean := filepath.Clean("/" + strings.TrimPrefix(path, "/"))
+	if strings.Contains(clean, "..") {
+		return "", ErrBadPath
+	}
+	if strings.HasPrefix(filepath.Base(clean), ".dlfm") {
+		return "", ErrBadPath
+	}
+	return filepath.Join(s.root, filepath.FromSlash(clean)), nil
+}
+
+// ---------- two-phase link control ----------
+
+// Prepare validates and reserves op under txID.
+func (s *Store) Prepare(txID uint64, op med.LinkOp) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fsPath, err := s.resolve(op.Path)
+	if err != nil {
+		return err
+	}
+	if holder, busy := s.reserved[op.Path]; busy && holder != txID {
+		return fmt.Errorf("dlfs: %s is reserved by transaction %d", op.Path, holder)
+	}
+	switch op.Kind {
+	case med.OpLink:
+		// FILE LINK CONTROL: "a check should be made to ensure the
+		// existence of the file during a database insert or update".
+		fi, err := os.Stat(fsPath)
+		if err != nil || fi.IsDir() {
+			return fmt.Errorf("%w: %s", ErrNotFound, op.Path)
+		}
+		if _, linked := s.links[op.Path]; linked {
+			return fmt.Errorf("%w: %s", ErrAlreadyLinked, op.Path)
+		}
+	case med.OpUnlink:
+		if _, linked := s.links[op.Path]; !linked {
+			return fmt.Errorf("%w: %s", ErrNotLinked, op.Path)
+		}
+	default:
+		return fmt.Errorf("dlfs: unknown link op %d", op.Kind)
+	}
+	// Idempotent per (txID, op): skip duplicates.
+	for _, existing := range s.pending[txID] {
+		if existing.Kind == op.Kind && existing.Path == op.Path {
+			return nil
+		}
+	}
+	s.pending[txID] = append(s.pending[txID], op)
+	s.reserved[op.Path] = txID
+	return nil
+}
+
+// Commit applies every operation prepared under txID. Unknown txIDs are
+// a no-op (idempotence for coordinator retries).
+func (s *Store) Commit(txID uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ops := s.pending[txID]
+	delete(s.pending, txID)
+	var errs []error
+	for _, op := range ops {
+		delete(s.reserved, op.Path)
+		switch op.Kind {
+		case med.OpLink:
+			s.links[op.Path] = LinkState{Path: op.Path, Opts: op.Opts, LinkedAt: time.Now().UTC()}
+		case med.OpUnlink:
+			st, linked := s.links[op.Path]
+			delete(s.links, op.Path)
+			if linked && st.Opts.OnUnlink == sqltypes.UnlinkDelete {
+				if fsPath, err := s.resolve(op.Path); err == nil {
+					if err := os.Remove(fsPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+						errs = append(errs, err)
+					}
+				}
+			}
+			// ON UNLINK RESTORE: the file simply returns to file-system
+			// control — it stays in place, no longer protected.
+		}
+	}
+	if len(ops) > 0 {
+		if err := s.saveRegistryLocked(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Abort discards every operation prepared under txID.
+func (s *Store) Abort(txID uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range s.pending[txID] {
+		delete(s.reserved, op.Path)
+	}
+	delete(s.pending, txID)
+}
+
+// EnsureLinked forces path into the linked state (crash reconciliation).
+func (s *Store) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fsPath, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(fsPath); err != nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if _, linked := s.links[path]; !linked {
+		s.links[path] = LinkState{Path: path, Opts: opts, LinkedAt: time.Now().UTC()}
+		return s.saveRegistryLocked()
+	}
+	return nil
+}
+
+// LinkedCount reports how many files are currently linked.
+func (s *Store) LinkedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.links)
+}
+
+// LinkedPaths returns the sorted paths of all linked files.
+func (s *Store) LinkedPaths() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.links))
+	for p := range s.links {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------- file operations with link enforcement ----------
+
+// Put writes a file (creating directories as needed). Writes to linked
+// files are governed by the link's WRITE PERMISSION.
+func (s *Store) Put(path string, r io.Reader) (int64, error) {
+	s.mu.Lock()
+	if ls, linked := s.links[path]; linked && ls.Opts.WritePerm == sqltypes.WriteBlocked {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrWriteBlocked, path)
+	}
+	if holder, busy := s.reserved[path]; busy {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("dlfs: %s is reserved by transaction %d", path, holder)
+	}
+	s.mu.Unlock()
+	fsPath, err := s.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(filepath.Dir(fsPath), 0o755); err != nil {
+		return 0, err
+	}
+	f, err := os.Create(fsPath)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(f, r)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// Rename moves a file; refused while the source or target is linked
+// (referential integrity: "an external file referenced by the database
+// cannot be renamed or deleted").
+func (s *Store) Rename(oldPath, newPath string) error {
+	s.mu.Lock()
+	if _, linked := s.links[oldPath]; linked {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: rename %s", ErrLinked, oldPath)
+	}
+	if _, linked := s.links[newPath]; linked {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: rename onto %s", ErrLinked, newPath)
+	}
+	s.mu.Unlock()
+	oldFS, err := s.resolve(oldPath)
+	if err != nil {
+		return err
+	}
+	newFS, err := s.resolve(newPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(newFS), 0o755); err != nil {
+		return err
+	}
+	return os.Rename(oldFS, newFS)
+}
+
+// Remove deletes a file; refused while linked.
+func (s *Store) Remove(path string) error {
+	s.mu.Lock()
+	if _, linked := s.links[path]; linked {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: remove %s", ErrLinked, path)
+	}
+	s.mu.Unlock()
+	fsPath, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(fsPath); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		return err
+	}
+	return nil
+}
+
+// Open returns a reader for path after access control. auth supplies
+// token validation; it may be nil only for stores that hold no READ
+// PERMISSION DB links.
+func (s *Store) Open(path, token string, auth *med.TokenAuthority) (io.ReadCloser, FileInfo, error) {
+	s.mu.Lock()
+	ls, linked := s.links[path]
+	s.mu.Unlock()
+	if linked && ls.Opts.ReadPerm == sqltypes.ReadDB {
+		if token == "" {
+			return nil, FileInfo{}, fmt.Errorf("%w: %s", ErrTokenRequired, path)
+		}
+		if auth == nil {
+			return nil, FileInfo{}, fmt.Errorf("dlfs: no token authority configured for %s", path)
+		}
+		if _, err := auth.Validate(token, path); err != nil {
+			return nil, FileInfo{}, err
+		}
+	}
+	fsPath, err := s.resolve(path)
+	if err != nil {
+		return nil, FileInfo{}, err
+	}
+	f, err := os.Open(fsPath)
+	if err != nil {
+		return nil, FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, FileInfo{}, err
+	}
+	info := FileInfo{Path: path, Size: fi.Size(), ModTime: fi.ModTime(), Linked: linked, Opts: ls.Opts}
+	return f, info, nil
+}
+
+// Stat describes a file without opening it.
+func (s *Store) Stat(path string) (FileInfo, error) {
+	fsPath, err := s.resolve(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	fi, err := os.Stat(fsPath)
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	s.mu.Lock()
+	ls, linked := s.links[path]
+	s.mu.Unlock()
+	return FileInfo{Path: path, Size: fi.Size(), ModTime: fi.ModTime(), Linked: linked, Opts: ls.Opts}, nil
+}
+
+// ---------- coordinated backup ----------
+
+// BackupLinked copies every linked RECOVERY YES file under dst.
+func (s *Store) BackupLinked(dst string) (int, error) {
+	s.mu.Lock()
+	var paths []string
+	for p, ls := range s.links {
+		if ls.Opts.RecoveryYes {
+			paths = append(paths, p)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(paths)
+	n := 0
+	for _, p := range paths {
+		fsPath, err := s.resolve(p)
+		if err != nil {
+			return n, err
+		}
+		target := filepath.Join(dst, filepath.FromSlash(strings.TrimPrefix(p, "/")))
+		if err := copyFileMk(fsPath, target); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// RestoreLinked copies files back from a BackupLinked tree and re-links
+// them with their registered options (or default EASIA options when the
+// registry entry was lost with the store).
+func (s *Store) RestoreLinked(src string) (int, error) {
+	n := 0
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		local := "/" + filepath.ToSlash(rel)
+		fsPath, err := s.resolve(local)
+		if err != nil {
+			return err
+		}
+		if err := copyFileMk(path, fsPath); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if _, linked := s.links[local]; !linked {
+			s.links[local] = LinkState{Path: local, Opts: sqltypes.DefaultEASIA(), LinkedAt: time.Now().UTC()}
+		}
+		s.mu.Unlock()
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n, s.saveRegistryLocked()
+}
+
+func copyFileMk(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestE1MatchesPaperExactly: every cell of the published table.
+func TestE1MatchesPaperExactly(t *testing.T) {
+	r := E1BandwidthTable()
+	for _, cell := range []string{
+		"0.25 Mbit/s", "45m20s", "4h50m08s",
+		"0.37 Mbit/s", "30m38s", "3h16m02s",
+		"0.58 Mbit/s", "19m32s", "2h05m03s",
+		"1.94 Mbit/s", "5m51s", "37m23s",
+	} {
+		if !strings.Contains(r.Text, cell) {
+			t.Errorf("E1 missing %q:\n%s", cell, r.Text)
+		}
+	}
+}
+
+// TestE2Shape: EASIA must win on both bytes (≥11x for 100T+10R) and
+// time, and the saving factor must equal (T+R)/R.
+func TestE2Shape(t *testing.T) {
+	r := E2CentralVsDistributed(netsim.SmallSimulationBytes, 100, 10, netsim.Day)
+	if r.EASIAWANBytes >= r.CentralWANBytes {
+		t.Fatalf("distributed moved more bytes: %d vs %d", r.EASIAWANBytes, r.CentralWANBytes)
+	}
+	if want := 11.0; r.BytesSavedFactor != want {
+		t.Fatalf("saving factor = %.2f, want %.2f", r.BytesSavedFactor, want)
+	}
+	if r.EASIATime >= r.CentralTime {
+		t.Fatalf("distributed slower: %v vs %v", r.EASIATime, r.CentralTime)
+	}
+	// The upload leg dominates because To-Southampton is the slow
+	// direction: the centralised total must exceed 100 uploads alone.
+	uploadOnly := 100 * netsim.TransferTimeExact(netsim.SmallSimulationBytes,
+		netsim.SuperJANET1999.Rate(netsim.Day, netsim.ToArchive))
+	if r.CentralTime <= uploadOnly {
+		t.Fatalf("central time %v not dominated by uploads %v", r.CentralTime, uploadOnly)
+	}
+}
+
+// TestE3Shape: reduction grows with N and the measured (real-run) sizes
+// agree with the arithmetic within the PGM header.
+func TestE3Shape(t *testing.T) {
+	rows, err := E3DataReduction(t, 24, []int{16, 24, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Reduction <= rows[i-1].Reduction {
+			t.Fatalf("reduction not increasing: %v", rows)
+		}
+	}
+	// Measured rows (N≤24) carry a real PGM: header + N².
+	for _, r := range rows[:2] {
+		min := int64(r.N) * int64(r.N)
+		if r.OutputBytes < min || r.OutputBytes > min+64 {
+			t.Fatalf("N=%d measured output %d implausible", r.N, r.OutputBytes)
+		}
+	}
+	// Reduction ≈ 16N: the cube is 16N³ bytes (4 fields × 4-byte floats),
+	// the PGM image ≈ N² bytes (1 byte per pixel).
+	last := rows[len(rows)-1]
+	if last.Reduction < 14*float64(last.N) || last.Reduction > 18*float64(last.N) {
+		t.Fatalf("N=%d reduction %.1f not ≈16N", last.N, last.Reduction)
+	}
+}
+
+// TestE4Shape: makespan halves with each server doubling until servers
+// stop being the bottleneck.
+func TestE4Shape(t *testing.T) {
+	rows := E4ServerScaling(16, []int{1, 2, 4, 8, 16}, netsim.SmallSimulationBytes)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Makespan >= rows[i-1].Makespan {
+			t.Fatalf("makespan not improving at %d servers", rows[i].Servers)
+		}
+	}
+	if rows[1].Speedup < 1.9 || rows[1].Speedup > 2.1 {
+		t.Fatalf("2-server speedup = %.2f, want ≈2", rows[1].Speedup)
+	}
+	if rows[4].Speedup < 15 {
+		t.Fatalf("16-server speedup = %.2f, want ≈16", rows[4].Speedup)
+	}
+}
+
+// TestE5Shape: real parallel post-processing gets faster with hosts (we
+// only require improvement from 1 to the best, since CI machines vary).
+func TestE5Shape(t *testing.T) {
+	rows := E5ParallelOps(32, 16, []int{1, 4})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Elapsed >= rows[0].Elapsed {
+		t.Logf("warning: no parallel speedup on this machine: %v vs %v", rows[1].Elapsed, rows[0].Elapsed)
+	}
+}
+
+func TestE6Narrative(t *testing.T) {
+	r, err := E6EndToEnd(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"linked files on fs1: 1",
+		"QBE search over metadata:         1 row(s)",
+		"FK browse to author:              Papiani",
+		"DATALINK download via token",
+		"reduction)",
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("E6 missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestE7SchemaAndXUIS(t *testing.T) {
+	r, err := E7Report(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"AUTHOR", "SIMULATION", "RESULT_FILE", "CODE_FILE", "VISUALISATION_FILE",
+		"fk(AUTHOR_KEY)->AUTHOR",
+		`<refby tablecolumn="SIMULATION.AUTHOR_KEY">`,
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("E7 missing %q", want)
+		}
+	}
+}
+
+func TestE8UIChecklist(t *testing.T) {
+	r, err := E8Report(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Text, "MISSING") {
+		t.Fatalf("UI feature missing:\n%s", r.Text)
+	}
+}
+
+func TestE9Fragments(t *testing.T) {
+	r, err := E9Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<operation name="GetImage"`,
+		`<URL>http://quagga.ecs.soton.ac.uk:8080/servlet/SDBservlet</URL>`,
+		`<upload type="EASL"`,
+		`<eq>&#39;u,v,w,p&#39;</eq>`,
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("E9 missing %q", want)
+		}
+	}
+}
+
+func TestE10TokenLifecycle(t *testing.T) {
+	res, err := E10Tokens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MintPerSec <= 0 || res.ValidatePerSec <= 0 {
+		t.Fatalf("rates: %+v", res)
+	}
+	joined := strings.Join(res.ExpirySweep, "\n")
+	if !strings.Contains(joined, "age 0s") || !strings.Contains(joined, "EXPIRED") {
+		t.Fatalf("sweep wrong:\n%s", joined)
+	}
+	// Exactly the >lifetime ages expire.
+	expired := strings.Count(joined, "EXPIRED")
+	if expired != 2 {
+		t.Fatalf("expired %d entries, want 2:\n%s", expired, joined)
+	}
+}
+
+func TestE11Sandbox(t *testing.T) {
+	r, err := E11Report(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"post-processing complete",
+		"easl-run --sandbox",
+		"absolute path write",
+		"infinite loop",
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("E11 missing %q:\n%s", want, r.Text)
+		}
+	}
+	if strings.Count(r.Text, "refused") < 4 {
+		t.Fatalf("not all hostile codes refused:\n%s", r.Text)
+	}
+}
+
+func TestE12Guarantees(t *testing.T) {
+	r, err := E12Report(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"delete linked file      -> refused",
+		"rename linked file      -> refused",
+		"insert w/ missing file  -> refused",
+		"tokenless read          -> refused",
+		"no link state leaked",
+		"accepted (no existence check)",
+		"dangling link reached the user",
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("E12 missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+// TestAll: the full suite runs end to end (the easiabench path).
+func TestAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite is slow")
+	}
+	reports, err := All(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	if len(reports) != len(want) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(want))
+	}
+	for i, id := range want {
+		if reports[i].ID != id {
+			t.Errorf("report %d = %s, want %s", i, reports[i].ID, id)
+		}
+		if reports[i].Text == "" {
+			t.Errorf("report %s empty", id)
+		}
+	}
+}

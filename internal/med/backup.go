@@ -1,0 +1,154 @@
+package med
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Coordinated backup and recovery (the fourth SQL/MED guarantee in the
+// paper: "the database management system can take responsibility for
+// backup and recovery of external files in synchronisation with the
+// internal data").
+//
+// A backup set is a directory:
+//
+//	<dir>/db/           — copy of the database directory (snapshot + WAL)
+//	<dir>/files/<host>/ — linked files from each RECOVERY YES server
+
+// Checkpointer is the database side of a coordinated backup.
+type Checkpointer interface {
+	// Checkpoint folds the WAL into a consistent on-disk snapshot.
+	Checkpoint() error
+}
+
+// BackupParticipant is the file-server side of a coordinated backup.
+// dlfs.Manager implements it.
+type BackupParticipant interface {
+	Host() string
+	// BackupLinked copies every linked RECOVERY YES file under dst,
+	// preserving the server-local path layout, and returns the count.
+	BackupLinked(dst string) (int, error)
+	// RestoreLinked copies files back from a backup produced by
+	// BackupLinked and re-links them.
+	RestoreLinked(src string) (int, error)
+}
+
+// BackupSet orchestrates a coordinated backup across the database and
+// its file servers.
+type BackupSet struct {
+	Dir string
+}
+
+// Backup runs a full coordinated backup: checkpoint the database, copy
+// its directory, then collect linked files from every participant.
+// It returns the number of external files captured.
+func (b BackupSet) Backup(db Checkpointer, dbDir string, participants []BackupParticipant) (int, error) {
+	if err := db.Checkpoint(); err != nil {
+		return 0, fmt.Errorf("med: backup checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(b.Dir, "db"), 0o755); err != nil {
+		return 0, err
+	}
+	if dbDir != "" {
+		if err := copyDir(dbDir, filepath.Join(b.Dir, "db")); err != nil {
+			return 0, fmt.Errorf("med: backup database: %w", err)
+		}
+	}
+	total := 0
+	var errs []error
+	for _, p := range participants {
+		dst := filepath.Join(b.Dir, "files", hostDirName(p.Host()))
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		n, err := p.BackupLinked(dst)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("host %s: %w", p.Host(), err))
+			continue
+		}
+		total += n
+	}
+	return total, errors.Join(errs...)
+}
+
+// Restore copies the database directory back and restores linked files
+// on every participant. The caller re-opens the database afterwards.
+func (b BackupSet) Restore(dbDir string, participants []BackupParticipant) (int, error) {
+	if dbDir != "" {
+		if err := os.MkdirAll(dbDir, 0o755); err != nil {
+			return 0, err
+		}
+		if err := copyDir(filepath.Join(b.Dir, "db"), dbDir); err != nil {
+			return 0, fmt.Errorf("med: restore database: %w", err)
+		}
+	}
+	total := 0
+	var errs []error
+	for _, p := range participants {
+		src := filepath.Join(b.Dir, "files", hostDirName(p.Host()))
+		if _, err := os.Stat(src); err != nil {
+			continue // this host contributed no files
+		}
+		n, err := p.RestoreLinked(src)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("host %s: %w", p.Host(), err))
+			continue
+		}
+		total += n
+	}
+	return total, errors.Join(errs...)
+}
+
+// hostDirName makes "host:port" safe as a directory name.
+func hostDirName(host string) string {
+	out := make([]byte, 0, len(host))
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		if c == ':' || c == '/' || c == '\\' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func copyDir(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		return copyFile(path, target)
+	})
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,181 @@
+package med
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sqltypes"
+)
+
+// LinkOpKind distinguishes link from unlink work.
+type LinkOpKind uint8
+
+// Link-control operation kinds.
+const (
+	OpLink LinkOpKind = iota
+	OpUnlink
+)
+
+// LinkOp is one unit of link-control work shipped to a file server.
+type LinkOp struct {
+	Kind LinkOpKind
+	Path string // file-server-local path
+	Opts sqltypes.DatalinkOptions
+}
+
+// FileServer is the coordinator's view of one Data Links File Manager
+// (the daemon running on each file-server host). internal/dlfs provides
+// an in-process implementation and an HTTP client/daemon pair.
+type FileServer interface {
+	// Host returns the "host[:port]" this manager serves, matching the
+	// host component of DATALINK URLs.
+	Host() string
+	// Prepare validates and reserves an operation inside transaction
+	// txID: for OpLink the file must exist and not already be linked;
+	// for OpUnlink the file must currently be linked. Prepare must be
+	// idempotent per (txID, op).
+	Prepare(txID uint64, op LinkOp) error
+	// Commit atomically applies every operation prepared under txID.
+	// It must be idempotent: committing an unknown txID is a no-op.
+	Commit(txID uint64) error
+	// Abort discards every operation prepared under txID.
+	Abort(txID uint64)
+	// EnsureLinked repairs divergence after a crash between the
+	// database commit and the file-manager commit: the file must end up
+	// linked with the given options no matter what state it was in.
+	EnsureLinked(path string, opts sqltypes.DatalinkOptions) error
+}
+
+// Coordinator routes SQL/MED link-control callbacks from the database
+// engine to the file managers named in each DATALINK URL. It satisfies
+// sqldb.LinkController structurally.
+//
+// Protocol (see DESIGN.md): the engine calls PrepareLink/PrepareUnlink
+// while executing statements, then, after its WAL records are durable,
+// Commit; Abort on rollback. The coordinator fans each call out to the
+// file servers involved in the transaction.
+type Coordinator struct {
+	mu      sync.Mutex
+	servers map[string]FileServer // host → manager
+	pending map[uint64]map[string]FileServer
+}
+
+// NewCoordinator returns a coordinator with no registered file servers.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{
+		servers: make(map[string]FileServer),
+		pending: make(map[uint64]map[string]FileServer),
+	}
+}
+
+// Register adds (or replaces) the manager for a host.
+func (c *Coordinator) Register(fs FileServer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.servers[strings.ToLower(fs.Host())] = fs
+}
+
+// Server returns the manager for host, if registered.
+func (c *Coordinator) Server(host string) (FileServer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.servers[strings.ToLower(host)]
+	return fs, ok
+}
+
+// Hosts lists registered hosts, sorted.
+func (c *Coordinator) Hosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hosts := make([]string, 0, len(c.servers))
+	for h := range c.servers {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+func (c *Coordinator) prepare(txID uint64, url string, kind LinkOpKind, opts sqltypes.DatalinkOptions) error {
+	u, err := sqltypes.ParseDatalinkURL(url)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	fs, ok := c.servers[strings.ToLower(u.Host)]
+	if ok {
+		m := c.pending[txID]
+		if m == nil {
+			m = make(map[string]FileServer)
+			c.pending[txID] = m
+		}
+		m[strings.ToLower(u.Host)] = fs
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("med: no file manager registered for host %s", u.Host)
+	}
+	return fs.Prepare(txID, LinkOp{Kind: kind, Path: u.Path, Opts: opts})
+}
+
+// PrepareLink implements the engine's LinkController contract.
+func (c *Coordinator) PrepareLink(txID uint64, url string, opts sqltypes.DatalinkOptions) error {
+	return c.prepare(txID, url, OpLink, opts)
+}
+
+// PrepareUnlink implements the engine's LinkController contract.
+func (c *Coordinator) PrepareUnlink(txID uint64, url string, opts sqltypes.DatalinkOptions) error {
+	return c.prepare(txID, url, OpUnlink, opts)
+}
+
+// Commit applies the transaction's link work on every involved server.
+func (c *Coordinator) Commit(txID uint64) error {
+	c.mu.Lock()
+	involved := c.pending[txID]
+	delete(c.pending, txID)
+	c.mu.Unlock()
+	var errs []error
+	for _, fs := range involved {
+		if err := fs.Commit(txID); err != nil {
+			errs = append(errs, fmt.Errorf("host %s: %w", fs.Host(), err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Abort discards the transaction's link work on every involved server.
+func (c *Coordinator) Abort(txID uint64) {
+	c.mu.Lock()
+	involved := c.pending[txID]
+	delete(c.pending, txID)
+	c.mu.Unlock()
+	for _, fs := range involved {
+		fs.Abort(txID)
+	}
+}
+
+// Reconcile repairs file-manager state after recovery: for every
+// DATALINK value that the (already recovered) database holds, the
+// corresponding file must be linked. The archive core calls this at
+// startup with the URLs of all controlled DATALINK columns.
+func (c *Coordinator) Reconcile(urls []string, opts sqltypes.DatalinkOptions) error {
+	var errs []error
+	for _, url := range urls {
+		u, err := sqltypes.ParseDatalinkURL(url)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		fs, ok := c.Server(u.Host)
+		if !ok {
+			errs = append(errs, fmt.Errorf("med: reconcile %s: no file manager for host %s", url, u.Host))
+			continue
+		}
+		if err := fs.EnsureLinked(u.Path, opts); err != nil {
+			errs = append(errs, fmt.Errorf("med: reconcile %s: %w", url, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,255 @@
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestTable1MatchesPaper checks every cell of the paper's measurement
+// table to the second. This is experiment E1's ground truth.
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1(SuperJANET1999)
+	want := []struct {
+		period    Period
+		direction Direction
+		mbit      float64
+		small     string
+		large     string
+	}{
+		{Day, ToArchive, 0.25, "45m20s", "4h50m08s"},
+		{Day, FromArchive, 0.37, "30m38s", "3h16m02s"},
+		{Evening, ToArchive, 0.58, "19m32s", "2h05m03s"},
+		{Evening, FromArchive, 1.94, "5m51s", "37m23s"},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Period != w.period || r.Direction != w.direction {
+			t.Errorf("row %d header: %v %v", i, r.Period, r.Direction)
+		}
+		if math.Abs(float64(r.Bandwidth)/1e6-w.mbit) > 1e-9 {
+			t.Errorf("row %d bandwidth = %v", i, r.Bandwidth)
+		}
+		if got := FormatDuration(r.SmallTime); got != w.small {
+			t.Errorf("row %d small = %s, want %s", i, got, w.small)
+		}
+		if got := FormatDuration(r.LargeTime); got != w.large {
+			t.Errorf("row %d large = %s, want %s", i, got, w.large)
+		}
+	}
+}
+
+func TestTransferTimeLaw(t *testing.T) {
+	// 1 MB at 1 Mbit/s is exactly 8 seconds.
+	if got := TransferTime(1_000_000, 1*MbitPerSec); got != 8*time.Second {
+		t.Fatalf("got %v", got)
+	}
+	if got := TransferTime(0, 1*MbitPerSec); got != 0 {
+		t.Fatalf("zero bytes: %v", got)
+	}
+	// Zero rate yields effectively infinite time, not a panic.
+	if got := TransferTime(1, 0); got < time.Duration(math.MaxInt64) {
+		t.Fatalf("zero rate: %v", got)
+	}
+}
+
+// Property: transfer time is monotone in bytes and antitone in rate.
+func TestTransferTimeMonotonic(t *testing.T) {
+	f := func(b1, b2 uint32, r1, r2 uint16) bool {
+		bytes1, bytes2 := int64(b1), int64(b2)
+		rate1 := Rate(r1)*KbitPerSec + 1
+		rate2 := Rate(r2)*KbitPerSec + 1
+		if bytes1 <= bytes2 && TransferTimeExact(bytes1, rate1) > TransferTimeExact(bytes2, rate1) {
+			return false
+		}
+		if rate1 <= rate2 && TransferTimeExact(bytes1, rate1) < TransferTimeExact(bytes1, rate2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleLookup(t *testing.T) {
+	s := SuperJANET1999
+	if s.Rate(Day, ToArchive) != 0.25*MbitPerSec {
+		t.Fatal("day/to")
+	}
+	if s.Rate(Evening, FromArchive) != 1.94*MbitPerSec {
+		t.Fatal("evening/from")
+	}
+}
+
+func TestSimulateSingleFlow(t *testing.T) {
+	topo := NewTopology()
+	topo.Egress["s"] = 10 * MbitPerSec
+	res := topo.Simulate([]Flow{{Src: "s", Dst: "c", Bytes: 10_000_000}})
+	want := 8 * time.Second // 80 Mbit / 10 Mbit/s
+	if d := res.PerFlow[0] - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("flow time = %v, want %v", res.PerFlow[0], want)
+	}
+}
+
+func TestSimulateSharedUplink(t *testing.T) {
+	// Two clients on one 10 Mbit/s server: each gets 5 Mbit/s, both
+	// finish together at 2× the solo time.
+	topo := NewTopology()
+	topo.Egress["s"] = 10 * MbitPerSec
+	flows := []Flow{
+		{Src: "s", Dst: "c1", Bytes: 10_000_000},
+		{Src: "s", Dst: "c2", Bytes: 10_000_000},
+	}
+	res := topo.Simulate(flows)
+	want := 16 * time.Second
+	for i, d := range res.PerFlow {
+		if diff := d - want; diff < -time.Millisecond || diff > time.Millisecond {
+			t.Fatalf("flow %d = %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestSimulateUnevenFinishReallocates(t *testing.T) {
+	// A short and a long flow share a 10 Mbit/s uplink. The short flow
+	// finishes, then the long one speeds up.
+	topo := NewTopology()
+	topo.Egress["s"] = 10 * MbitPerSec
+	flows := []Flow{
+		{Src: "s", Dst: "c1", Bytes: 2_500_000},  // 20 Mbit
+		{Src: "s", Dst: "c2", Bytes: 10_000_000}, // 80 Mbit
+	}
+	res := topo.Simulate(flows)
+	// Short: 20 Mbit at 5 Mbit/s = 4 s.
+	// Long: 20 Mbit at 5 Mbit/s (first 4 s) + 60 Mbit at 10 Mbit/s = 4+6 = 10 s.
+	if d := res.PerFlow[0] - 4*time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("short = %v", res.PerFlow[0])
+	}
+	if d := res.PerFlow[1] - 10*time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("long = %v", res.PerFlow[1])
+	}
+}
+
+func TestSimulateClientBottleneck(t *testing.T) {
+	// Server has 100 Mbit/s but the client only 2: client limits.
+	topo := NewTopology()
+	topo.Egress["s"] = 100 * MbitPerSec
+	topo.Ingress["c"] = 2 * MbitPerSec
+	res := topo.Simulate([]Flow{{Src: "s", Dst: "c", Bytes: 1_000_000}})
+	want := 4 * time.Second
+	if d := res.PerFlow[0] - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("flow = %v, want %v", res.PerFlow[0], want)
+	}
+}
+
+// TestFairShareScaling is the shape behind experiment E4: with k clients
+// fixed, makespan improves roughly linearly as servers are added until
+// client downlinks become the bottleneck.
+func TestFairShareScaling(t *testing.T) {
+	const k = 8
+	bytes := int64(10_000_000)
+	server := 10 * MbitPerSec
+	client := 100 * MbitPerSec // clients are not the bottleneck
+
+	m1 := FairShareDownload(k, 1, bytes, server, client).Makespan
+	m2 := FairShareDownload(k, 2, bytes, server, client).Makespan
+	m4 := FairShareDownload(k, 4, bytes, server, client).Makespan
+	m8 := FairShareDownload(k, 8, bytes, server, client).Makespan
+
+	if !(m1 > m2 && m2 > m4 && m4 > m8) {
+		t.Fatalf("makespans not improving: %v %v %v %v", m1, m2, m4, m8)
+	}
+	// Doubling servers should roughly halve the makespan (fluid model:
+	// exactly halve while servers are the bottleneck).
+	ratio := float64(m1) / float64(m2)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("m1/m2 = %.2f, want ≈2", ratio)
+	}
+	// With 8 servers for 8 clients, each flow runs at full server rate.
+	solo := TransferTimeExact(bytes, server)
+	if d := m8 - solo; d < -10*time.Millisecond || d > 10*time.Millisecond {
+		t.Fatalf("m8 = %v, want %v", m8, solo)
+	}
+}
+
+// Property: makespan never increases when servers are added.
+func TestFairShareMonotoneInServers(t *testing.T) {
+	f := func(kRaw, mRaw uint8) bool {
+		k := int(kRaw%12) + 1
+		m := int(mRaw%8) + 1
+		a := FairShareDownload(k, m, 1_000_000, 10*MbitPerSec, 100*MbitPerSec).Makespan
+		b := FairShareDownload(k, m+1, 1_000_000, 10*MbitPerSec, 100*MbitPerSec).Makespan
+		return b <= a+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{2720 * time.Second, "45m20s"},
+		{17408 * time.Second, "4h50m08s"},
+		{351 * time.Second, "5m51s"},
+		{0, "0m00s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %s, want %s", c.d, got, c.want)
+		}
+	}
+}
+
+func TestThrottledReader(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 1000)
+	var slept time.Duration
+	tr := NewThrottledReader(bytes.NewReader(payload), 8*KbitPerSec, 1)
+	tr.sleep = func(d time.Duration) { slept += d }
+	n, err := io.Copy(io.Discard, tr)
+	if err != nil || n != 1000 {
+		t.Fatalf("copy: n=%d err=%v", n, err)
+	}
+	// 8000 bits at 8 kbit/s is 1 s of modelled time.
+	if me := tr.ModelledElapsed(); me != time.Second {
+		t.Fatalf("modelled = %v", me)
+	}
+	if slept < 900*time.Millisecond {
+		t.Fatalf("throttle slept only %v", slept)
+	}
+}
+
+func TestThrottledReaderScale(t *testing.T) {
+	payload := strings.Repeat("y", 1000)
+	var slept time.Duration
+	tr := NewThrottledReader(strings.NewReader(payload), 8*KbitPerSec, 1000)
+	tr.sleep = func(d time.Duration) { slept += d }
+	if _, err := io.Copy(io.Discard, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Modelled 1 s compressed 1000×: about 1 ms of wall sleep.
+	if slept > 10*time.Millisecond {
+		t.Fatalf("scaled throttle slept %v", slept)
+	}
+	if me := tr.ModelledElapsed(); me != time.Second {
+		t.Fatalf("modelled = %v", me)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	if s := (1.94 * MbitPerSec).String(); s != "1.94 Mbit/s" {
+		t.Fatalf("rate string = %q", s)
+	}
+	if s := (2 * GbitPerSec).String(); s != "2.00 Gbit/s" {
+		t.Fatalf("rate string = %q", s)
+	}
+}

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"io"
+	"time"
+)
+
+// ThrottledReader wraps a reader so it delivers bytes at a fixed rate,
+// optionally accelerated by a time-scale factor. The live examples use
+// it to "replay" the paper's WAN conditions in seconds instead of hours
+// while keeping the arithmetic honest (scale only compresses wall-clock
+// time, never the modelled transfer time).
+type ThrottledReader struct {
+	r         io.Reader
+	rate      Rate
+	scale     float64 // e.g. 1000 → modelled hour passes in 3.6 s
+	start     time.Time
+	delivered int64
+	sleep     func(time.Duration)
+}
+
+// NewThrottledReader shapes r to rate with the given acceleration scale
+// (scale >= 1; 1 means real time).
+func NewThrottledReader(r io.Reader, rate Rate, scale float64) *ThrottledReader {
+	if scale < 1 {
+		scale = 1
+	}
+	return &ThrottledReader{r: r, rate: rate, scale: scale, sleep: time.Sleep}
+}
+
+// Read implements io.Reader, pausing as needed to hold the target rate.
+func (t *ThrottledReader) Read(p []byte) (int, error) {
+	if t.start.IsZero() {
+		t.start = time.Now()
+	}
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.delivered += int64(n)
+		// Modelled elapsed time for the bytes delivered so far.
+		modelled := float64(t.delivered) * 8 / float64(t.rate)
+		wallTarget := time.Duration(modelled / t.scale * float64(time.Second))
+		if ahead := wallTarget - time.Since(t.start); ahead > 0 {
+			t.sleep(ahead)
+		}
+	}
+	return n, err
+}
+
+// ModelledElapsed reports how much simulated transfer time the bytes
+// delivered so far represent.
+func (t *ThrottledReader) ModelledElapsed() time.Duration {
+	return TransferTimeExact(t.delivered, t.rate)
+}

@@ -1,0 +1,108 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/sqltypes"
+	"repro/internal/xuis"
+)
+
+// Operation chaining and multi-dataset application — two of the paper's
+// explicit future-work items ("operation chaining", "operations applied
+// to multiple datasets") implemented on top of the engine.
+
+// ChainStep names one stage of a chain with its parameters.
+type ChainStep struct {
+	Op     string
+	Params map[string]string
+}
+
+// ChainResult reports a chain execution: the per-step results plus the
+// final product.
+type ChainResult struct {
+	Steps []*Result
+	// Final is the last step's result; its files are the chain output.
+	Final *Result
+}
+
+// RunChain executes the steps in order against the row's DATALINK
+// column. The first step runs on the archived dataset; each subsequent
+// step runs on the previous step's first output file (the chained
+// intermediate stays server-side, never crossing the network). Every
+// step must be an operation declared on the column, pass its own <if>
+// conditions, and satisfy the guest policy.
+func (e *Engine) RunChain(colID string, row map[string]sqltypes.Value, steps []ChainStep, u User) (*ChainResult, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("ops: empty operation chain")
+	}
+	col := e.findColumn(colID)
+	if col == nil {
+		return nil, fmt.Errorf("ops: unknown column %s", colID)
+	}
+	lookup := func(name string) *xuis.Operation {
+		for _, op := range col.Operations {
+			if op.Name == name {
+				return op
+			}
+		}
+		return nil
+	}
+
+	out := &ChainResult{}
+	// Stage 1 runs through the ordinary path (cache included).
+	first, err := e.Run(steps[0].Op, colID, row, steps[0].Params, u)
+	if err != nil {
+		return nil, fmt.Errorf("ops: chain step 1 (%s): %w", steps[0].Op, err)
+	}
+	out.Steps = append(out.Steps, first)
+	prev := first
+
+	for i, step := range steps[1:] {
+		if len(prev.Files) == 0 {
+			return nil, fmt.Errorf("ops: chain step %d (%s) produced no file for the next stage", i+1, steps[i].Op)
+		}
+		intermediate := prev.Files[0]
+		op := lookup(step.Op)
+		if op == nil {
+			return nil, fmt.Errorf("ops: no operation %s on %s", step.Op, colID)
+		}
+		if u.Guest && !op.GuestAccess {
+			return nil, fmt.Errorf("ops: operation %s is not available to guest users", step.Op)
+		}
+		if !conditionsMatch(op.If, row) {
+			return nil, fmt.Errorf("ops: operation %s does not apply to this row", step.Op)
+		}
+		if op.Location != nil && op.Location.URL != "" {
+			return nil, fmt.Errorf("ops: URL operation %s cannot consume a chained intermediate", step.Op)
+		}
+		res, err := e.runPackagedOnBytes(op, intermediate.Name, intermediate.Data, step.Params, u)
+		if err != nil {
+			return nil, fmt.Errorf("ops: chain step %d (%s): %w", i+2, step.Op, err)
+		}
+		res.Operation = step.Op
+		out.Steps = append(out.Steps, res)
+		prev = res
+	}
+	out.Final = prev
+	return out, nil
+}
+
+// RunOnRows applies one operation to many result rows ("operations
+// applied to multiple datasets"): each row's DATALINK is processed
+// independently and the per-row results are returned in order. Rows
+// failing the operation's conditions produce an error entry rather than
+// stopping the batch.
+type RowResult struct {
+	Result *Result
+	Err    error
+}
+
+// RunOnRows executes the named operation over every row.
+func (e *Engine) RunOnRows(opName, colID string, rows []map[string]sqltypes.Value, params map[string]string, u User) []RowResult {
+	out := make([]RowResult, len(rows))
+	for i, row := range rows {
+		res, err := e.Run(opName, colID, row, params, u)
+		out[i] = RowResult{Result: res, Err: err}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package ops
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sqltypes"
+	"repro/internal/xuis"
+)
+
+// histogramSrc is the second chain stage: it consumes the PGM image the
+// GetImage stage produced (a binary intermediate, read byte-wise) and
+// reduces it further to a 4-bin brightness histogram.
+const histogramSrc = `
+let img = readFile(filename)
+// Skip the "P5\n<w> <h>\n255\n" header: find the third newline.
+let seen = 0
+let start = 0
+let i = 0
+while (seen < 3) {
+	if (img[i] == chr(10)) { seen = seen + 1 }
+	i = i + 1
+}
+start = i
+let bins = [0, 0, 0, 0]
+while (i < len(img)) {
+	let b = floor(ord(img[i]) / 64)
+	if (b > 3) { b = 3 }
+	bins[b] = bins[b] + 1
+	i = i + 1
+}
+writeFile("histogram.txt", "dark=" + str(bins[0]) + " mid1=" + str(bins[1]) +
+	" mid2=" + str(bins[2]) + " bright=" + str(bins[3]))
+print("histogram over", len(img) - start, "pixels")
+`
+
+// addChainOps registers the Histogram stage beside GetImage.
+func addChainOps(t *testing.T, env *testEnv) {
+	t.Helper()
+	env.files["http://fs1.sim:80/codes/histogram.easl"] = []byte(histogramSrc)
+	if _, err := env.db.Exec(
+		`INSERT INTO CODE_FILE VALUES ('Histogram.easl', 'S19990110150932',
+			DLVALUE('http://fs1.sim:80/codes/histogram.easl'))`); err != nil {
+		t.Fatal(err)
+	}
+	op := &xuis.Operation{
+		Name: "Histogram", Type: "EASL", Filename: "histogram.easl", Format: "easl", GuestAccess: true,
+		Location: &xuis.Location{DatabaseResult: &xuis.DatabaseResult{
+			ColID:      "CODE_FILE.DOWNLOAD_CODE_FILE",
+			Conditions: []xuis.Condition{{ColID: "CODE_FILE.CODE_NAME", Eq: "'Histogram.easl'"}},
+		}},
+	}
+	if err := env.spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunChain: GetImage → Histogram, the paper's future-work
+// "operation chaining" — the 12³ cube becomes a 12×12 image becomes a
+// one-line histogram, all server-side.
+func TestRunChain(t *testing.T) {
+	env := newTestEnv(t)
+	addChainOps(t, env)
+	chain := []ChainStep{
+		{Op: "GetImage", Params: map[string]string{"slice": "z", "type": "u"}},
+		{Op: "Histogram"},
+	}
+	res, err := env.eng.RunChain("RESULT_FILE.DOWNLOAD_RESULT", env.row, chain, User{Name: "guest", Guest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	if len(res.Final.Files) != 1 || res.Final.Files[0].Name != "histogram.txt" {
+		t.Fatalf("final files = %v", fileNames(res.Final.Files))
+	}
+	content := string(res.Final.Files[0].Data)
+	if !strings.HasPrefix(content, "dark=") {
+		t.Fatalf("histogram content: %q", content)
+	}
+	// The histogram covers every pixel of the 12×12 slice.
+	var dark, mid1, mid2, bright int
+	if _, err := fmt.Sscanf(content, "dark=%d mid1=%d mid2=%d bright=%d", &dark, &mid1, &mid2, &bright); err != nil {
+		t.Fatalf("parse %q: %v", content, err)
+	}
+	if dark+mid1+mid2+bright != 144 {
+		t.Fatalf("histogram total = %d, want 144", dark+mid1+mid2+bright)
+	}
+	// The chained batch plan records the intermediate staging.
+	if !strings.Contains(res.Final.BatchPlan, "stage chained intermediate -> slice.pgm") {
+		t.Fatalf("chain plan:\n%s", res.Final.BatchPlan)
+	}
+}
+
+func TestRunChainErrors(t *testing.T) {
+	env := newTestEnv(t)
+	addChainOps(t, env)
+	// Empty chain.
+	if _, err := env.eng.RunChain("RESULT_FILE.DOWNLOAD_RESULT", env.row, nil, User{}); err == nil {
+		t.Fatal("empty chain ran")
+	}
+	// Unknown second step.
+	_, err := env.eng.RunChain("RESULT_FILE.DOWNLOAD_RESULT", env.row, []ChainStep{
+		{Op: "GetImage", Params: map[string]string{"slice": "z"}},
+		{Op: "Nonexistent"},
+	}, User{})
+	if err == nil || !strings.Contains(err.Error(), "Nonexistent") {
+		t.Fatalf("unknown step: %v", err)
+	}
+	// URL operations cannot consume intermediates.
+	if err := env.spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Operation{
+		Name: "Remote", GuestAccess: true,
+		Location: &xuis.Location{URL: "http://example.org/x"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = env.eng.RunChain("RESULT_FILE.DOWNLOAD_RESULT", env.row, []ChainStep{
+		{Op: "GetImage", Params: map[string]string{"slice": "z"}},
+		{Op: "Remote"},
+	}, User{})
+	if err == nil || !strings.Contains(err.Error(), "chained intermediate") {
+		t.Fatalf("URL chain step: %v", err)
+	}
+	// Guest policy applies to later stages too.
+	if err := env.spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Operation{
+		Name: "StaffOnly", Type: "EASL", Filename: "histogram.easl", Format: "easl", GuestAccess: false,
+		Location: &xuis.Location{DatabaseResult: &xuis.DatabaseResult{
+			ColID:      "CODE_FILE.DOWNLOAD_CODE_FILE",
+			Conditions: []xuis.Condition{{ColID: "CODE_FILE.CODE_NAME", Eq: "'Histogram.easl'"}},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = env.eng.RunChain("RESULT_FILE.DOWNLOAD_RESULT", env.row, []ChainStep{
+		{Op: "GetImage", Params: map[string]string{"slice": "z"}},
+		{Op: "StaffOnly"},
+	}, User{Name: "guest", Guest: true})
+	if err == nil || !strings.Contains(err.Error(), "guest") {
+		t.Fatalf("guest chain step: %v", err)
+	}
+}
+
+// TestRunOnRows: one operation applied to many datasets (future work
+// "operations applied to multiple datasets").
+func TestRunOnRows(t *testing.T) {
+	env := newTestEnv(t)
+	// A second dataset row sharing the same simulation.
+	env.files["http://fs1.sim:80/vol0/run1/ts5.tsf"] = env.files[datasetURL]
+	if _, err := env.db.Exec(
+		`INSERT INTO RESULT_FILE VALUES ('ts5.tsf', 'S19990110150932', 'u,v,w,p',
+			DLVALUE('http://fs1.sim:80/vol0/run1/ts5.tsf'))`); err != nil {
+		t.Fatal(err)
+	}
+	row2 := map[string]sqltypes.Value{
+		"RESULT_FILE.FILE_NAME":       sqltypes.NewString("ts5.tsf"),
+		"RESULT_FILE.SIMULATION_KEY":  sqltypes.NewString("S19990110150932"),
+		"RESULT_FILE.MEASUREMENT":     sqltypes.NewString("u,v,w,p"),
+		"RESULT_FILE.DOWNLOAD_RESULT": sqltypes.NewDatalink("http://fs1.sim:80/vol0/run1/ts5.tsf"),
+	}
+	badRow := map[string]sqltypes.Value{
+		"RESULT_FILE.SIMULATION_KEY":  sqltypes.NewString("S_OTHER"),
+		"RESULT_FILE.DOWNLOAD_RESULT": sqltypes.NewDatalink(datasetURL),
+	}
+	results := env.eng.RunOnRows("GetImage", "RESULT_FILE.DOWNLOAD_RESULT",
+		[]map[string]sqltypes.Value{env.row, row2, badRow},
+		map[string]string{"slice": "z", "type": "u"}, User{})
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("good rows failed: %v %v", results[0].Err, results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("condition-failing row succeeded")
+	}
+	for i, r := range results[:2] {
+		if len(r.Result.Files) != 1 {
+			t.Fatalf("row %d files = %v", i, fileNames(r.Result.Files))
+		}
+	}
+}

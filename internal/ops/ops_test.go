@@ -1,0 +1,526 @@
+package ops
+
+import (
+	"archive/tar"
+	"archive/zip"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/script"
+	"repro/internal/sqldb"
+	"repro/internal/sqltypes"
+	"repro/internal/turb"
+	"repro/internal/xuis"
+)
+
+// testEnv assembles a miniature archive: a metadata DB with RESULT_FILE
+// and CODE_FILE tables, a local "file server" directory with a real TSF
+// dataset and an EASL code package, and an engine wired to them.
+type testEnv struct {
+	db    *sqldb.DB
+	spec  *xuis.Spec
+	eng   *Engine
+	files map[string][]byte // datalink URL → content
+	row   map[string]sqltypes.Value
+}
+
+const (
+	datasetURL = "http://fs1.sim:80/vol0/run1/ts4.tsf"
+	codeURL    = "http://fs1.sim:80/codes/getimage.easl"
+)
+
+// getImageSrc is the EASL analogue of the paper's GetImage operation:
+// slice the requested plane/component and write it as an image.
+const getImageSrc = `
+let axis = params["slice"]
+let comp = params["type"]
+if (axis == nil) { axis = "z" }
+if (comp == nil) { comp = "u" }
+let info = datasetInfo(filename)
+let mid = floor(info.n / 2)
+let bytes = writeImage("slice.pgm", filename, comp, axis, mid)
+let st = sliceStats(filename, comp, axis, mid)
+print("dataset:", filename, "n =", info.n)
+print("slice", axis, "=", mid, "component", comp)
+print("min", st.min, "max", st.max)
+print("image bytes:", bytes)
+`
+
+func newTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	db, err := sqldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ddl := `
+CREATE TABLE SIMULATION (SIMULATION_KEY VARCHAR(30) PRIMARY KEY, TITLE VARCHAR(200));
+CREATE TABLE RESULT_FILE (
+  FILE_NAME VARCHAR(100),
+  SIMULATION_KEY VARCHAR(30) REFERENCES SIMULATION (SIMULATION_KEY),
+  MEASUREMENT VARCHAR(30),
+  DOWNLOAD_RESULT DATALINK NO FILE LINK CONTROL,
+  PRIMARY KEY (FILE_NAME, SIMULATION_KEY));
+CREATE TABLE CODE_FILE (
+  CODE_NAME VARCHAR(100) PRIMARY KEY,
+  SIMULATION_KEY VARCHAR(30) REFERENCES SIMULATION (SIMULATION_KEY),
+  DOWNLOAD_CODE_FILE DATALINK NO FILE LINK CONTROL);
+`
+	if err := db.ExecScript(ddl); err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		`INSERT INTO SIMULATION VALUES ('S19990110150932', 'Channel flow')`,
+		fmt.Sprintf(`INSERT INTO RESULT_FILE VALUES ('ts4.tsf', 'S19990110150932', 'u,v,w,p', DLVALUE('%s'))`, datasetURL),
+		fmt.Sprintf(`INSERT INTO CODE_FILE VALUES ('GetImage.easl', 'S19990110150932', DLVALUE('%s'))`, codeURL),
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spec, err := xuis.Generator{}.Generate(db, "TURBULENCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := &xuis.Operation{
+		Name:        "GetImage",
+		Type:        "EASL",
+		Filename:    "getimage.easl",
+		Format:      "easl",
+		GuestAccess: true,
+		If: &xuis.IfSpec{Conditions: []xuis.Condition{
+			{ColID: "RESULT_FILE.SIMULATION_KEY", Eq: "'S19990110150932'"},
+		}},
+		Location: &xuis.Location{DatabaseResult: &xuis.DatabaseResult{
+			ColID:      "CODE_FILE.DOWNLOAD_CODE_FILE",
+			Conditions: []xuis.Condition{{ColID: "CODE_FILE.CODE_NAME", Eq: "'GetImage.easl'"}},
+		}},
+	}
+	if err := spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetUpload("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Upload{
+		Type: "EASL", Format: "easl", GuestAccess: false,
+		If: &xuis.IfSpec{Conditions: []xuis.Condition{
+			{ColID: "RESULT_FILE.MEASUREMENT", Eq: "'u,v,w,p'"},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialise the dataset and code "on the file server".
+	var tsf bytes.Buffer
+	if _, err := turb.Generate(12, 4, 7).WriteTo(&tsf); err != nil {
+		t.Fatal(err)
+	}
+	env := &testEnv{
+		db:   db,
+		spec: spec,
+		files: map[string][]byte{
+			datasetURL: tsf.Bytes(),
+			codeURL:    []byte(getImageSrc),
+		},
+	}
+	eng, err := NewEngine(Config{
+		DB:   db,
+		Spec: spec,
+		Fetch: func(url string) (io.ReadCloser, error) {
+			data, ok := env.files[url]
+			if !ok {
+				return nil, fmt.Errorf("no such file %s", url)
+			}
+			return io.NopCloser(bytes.NewReader(data)), nil
+		},
+		WorkRoot: t.TempDir(),
+		// Small budgets keep hostile-code tests fast.
+		Limits: script.Limits{MaxSteps: 500_000, MaxHeap: 1 << 20, MaxOutput: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.eng = eng
+	env.row = map[string]sqltypes.Value{
+		"RESULT_FILE.FILE_NAME":       sqltypes.NewString("ts4.tsf"),
+		"RESULT_FILE.SIMULATION_KEY":  sqltypes.NewString("S19990110150932"),
+		"RESULT_FILE.MEASUREMENT":     sqltypes.NewString("u,v,w,p"),
+		"RESULT_FILE.DOWNLOAD_RESULT": sqltypes.NewDatalink(datasetURL),
+	}
+	return env
+}
+
+func TestApplicableRespectsConditionsAndGuests(t *testing.T) {
+	env := newTestEnv(t)
+	ops := env.eng.Applicable("RESULT_FILE.DOWNLOAD_RESULT", env.row, User{Name: "guest", Guest: true})
+	if len(ops) != 1 || ops[0].Name != "GetImage" {
+		t.Fatalf("applicable = %v", ops)
+	}
+	// Row from another simulation: condition fails.
+	otherRow := map[string]sqltypes.Value{
+		"RESULT_FILE.SIMULATION_KEY":  sqltypes.NewString("S_OTHER"),
+		"RESULT_FILE.DOWNLOAD_RESULT": sqltypes.NewDatalink(datasetURL),
+	}
+	if ops := env.eng.Applicable("RESULT_FILE.DOWNLOAD_RESULT", otherRow, User{}); len(ops) != 0 {
+		t.Fatalf("condition not enforced: %v", ops)
+	}
+	// Guest-restricted operation disappears for guests.
+	op2 := &xuis.Operation{
+		Name: "AdminOnly", GuestAccess: false,
+		Location: &xuis.Location{URL: "http://x/"},
+	}
+	if err := env.spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op2); err != nil {
+		t.Fatal(err)
+	}
+	guest := env.eng.Applicable("RESULT_FILE.DOWNLOAD_RESULT", env.row, User{Guest: true})
+	full := env.eng.Applicable("RESULT_FILE.DOWNLOAD_RESULT", env.row, User{})
+	if len(guest) != 1 || len(full) != 2 {
+		t.Fatalf("guest=%d full=%d", len(guest), len(full))
+	}
+}
+
+func TestRunGetImageOperation(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := env.eng.Run("GetImage", "RESULT_FILE.DOWNLOAD_RESULT", env.row,
+		map[string]string{"slice": "z", "type": "u"}, User{Name: "guest", Guest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 || res.Files[0].Name != "slice.pgm" {
+		t.Fatalf("files = %v", fileNames(res.Files))
+	}
+	if !bytes.HasPrefix(res.Files[0].Data, []byte("P5\n12 12\n255\n")) {
+		t.Fatalf("not a PGM: %q", res.Files[0].Data[:16])
+	}
+	if !strings.Contains(res.Stdout, "slice z = 6 component u") {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+	// The batch plan reproduces the paper's mechanism.
+	for _, want := range []string{"mkdir", "cd ", "unpack", "fetch dataset", "easl-run --sandbox"} {
+		if !strings.Contains(res.BatchPlan, want) {
+			t.Errorf("batch plan missing %q:\n%s", want, res.BatchPlan)
+		}
+	}
+	// Data reduction: the image is far smaller than the dataset.
+	if res.TotalOutputBytes() >= turb.FileBytes(12) {
+		t.Fatalf("no reduction: output %d >= dataset %d", res.TotalOutputBytes(), turb.FileBytes(12))
+	}
+	if res.Steps <= 0 || res.Elapsed < 0 {
+		t.Fatalf("stats not recorded: steps=%d elapsed=%v", res.Steps, res.Elapsed)
+	}
+}
+
+func TestRunUnknownAndMisbound(t *testing.T) {
+	env := newTestEnv(t)
+	if _, err := env.eng.Run("Nope", "RESULT_FILE.DOWNLOAD_RESULT", env.row, nil, User{}); err == nil {
+		t.Fatal("unknown operation ran")
+	}
+	if _, err := env.eng.Run("GetImage", "RESULT_FILE.MEASUREMENT", env.row, nil, User{}); err == nil {
+		t.Fatal("operation on wrong column ran")
+	}
+	badRow := map[string]sqltypes.Value{
+		"RESULT_FILE.SIMULATION_KEY": sqltypes.NewString("S_OTHER"),
+	}
+	if _, err := env.eng.Run("GetImage", "RESULT_FILE.DOWNLOAD_RESULT", badRow, nil, User{}); err == nil {
+		t.Fatal("operation ran despite failed condition")
+	}
+}
+
+func TestOperationStatsAndCache(t *testing.T) {
+	env := newTestEnv(t)
+	env.eng.SetCaching(true)
+	params := map[string]string{"slice": "z", "type": "p"}
+	r1, err := env.eng.Run("GetImage", "RESULT_FILE.DOWNLOAD_RESULT", env.row, params, User{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FromCache {
+		t.Fatal("first run claimed cache hit")
+	}
+	r2, err := env.eng.Run("GetImage", "RESULT_FILE.DOWNLOAD_RESULT", env.row, params, User{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.FromCache {
+		t.Fatal("second run missed cache")
+	}
+	// Different params: miss.
+	r3, err := env.eng.Run("GetImage", "RESULT_FILE.DOWNLOAD_RESULT", env.row,
+		map[string]string{"slice": "y", "type": "p"}, User{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.FromCache {
+		t.Fatal("different params hit cache")
+	}
+	st := env.eng.Stats()["GetImage"]
+	if st.Runs != 3 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUploadPolicyAndExecution(t *testing.T) {
+	env := newTestEnv(t)
+	code := []byte(`
+let st = sliceStats(filename, "p", "z", 3)
+writeFile("stats.txt", "rms=" + str(st.rms))
+print("done")
+`)
+	// Guests may not upload (guest.access="false" in the XUIS).
+	if _, err := env.eng.RunUploaded("RESULT_FILE.DOWNLOAD_RESULT", env.row, code, "easl", "user.easl", nil,
+		User{Name: "guest", Guest: true}); err == nil {
+		t.Fatal("guest upload ran")
+	}
+	// Authorised user may.
+	res, err := env.eng.RunUploaded("RESULT_FILE.DOWNLOAD_RESULT", env.row, code, "easl", "user.easl", nil,
+		User{Name: "papiani"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 || res.Files[0].Name != "stats.txt" {
+		t.Fatalf("files = %v", fileNames(res.Files))
+	}
+	if !strings.HasPrefix(string(res.Files[0].Data), "rms=") {
+		t.Fatalf("stats content: %q", res.Files[0].Data)
+	}
+	// Condition mismatch (different MEASUREMENT) blocks upload.
+	row2 := map[string]sqltypes.Value{
+		"RESULT_FILE.MEASUREMENT":     sqltypes.NewString("u only"),
+		"RESULT_FILE.DOWNLOAD_RESULT": sqltypes.NewDatalink(datasetURL),
+	}
+	if _, err := env.eng.RunUploaded("RESULT_FILE.DOWNLOAD_RESULT", row2, code, "easl", "user.easl", nil,
+		User{Name: "papiani"}); err == nil {
+		t.Fatal("upload ran despite failed condition")
+	}
+}
+
+func TestUploadedCodeCannotEscapeSandbox(t *testing.T) {
+	env := newTestEnv(t)
+	hostile := [][]byte{
+		[]byte(`writeFile("/etc/evil", "x")`),
+		[]byte(`writeFile("../escape.txt", "x")`),
+		[]byte(`loadSlice("../../secret.tsf", "u", "z", 0)`),
+		[]byte(`while (true) { }`),
+	}
+	for i, code := range hostile {
+		_, err := env.eng.RunUploaded("RESULT_FILE.DOWNLOAD_RESULT", env.row, code, "easl", "evil.easl", nil,
+			User{Name: "mallory"})
+		if err == nil {
+			t.Errorf("hostile code %d executed successfully", i)
+		}
+	}
+}
+
+func TestZipPackagedOperation(t *testing.T) {
+	env := newTestEnv(t)
+	// Package the code as a zip with a helper file, as the paper's jar.
+	var zbuf bytes.Buffer
+	zw := zip.NewWriter(&zbuf)
+	f, _ := zw.Create("getimage.easl")
+	f.Write([]byte(getImageSrc))
+	f2, _ := zw.Create("README.txt")
+	f2.Write([]byte("GetImage post-processing package"))
+	zw.Close()
+	env.files["http://fs1.sim:80/codes/getimage.zip"] = zbuf.Bytes()
+
+	if _, err := env.db.Exec(
+		`INSERT INTO CODE_FILE VALUES ('GetImage.zip', 'S19990110150932', DLVALUE('http://fs1.sim:80/codes/getimage.zip'))`); err != nil {
+		t.Fatal(err)
+	}
+	op := &xuis.Operation{
+		Name: "GetImageZip", Type: "EASL", Filename: "getimage.easl", Format: "zip", GuestAccess: true,
+		Location: &xuis.Location{DatabaseResult: &xuis.DatabaseResult{
+			ColID:      "CODE_FILE.DOWNLOAD_CODE_FILE",
+			Conditions: []xuis.Condition{{ColID: "CODE_FILE.CODE_NAME", Eq: "'GetImage.zip'"}},
+		}},
+	}
+	if err := env.spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op); err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.eng.Run("GetImageZip", "RESULT_FILE.DOWNLOAD_RESULT", env.row,
+		map[string]string{"slice": "y", "type": "v"}, User{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) != 1 || res.Files[0].Name != "slice.pgm" {
+		t.Fatalf("zip op files = %v", fileNames(res.Files))
+	}
+	// The README from the package must not be reported as an output.
+	for _, f := range res.Files {
+		if f.Name == "README.txt" {
+			t.Fatal("package file leaked into outputs")
+		}
+	}
+}
+
+func TestZipSlipRejected(t *testing.T) {
+	env := newTestEnv(t)
+	var zbuf bytes.Buffer
+	zw := zip.NewWriter(&zbuf)
+	f, _ := zw.Create("../evil.easl")
+	f.Write([]byte(`print("escaped")`))
+	zw.Close()
+	_, err := env.eng.RunUploaded("RESULT_FILE.DOWNLOAD_RESULT", env.row, zbuf.Bytes(), "zip", "evil.easl", nil,
+		User{Name: "mallory"})
+	if err == nil || !strings.Contains(err.Error(), "escapes") {
+		t.Fatalf("zip-slip: %v", err)
+	}
+}
+
+// TestURLOperation reproduces the paper's SDB splice: an external HTTP
+// service registered purely through XUIS markup.
+func TestURLOperation(t *testing.T) {
+	env := newTestEnv(t)
+	var gotDataset, gotParam string
+	sdb := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotDataset = r.URL.Query().Get("dataset")
+		gotParam = r.URL.Query().Get("view")
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, "<html>SDB view of dataset</html>")
+	}))
+	defer sdb.Close()
+
+	op := &xuis.Operation{
+		Name:        "SDB",
+		GuestAccess: true,
+		Location:    &xuis.Location{URL: sdb.URL + "/servlet/SDBservlet"},
+		Description: "NCSA Scientific Data Browser",
+	}
+	if err := env.spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op); err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.eng.Run("SDB", "RESULT_FILE.DOWNLOAD_RESULT", env.row,
+		map[string]string{"view": "contours"}, User{Guest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDataset != datasetURL || gotParam != "contours" {
+		t.Fatalf("service saw dataset=%q view=%q", gotDataset, gotParam)
+	}
+	if !strings.Contains(res.Stdout, "SDB view") {
+		t.Fatalf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestURLOperationErrors(t *testing.T) {
+	env := newTestEnv(t)
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "service exploded", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	op := &xuis.Operation{
+		Name: "Broken", GuestAccess: true,
+		Location: &xuis.Location{URL: failing.URL},
+	}
+	if err := env.spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.eng.Run("Broken", "RESULT_FILE.DOWNLOAD_RESULT", env.row, nil, User{}); err == nil {
+		t.Fatal("HTTP 500 not surfaced")
+	}
+}
+
+func TestCanUpload(t *testing.T) {
+	env := newTestEnv(t)
+	if !env.eng.CanUpload("RESULT_FILE.DOWNLOAD_RESULT", env.row, User{Name: "u"}) {
+		t.Fatal("upload should be allowed for full users")
+	}
+	if env.eng.CanUpload("RESULT_FILE.DOWNLOAD_RESULT", env.row, User{Guest: true}) {
+		t.Fatal("upload should be denied for guests")
+	}
+	if env.eng.CanUpload("RESULT_FILE.MEASUREMENT", env.row, User{}) {
+		t.Fatal("upload on non-upload column")
+	}
+}
+
+func TestWorkdirsAreCleanedUp(t *testing.T) {
+	env := newTestEnv(t)
+	if _, err := env.eng.Run("GetImage", "RESULT_FILE.DOWNLOAD_RESULT", env.row,
+		map[string]string{"slice": "z"}, User{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(env.eng.cfg.WorkRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("workdirs left behind: %v", names)
+	}
+}
+
+func TestUnpackFormats(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`print("hi")`)
+
+	// tar.gz
+	tgz := newTgz(t, map[string][]byte{"main.easl": payload, "doc/help.txt": []byte("help")})
+	names, err := unpackPackage(tgz, "tar.gz", "main.easl", filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("tar.gz names = %v", names)
+	}
+	// plain
+	if _, err := unpackPackage(payload, "easl", "main.easl", filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	// unsupported
+	if _, err := unpackPackage(payload, "rar", "main.easl", filepath.Join(dir, "c")); err == nil {
+		t.Fatal("rar accepted")
+	}
+	// empty zip
+	var emptyZip bytes.Buffer
+	zip.NewWriter(&emptyZip).Close()
+	if _, err := unpackPackage(emptyZip.Bytes(), "zip", "x", filepath.Join(dir, "d")); err == nil {
+		t.Fatal("empty zip accepted")
+	}
+}
+
+func newTgz(t *testing.T, files map[string][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gzw := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gzw)
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data := files[name]
+		if err := tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644, Size: int64(len(data))}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gzw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fileNames(fs []OutputFile) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}

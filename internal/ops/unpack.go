@@ -1,0 +1,129 @@
+package ops
+
+import (
+	"archive/tar"
+	"archive/zip"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// unpackPackage writes a code package into the working directory. The
+// paper: operations "can be packaged in a number of different formats
+// including various compressed archive formats (such as tar.Z, gz, zip,
+// tar etc.)". Supported here: "zip", "tar", "tar.gz"/"tgz", "gz"
+// (single gzipped file) and "easl"/"" (a bare script stored under the
+// entry name). Returns the written file names.
+func unpackPackage(data []byte, format, entry, workdir string) ([]string, error) {
+	switch strings.ToLower(format) {
+	case "", "easl", "plain":
+		if err := writeConfined(workdir, entry, data); err != nil {
+			return nil, err
+		}
+		return []string{entry}, nil
+	case "zip", "jar":
+		return unpackZip(data, workdir)
+	case "tar":
+		return unpackTar(bytes.NewReader(data), workdir)
+	case "tar.gz", "tgz":
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		return unpackTar(gz, workdir)
+	case "gz":
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		content, err := io.ReadAll(io.LimitReader(gz, 256<<20))
+		if err != nil {
+			return nil, err
+		}
+		if err := writeConfined(workdir, entry, content); err != nil {
+			return nil, err
+		}
+		return []string{entry}, nil
+	default:
+		return nil, fmt.Errorf("ops: unsupported package format %q", format)
+	}
+}
+
+func unpackZip(data []byte, workdir string) ([]string, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, f := range zr.File {
+		if f.FileInfo().IsDir() {
+			continue
+		}
+		rc, err := f.Open()
+		if err != nil {
+			return nil, err
+		}
+		content, err := io.ReadAll(io.LimitReader(rc, 256<<20))
+		rc.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := writeConfined(workdir, f.Name, content); err != nil {
+			return nil, err
+		}
+		names = append(names, f.Name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("ops: empty zip package")
+	}
+	return names, nil
+}
+
+func unpackTar(r io.Reader, workdir string) ([]string, error) {
+	tr := tar.NewReader(r)
+	var names []string
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Typeflag != tar.TypeReg {
+			continue
+		}
+		content, err := io.ReadAll(io.LimitReader(tr, 256<<20))
+		if err != nil {
+			return nil, err
+		}
+		if err := writeConfined(workdir, hdr.Name, content); err != nil {
+			return nil, err
+		}
+		names = append(names, hdr.Name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("ops: empty tar package")
+	}
+	return names, nil
+}
+
+// writeConfined refuses archive entries that would escape the working
+// directory (zip-slip defence: uploaded packages are untrusted).
+func writeConfined(workdir, name string, data []byte) error {
+	if name == "" || strings.HasPrefix(name, "/") || strings.Contains(name, "..") ||
+		strings.ContainsAny(name, "\\\x00") {
+		return fmt.Errorf("ops: archive entry %q escapes the working directory", name)
+	}
+	dst := filepath.Join(workdir, filepath.FromSlash(name))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}

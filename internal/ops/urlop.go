@@ -1,0 +1,95 @@
+package ops
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"sort"
+
+	"repro/internal/xuis"
+)
+
+// runURLOperation invokes an external post-processing service — the
+// paper's mechanism for splicing third-party tools (NCSA's Scientific
+// Data Browser) into the archive "simply included via XUIS
+// modification". The service receives the dataset's DATALINK URL and
+// the user's parameters as query arguments and returns the derived
+// product directly.
+func (e *Engine) runURLOperation(op *xuis.Operation, datasetURL string, params map[string]string) (*Result, error) {
+	base, err := url.Parse(op.Location.URL)
+	if err != nil {
+		return nil, fmt.Errorf("ops: operation %s has malformed URL location: %w", op.Name, err)
+	}
+	q := base.Query()
+	q.Set("dataset", datasetURL)
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		q.Set(k, params[k])
+	}
+	base.RawQuery = q.Encode()
+
+	resp, err := e.cfg.HTTPClient.Get(base.String())
+	if err != nil {
+		return nil, fmt.Errorf("ops: URL operation %s: %w", op.Name, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("ops: URL operation %s returned HTTP %d: %s", op.Name, resp.StatusCode, firstLine(body))
+	}
+	res := &Result{
+		BatchPlan: fmt.Sprintf("invoke URL service %s\n", base.String()),
+	}
+	ct := resp.Header.Get("Content-Type")
+	if isTextual(ct) {
+		res.Stdout = string(body)
+	} else {
+		res.Files = []OutputFile{{Name: "response" + extFor(ct), Data: body}}
+	}
+	return res, nil
+}
+
+func isTextual(contentType string) bool {
+	switch {
+	case contentType == "",
+		len(contentType) >= 5 && contentType[:5] == "text/",
+		contentType == "application/json",
+		contentType == "application/xml":
+		return true
+	}
+	return false
+}
+
+func extFor(contentType string) string {
+	switch contentType {
+	case "image/x-portable-graymap":
+		return ".pgm"
+	case "image/x-portable-pixmap":
+		return ".ppm"
+	case "image/png":
+		return ".png"
+	case "application/octet-stream":
+		return ".bin"
+	default:
+		return ".dat"
+	}
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+		if i > 200 {
+			return string(b[:200])
+		}
+	}
+	return string(b)
+}

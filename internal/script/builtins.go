@@ -1,0 +1,315 @@
+package script
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// registerBuiltins installs the ambient (capability-free) standard
+// library: pure functions over numbers, strings, lists and maps, plus
+// print(), which writes to the sandboxed output buffer.
+func registerBuiltins(in *Interp) {
+	b := in.globals.vars
+	b["print"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = toStr(a)
+		}
+		return nil, in.Print(strings.Join(parts, " ") + "\n")
+	})
+	b["len"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: len expects 1 argument")
+		}
+		switch x := args[0].(type) {
+		case string:
+			return float64(len(x)), nil
+		case *List:
+			return float64(len(x.Elems)), nil
+		case *Map:
+			return float64(len(x.Entries)), nil
+		default:
+			return nil, fmt.Errorf("script: len of %s", typeName(args[0]))
+		}
+	})
+	b["push"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("script: push expects (list, value)")
+		}
+		lst, ok := args[0].(*List)
+		if !ok {
+			return nil, fmt.Errorf("script: push into %s", typeName(args[0]))
+		}
+		if err := in.alloc(&nilLit{}, 1); err != nil {
+			return nil, err
+		}
+		lst.Elems = append(lst.Elems, args[1])
+		return lst, nil
+	})
+	b["keys"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: keys expects 1 argument")
+		}
+		m, ok := args[0].(*Map)
+		if !ok {
+			return nil, fmt.Errorf("script: keys of %s", typeName(args[0]))
+		}
+		if err := in.alloc(&nilLit{}, int64(len(m.Entries))+1); err != nil {
+			return nil, err
+		}
+		ks := make([]string, 0, len(m.Entries))
+		for k := range m.Entries {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		out := &List{Elems: make([]Value, len(ks))}
+		for i, k := range ks {
+			out.Elems[i] = k
+		}
+		return out, nil
+	})
+	b["has"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("script: has expects (map, key)")
+		}
+		m, ok := args[0].(*Map)
+		if !ok {
+			return nil, fmt.Errorf("script: has on %s", typeName(args[0]))
+		}
+		k, ok := args[1].(string)
+		if !ok {
+			return nil, fmt.Errorf("script: has key must be string")
+		}
+		_, exists := m.Entries[k]
+		return exists, nil
+	})
+	b["range"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		var lo, hi float64
+		switch len(args) {
+		case 1:
+			hi, _ = args[0].(float64)
+		case 2:
+			lo, _ = args[0].(float64)
+			hi, _ = args[1].(float64)
+		default:
+			return nil, fmt.Errorf("script: range expects (n) or (lo, hi)")
+		}
+		n := int(hi - lo)
+		if n < 0 {
+			n = 0
+		}
+		if err := in.alloc(&nilLit{}, int64(n)+1); err != nil {
+			return nil, err
+		}
+		out := &List{Elems: make([]Value, n)}
+		for i := 0; i < n; i++ {
+			out.Elems[i] = lo + float64(i)
+		}
+		return out, nil
+	})
+	b["str"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: str expects 1 argument")
+		}
+		return toStr(args[0]), nil
+	})
+	b["num"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: num expects 1 argument")
+		}
+		switch x := args[0].(type) {
+		case float64:
+			return x, nil
+		case string:
+			f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+			if err != nil {
+				return nil, fmt.Errorf("script: num(%q): not a number", x)
+			}
+			return f, nil
+		case bool:
+			if x {
+				return 1.0, nil
+			}
+			return 0.0, nil
+		default:
+			return nil, fmt.Errorf("script: num of %s", typeName(args[0]))
+		}
+	})
+	// Numeric helpers.
+	num1 := func(name string, f func(float64) float64) HostFunc {
+		return func(in *Interp, args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("script: %s expects 1 argument", name)
+			}
+			x, ok := args[0].(float64)
+			if !ok {
+				return nil, fmt.Errorf("script: %s of %s", name, typeName(args[0]))
+			}
+			return f(x), nil
+		}
+	}
+	b["abs"] = num1("abs", math.Abs)
+	b["sqrt"] = num1("sqrt", math.Sqrt)
+	b["floor"] = num1("floor", math.Floor)
+	b["ceil"] = num1("ceil", math.Ceil)
+	b["round"] = num1("round", math.Round)
+	b["exp"] = num1("exp", math.Exp)
+	b["log"] = num1("log", math.Log)
+	b["sin"] = num1("sin", math.Sin)
+	b["cos"] = num1("cos", math.Cos)
+	num2 := func(name string, f func(a, b float64) float64) HostFunc {
+		return func(in *Interp, args []Value) (Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("script: %s expects 2 arguments", name)
+			}
+			a, ok1 := args[0].(float64)
+			c, ok2 := args[1].(float64)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("script: %s needs numbers", name)
+			}
+			return f(a, c), nil
+		}
+	}
+	b["min"] = num2("min", math.Min)
+	b["max"] = num2("max", math.Max)
+	b["pow"] = num2("pow", math.Pow)
+	// Byte-level string access for binary intermediates (chained ops).
+	b["ord"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: ord expects 1 argument")
+		}
+		s, ok := args[0].(string)
+		if !ok || len(s) == 0 {
+			return nil, fmt.Errorf("script: ord needs a non-empty string")
+		}
+		return float64(s[0]), nil
+	})
+	b["chr"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: chr expects 1 argument")
+		}
+		f, ok := args[0].(float64)
+		if !ok || f < 0 || f > 255 {
+			return nil, fmt.Errorf("script: chr needs a number in [0,255]")
+		}
+		return string([]byte{byte(f)}), nil
+	})
+	b["substr"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("script: substr expects (string, start, len)")
+		}
+		s, ok1 := args[0].(string)
+		start, ok2 := args[1].(float64)
+		length, ok3 := args[2].(float64)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("script: substr expects (string, number, number)")
+		}
+		lo := int(start)
+		if lo < 0 || lo > len(s) {
+			return nil, fmt.Errorf("script: substr start %d out of range", lo)
+		}
+		hi := lo + int(length)
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return s[lo:hi], nil
+	})
+	// String helpers.
+	b["split"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("script: split expects (string, sep)")
+		}
+		s, ok1 := args[0].(string)
+		sep, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("script: split needs strings")
+		}
+		parts := strings.Split(s, sep)
+		if err := in.alloc(&nilLit{}, int64(len(parts))+1); err != nil {
+			return nil, err
+		}
+		out := &List{Elems: make([]Value, len(parts))}
+		for i, p := range parts {
+			out.Elems[i] = p
+		}
+		return out, nil
+	})
+	b["join"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("script: join expects (list, sep)")
+		}
+		lst, ok1 := args[0].(*List)
+		sep, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("script: join expects (list, string)")
+		}
+		parts := make([]string, len(lst.Elems))
+		for i, e := range lst.Elems {
+			parts[i] = toStr(e)
+		}
+		s := strings.Join(parts, sep)
+		if err := in.alloc(&nilLit{}, int64(len(s)/16)+1); err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+	b["contains"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("script: contains expects 2 arguments")
+		}
+		s, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("script: contains needs strings")
+		}
+		return strings.Contains(s, sub), nil
+	})
+	b["upper"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: upper expects 1 argument")
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("script: upper of %s", typeName(args[0]))
+		}
+		return strings.ToUpper(s), nil
+	})
+	b["lower"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: lower expects 1 argument")
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("script: lower of %s", typeName(args[0]))
+		}
+		return strings.ToLower(s), nil
+	})
+	b["sort"] = HostFunc(func(in *Interp, args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("script: sort expects 1 argument")
+		}
+		lst, ok := args[0].(*List)
+		if !ok {
+			return nil, fmt.Errorf("script: sort of %s", typeName(args[0]))
+		}
+		if err := in.alloc(&nilLit{}, int64(len(lst.Elems))+1); err != nil {
+			return nil, err
+		}
+		out := &List{Elems: append([]Value(nil), lst.Elems...)}
+		sort.SliceStable(out.Elems, func(i, j int) bool {
+			a, aok := out.Elems[i].(float64)
+			c, cok := out.Elems[j].(float64)
+			if aok && cok {
+				return a < c
+			}
+			return toStr(out.Elems[i]) < toStr(out.Elems[j])
+		})
+		return out, nil
+	})
+}

@@ -1,0 +1,721 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Value is an EASL runtime value: nil, float64, string, bool, *List,
+// *Map or a callable.
+type Value any
+
+// List is a mutable EASL list.
+type List struct{ Elems []Value }
+
+// Map is a mutable EASL string-keyed map.
+type Map struct{ Entries map[string]Value }
+
+// HostFunc is a capability injected by the host (the operations engine):
+// dataset access, confined file writes, image encoding.
+type HostFunc func(in *Interp, args []Value) (Value, error)
+
+type userFunc struct {
+	params []string
+	body   []node
+	env    *scope
+}
+
+// Sandbox errors, distinguished so the operations engine can report
+// budget exhaustion separately from programming errors.
+var (
+	ErrStepBudget   = errors.New("script: step budget exhausted")
+	ErrHeapBudget   = errors.New("script: heap budget exhausted")
+	ErrOutputBudget = errors.New("script: output budget exhausted")
+)
+
+// Limits bound an execution. Zero fields select generous defaults.
+type Limits struct {
+	MaxSteps  int64 // interpreter steps (≈ AST nodes evaluated)
+	MaxHeap   int64 // live-ish cells allocated (list/map/string growth)
+	MaxOutput int64 // bytes print() may emit
+}
+
+// DefaultLimits is the sandbox configuration the operations engine uses
+// for uploaded code.
+var DefaultLimits = Limits{MaxSteps: 50_000_000, MaxHeap: 64 << 20, MaxOutput: 4 << 20}
+
+type scope struct {
+	vars   map[string]Value
+	parent *scope
+}
+
+func (s *scope) lookup(name string) (Value, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) set(name string, v Value) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+// Interp executes a Program under sandbox limits.
+type Interp struct {
+	limits  Limits
+	steps   int64
+	heap    int64
+	out     strings.Builder
+	outLen  int64
+	globals *scope
+}
+
+// control-flow signals implemented as error sentinels.
+type returnSignal struct{ v Value }
+type breakSignal struct{}
+type continueSignal struct{}
+
+func (returnSignal) Error() string   { return "return outside function" }
+func (breakSignal) Error() string    { return "break outside loop" }
+func (continueSignal) Error() string { return "continue outside loop" }
+
+// New creates an interpreter with the given limits and host capabilities.
+func New(limits Limits, hostFuncs map[string]HostFunc) *Interp {
+	if limits.MaxSteps <= 0 {
+		limits.MaxSteps = DefaultLimits.MaxSteps
+	}
+	if limits.MaxHeap <= 0 {
+		limits.MaxHeap = DefaultLimits.MaxHeap
+	}
+	if limits.MaxOutput <= 0 {
+		limits.MaxOutput = DefaultLimits.MaxOutput
+	}
+	in := &Interp{limits: limits, globals: &scope{vars: map[string]Value{}}}
+	registerBuiltins(in)
+	for name, f := range hostFuncs {
+		in.globals.vars[name] = HostFunc(f)
+	}
+	return in
+}
+
+// Output returns everything the script printed.
+func (in *Interp) Output() string { return in.out.String() }
+
+// Steps reports interpreter steps consumed (for operation statistics).
+func (in *Interp) Steps() int64 { return in.steps }
+
+// SetGlobal pre-binds a variable (e.g. the dataset filename argument:
+// the paper requires "the initial executable file accepts a filename as
+// a command line parameter").
+func (in *Interp) SetGlobal(name string, v Value) { in.globals.vars[name] = v }
+
+// Run executes the program. The returned value is the script's final
+// top-level `return`, or nil.
+func (in *Interp) Run(p *Program) (Value, error) {
+	v, err := in.execBlock(p.stmts, in.globals)
+	var rs returnSignal
+	if errors.As(err, &rs) {
+		return rs.v, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (in *Interp) step(n node) error {
+	in.steps++
+	if in.steps > in.limits.MaxSteps {
+		return fmt.Errorf("%w (line %d)", ErrStepBudget, n.nodeLine())
+	}
+	return nil
+}
+
+func (in *Interp) alloc(n node, cells int64) error {
+	in.heap += cells
+	if in.heap > in.limits.MaxHeap {
+		return fmt.Errorf("%w (line %d)", ErrHeapBudget, n.nodeLine())
+	}
+	return nil
+}
+
+// Print appends to the sandboxed output stream, enforcing the quota.
+// Host functions use it too.
+func (in *Interp) Print(s string) error {
+	in.outLen += int64(len(s))
+	if in.outLen > in.limits.MaxOutput {
+		return ErrOutputBudget
+	}
+	in.out.WriteString(s)
+	return nil
+}
+
+func (in *Interp) execBlock(stmts []node, env *scope) (Value, error) {
+	var last Value
+	for _, s := range stmts {
+		v, err := in.execStmt(s, env)
+		if err != nil {
+			return nil, err
+		}
+		last = v
+	}
+	return last, nil
+}
+
+func (in *Interp) execStmt(s node, env *scope) (Value, error) {
+	if err := in.step(s); err != nil {
+		return nil, err
+	}
+	switch n := s.(type) {
+	case *letStmt:
+		v, err := in.eval(n.init, env)
+		if err != nil {
+			return nil, err
+		}
+		env.vars[n.name] = v
+		return nil, nil
+	case *assign:
+		v, err := in.eval(n.value, env)
+		if err != nil {
+			return nil, err
+		}
+		switch target := n.target.(type) {
+		case *ident:
+			if !env.set(target.name, v) {
+				return nil, fmt.Errorf("script: line %d: assignment to undeclared variable %s (use let)", n.line, target.name)
+			}
+		case *index:
+			container, err := in.eval(target.x, env)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := in.eval(target.idx, env)
+			if err != nil {
+				return nil, err
+			}
+			switch c := container.(type) {
+			case *List:
+				i, err := toIndex(idx, len(c.Elems), n.line)
+				if err != nil {
+					return nil, err
+				}
+				c.Elems[i] = v
+			case *Map:
+				key, ok := idx.(string)
+				if !ok {
+					return nil, fmt.Errorf("script: line %d: map keys must be strings", n.line)
+				}
+				if _, exists := c.Entries[key]; !exists {
+					if err := in.alloc(n, 1); err != nil {
+						return nil, err
+					}
+				}
+				c.Entries[key] = v
+			default:
+				return nil, fmt.Errorf("script: line %d: cannot index %s", n.line, typeName(container))
+			}
+		}
+		return nil, nil
+	case *fnDef:
+		env.vars[n.name] = &userFunc{params: n.params, body: n.body, env: env}
+		return nil, nil
+	case *ifStmt:
+		cond, err := in.eval(n.cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if truthyVal(cond) {
+			return in.execBlock(n.then, &scope{vars: map[string]Value{}, parent: env})
+		}
+		if n.els != nil {
+			return in.execBlock(n.els, &scope{vars: map[string]Value{}, parent: env})
+		}
+		return nil, nil
+	case *whileStmt:
+		for {
+			cond, err := in.eval(n.cond, env)
+			if err != nil {
+				return nil, err
+			}
+			if !truthyVal(cond) {
+				return nil, nil
+			}
+			_, err = in.execBlock(n.body, &scope{vars: map[string]Value{}, parent: env})
+			if err != nil {
+				if errors.As(err, &breakSignal{}) {
+					return nil, nil
+				}
+				if errors.As(err, &continueSignal{}) {
+					continue
+				}
+				return nil, err
+			}
+		}
+	case *forStmt:
+		seq, err := in.eval(n.seq, env)
+		if err != nil {
+			return nil, err
+		}
+		iterate := func(v Value) (bool, error) {
+			child := &scope{vars: map[string]Value{n.name: v}, parent: env}
+			_, err := in.execBlock(n.body, child)
+			if err != nil {
+				if errors.As(err, &breakSignal{}) {
+					return false, nil
+				}
+				if errors.As(err, &continueSignal{}) {
+					return true, nil
+				}
+				return false, err
+			}
+			return true, nil
+		}
+		switch c := seq.(type) {
+		case *List:
+			for _, v := range c.Elems {
+				if err := in.step(n); err != nil {
+					return nil, err
+				}
+				cont, err := iterate(v)
+				if err != nil || !cont {
+					return nil, err
+				}
+			}
+		case *Map:
+			keys := make([]string, 0, len(c.Entries))
+			for k := range c.Entries {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if err := in.step(n); err != nil {
+					return nil, err
+				}
+				cont, err := iterate(k)
+				if err != nil || !cont {
+					return nil, err
+				}
+			}
+		case string:
+			for _, r := range c {
+				if err := in.step(n); err != nil {
+					return nil, err
+				}
+				cont, err := iterate(string(r))
+				if err != nil || !cont {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("script: line %d: cannot iterate %s", n.line, typeName(seq))
+		}
+		return nil, nil
+	case *returnStmt:
+		var v Value
+		if n.val != nil {
+			var err error
+			v, err = in.eval(n.val, env)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nil, returnSignal{v: v}
+	case *breakStmt:
+		return nil, breakSignal{}
+	case *continueStmt:
+		return nil, continueSignal{}
+	case *exprStmt:
+		return in.eval(n.x, env)
+	default:
+		return nil, fmt.Errorf("script: line %d: unsupported statement %T", s.nodeLine(), s)
+	}
+}
+
+func (in *Interp) eval(e node, env *scope) (Value, error) {
+	if err := in.step(e); err != nil {
+		return nil, err
+	}
+	switch n := e.(type) {
+	case *numLit:
+		return n.v, nil
+	case *strLit:
+		return n.v, nil
+	case *boolLit:
+		return n.v, nil
+	case *nilLit:
+		return nil, nil
+	case *ident:
+		v, ok := env.lookup(n.name)
+		if !ok {
+			return nil, fmt.Errorf("script: line %d: undefined variable %s", n.line, n.name)
+		}
+		return v, nil
+	case *listLit:
+		if err := in.alloc(n, int64(len(n.elems))+1); err != nil {
+			return nil, err
+		}
+		lst := &List{Elems: make([]Value, len(n.elems))}
+		for i, el := range n.elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			lst.Elems[i] = v
+		}
+		return lst, nil
+	case *mapLit:
+		if err := in.alloc(n, int64(len(n.keys))+1); err != nil {
+			return nil, err
+		}
+		m := &Map{Entries: make(map[string]Value, len(n.keys))}
+		for i := range n.keys {
+			k, err := in.eval(n.keys[i], env)
+			if err != nil {
+				return nil, err
+			}
+			key, ok := k.(string)
+			if !ok {
+				return nil, fmt.Errorf("script: line %d: map keys must be strings", n.line)
+			}
+			v, err := in.eval(n.vals[i], env)
+			if err != nil {
+				return nil, err
+			}
+			m.Entries[key] = v
+		}
+		return m, nil
+	case *unop:
+		x, err := in.eval(n.x, env)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case "-":
+			f, ok := x.(float64)
+			if !ok {
+				return nil, fmt.Errorf("script: line %d: cannot negate %s", n.line, typeName(x))
+			}
+			return -f, nil
+		case "!":
+			return !truthyVal(x), nil
+		}
+		return nil, fmt.Errorf("script: line %d: unknown operator %s", n.line, n.op)
+	case *binop:
+		return in.evalBinop(n, env)
+	case *index:
+		container, err := in.eval(n.x, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(n.idx, env)
+		if err != nil {
+			return nil, err
+		}
+		switch c := container.(type) {
+		case *List:
+			i, err := toIndex(idx, len(c.Elems), n.line)
+			if err != nil {
+				return nil, err
+			}
+			return c.Elems[i], nil
+		case *Map:
+			key, ok := idx.(string)
+			if !ok {
+				return nil, fmt.Errorf("script: line %d: map keys must be strings", n.line)
+			}
+			return c.Entries[key], nil
+		case string:
+			i, err := toIndex(idx, len(c), n.line)
+			if err != nil {
+				return nil, err
+			}
+			return string(c[i]), nil
+		default:
+			return nil, fmt.Errorf("script: line %d: cannot index %s", n.line, typeName(container))
+		}
+	case *call:
+		fn, err := in.eval(n.fn, env)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, len(n.args))
+		for i, a := range n.args {
+			v, err := in.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		switch f := fn.(type) {
+		case HostFunc:
+			return f(in, args)
+		case *userFunc:
+			if len(args) != len(f.params) {
+				return nil, fmt.Errorf("script: line %d: function expects %d arguments, got %d", n.line, len(f.params), len(args))
+			}
+			child := &scope{vars: make(map[string]Value, len(args)), parent: f.env}
+			for i, p := range f.params {
+				child.vars[p] = args[i]
+			}
+			_, err := in.execBlock(f.body, child)
+			var rs returnSignal
+			if errors.As(err, &rs) {
+				return rs.v, nil
+			}
+			return nil, err
+		default:
+			return nil, fmt.Errorf("script: line %d: %s is not callable", n.line, typeName(fn))
+		}
+	default:
+		return nil, fmt.Errorf("script: line %d: unsupported expression %T", e.nodeLine(), e)
+	}
+}
+
+func (in *Interp) evalBinop(n *binop, env *scope) (Value, error) {
+	// Short-circuit logic.
+	if n.op == "&&" || n.op == "||" {
+		l, err := in.eval(n.l, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.op == "&&" && !truthyVal(l) {
+			return false, nil
+		}
+		if n.op == "||" && truthyVal(l) {
+			return true, nil
+		}
+		r, err := in.eval(n.r, env)
+		if err != nil {
+			return nil, err
+		}
+		return truthyVal(r), nil
+	}
+	l, err := in.eval(n.l, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(n.r, env)
+	if err != nil {
+		return nil, err
+	}
+	lf, lIsNum := l.(float64)
+	rf, rIsNum := r.(float64)
+	ls, lIsStr := l.(string)
+	rs, rIsStr := r.(string)
+	switch n.op {
+	case "+":
+		switch {
+		case lIsNum && rIsNum:
+			return lf + rf, nil
+		case lIsStr || rIsStr:
+			s := toStr(l) + toStr(r)
+			if err := in.alloc(n, int64(len(s)/16)+1); err != nil {
+				return nil, err
+			}
+			return s, nil
+		case func() bool { _, ok := l.(*List); return ok }():
+			if rl, ok := r.(*List); ok {
+				ll := l.(*List)
+				if err := in.alloc(n, int64(len(ll.Elems)+len(rl.Elems))+1); err != nil {
+					return nil, err
+				}
+				out := &List{Elems: make([]Value, 0, len(ll.Elems)+len(rl.Elems))}
+				out.Elems = append(out.Elems, ll.Elems...)
+				out.Elems = append(out.Elems, rl.Elems...)
+				return out, nil
+			}
+		}
+		return nil, fmt.Errorf("script: line %d: cannot add %s and %s", n.line, typeName(l), typeName(r))
+	case "-", "*", "/", "%":
+		if !lIsNum || !rIsNum {
+			return nil, fmt.Errorf("script: line %d: arithmetic needs numbers, got %s and %s", n.line, typeName(l), typeName(r))
+		}
+		switch n.op {
+		case "-":
+			return lf - rf, nil
+		case "*":
+			return lf * rf, nil
+		case "/":
+			if rf == 0 {
+				return nil, fmt.Errorf("script: line %d: division by zero", n.line)
+			}
+			return lf / rf, nil
+		default:
+			if rf == 0 {
+				return nil, fmt.Errorf("script: line %d: modulo by zero", n.line)
+			}
+			return math.Mod(lf, rf), nil
+		}
+	case "==", "!=":
+		eq := valueEqual(l, r)
+		if n.op == "!=" {
+			eq = !eq
+		}
+		return eq, nil
+	case "<", "<=", ">", ">=":
+		var c int
+		switch {
+		case lIsNum && rIsNum:
+			c = compareFloats(lf, rf)
+		case lIsStr && rIsStr:
+			c = strings.Compare(ls, rs)
+		default:
+			return nil, fmt.Errorf("script: line %d: cannot compare %s and %s", n.line, typeName(l), typeName(r))
+		}
+		switch n.op {
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	}
+	return nil, fmt.Errorf("script: line %d: unknown operator %s", n.line, n.op)
+}
+
+func compareFloats(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func valueEqual(l, r Value) bool {
+	if l == nil || r == nil {
+		return l == nil && r == nil
+	}
+	switch a := l.(type) {
+	case float64:
+		b, ok := r.(float64)
+		return ok && a == b
+	case string:
+		b, ok := r.(string)
+		return ok && a == b
+	case bool:
+		b, ok := r.(bool)
+		return ok && a == b
+	default:
+		return l == r // reference equality for lists/maps
+	}
+}
+
+func truthyVal(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	case *List:
+		return len(x.Elems) > 0
+	case *Map:
+		return len(x.Entries) > 0
+	default:
+		return true
+	}
+}
+
+func toIndex(idx Value, n, line int) (int, error) {
+	f, ok := idx.(float64)
+	if !ok {
+		return 0, fmt.Errorf("script: line %d: index must be a number", line)
+	}
+	i := int(f)
+	if float64(i) != f {
+		return 0, fmt.Errorf("script: line %d: index must be an integer", line)
+	}
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("script: line %d: index %d out of range [0,%d)", line, i, n)
+	}
+	return i, nil
+}
+
+func typeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	case *List:
+		return "list"
+	case *Map:
+		return "map"
+	case HostFunc, *userFunc:
+		return "function"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func toStr(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			return fmt.Sprintf("%d", int64(x))
+		}
+		return fmt.Sprintf("%g", x)
+	case string:
+		return x
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case *List:
+		var b strings.Builder
+		b.WriteByte('[')
+		for i, e := range x.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(toStr(e))
+		}
+		b.WriteByte(']')
+		return b.String()
+	case *Map:
+		keys := make([]string, 0, len(x.Entries))
+		for k := range x.Entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s: %s", k, toStr(x.Entries[k]))
+		}
+		b.WriteByte('}')
+		return b.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

@@ -1,0 +1,155 @@
+// Package script implements EASL (EASIA Scripting Language), a small,
+// from-scratch interpreted language used to reproduce the paper's
+// "upload Java code for secure server-side execution" feature without a
+// JVM. Uploaded post-processing codes are EASL programs; the operations
+// engine runs them under a capability sandbox: an explicit step budget,
+// a heap quota, an output quota, and no ambient authority — every file
+// and dataset access goes through host functions the engine injects,
+// which confine paths to the per-session temporary directory exactly
+// like the paper's dynamically created batch file + security-restricted
+// second interpreter.
+package script
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tkKind uint8
+
+const (
+	tkEOF tkKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkPunct   // ( ) { } [ ] , ; : .
+	tkOp      // + - * / % = == != < <= > >= && || !
+	tkKeyword // let fn if else while for in return true false nil break continue
+)
+
+type tk struct {
+	kind tkKind
+	text string
+	line int
+}
+
+var scriptKeywords = map[string]bool{
+	"let": true, "fn": true, "if": true, "else": true, "while": true,
+	"for": true, "in": true, "return": true, "true": true, "false": true,
+	"nil": true, "break": true, "continue": true,
+}
+
+// lexScript tokenises EASL source.
+func lexScript(src string) ([]tk, error) {
+	var toks []tk
+	line := 1
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("script: line %d: unterminated string", line)
+				}
+				ch := src[i]
+				if ch == quote {
+					i++
+					break
+				}
+				if ch == '\\' && i+1 < n {
+					i++
+					switch src[i] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '"':
+						sb.WriteByte('"')
+					case '\'':
+						sb.WriteByte('\'')
+					default:
+						return nil, fmt.Errorf("script: line %d: bad escape \\%c", line, src[i])
+					}
+					i++
+					continue
+				}
+				if ch == '\n' {
+					line++
+				}
+				sb.WriteByte(ch)
+				i++
+			}
+			toks = append(toks, tk{tkString, sb.String(), line})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				for j < n && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+				i = j
+			}
+			toks = append(toks, tk{tkNumber, src[start:i], line})
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			start := i
+			for i < n && (src[i] == '_' || src[i] >= 'a' && src[i] <= 'z' ||
+				src[i] >= 'A' && src[i] <= 'Z' || src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			word := src[start:i]
+			if scriptKeywords[word] {
+				toks = append(toks, tk{tkKeyword, word, line})
+			} else {
+				toks = append(toks, tk{tkIdent, word, line})
+			}
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||":
+				toks = append(toks, tk{tkOp, two, line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '=', '<', '>', '!':
+				toks = append(toks, tk{tkOp, string(c), line})
+				i++
+			case '(', ')', '{', '}', '[', ']', ',', ';', ':', '.':
+				toks = append(toks, tk{tkPunct, string(c), line})
+				i++
+			default:
+				return nil, fmt.Errorf("script: line %d: unexpected character %q", line, c)
+			}
+		}
+	}
+	toks = append(toks, tk{tkEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,606 @@
+package script
+
+import "fmt"
+
+// AST node types. The interpreter walks these directly; EASL programs
+// are small (uploaded post-processing codes), so no compilation pass is
+// needed.
+
+type node interface{ nodeLine() int }
+
+type (
+	numLit struct {
+		line int
+		v    float64
+	}
+	strLit struct {
+		line int
+		v    string
+	}
+	boolLit struct {
+		line int
+		v    bool
+	}
+	nilLit  struct{ line int }
+	listLit struct {
+		line  int
+		elems []node
+	}
+	mapLit struct {
+		line int
+		keys []node
+		vals []node
+	}
+	ident struct {
+		line int
+		name string
+	}
+	binop struct {
+		line int
+		op   string
+		l, r node
+	}
+	unop struct {
+		line int
+		op   string
+		x    node
+	}
+	call struct {
+		line int
+		fn   node
+		args []node
+	}
+	index struct {
+		line int
+		x    node
+		idx  node
+	}
+	letStmt struct {
+		line int
+		name string
+		init node
+	}
+	assign struct {
+		line   int
+		target node // ident or index
+		value  node
+	}
+	ifStmt struct {
+		line int
+		cond node
+		then []node
+		els  []node
+	}
+	whileStmt struct {
+		line int
+		cond node
+		body []node
+	}
+	forStmt struct {
+		line int
+		name string
+		seq  node
+		body []node
+	}
+	fnDef struct {
+		line   int
+		name   string
+		params []string
+		body   []node
+	}
+	returnStmt struct {
+		line int
+		val  node // may be nil
+	}
+	breakStmt    struct{ line int }
+	continueStmt struct{ line int }
+	exprStmt     struct {
+		line int
+		x    node
+	}
+)
+
+func (n *numLit) nodeLine() int       { return n.line }
+func (n *strLit) nodeLine() int       { return n.line }
+func (n *boolLit) nodeLine() int      { return n.line }
+func (n *nilLit) nodeLine() int       { return n.line }
+func (n *listLit) nodeLine() int      { return n.line }
+func (n *mapLit) nodeLine() int       { return n.line }
+func (n *ident) nodeLine() int        { return n.line }
+func (n *binop) nodeLine() int        { return n.line }
+func (n *unop) nodeLine() int         { return n.line }
+func (n *call) nodeLine() int         { return n.line }
+func (n *index) nodeLine() int        { return n.line }
+func (n *letStmt) nodeLine() int      { return n.line }
+func (n *assign) nodeLine() int       { return n.line }
+func (n *ifStmt) nodeLine() int       { return n.line }
+func (n *whileStmt) nodeLine() int    { return n.line }
+func (n *forStmt) nodeLine() int      { return n.line }
+func (n *fnDef) nodeLine() int        { return n.line }
+func (n *returnStmt) nodeLine() int   { return n.line }
+func (n *breakStmt) nodeLine() int    { return n.line }
+func (n *continueStmt) nodeLine() int { return n.line }
+func (n *exprStmt) nodeLine() int     { return n.line }
+
+// Program is a parsed EASL script ready for execution.
+type Program struct {
+	stmts []node
+}
+
+// Parse compiles EASL source into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexScript(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sparser{toks: toks}
+	var stmts []node
+	for !p.at(tkEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Program{stmts: stmts}, nil
+}
+
+type sparser struct {
+	toks []tk
+	pos  int
+}
+
+func (p *sparser) cur() tk  { return p.toks[p.pos] }
+func (p *sparser) next() tk { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sparser) at(kind tkKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *sparser) accept(kind tkKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sparser) expect(kind tkKind, text string) (tk, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return tk{}, p.errf("expected %q, got %q", text, p.cur().text)
+}
+
+func (p *sparser) errf(format string, args ...any) error {
+	return fmt.Errorf("script: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *sparser) statement() (node, error) {
+	t := p.cur()
+	switch {
+	case p.accept(tkPunct, ";"):
+		return p.statement()
+	case t.kind == tkKeyword && t.text == "let":
+		p.pos++
+		name, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, p.errf("expected variable name after let")
+		}
+		if _, err := p.expect(tkOp, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.accept(tkPunct, ";")
+		return &letStmt{line: t.line, name: name.text, init: init}, nil
+	case t.kind == tkKeyword && t.text == "fn":
+		p.pos++
+		name, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, p.errf("expected function name")
+		}
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		var params []string
+		for !p.at(tkPunct, ")") {
+			param, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, p.errf("expected parameter name")
+			}
+			params = append(params, param.text)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &fnDef{line: t.line, name: name.text, params: params, body: body}, nil
+	case t.kind == tkKeyword && t.text == "if":
+		return p.ifStatement()
+	case t.kind == tkKeyword && t.text == "while":
+		p.pos++
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{line: t.line, cond: cond, body: body}, nil
+	case t.kind == tkKeyword && t.text == "for":
+		p.pos++
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tkIdent, "")
+		if err != nil {
+			return nil, p.errf("expected loop variable")
+		}
+		if _, err := p.expect(tkKeyword, "in"); err != nil {
+			return nil, err
+		}
+		seq, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{line: t.line, name: name.text, seq: seq, body: body}, nil
+	case t.kind == tkKeyword && t.text == "return":
+		p.pos++
+		var val node
+		if !p.at(tkPunct, ";") && !p.at(tkPunct, "}") && !p.at(tkEOF, "") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		p.accept(tkPunct, ";")
+		return &returnStmt{line: t.line, val: val}, nil
+	case t.kind == tkKeyword && t.text == "break":
+		p.pos++
+		p.accept(tkPunct, ";")
+		return &breakStmt{line: t.line}, nil
+	case t.kind == tkKeyword && t.text == "continue":
+		p.pos++
+		p.accept(tkPunct, ";")
+		return &continueStmt{line: t.line}, nil
+	default:
+		// Expression or assignment.
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tkOp, "=") {
+			switch x.(type) {
+			case *ident, *index:
+			default:
+				return nil, p.errf("invalid assignment target")
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(tkPunct, ";")
+			return &assign{line: t.line, target: x, value: val}, nil
+		}
+		p.accept(tkPunct, ";")
+		return &exprStmt{line: t.line, x: x}, nil
+	}
+}
+
+func (p *sparser) ifStatement() (node, error) {
+	t, err := p.expect(tkKeyword, "if")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &ifStmt{line: t.line, cond: cond, then: then}
+	if p.accept(tkKeyword, "else") {
+		if p.at(tkKeyword, "if") {
+			chained, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			stmt.els = []node{chained}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			stmt.els = els
+		}
+	}
+	return stmt, nil
+}
+
+func (p *sparser) block() ([]node, error) {
+	if _, err := p.expect(tkPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []node
+	for !p.at(tkPunct, "}") {
+		if p.at(tkEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.pos++
+	return stmts, nil
+}
+
+// Expression precedence: || , &&, comparison, additive, multiplicative,
+// unary, postfix (call/index), primary.
+
+func (p *sparser) expr() (node, error) { return p.orExpr() }
+
+func (p *sparser) orExpr() (node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkOp, "||") {
+		t := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binop{line: t.line, op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) andExpr() (node, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkOp, "&&") {
+		t := p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binop{line: t.line, op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) cmpExpr() (node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tkOp {
+			return l, nil
+		}
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &binop{line: t.line, op: t.text, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *sparser) addExpr() (node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkOp, "+") || p.at(tkOp, "-") {
+		t := p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binop{line: t.line, op: t.text, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) mulExpr() (node, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tkOp, "*") || p.at(tkOp, "/") || p.at(tkOp, "%") {
+		t := p.next()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binop{line: t.line, op: t.text, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sparser) unaryExpr() (node, error) {
+	t := p.cur()
+	if t.kind == tkOp && (t.text == "-" || t.text == "!") {
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unop{line: t.line, op: t.text, x: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *sparser) postfixExpr() (node, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.accept(tkPunct, "("):
+			var args []node
+			for !p.at(tkPunct, ")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tkPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tkPunct, ")"); err != nil {
+				return nil, err
+			}
+			x = &call{line: t.line, fn: x, args: args}
+		case p.accept(tkPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &index{line: t.line, x: x, idx: idx}
+		case p.accept(tkPunct, "."):
+			// m.key is sugar for m["key"].
+			name, err := p.expect(tkIdent, "")
+			if err != nil {
+				return nil, p.errf("expected field name after '.'")
+			}
+			x = &index{line: t.line, x: x, idx: &strLit{line: t.line, v: name.text}}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *sparser) primary() (node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkNumber:
+		p.pos++
+		var v float64
+		if _, err := fmt.Sscanf(t.text, "%g", &v); err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &numLit{line: t.line, v: v}, nil
+	case t.kind == tkString:
+		p.pos++
+		return &strLit{line: t.line, v: t.text}, nil
+	case t.kind == tkKeyword && (t.text == "true" || t.text == "false"):
+		p.pos++
+		return &boolLit{line: t.line, v: t.text == "true"}, nil
+	case t.kind == tkKeyword && t.text == "nil":
+		p.pos++
+		return &nilLit{line: t.line}, nil
+	case t.kind == tkIdent:
+		p.pos++
+		return &ident{line: t.line, name: t.text}, nil
+	case p.accept(tkPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case p.accept(tkPunct, "["):
+		lst := &listLit{line: t.line}
+		for !p.at(tkPunct, "]") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lst.elems = append(lst.elems, e)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkPunct, "]"); err != nil {
+			return nil, err
+		}
+		return lst, nil
+	case p.accept(tkPunct, "{"):
+		m := &mapLit{line: t.line}
+		for !p.at(tkPunct, "}") {
+			var key node
+			kt := p.cur()
+			switch kt.kind {
+			case tkString:
+				p.pos++
+				key = &strLit{line: kt.line, v: kt.text}
+			case tkIdent:
+				p.pos++
+				key = &strLit{line: kt.line, v: kt.text}
+			default:
+				return nil, p.errf("expected map key")
+			}
+			if _, err := p.expect(tkPunct, ":"); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			m.keys = append(m.keys, key)
+			m.vals = append(m.vals, val)
+			if !p.accept(tkPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tkPunct, "}"); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, p.errf("unexpected %q in expression", t.text)
+	}
+}

@@ -1,0 +1,405 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string) (Value, *Interp) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in := New(Limits{}, nil)
+	v, err := in.Run(p)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return v, in
+}
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	in := New(Limits{}, nil)
+	_, err = in.Run(p)
+	if err == nil {
+		t.Fatalf("expected error for %q", src)
+	}
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		`return 1 + 2 * 3`:             7,
+		`return (1 + 2) * 3`:           9,
+		`return 10 / 4`:                2.5,
+		`return 10 % 3`:                1,
+		`return -5 + 3`:                -2,
+		`return 2 * 3 - 4 / 2`:         4,
+		`let x = 5 x = x + 1 return x`: 6,
+	}
+	for src, want := range cases {
+		v, _ := run(t, src)
+		if got, ok := v.(float64); !ok || got != want {
+			t.Errorf("%s = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	v, _ := run(t, `return "turbo" + "-" + str(42)`)
+	if v != "turbo-42" {
+		t.Fatalf("got %v", v)
+	}
+	v, _ = run(t, `return upper("easia") + lower("XML")`)
+	if v != "EASIAxml" {
+		t.Fatalf("got %v", v)
+	}
+	v, _ = run(t, `return join(split("a,b,c", ","), "-")`)
+	if v != "a-b-c" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	v, _ := run(t, `
+		let total = 0
+		for (i in range(10)) {
+			if (i % 2 == 0) { total = total + i }
+		}
+		return total`)
+	if v.(float64) != 20 {
+		t.Fatalf("sum of evens = %v", v)
+	}
+	v, _ = run(t, `
+		let n = 0
+		while (true) {
+			n = n + 1
+			if (n >= 5) { break }
+		}
+		return n`)
+	if v.(float64) != 5 {
+		t.Fatalf("while/break = %v", v)
+	}
+	v, _ = run(t, `
+		let kept = []
+		for (i in range(6)) {
+			if (i % 2 == 1) { continue }
+			push(kept, i)
+		}
+		return len(kept)`)
+	if v.(float64) != 3 {
+		t.Fatalf("continue = %v", v)
+	}
+	v, _ = run(t, `
+		let x = 3
+		if (x > 5) { return "big" } else if (x > 1) { return "mid" } else { return "small" }`)
+	if v != "mid" {
+		t.Fatalf("else-if chain = %v", v)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	v, _ := run(t, `
+		fn fib(n) {
+			if (n < 2) { return n }
+			return fib(n-1) + fib(n-2)
+		}
+		return fib(15)`)
+	if v.(float64) != 610 {
+		t.Fatalf("fib(15) = %v", v)
+	}
+	// Closures capture their defining scope.
+	v, _ = run(t, `
+		let base = 100
+		fn addBase(x) { return x + base }
+		return addBase(7)`)
+	if v.(float64) != 107 {
+		t.Fatalf("closure = %v", v)
+	}
+}
+
+func TestListsAndMaps(t *testing.T) {
+	v, _ := run(t, `
+		let xs = [3, 1, 2]
+		let ys = sort(xs)
+		return str(ys[0]) + str(ys[1]) + str(ys[2])`)
+	if v != "123" {
+		t.Fatalf("sort = %v", v)
+	}
+	v, _ = run(t, `
+		let m = {name: "ts42", size: 85}
+		m["fmt"] = "TSF"
+		return m.name + ":" + str(m.size) + ":" + m.fmt`)
+	if v != "ts42:85:TSF" {
+		t.Fatalf("map = %v", v)
+	}
+	v, _ = run(t, `
+		let m = {b: 1, a: 2}
+		return join(keys(m), ",")`)
+	if v != "a,b" {
+		t.Fatalf("keys = %v", v)
+	}
+	v, _ = run(t, `return has({x: 1}, "x") && !has({x: 1}, "y")`)
+	if v != true {
+		t.Fatalf("has = %v", v)
+	}
+	v, _ = run(t, `
+		let xs = [1, 2] + [3]
+		return len(xs)`)
+	if v.(float64) != 3 {
+		t.Fatalf("list concat = %v", v)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	_, in := run(t, `
+		print("slice", 3, "of", "u")
+		print("done")`)
+	want := "slice 3 of u\ndone\n"
+	if in.Output() != want {
+		t.Fatalf("output = %q", in.Output())
+	}
+}
+
+func TestHostFunctions(t *testing.T) {
+	p, err := Parse(`return dataset_n("ts1.tsf") * 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Limits{}, map[string]HostFunc{
+		"dataset_n": func(in *Interp, args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("want 1 arg")
+			}
+			return 64.0, nil
+		},
+	})
+	v, err := in.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 128 {
+		t.Fatalf("host call = %v", v)
+	}
+}
+
+func TestGlobalsInjection(t *testing.T) {
+	p, _ := Parse(`return "processing " + filename`)
+	in := New(Limits{}, nil)
+	in.SetGlobal("filename", "ts42.tsf")
+	v, err := in.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "processing ts42.tsf" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+// --- sandbox enforcement ---
+
+func TestStepBudgetStopsInfiniteLoop(t *testing.T) {
+	p, _ := Parse(`while (true) { }`)
+	in := New(Limits{MaxSteps: 10_000}, nil)
+	_, err := in.Run(p)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestHeapBudgetStopsAllocationBomb(t *testing.T) {
+	p, _ := Parse(`
+		let xs = []
+		while (true) { push(xs, 1) }`)
+	in := New(Limits{MaxSteps: 100_000_000, MaxHeap: 10_000}, nil)
+	_, err := in.Run(p)
+	if !errors.Is(err, ErrHeapBudget) {
+		t.Fatalf("err = %v, want ErrHeapBudget", err)
+	}
+}
+
+func TestOutputBudgetStopsPrintBomb(t *testing.T) {
+	p, _ := Parse(`
+		while (true) { print("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx") }`)
+	in := New(Limits{MaxSteps: 100_000_000, MaxOutput: 1024}, nil)
+	_, err := in.Run(p)
+	if !errors.Is(err, ErrOutputBudget) {
+		t.Fatalf("err = %v, want ErrOutputBudget", err)
+	}
+}
+
+func TestNoAmbientAuthority(t *testing.T) {
+	// Without injected host functions, there is no way to touch files,
+	// the network, or the archive: those names simply do not exist.
+	for _, src := range []string{
+		`return open("/etc/passwd")`,
+		`return readFile("x")`,
+		`return exec("rm -rf /")`,
+	} {
+		err := runErr(t, src)
+		if !strings.Contains(err.Error(), "undefined variable") {
+			t.Errorf("%s: err = %v", src, err)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`return 1 / 0`,
+		`return [1][5]`,
+		`return [1][-1]`,
+		`return "a" - "b"`,
+		`x = 1`, // assignment without let
+		`return nope`,
+		`return 5(3)`,
+		`let m = {} return m[0]`,
+	}
+	for _, src := range cases {
+		runErr(t, src)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`let = 5`,
+		`fn () {}`,
+		`if x { }`,
+		`while (true) {`,
+		`return "unterminated`,
+		`let x = @`,
+		`for (x of xs) {}`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	v, _ := run(t, `
+		// line comment
+		# hash comment
+		let x = 1 // trailing
+		return x`)
+	if v.(float64) != 1 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+// Property: integer arithmetic in EASL matches Go within float64.
+func TestArithmeticProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		src := fmt.Sprintf("return %d + %d * %d", a, b, a)
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		in := New(Limits{}, nil)
+		v, err := in.Run(p)
+		if err != nil {
+			return false
+		}
+		want := float64(a) + float64(b)*float64(a)
+		return v.(float64) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRealisticPostProcessingScript runs the kind of program a user
+// would upload: compute statistics over a (host-provided) slice.
+func TestRealisticPostProcessingScript(t *testing.T) {
+	src := `
+		fn mean(xs) {
+			let total = 0
+			for (x in xs) { total = total + x }
+			return total / len(xs)
+		}
+		fn rms(xs) {
+			let total = 0
+			for (x in xs) { total = total + x * x }
+			return sqrt(total / len(xs))
+		}
+		let data = loadSlice(filename, "u", "z", 4)
+		print("points:", len(data))
+		print("mean:", mean(data))
+		print("rms:", rms(data))
+		return rms(data)`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(DefaultLimits, map[string]HostFunc{
+		"loadSlice": func(in *Interp, args []Value) (Value, error) {
+			if len(args) != 4 {
+				return nil, fmt.Errorf("loadSlice(file, field, axis, index)")
+			}
+			return &List{Elems: []Value{3.0, 4.0, 0.0, 0.0}}, nil
+		},
+	})
+	in.SetGlobal("filename", "ts42.tsf")
+	v, err := in.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(float64) != 2.5 { // sqrt((9+16)/4)
+		t.Fatalf("rms = %v", v)
+	}
+	if !strings.Contains(in.Output(), "points: 4") {
+		t.Fatalf("output = %q", in.Output())
+	}
+}
+
+func TestByteStringBuiltins(t *testing.T) {
+	v, _ := run(t, `return ord("A")`)
+	if v.(float64) != 65 {
+		t.Fatalf("ord = %v", v)
+	}
+	v, _ = run(t, `return chr(66)`)
+	if v != "B" {
+		t.Fatalf("chr = %v", v)
+	}
+	v, _ = run(t, `return ord(chr(200))`)
+	if v.(float64) != 200 {
+		t.Fatalf("ord∘chr = %v", v)
+	}
+	v, _ = run(t, `return substr("turbulence", 2, 4)`)
+	if v != "rbul" {
+		t.Fatalf("substr = %v", v)
+	}
+	v, _ = run(t, `return substr("abc", 1, 99)`)
+	if v != "bc" {
+		t.Fatalf("substr overrun = %v", v)
+	}
+	runErr(t, `return ord("")`)
+	runErr(t, `return chr(999)`)
+	runErr(t, `return substr("abc", 9, 1)`)
+}
+
+// Property: ord/chr invert for all byte values.
+func TestOrdChrProperty(t *testing.T) {
+	f := func(b uint8) bool {
+		src := fmt.Sprintf(`return ord(chr(%d))`, b)
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		in := New(Limits{}, nil)
+		v, err := in.Run(p)
+		return err == nil && v.(float64) == float64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package sqldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// Binary value codec shared by the WAL and the snapshot format.
+// Layout: one kind byte, then a kind-specific payload:
+//
+//	NULL                  — nothing
+//	INT/BOOL              — 8-byte little-endian two's complement
+//	DOUBLE                — 8-byte IEEE-754 bits
+//	TIMESTAMP             — 8-byte unix nanoseconds (UTC)
+//	VARCHAR/CLOB/DATALINK — uvarint length + UTF-8 bytes
+//	BLOB                  — uvarint length + raw bytes
+
+func writeValue(w *bufio.Writer, v sqltypes.Value) error {
+	if err := w.WriteByte(byte(v.Kind())); err != nil {
+		return err
+	}
+	var buf [8]byte
+	switch v.Kind() {
+	case sqltypes.KindNull:
+		return nil
+	case sqltypes.KindInt, sqltypes.KindBool:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Int()))
+		_, err := w.Write(buf[:])
+		return err
+	case sqltypes.KindDouble:
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Double()))
+		_, err := w.Write(buf[:])
+		return err
+	case sqltypes.KindTime:
+		binary.LittleEndian.PutUint64(buf[:], uint64(v.Time().UnixNano()))
+		_, err := w.Write(buf[:])
+		return err
+	case sqltypes.KindString, sqltypes.KindClob, sqltypes.KindDatalink:
+		return writeBytes(w, []byte(v.Str()))
+	case sqltypes.KindBytes:
+		return writeBytes(w, v.Bytes())
+	default:
+		return fmt.Errorf("sqldb: cannot encode value kind %d", v.Kind())
+	}
+}
+
+func readValue(r *bufio.Reader) (sqltypes.Value, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	kind := sqltypes.Kind(kb)
+	var buf [8]byte
+	switch kind {
+	case sqltypes.KindNull:
+		return sqltypes.Null, nil
+	case sqltypes.KindInt, sqltypes.KindBool:
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return sqltypes.Null, err
+		}
+		n := int64(binary.LittleEndian.Uint64(buf[:]))
+		if kind == sqltypes.KindBool {
+			return sqltypes.NewBool(n != 0), nil
+		}
+		return sqltypes.NewInt(n), nil
+	case sqltypes.KindDouble:
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewDouble(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case sqltypes.KindTime:
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewTime(time.Unix(0, int64(binary.LittleEndian.Uint64(buf[:]))).UTC()), nil
+	case sqltypes.KindString, sqltypes.KindClob, sqltypes.KindDatalink:
+		b, err := readBytes(r)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		switch kind {
+		case sqltypes.KindClob:
+			return sqltypes.NewClob(string(b)), nil
+		case sqltypes.KindDatalink:
+			return sqltypes.NewDatalink(string(b)), nil
+		default:
+			return sqltypes.NewString(string(b)), nil
+		}
+	case sqltypes.KindBytes:
+		b, err := readBytes(r)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return sqltypes.NewBytes(b), nil
+	default:
+		return sqltypes.Null, fmt.Errorf("sqldb: corrupt value kind %d", kb)
+	}
+}
+
+func writeBytes(w *bufio.Writer, b []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(b)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBytes(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("sqldb: corrupt length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func writeString(w *bufio.Writer, s string) error { return writeBytes(w, []byte(s)) }
+
+func readString(r *bufio.Reader) (string, error) {
+	b, err := readBytes(r)
+	return string(b), err
+}
+
+func writeUint64(w *bufio.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readUint64(r *bufio.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func writeRow(w *bufio.Writer, vals []sqltypes.Value) error {
+	if err := writeUint64(w, uint64(len(vals))); err != nil {
+		return err
+	}
+	for _, v := range vals {
+		if err := writeValue(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRow(r *bufio.Reader) ([]sqltypes.Value, error) {
+	n, err := readUint64(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("sqldb: corrupt row width %d", n)
+	}
+	vals := make([]sqltypes.Value, n)
+	for i := range vals {
+		vals[i], err = readValue(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return vals, nil
+}

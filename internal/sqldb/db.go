@@ -1,0 +1,485 @@
+package sqldb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// LinkController receives SQL/MED link-control callbacks from the engine
+// whenever rows holding DATALINK values (with FILE LINK CONTROL) are
+// inserted, updated or deleted. The med package implements it by talking
+// to the file-manager daemons; the engine only defines the protocol:
+//
+//	PrepareLink/PrepareUnlink are called during statement execution,
+//	inside the transaction; they must validate (e.g. file existence for
+//	links) and reserve the action.
+//	Commit is called after the transaction's WAL records are durable.
+//	Abort is called on rollback and must release reservations.
+type LinkController interface {
+	PrepareLink(txID uint64, url string, opts sqltypes.DatalinkOptions) error
+	PrepareUnlink(txID uint64, url string, opts sqltypes.DatalinkOptions) error
+	Commit(txID uint64) error
+	Abort(txID uint64)
+}
+
+// Result reports the effect of a DML statement.
+type Result struct {
+	RowsAffected int
+}
+
+// Rows is a fully materialised query result.
+type Rows struct {
+	Columns []string
+	Kinds   []sqltypes.Kind
+	Data    [][]sqltypes.Value
+}
+
+// ColIndex returns the position of the named result column
+// (case-insensitive), or -1.
+func (r *Rows) ColIndex(name string) int {
+	for i, c := range r.Columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns row i's value in the named column (Null when absent).
+func (r *Rows) Get(i int, col string) sqltypes.Value {
+	j := r.ColIndex(col)
+	if j < 0 || i < 0 || i >= len(r.Data) {
+		return sqltypes.Null
+	}
+	return r.Data[i][j]
+}
+
+// indexDef records a secondary index created with CREATE INDEX.
+type indexDef struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// DB is an embedded SQL database. All operations are serialised by an
+// internal mutex: the archive workload is metadata-scale (the bulk data
+// lives on the file servers), so single-writer serialisable semantics is
+// the honest, simple choice. A DB with an empty directory is purely
+// in-memory; otherwise snapshot.db and wal.log in the directory provide
+// durability with crash recovery.
+type DB struct {
+	mu      sync.Mutex
+	cat     *Catalog
+	data    map[string]*tableData
+	indexes map[string]indexDef // index name (upper) → definition
+	nextRow rowID
+	nextTx  uint64
+
+	dir       string
+	wal       *walFile
+	linkCtl   LinkController
+	ddlLog    []string
+	replaying bool
+	closed    bool
+
+	// nowFn supplies the clock for NOW(); injectable for deterministic
+	// tests and the network-simulated experiments.
+	nowFn func() time.Time
+
+	// walBytesSinceCheckpoint triggers automatic checkpoints.
+	txSinceCheckpoint int
+	// CheckpointEvery controls automatic checkpointing: after this many
+	// committed transactions the engine folds the WAL into a fresh
+	// snapshot. Zero disables automatic checkpoints.
+	CheckpointEvery int
+}
+
+// Open opens (creating if necessary) a database in dir. An empty dir
+// yields an in-memory database with no durability.
+func Open(dir string) (*DB, error) {
+	db := &DB{
+		cat:             NewCatalog(),
+		data:            make(map[string]*tableData),
+		indexes:         make(map[string]indexDef),
+		dir:             dir,
+		nowFn:           time.Now,
+		nextTx:          1,
+		nextRow:         1,
+		CheckpointEvery: 1024,
+	}
+	if dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db.replaying = true
+	if err := db.loadSnapshotLocked(); err != nil {
+		return nil, err
+	}
+	committed, err := readWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	for _, tx := range committed {
+		for _, rec := range tx {
+			if err := db.applyWALRecord(rec); err != nil {
+				return nil, fmt.Errorf("sqldb: WAL replay: %w", err)
+			}
+		}
+	}
+	db.replaying = false
+	wal, err := openWAL(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	db.wal = wal
+	return db, nil
+}
+
+func (db *DB) applyWALRecord(rec walRecord) error {
+	switch rec.op {
+	case walOpDDL:
+		return db.applyDDLText(rec.ddl)
+	case walOpInsert:
+		td, ok := db.data[rec.table]
+		if !ok {
+			return fmt.Errorf("insert into unknown table %s", rec.table)
+		}
+		if rec.row >= db.nextRow {
+			db.nextRow = rec.row + 1
+		}
+		return td.insert(rec.row, rec.vals)
+	case walOpDelete:
+		td, ok := db.data[rec.table]
+		if !ok {
+			return fmt.Errorf("delete from unknown table %s", rec.table)
+		}
+		_, err := td.delete(rec.row)
+		return err
+	case walOpUpdate:
+		td, ok := db.data[rec.table]
+		if !ok {
+			return fmt.Errorf("update of unknown table %s", rec.table)
+		}
+		_, err := td.update(rec.row, rec.vals)
+		return err
+	}
+	return nil
+}
+
+// Close flushes a final checkpoint and releases the WAL.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.dir != "" {
+		if err := db.checkpointLocked(); err != nil {
+			return err
+		}
+	}
+	return db.wal.close()
+}
+
+// SetLinkController installs the SQL/MED coordinator. It must be set
+// before DATALINK columns with FILE LINK CONTROL are written; without a
+// controller such writes are rejected, matching a DBMS with no Data
+// Links File Manager configured.
+func (db *DB) SetLinkController(lc LinkController) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.linkCtl = lc
+}
+
+// SetClock injects the NOW() clock (tests and simulation).
+func (db *DB) SetClock(now func() time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nowFn = now
+}
+
+// Catalog exposes the live schema catalogue for read-only use (XUIS
+// generation, browsing). Callers must not mutate it.
+func (db *DB) Catalog() *Catalog {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cat
+}
+
+// Checkpoint folds the WAL into a fresh snapshot and truncates the log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if db.dir == "" {
+		return nil
+	}
+	for _, td := range db.data {
+		td.compact()
+	}
+	if err := db.saveSnapshotLocked(); err != nil {
+		return err
+	}
+	if err := db.wal.close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(db.dir, "wal.log"), 0); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	wal, err := openWAL(filepath.Join(db.dir, "wal.log"))
+	if err != nil {
+		return err
+	}
+	db.wal = wal
+	db.txSinceCheckpoint = 0
+	return nil
+}
+
+// Exec parses and executes one statement in autocommit mode. SELECT is
+// allowed (the result is discarded); use Query to read rows.
+func (db *DB) Exec(sql string, args ...sqltypes.Value) (Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, ok := stmt.(*TxStmt); ok {
+		return Result{}, fmt.Errorf("sqldb: use Begin/Commit/Rollback on *DB, not SQL text")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return Result{}, fmt.Errorf("sqldb: database is closed")
+	}
+	tx := db.newTxLocked()
+	res, _, err := db.execStmtLocked(tx, stmt, args)
+	if err != nil {
+		db.rollbackLocked(tx)
+		return Result{}, err
+	}
+	if err := db.commitLocked(tx); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// ExecScript runs a semicolon-separated DDL/DML script, each statement
+// autocommitted.
+func (db *DB) ExecScript(sql string) error {
+	stmts, err := ParseScript(sql)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if _, ok := stmt.(*TxStmt); ok {
+			return fmt.Errorf("sqldb: transaction control not allowed in scripts")
+		}
+		db.mu.Lock()
+		tx := db.newTxLocked()
+		_, _, err := db.execStmtLocked(tx, stmt, nil)
+		if err != nil {
+			db.rollbackLocked(tx)
+			db.mu.Unlock()
+			return err
+		}
+		if err := db.commitLocked(tx); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		db.mu.Unlock()
+	}
+	return nil
+}
+
+// Query parses and executes a SELECT, returning materialised rows.
+func (db *DB) Query(sql string, args ...sqltypes.Value) (*Rows, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("sqldb: database is closed")
+	}
+	return db.execSelectLocked(sel, args)
+}
+
+// ---------- transactions ----------
+
+// txState is the in-flight transaction bookkeeping.
+type txState struct {
+	id       uint64
+	undo     []undoOp
+	redo     []walRecord
+	usedLink bool
+}
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota // inverse: delete
+	undoDelete                 // inverse: re-insert
+	undoUpdate                 // inverse: restore old values
+)
+
+type undoOp struct {
+	kind  undoKind
+	table string
+	row   rowID
+	vals  []sqltypes.Value // old values for delete/update
+}
+
+func (db *DB) newTxLocked() *txState {
+	tx := &txState{id: db.nextTx}
+	db.nextTx++
+	return tx
+}
+
+func (db *DB) commitLocked(tx *txState) error {
+	if db.wal != nil && len(tx.redo) > 0 {
+		if err := db.wal.appendTx(tx.id, tx.redo); err != nil {
+			// Durability failed: the in-memory effects must not survive.
+			db.rollbackLocked(tx)
+			return fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err)
+		}
+	}
+	if tx.usedLink && db.linkCtl != nil {
+		if err := db.linkCtl.Commit(tx.id); err != nil {
+			// The DB transaction is durable; surface the file-side error
+			// but do not undo committed state. Reconciliation at startup
+			// repairs divergence (see med.Coordinator.Reconcile).
+			return fmt.Errorf("sqldb: transaction committed but link control failed: %w", err)
+		}
+	}
+	db.txSinceCheckpoint++
+	if db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery {
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+func (db *DB) rollbackLocked(tx *txState) {
+	// Apply undo in reverse order.
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		td := db.data[u.table]
+		if td == nil {
+			continue
+		}
+		switch u.kind {
+		case undoInsert:
+			td.delete(u.row) //nolint:errcheck // undo of our own insert cannot fail
+		case undoDelete:
+			td.insert(u.row, u.vals) //nolint:errcheck // restoring a row we removed
+		case undoUpdate:
+			td.update(u.row, u.vals) //nolint:errcheck // restoring prior values
+		}
+	}
+	if tx.usedLink && db.linkCtl != nil {
+		db.linkCtl.Abort(tx.id)
+	}
+}
+
+// Tx is an explicit transaction. It holds the database lock for its whole
+// lifetime (serialisable isolation); Commit or Rollback must be called
+// exactly once. Do not use the parent DB from the same goroutine while a
+// Tx is open.
+type Tx struct {
+	db    *DB
+	state *txState
+	done  bool
+}
+
+// Begin starts an explicit transaction.
+func (db *DB) Begin() (*Tx, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("sqldb: database is closed")
+	}
+	return &Tx{db: db, state: db.newTxLocked()}, nil
+}
+
+// Exec runs a DML statement inside the transaction. DDL is rejected:
+// schema changes are autocommit-only in this engine.
+func (tx *Tx) Exec(sql string, args ...sqltypes.Value) (Result, error) {
+	if tx.done {
+		return Result{}, fmt.Errorf("sqldb: transaction already finished")
+	}
+	stmt, err := Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	switch stmt.(type) {
+	case *InsertStmt, *UpdateStmt, *DeleteStmt, *SelectStmt:
+	default:
+		return Result{}, fmt.Errorf("sqldb: only DML is allowed inside a transaction")
+	}
+	res, _, err := tx.db.execStmtLocked(tx.state, stmt, args)
+	return res, err
+}
+
+// Query runs a SELECT inside the transaction.
+func (tx *Tx) Query(sql string, args ...sqltypes.Value) (*Rows, error) {
+	if tx.done {
+		return nil, fmt.Errorf("sqldb: transaction already finished")
+	}
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	return tx.db.execSelectLocked(sel, args)
+}
+
+// Commit makes the transaction durable and releases the lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("sqldb: transaction already finished")
+	}
+	tx.done = true
+	err := tx.db.commitLocked(tx.state)
+	tx.db.mu.Unlock()
+	return err
+}
+
+// Rollback undoes the transaction and releases the lock.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	tx.db.rollbackLocked(tx.state)
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// applyDDLText re-executes logged DDL during snapshot/WAL replay.
+func (db *DB) applyDDLText(sql string) error {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return err
+	}
+	tx := &txState{} // replay: no WAL, no link control
+	_, _, err = db.execStmtLocked(tx, stmt, nil)
+	return err
+}

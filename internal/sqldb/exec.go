@@ -1,0 +1,621 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// execStmtLocked dispatches a parsed statement. It returns a Result for
+// DML/DDL or Rows for SELECT. The caller holds db.mu and owns commit or
+// rollback of tx.
+func (db *DB) execStmtLocked(tx *txState, stmt Stmt, params []sqltypes.Value) (Result, *Rows, error) {
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return db.execCreateTableLocked(tx, s)
+	case *DropTableStmt:
+		return db.execDropTableLocked(tx, s)
+	case *CreateIndexStmt:
+		return db.execCreateIndexLocked(tx, s)
+	case *DropIndexStmt:
+		return db.execDropIndexLocked(tx, s)
+	case *InsertStmt:
+		res, err := db.execInsertLocked(tx, s, params)
+		return res, nil, err
+	case *UpdateStmt:
+		res, err := db.execUpdateLocked(tx, s, params)
+		return res, nil, err
+	case *DeleteStmt:
+		res, err := db.execDeleteLocked(tx, s, params)
+		return res, nil, err
+	case *SelectStmt:
+		rows, err := db.execSelectLocked(s, params)
+		return Result{RowsAffected: 0}, rows, err
+	default:
+		return Result{}, nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// ---------- DDL ----------
+
+// renderCreateTable reconstructs canonical DDL text for the DDL log, so
+// snapshots replay through the normal code path.
+func renderCreateTable(s *CreateTableStmt) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", strings.ToUpper(s.Table))
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", strings.ToUpper(c.Name), c.Type.String())
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+		if c.Default != nil {
+			fmt.Fprintf(&b, " DEFAULT %s", c.Default.String())
+		}
+	}
+	if len(s.PrimaryKey) > 0 {
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(upperAll(s.PrimaryKey), ", "))
+	}
+	for _, u := range s.Uniques {
+		fmt.Fprintf(&b, ", UNIQUE (%s)", strings.Join(upperAll(u), ", "))
+	}
+	for _, fk := range s.ForeignKeys {
+		fmt.Fprintf(&b, ", FOREIGN KEY (%s) REFERENCES %s (%s)",
+			strings.Join(upperAll(fk.Cols), ", "), strings.ToUpper(fk.RefTable), strings.Join(upperAll(fk.RefCols), ", "))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func (db *DB) execCreateTableLocked(tx *txState, s *CreateTableStmt) (Result, *Rows, error) {
+	if s.IfNotExists {
+		if _, exists := db.cat.Table(s.Table); exists {
+			return Result{}, nil, nil
+		}
+	}
+	schema, err := db.cat.addTable(s)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	db.data[schema.Name] = newTableData(schema)
+	ddl := renderCreateTable(s)
+	db.ddlLog = append(db.ddlLog, ddl)
+	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
+	return Result{}, nil, nil
+}
+
+func (db *DB) execDropTableLocked(tx *txState, s *DropTableStmt) (Result, *Rows, error) {
+	schema, ok := db.cat.Table(s.Table)
+	if !ok {
+		if s.IfExists {
+			return Result{}, nil, nil
+		}
+		return Result{}, nil, fmt.Errorf("sqldb: table %s does not exist", s.Table)
+	}
+	td := db.data[schema.Name]
+	if td != nil && td.live > 0 {
+		// Unlink every controlled DATALINK before the table vanishes.
+		dlCols := schema.DatalinkColumns()
+		if len(dlCols) > 0 {
+			var err error
+			td.scan(func(id rowID, vals []sqltypes.Value) bool {
+				for _, ci := range dlCols {
+					if e := db.unlinkValueLocked(tx, schema, ci, vals[ci]); e != nil {
+						err = e
+						return false
+					}
+				}
+				return true
+			})
+			if err != nil {
+				return Result{}, nil, err
+			}
+		}
+	}
+	if err := db.cat.dropTable(s.Table); err != nil {
+		return Result{}, nil, err
+	}
+	delete(db.data, schema.Name)
+	for name, def := range db.indexes {
+		if def.Table == schema.Name {
+			delete(db.indexes, name)
+		}
+	}
+	ddl := "DROP TABLE " + schema.Name
+	db.ddlLog = append(db.ddlLog, ddl)
+	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
+	return Result{}, nil, nil
+}
+
+func (db *DB) execCreateIndexLocked(tx *txState, s *CreateIndexStmt) (Result, *Rows, error) {
+	name := strings.ToUpper(s.Name)
+	if _, exists := db.indexes[name]; exists {
+		return Result{}, nil, fmt.Errorf("sqldb: index %s already exists", s.Name)
+	}
+	schema, ok := db.cat.Table(s.Table)
+	if !ok {
+		return Result{}, nil, fmt.Errorf("sqldb: table %s does not exist", s.Table)
+	}
+	ci := schema.ColIndex(s.Column)
+	if ci < 0 {
+		return Result{}, nil, fmt.Errorf("sqldb: column %s not in table %s", s.Column, s.Table)
+	}
+	col := strings.ToUpper(s.Column)
+	td := db.data[schema.Name]
+	if _, exists := td.indexes[col]; exists {
+		return Result{}, nil, fmt.Errorf("sqldb: column %s.%s is already indexed", s.Table, s.Column)
+	}
+	idx := newHashIndex(name, col)
+	td.scan(func(id rowID, vals []sqltypes.Value) bool {
+		idx.add(vals[ci], id)
+		return true
+	})
+	td.indexes[col] = idx
+	db.indexes[name] = indexDef{Name: name, Table: schema.Name, Column: col}
+	ddl := fmt.Sprintf("CREATE INDEX %s ON %s (%s)", name, schema.Name, col)
+	db.ddlLog = append(db.ddlLog, ddl)
+	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
+	return Result{}, nil, nil
+}
+
+func (db *DB) execDropIndexLocked(tx *txState, s *DropIndexStmt) (Result, *Rows, error) {
+	name := strings.ToUpper(s.Name)
+	def, ok := db.indexes[name]
+	if !ok {
+		return Result{}, nil, fmt.Errorf("sqldb: index %s does not exist", s.Name)
+	}
+	delete(db.indexes, name)
+	if td, ok := db.data[def.Table]; ok {
+		delete(td.indexes, def.Column)
+	}
+	ddl := "DROP INDEX " + name
+	db.ddlLog = append(db.ddlLog, ddl)
+	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
+	return Result{}, nil, nil
+}
+
+// ---------- DML ----------
+
+func (db *DB) execInsertLocked(tx *txState, s *InsertStmt, params []sqltypes.Value) (Result, error) {
+	schema, ok := db.cat.Table(s.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: table %s does not exist", s.Table)
+	}
+	td := db.data[schema.Name]
+
+	// Map statement columns to schema positions.
+	var colPos []int
+	if len(s.Cols) == 0 {
+		colPos = make([]int, len(schema.Cols))
+		for i := range colPos {
+			colPos[i] = i
+		}
+	} else {
+		colPos = make([]int, len(s.Cols))
+		for i, c := range s.Cols {
+			ci := schema.ColIndex(c)
+			if ci < 0 {
+				return Result{}, fmt.Errorf("sqldb: column %s not in table %s", c, s.Table)
+			}
+			colPos[i] = ci
+		}
+	}
+
+	ctx := &evalCtx{params: params, now: db.nowFn()}
+	inserted := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(colPos) {
+			return Result{}, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprRow), len(colPos))
+		}
+		vals := make([]sqltypes.Value, len(schema.Cols))
+		filled := make([]bool, len(schema.Cols))
+		for i, e := range exprRow {
+			v, err := evalExpr(e, ctx)
+			if err != nil {
+				return Result{}, err
+			}
+			ci := colPos[i]
+			cv, err := sqltypes.CoerceFor(schema.Cols[ci].Type, v)
+			if err != nil {
+				return Result{}, fmt.Errorf("sqldb: column %s: %w", schema.Cols[ci].Name, err)
+			}
+			vals[ci] = cv
+			filled[ci] = true
+		}
+		for ci := range vals {
+			if !filled[ci] {
+				if schema.Cols[ci].Default != nil {
+					vals[ci] = *schema.Cols[ci].Default
+				} else {
+					vals[ci] = sqltypes.Null
+				}
+			}
+		}
+		if err := db.checkRowConstraintsLocked(schema, vals); err != nil {
+			return Result{}, err
+		}
+		// SQL/MED: link every non-null controlled DATALINK before the
+		// row becomes visible; failure aborts the statement.
+		for _, ci := range schema.DatalinkColumns() {
+			if err := db.linkValueLocked(tx, schema, ci, vals[ci]); err != nil {
+				return Result{}, err
+			}
+		}
+		id := db.nextRow
+		db.nextRow++
+		if err := td.insert(id, vals); err != nil {
+			return Result{}, err
+		}
+		tx.undo = append(tx.undo, undoOp{kind: undoInsert, table: schema.Name, row: id})
+		tx.redo = append(tx.redo, walRecord{op: walOpInsert, table: schema.Name, row: id, vals: vals})
+		inserted++
+	}
+	return Result{RowsAffected: inserted}, nil
+}
+
+func (db *DB) execUpdateLocked(tx *txState, s *UpdateStmt, params []sqltypes.Value) (Result, error) {
+	schema, ok := db.cat.Table(s.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: table %s does not exist", s.Table)
+	}
+	td := db.data[schema.Name]
+	env := envForTable(schema, "")
+	for _, sc := range s.Sets {
+		if schema.ColIndex(sc.Col) < 0 {
+			return Result{}, fmt.Errorf("sqldb: column %s not in table %s", sc.Col, s.Table)
+		}
+		if err := bindExpr(sc.Expr, env, false); err != nil {
+			return Result{}, err
+		}
+	}
+	if s.Where != nil {
+		if err := bindExpr(s.Where, env, false); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Phase 1: collect matching rows (stable against mutation).
+	ids, err := db.matchRowsLocked(td, schema, s.Where, params)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ctx := &evalCtx{params: params, now: db.nowFn()}
+	updated := 0
+	for _, id := range ids {
+		old, ok := td.get(id)
+		if !ok {
+			continue
+		}
+		ctx.vals = old
+		newVals := make([]sqltypes.Value, len(old))
+		copy(newVals, old)
+		for _, sc := range s.Sets {
+			ci := schema.ColIndex(sc.Col)
+			v, err := evalExpr(sc.Expr, ctx)
+			if err != nil {
+				return Result{}, err
+			}
+			cv, err := sqltypes.CoerceFor(schema.Cols[ci].Type, v)
+			if err != nil {
+				return Result{}, fmt.Errorf("sqldb: column %s: %w", schema.Cols[ci].Name, err)
+			}
+			newVals[ci] = cv
+		}
+		if err := db.checkRowConstraintsLocked(schema, newVals); err != nil {
+			return Result{}, err
+		}
+		// Updating a key referenced by children is RESTRICTed.
+		if err := db.checkNoChildRefsLocked(schema, old, newVals); err != nil {
+			return Result{}, err
+		}
+		// SQL/MED: changing a controlled DATALINK unlinks the old file
+		// and links the new one inside the same transaction.
+		for _, ci := range schema.DatalinkColumns() {
+			if old[ci].Equal(newVals[ci]) || (old[ci].IsNull() && newVals[ci].IsNull()) {
+				continue
+			}
+			if err := db.unlinkValueLocked(tx, schema, ci, old[ci]); err != nil {
+				return Result{}, err
+			}
+			if err := db.linkValueLocked(tx, schema, ci, newVals[ci]); err != nil {
+				return Result{}, err
+			}
+		}
+		prev, err := td.update(id, newVals)
+		if err != nil {
+			return Result{}, err
+		}
+		tx.undo = append(tx.undo, undoOp{kind: undoUpdate, table: schema.Name, row: id, vals: prev})
+		tx.redo = append(tx.redo, walRecord{op: walOpUpdate, table: schema.Name, row: id, vals: newVals})
+		updated++
+	}
+	return Result{RowsAffected: updated}, nil
+}
+
+func (db *DB) execDeleteLocked(tx *txState, s *DeleteStmt, params []sqltypes.Value) (Result, error) {
+	schema, ok := db.cat.Table(s.Table)
+	if !ok {
+		return Result{}, fmt.Errorf("sqldb: table %s does not exist", s.Table)
+	}
+	td := db.data[schema.Name]
+	if s.Where != nil {
+		if err := bindExpr(s.Where, envForTable(schema, ""), false); err != nil {
+			return Result{}, err
+		}
+	}
+	ids, err := db.matchRowsLocked(td, schema, s.Where, params)
+	if err != nil {
+		return Result{}, err
+	}
+	deleted := 0
+	for _, id := range ids {
+		old, ok := td.get(id)
+		if !ok {
+			continue
+		}
+		if err := db.checkNoChildRefsLocked(schema, old, nil); err != nil {
+			return Result{}, err
+		}
+		for _, ci := range schema.DatalinkColumns() {
+			if err := db.unlinkValueLocked(tx, schema, ci, old[ci]); err != nil {
+				return Result{}, err
+			}
+		}
+		prev, err := td.delete(id)
+		if err != nil {
+			return Result{}, err
+		}
+		tx.undo = append(tx.undo, undoOp{kind: undoDelete, table: schema.Name, row: id, vals: prev})
+		tx.redo = append(tx.redo, walRecord{op: walOpDelete, table: schema.Name, row: id})
+		deleted++
+	}
+	return Result{RowsAffected: deleted}, nil
+}
+
+// matchRowsLocked returns the IDs of rows satisfying where, using a hash
+// index when the predicate is a simple equality on an indexed column.
+func (db *DB) matchRowsLocked(td *tableData, schema *TableSchema, where Expr, params []sqltypes.Value) ([]rowID, error) {
+	ctx := &evalCtx{params: params, now: db.nowFn()}
+	// Index fast path: WHERE col = literal/param.
+	if eq, ok := where.(*Binary); ok && eq.Op == "=" {
+		if cr, ok := eq.L.(*ColRef); ok {
+			if lit, lok := constValue(eq.R, ctx); lok {
+				if idx, exists := td.indexes[strings.ToUpper(cr.Col)]; exists {
+					return append([]rowID(nil), idx.lookup(lit)...), nil
+				}
+			}
+		}
+	}
+	var ids []rowID
+	var evalErr error
+	td.scan(func(id rowID, vals []sqltypes.Value) bool {
+		if where == nil {
+			ids = append(ids, id)
+			return true
+		}
+		ctx.vals = vals
+		v, err := evalExpr(where, ctx)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !v.IsNull() && truthy(v) {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	return ids, evalErr
+}
+
+// constValue evaluates e when it is row-independent (literal or param).
+func constValue(e Expr, ctx *evalCtx) (sqltypes.Value, bool) {
+	switch n := e.(type) {
+	case *Literal:
+		return n.Val, true
+	case *Param:
+		if n.N < len(ctx.params) {
+			return ctx.params[n.N], true
+		}
+	}
+	return sqltypes.Null, false
+}
+
+// ---------- constraints ----------
+
+// checkRowConstraintsLocked enforces NOT NULL and FK-parent existence.
+// Unique/PK constraints are enforced by the storage layer's indexes.
+func (db *DB) checkRowConstraintsLocked(schema *TableSchema, vals []sqltypes.Value) error {
+	for i, c := range schema.Cols {
+		if c.NotNull && vals[i].IsNull() {
+			return fmt.Errorf("sqldb: column %s.%s may not be NULL", schema.Name, c.Name)
+		}
+	}
+	for _, fk := range schema.ForeignKeys {
+		tuple := make([]sqltypes.Value, len(fk.Cols))
+		anyNull := false
+		for i, col := range fk.Cols {
+			tuple[i] = vals[schema.ColIndex(col)]
+			if tuple[i].IsNull() {
+				anyNull = true
+			}
+		}
+		if anyNull {
+			continue // SQL: NULL FK values are not checked
+		}
+		parent, ok := db.cat.Table(fk.RefTable)
+		if !ok {
+			return fmt.Errorf("sqldb: foreign key references missing table %s", fk.RefTable)
+		}
+		if !db.parentExistsLocked(parent, fk.RefCols, tuple) {
+			return fmt.Errorf("sqldb: foreign key violation: no %s row with (%s) = %v",
+				fk.RefTable, strings.Join(fk.RefCols, ", "), tuple)
+		}
+	}
+	return nil
+}
+
+// parentExistsLocked checks whether the parent table holds the key tuple,
+// preferring a matching unique index.
+func (db *DB) parentExistsLocked(parent *TableSchema, refCols []string, tuple []sqltypes.Value) bool {
+	ptd := db.data[parent.Name]
+	for _, ui := range ptd.uniqueIdx {
+		if sameCols(ui.colName, refCols) {
+			_, ok := ui.lookup(tuple)
+			return ok
+		}
+	}
+	// Fallback scan for FKs referencing non-unique columns.
+	found := false
+	idx := make([]int, len(refCols))
+	for i, c := range refCols {
+		idx[i] = parent.ColIndex(c)
+	}
+	ptd.scan(func(id rowID, vals []sqltypes.Value) bool {
+		for i, ci := range idx {
+			if c, ok := sqltypes.Compare(vals[ci], tuple[i]); !ok || c != 0 {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// checkNoChildRefsLocked enforces RESTRICT when deleting a row or
+// changing its key: if any child table references the old key values
+// (and, for updates, the key actually changes), the operation fails.
+func (db *DB) checkNoChildRefsLocked(schema *TableSchema, old, new []sqltypes.Value) error {
+	for _, name := range db.cat.TableNames() {
+		child, _ := db.cat.Table(name)
+		for _, fk := range child.ForeignKeys {
+			if fk.RefTable != schema.Name {
+				continue
+			}
+			oldKey := make([]sqltypes.Value, len(fk.RefCols))
+			anyNull := false
+			for i, rc := range fk.RefCols {
+				oldKey[i] = old[schema.ColIndex(rc)]
+				if oldKey[i].IsNull() {
+					anyNull = true
+				}
+			}
+			if anyNull {
+				continue
+			}
+			if new != nil {
+				changed := false
+				for i, rc := range fk.RefCols {
+					if c, ok := sqltypes.Compare(oldKey[i], new[schema.ColIndex(rc)]); !ok || c != 0 {
+						changed = true
+						break
+					}
+				}
+				if !changed {
+					continue
+				}
+			}
+			if db.childExistsLocked(child, fk.Cols, oldKey) {
+				return fmt.Errorf("sqldb: RESTRICT: %s row is referenced by %s (%s)",
+					schema.Name, child.Name, strings.Join(fk.Cols, ", "))
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) childExistsLocked(child *TableSchema, cols []string, key []sqltypes.Value) bool {
+	ctd := db.data[child.Name]
+	// Single-column FK with an index: O(1).
+	if len(cols) == 1 {
+		if idx, ok := ctd.indexes[strings.ToUpper(cols[0])]; ok {
+			return len(idx.lookup(key[0])) > 0
+		}
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = child.ColIndex(c)
+	}
+	found := false
+	ctd.scan(func(id rowID, vals []sqltypes.Value) bool {
+		for i, ci := range idx {
+			if c, ok := sqltypes.Compare(vals[ci], key[i]); !ok || c != 0 {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------- SQL/MED link control ----------
+
+func (db *DB) linkValueLocked(tx *txState, schema *TableSchema, ci int, v sqltypes.Value) error {
+	if v.IsNull() || db.replaying {
+		return nil
+	}
+	opts := schema.Cols[ci].Type.Datalink
+	if opts == nil || !opts.FileLinkControl {
+		return nil
+	}
+	if db.linkCtl == nil {
+		return fmt.Errorf("sqldb: column %s.%s has FILE LINK CONTROL but no link controller is configured",
+			schema.Name, schema.Cols[ci].Name)
+	}
+	// Mark before the call: even a failed prepare obliges rollback to
+	// send Abort so the coordinator can discard partial reservations.
+	tx.usedLink = true
+	if err := db.linkCtl.PrepareLink(tx.id, v.Str(), *opts); err != nil {
+		return fmt.Errorf("sqldb: datalink %s: %w", v.Str(), err)
+	}
+	return nil
+}
+
+func (db *DB) unlinkValueLocked(tx *txState, schema *TableSchema, ci int, v sqltypes.Value) error {
+	if v.IsNull() || db.replaying {
+		return nil
+	}
+	opts := schema.Cols[ci].Type.Datalink
+	if opts == nil || !opts.FileLinkControl {
+		return nil
+	}
+	if db.linkCtl == nil {
+		return fmt.Errorf("sqldb: column %s.%s has FILE LINK CONTROL but no link controller is configured",
+			schema.Name, schema.Cols[ci].Name)
+	}
+	tx.usedLink = true
+	if err := db.linkCtl.PrepareUnlink(tx.id, v.Str(), *opts); err != nil {
+		return fmt.Errorf("sqldb: datalink %s: %w", v.Str(), err)
+	}
+	return nil
+}
+
+// envForTable builds the binding namespace of one table (alias optional).
+func envForTable(schema *TableSchema, alias string) *bindEnv {
+	name := strings.ToUpper(alias)
+	if name == "" {
+		name = schema.Name
+	}
+	env := &bindEnv{}
+	for _, c := range schema.Cols {
+		env.cols = append(env.cols, qualCol{table: name, col: c.Name})
+	}
+	return env
+}

@@ -1,0 +1,664 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// execSelectLocked runs a SELECT against current state and materialises
+// the result. The planner is deliberately simple — nested-loop joins in
+// FROM order with pushed ON predicates, hash-index lookups for simple
+// equality filters, hash aggregation, then sort/limit — which is ample
+// for the archive's metadata queries.
+func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, error) {
+	// SELECT without FROM: evaluate items once against an empty row.
+	if len(s.From) == 0 {
+		return db.selectNoFrom(s, params)
+	}
+
+	// Resolve FROM items and build the binding environment.
+	type fromTable struct {
+		schema *TableSchema
+		data   *tableData
+		alias  string
+		start  int // offset of this table's columns in the joined row
+	}
+	var (
+		tables []fromTable
+		env    = &bindEnv{}
+	)
+	for _, fi := range s.From {
+		schema, ok := db.cat.Table(fi.Table)
+		if !ok {
+			return nil, fmt.Errorf("sqldb: table %s does not exist", fi.Table)
+		}
+		alias := strings.ToUpper(fi.Alias)
+		if alias == "" {
+			alias = schema.Name
+		}
+		for _, t := range tables {
+			if t.alias == alias {
+				return nil, fmt.Errorf("sqldb: duplicate table alias %s", alias)
+			}
+		}
+		ft := fromTable{schema: schema, data: db.data[schema.Name], alias: alias, start: len(env.cols)}
+		for _, c := range schema.Cols {
+			env.cols = append(env.cols, qualCol{table: alias, col: c.Name})
+		}
+		tables = append(tables, ft)
+	}
+
+	// Bind all expressions.
+	aggregated := len(s.GroupBy) > 0
+	for _, item := range s.Items {
+		if item.Star {
+			continue
+		}
+		if err := bindExpr(item.Expr, env, true); err != nil {
+			return nil, err
+		}
+		if exprHasAggregate(item.Expr) {
+			aggregated = true
+		}
+	}
+	if s.Where != nil {
+		if err := bindExpr(s.Where, env, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range s.GroupBy {
+		if err := bindExpr(g, env, false); err != nil {
+			return nil, err
+		}
+	}
+	if s.Having != nil {
+		if err := bindExpr(s.Having, env, true); err != nil {
+			return nil, err
+		}
+		aggregated = true
+	}
+	// ORDER BY may reference either source columns or projection aliases;
+	// try the environment first and fall back to aliases at sort time.
+	orderBound := make([]bool, len(s.OrderBy))
+	for i, o := range s.OrderBy {
+		if err := bindExpr(o.Expr, env, true); err == nil {
+			orderBound[i] = true
+			if exprHasAggregate(o.Expr) {
+				aggregated = true
+			}
+		}
+	}
+	for i, fi := range s.From {
+		if fi.JoinCond != nil {
+			// ON may only reference tables joined so far.
+			partial := &bindEnv{cols: env.cols[:tables[i].start+len(tables[i].schema.Cols)]}
+			if err := bindExpr(fi.JoinCond, partial, false); err != nil {
+				return nil, err
+			}
+		}
+		_ = fi
+	}
+
+	ctx := &evalCtx{params: params, now: db.nowFn()}
+
+	// Nested-loop join, building joined rows incrementally.
+	width := len(env.cols)
+	rows := make([][]sqltypes.Value, 1)
+	rows[0] = make([]sqltypes.Value, 0, width)
+	for i, ft := range tables {
+		cond := s.From[i].JoinCond
+		left := s.From[i].LeftJoin
+		var next [][]sqltypes.Value
+
+		// Index fast path for the first table with WHERE col = const.
+		var candidates [][]sqltypes.Value
+		if i == 0 {
+			if ids, ok := db.indexCandidates(ft.data, s.Where, ctx, ft.alias); ok {
+				for _, id := range ids {
+					if vals, live := ft.data.get(id); live {
+						candidates = append(candidates, vals)
+					}
+				}
+			}
+		}
+		scanInto := func(base []sqltypes.Value) error {
+			matched := false
+			appendRow := func(vals []sqltypes.Value) error {
+				combined := make([]sqltypes.Value, len(base), width)
+				copy(combined, base)
+				combined = append(combined, vals...)
+				if cond != nil {
+					ctx.vals = combined
+					v, err := evalExpr(cond, ctx)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() || !truthy(v) {
+						return nil
+					}
+				}
+				matched = true
+				next = append(next, combined)
+				return nil
+			}
+			var scanErr error
+			if candidates != nil {
+				for _, vals := range candidates {
+					if scanErr = appendRow(vals); scanErr != nil {
+						break
+					}
+				}
+			} else {
+				ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
+					scanErr = appendRow(vals)
+					return scanErr == nil
+				})
+			}
+			if scanErr != nil {
+				return scanErr
+			}
+			if left && !matched {
+				combined := make([]sqltypes.Value, len(base), width)
+				copy(combined, base)
+				for range ft.schema.Cols {
+					combined = append(combined, sqltypes.Null)
+				}
+				next = append(next, combined)
+			}
+			return nil
+		}
+		for _, base := range rows {
+			if err := scanInto(base); err != nil {
+				return nil, err
+			}
+		}
+		rows = next
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		filtered := rows[:0]
+		for _, r := range rows {
+			ctx.vals = r
+			v, err := evalExpr(s.Where, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() && truthy(v) {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	// Expand projection list (stars → column refs).
+	proj, labels, kinds, err := db.expandProjection(s, tables[0].alias, env)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Rows{Columns: labels, Kinds: kinds}
+	type outRow struct {
+		vals  []sqltypes.Value
+		group [][]sqltypes.Value // aggregated queries: the source group
+		src   []sqltypes.Value   // non-aggregated: the source row
+	}
+	var outRows []outRow
+
+	if aggregated {
+		groups, err := groupRows(rows, s.GroupBy, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			if s.Having != nil {
+				v, err := evalAgg(s.Having, g, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !truthy(v) {
+					continue
+				}
+			}
+			vals := make([]sqltypes.Value, len(proj))
+			for i, e := range proj {
+				v, err := evalAgg(e, g, ctx)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			outRows = append(outRows, outRow{vals: vals, group: g})
+		}
+	} else {
+		for _, r := range rows {
+			ctx.vals = r
+			vals := make([]sqltypes.Value, len(proj))
+			for i, e := range proj {
+				v, err := evalExpr(e, ctx)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			outRows = append(outRows, outRow{vals: vals, src: r})
+		}
+	}
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := make(map[string]bool, len(outRows))
+		dedup := outRows[:0]
+		for _, r := range outRows {
+			k := indexKey(r.vals...)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, r)
+			}
+		}
+		outRows = dedup
+	}
+
+	// ORDER BY.
+	if len(s.OrderBy) > 0 {
+		keys := make([][]sqltypes.Value, len(outRows))
+		for ri, r := range outRows {
+			ks := make([]sqltypes.Value, len(s.OrderBy))
+			for oi, o := range s.OrderBy {
+				var v sqltypes.Value
+				var err error
+				switch {
+				case orderBound[oi] && aggregated:
+					v, err = evalAgg(o.Expr, r.group, ctx)
+				case orderBound[oi]:
+					ctx.vals = r.src
+					v, err = evalExpr(o.Expr, ctx)
+				default:
+					// Alias reference into the projection.
+					cr, ok := o.Expr.(*ColRef)
+					if !ok {
+						return nil, fmt.Errorf("sqldb: cannot resolve ORDER BY expression")
+					}
+					j := -1
+					for li, l := range labels {
+						if strings.EqualFold(l, cr.Col) {
+							j = li
+							break
+						}
+					}
+					if j < 0 {
+						return nil, fmt.Errorf("sqldb: unknown ORDER BY column %s", cr.Col)
+					}
+					v = r.vals[j]
+				}
+				if err != nil {
+					return nil, err
+				}
+				ks[oi] = v
+			}
+			keys[ri] = ks
+		}
+		idx := make([]int, len(outRows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for oi, o := range s.OrderBy {
+				c := sqltypes.SortCompare(keys[idx[a]][oi], keys[idx[b]][oi])
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]outRow, len(outRows))
+		for i, j := range idx {
+			sorted[i] = outRows[j]
+		}
+		outRows = sorted
+	}
+
+	// OFFSET / LIMIT.
+	if s.Offset > 0 {
+		if s.Offset >= len(outRows) {
+			outRows = nil
+		} else {
+			outRows = outRows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(outRows) {
+		outRows = outRows[:s.Limit]
+	}
+
+	out.Data = make([][]sqltypes.Value, len(outRows))
+	for i, r := range outRows {
+		out.Data[i] = r.vals
+	}
+	// Backfill unknown kinds from the data.
+	for ci, k := range out.Kinds {
+		if k != sqltypes.KindNull {
+			continue
+		}
+		for _, r := range out.Data {
+			if !r[ci].IsNull() {
+				out.Kinds[ci] = r[ci].Kind()
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func (db *DB) selectNoFrom(s *SelectStmt, params []sqltypes.Value) (*Rows, error) {
+	ctx := &evalCtx{params: params, now: db.nowFn()}
+	out := &Rows{}
+	var vals []sqltypes.Value
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqldb: SELECT * requires a FROM clause")
+		}
+		if err := bindExpr(item.Expr, &bindEnv{}, false); err != nil {
+			return nil, err
+		}
+		v, err := evalExpr(item.Expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		label := item.Alias
+		if label == "" {
+			label = exprLabel(item.Expr)
+		}
+		out.Columns = append(out.Columns, label)
+		out.Kinds = append(out.Kinds, v.Kind())
+		vals = append(vals, v)
+	}
+	out.Data = [][]sqltypes.Value{vals}
+	return out, nil
+}
+
+// indexCandidates detects "WHERE col = const [AND ...]" against the first
+// table and returns candidate row IDs from a hash index. The residual
+// WHERE is still applied afterwards, so over-approximation is safe.
+func (db *DB) indexCandidates(td *tableData, where Expr, ctx *evalCtx, alias string) ([]rowID, bool) {
+	eqs := collectEqualities(where)
+	for _, eq := range eqs {
+		cr, _ := eq.L.(*ColRef)
+		if cr == nil {
+			continue
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, alias) {
+			continue
+		}
+		v, ok := constValue(eq.R, ctx)
+		if !ok {
+			continue
+		}
+		if idx, exists := td.indexes[strings.ToUpper(cr.Col)]; exists {
+			return idx.lookup(v), true
+		}
+	}
+	return nil, false
+}
+
+// collectEqualities gathers top-level conjunctive equality predicates.
+func collectEqualities(e Expr) []*Binary {
+	var out []*Binary
+	var walk func(Expr)
+	walk = func(e Expr) {
+		b, ok := e.(*Binary)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case "AND":
+			walk(b.L)
+			walk(b.R)
+		case "=":
+			out = append(out, b)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// expandProjection turns SELECT items into a flat expression list with
+// labels and static kinds where known.
+func (db *DB) expandProjection(s *SelectStmt, firstAlias string, env *bindEnv) ([]Expr, []string, []sqltypes.Kind, error) {
+	var (
+		proj   []Expr
+		labels []string
+		kinds  []sqltypes.Kind
+	)
+	addCol := func(i int) {
+		qc := env.cols[i]
+		proj = append(proj, &ColRef{Table: qc.table, Col: qc.col, Index: i})
+		labels = append(labels, qc.col)
+		kinds = append(kinds, db.colKind(qc))
+	}
+	for _, item := range s.Items {
+		switch {
+		case item.Star && item.Table == "":
+			for i := range env.cols {
+				addCol(i)
+			}
+		case item.Star:
+			t := strings.ToUpper(item.Table)
+			found := false
+			for i, qc := range env.cols {
+				if qc.table == t {
+					addCol(i)
+					found = true
+				}
+			}
+			if !found {
+				return nil, nil, nil, fmt.Errorf("sqldb: unknown table %s in %s.*", item.Table, item.Table)
+			}
+		default:
+			proj = append(proj, item.Expr)
+			label := item.Alias
+			if label == "" {
+				label = exprLabel(item.Expr)
+			}
+			labels = append(labels, label)
+			if cr, ok := item.Expr.(*ColRef); ok && cr.Index >= 0 {
+				kinds = append(kinds, db.colKind(env.cols[cr.Index]))
+			} else {
+				kinds = append(kinds, sqltypes.KindNull)
+			}
+		}
+	}
+	return proj, labels, kinds, nil
+}
+
+// colKind resolves the declared kind of a qualified column; the alias may
+// differ from the table name, so search all tables for the column.
+func (db *DB) colKind(qc qualCol) sqltypes.Kind {
+	if t, ok := db.cat.Table(qc.table); ok {
+		if c, ok := t.Col(qc.col); ok {
+			return c.Type.Kind
+		}
+	}
+	for _, name := range db.cat.TableNames() {
+		t, _ := db.cat.Table(name)
+		if c, ok := t.Col(qc.col); ok {
+			return c.Type.Kind
+		}
+	}
+	return sqltypes.KindNull
+}
+
+// groupRows partitions rows by the GROUP BY key expressions. With no
+// GROUP BY the whole input is one group (aggregate-only query) — even
+// when empty, per SQL (COUNT(*) over no rows is 0).
+func groupRows(rows [][]sqltypes.Value, groupBy []Expr, ctx *evalCtx) ([][][]sqltypes.Value, error) {
+	if len(groupBy) == 0 {
+		return [][][]sqltypes.Value{rows}, nil
+	}
+	var order []string
+	groups := make(map[string][][]sqltypes.Value)
+	for _, r := range rows {
+		ctx.vals = r
+		key := make([]sqltypes.Value, len(groupBy))
+		for i, g := range groupBy {
+			v, err := evalExpr(g, ctx)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		k := indexKey(key...)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	out := make([][][]sqltypes.Value, len(order))
+	for i, k := range order {
+		out[i] = groups[k]
+	}
+	return out, nil
+}
+
+// evalAgg evaluates an expression over a group: aggregate calls consume
+// the whole group; everything else is evaluated against the group's
+// first row (the GROUP BY key columns are constant within a group).
+func evalAgg(e Expr, group [][]sqltypes.Value, ctx *evalCtx) (sqltypes.Value, error) {
+	switch n := e.(type) {
+	case *FuncCall:
+		if isAggregate(n.Name) {
+			return computeAggregate(n, group, ctx)
+		}
+		// Scalar function: evaluate args in aggregate mode.
+		args := make([]Expr, len(n.Args))
+		for i, a := range n.Args {
+			v, err := evalAgg(a, group, ctx)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			args[i] = &Literal{Val: v}
+		}
+		return evalFunc(&FuncCall{Name: n.Name, Args: args}, ctx)
+	case *Binary:
+		if n.Op == "AND" || n.Op == "OR" {
+			// Preserve three-valued logic by substituting evaluated sides.
+			l, err := evalAgg(n.L, group, ctx)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			r, err := evalAgg(n.R, group, ctx)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			return evalBinary(&Binary{Op: n.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, ctx)
+		}
+		l, err := evalAgg(n.L, group, ctx)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		r, err := evalAgg(n.R, group, ctx)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return evalBinary(&Binary{Op: n.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, ctx)
+	case *Unary:
+		v, err := evalAgg(n.X, group, ctx)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		return evalUnary(&Unary{Op: n.Op, X: &Literal{Val: v}}, ctx)
+	default:
+		if len(group) == 0 {
+			// Aggregate query over an empty input: scalar parts are NULL.
+			if _, ok := e.(*Literal); ok {
+				return evalExpr(e, ctx)
+			}
+			return sqltypes.Null, nil
+		}
+		ctx.vals = group[0]
+		return evalExpr(e, ctx)
+	}
+}
+
+func computeAggregate(n *FuncCall, group [][]sqltypes.Value, ctx *evalCtx) (sqltypes.Value, error) {
+	if n.Star {
+		return sqltypes.NewInt(int64(len(group))), nil
+	}
+	if len(n.Args) != 1 {
+		return sqltypes.Null, fmt.Errorf("sqldb: %s expects exactly one argument", n.Name)
+	}
+	var (
+		count   int64
+		sumF    float64
+		allInt  = true
+		sumI    int64
+		minV    = sqltypes.Null
+		maxV    = sqltypes.Null
+		started bool
+	)
+	for _, r := range group {
+		ctx.vals = r
+		v, err := evalExpr(n.Args[0], ctx)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		switch n.Name {
+		case "COUNT":
+		case "SUM", "AVG":
+			f, ok := v.AsDouble()
+			if !ok {
+				return sqltypes.Null, fmt.Errorf("sqldb: %s over non-numeric value", n.Name)
+			}
+			sumF += f
+			if v.Kind() == sqltypes.KindInt {
+				sumI += v.Int()
+			} else {
+				allInt = false
+			}
+		case "MIN", "MAX":
+			if !started {
+				minV, maxV = v, v
+				started = true
+				continue
+			}
+			if c, ok := sqltypes.Compare(v, minV); ok && c < 0 {
+				minV = v
+			}
+			if c, ok := sqltypes.Compare(v, maxV); ok && c > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch n.Name {
+	case "COUNT":
+		return sqltypes.NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return sqltypes.Null, nil
+		}
+		if allInt {
+			return sqltypes.NewInt(sumI), nil
+		}
+		return sqltypes.NewDouble(sumF), nil
+	case "AVG":
+		if count == 0 {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewDouble(sumF / float64(count)), nil
+	case "MIN":
+		return minV, nil
+	case "MAX":
+		return maxV, nil
+	}
+	return sqltypes.Null, fmt.Errorf("sqldb: unknown aggregate %s", n.Name)
+}

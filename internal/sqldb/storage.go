@@ -1,0 +1,275 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// rowID identifies a stored row for the lifetime of the database,
+// including across WAL replay (IDs are allocated deterministically).
+type rowID uint64
+
+// storedRow is one heap row. Deleted rows remain as tombstones until
+// checkpoint compaction so that rowIDs stay stable for the undo log.
+type storedRow struct {
+	id      rowID
+	vals    []sqltypes.Value
+	deleted bool
+}
+
+// tableData is the heap + indexes for one table.
+type tableData struct {
+	schema *TableSchema
+	rows   []storedRow
+	byID   map[rowID]int // rowID → position in rows
+	live   int           // number of non-deleted rows
+
+	// indexes maps upper-cased column name → hash index. The PK and
+	// UNIQUE constraints get implicit composite indexes in uniqueIdx.
+	indexes   map[string]*hashIndex
+	uniqueIdx []*uniqueIndex // parallel to schema constraint list (PK first if present)
+}
+
+func newTableData(schema *TableSchema) *tableData {
+	td := &tableData{
+		schema:  schema,
+		byID:    make(map[rowID]int),
+		indexes: make(map[string]*hashIndex),
+	}
+	if len(schema.PrimaryKey) > 0 {
+		td.uniqueIdx = append(td.uniqueIdx, newUniqueIndex("PRIMARY KEY", schema, schema.PrimaryKey))
+	}
+	for _, u := range schema.Uniques {
+		td.uniqueIdx = append(td.uniqueIdx, newUniqueIndex("UNIQUE", schema, u))
+	}
+	return td
+}
+
+// insert adds a row (already validated and coerced) and maintains indexes.
+func (td *tableData) insert(id rowID, vals []sqltypes.Value) error {
+	for _, ui := range td.uniqueIdx {
+		if err := ui.check(vals, 0); err != nil {
+			return err
+		}
+	}
+	pos := len(td.rows)
+	td.rows = append(td.rows, storedRow{id: id, vals: vals})
+	td.byID[id] = pos
+	td.live++
+	for _, ui := range td.uniqueIdx {
+		ui.add(vals, id)
+	}
+	for col, idx := range td.indexes {
+		ci := td.schema.ColIndex(col)
+		idx.add(vals[ci], id)
+	}
+	return nil
+}
+
+// delete tombstones a row and removes it from indexes.
+func (td *tableData) delete(id rowID) ([]sqltypes.Value, error) {
+	pos, ok := td.byID[id]
+	if !ok || td.rows[pos].deleted {
+		return nil, fmt.Errorf("sqldb: row %d not found in %s", id, td.schema.Name)
+	}
+	vals := td.rows[pos].vals
+	td.rows[pos].deleted = true
+	td.live--
+	for _, ui := range td.uniqueIdx {
+		ui.remove(vals, id)
+	}
+	for col, idx := range td.indexes {
+		ci := td.schema.ColIndex(col)
+		idx.remove(vals[ci], id)
+	}
+	return vals, nil
+}
+
+// update replaces a row's values in place, maintaining indexes and
+// checking unique constraints against all rows but itself.
+func (td *tableData) update(id rowID, newVals []sqltypes.Value) ([]sqltypes.Value, error) {
+	pos, ok := td.byID[id]
+	if !ok || td.rows[pos].deleted {
+		return nil, fmt.Errorf("sqldb: row %d not found in %s", id, td.schema.Name)
+	}
+	old := td.rows[pos].vals
+	for _, ui := range td.uniqueIdx {
+		if err := ui.check(newVals, id); err != nil {
+			return nil, err
+		}
+	}
+	for _, ui := range td.uniqueIdx {
+		ui.remove(old, id)
+		ui.add(newVals, id)
+	}
+	for col, idx := range td.indexes {
+		ci := td.schema.ColIndex(col)
+		idx.remove(old[ci], id)
+		idx.add(newVals[ci], id)
+	}
+	td.rows[pos].vals = newVals
+	return old, nil
+}
+
+// get returns the live row values for id.
+func (td *tableData) get(id rowID) ([]sqltypes.Value, bool) {
+	pos, ok := td.byID[id]
+	if !ok || td.rows[pos].deleted {
+		return nil, false
+	}
+	return td.rows[pos].vals, true
+}
+
+// scan calls f for each live row in insertion order; f returns false to stop.
+func (td *tableData) scan(f func(id rowID, vals []sqltypes.Value) bool) {
+	for i := range td.rows {
+		r := &td.rows[i]
+		if r.deleted {
+			continue
+		}
+		if !f(r.id, r.vals) {
+			return
+		}
+	}
+}
+
+// compact rewrites the heap dropping tombstones; called at checkpoint.
+func (td *tableData) compact() {
+	if td.live == len(td.rows) {
+		return
+	}
+	kept := make([]storedRow, 0, td.live)
+	td.byID = make(map[rowID]int, td.live)
+	for _, r := range td.rows {
+		if r.deleted {
+			continue
+		}
+		td.byID[r.id] = len(kept)
+		kept = append(kept, r)
+	}
+	td.rows = kept
+}
+
+// ---------- hash indexes ----------
+
+// indexKey encodes a tuple of values into a string map key. The encoding
+// tags each value with its kind and length so distinct tuples never
+// collide ("ab","c" vs "a","bc").
+func indexKey(vals ...sqltypes.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		if v.IsNull() {
+			b.WriteString("\x00N;")
+			continue
+		}
+		s := v.AsString()
+		// Normalise numerics so 2 (int) and 2.0 (double) index equally.
+		if v.IsNumeric() {
+			f, _ := v.AsDouble()
+			s = fmt.Sprintf("%g", f)
+		}
+		fmt.Fprintf(&b, "\x00V%d:%s", len(s), s)
+	}
+	return b.String()
+}
+
+// hashIndex is a secondary equality index from value → row IDs.
+type hashIndex struct {
+	name    string
+	column  string
+	entries map[string][]rowID
+}
+
+func newHashIndex(name, column string) *hashIndex {
+	return &hashIndex{name: name, column: strings.ToUpper(column), entries: make(map[string][]rowID)}
+}
+
+func (h *hashIndex) add(v sqltypes.Value, id rowID) {
+	k := indexKey(v)
+	h.entries[k] = append(h.entries[k], id)
+}
+
+func (h *hashIndex) remove(v sqltypes.Value, id rowID) {
+	k := indexKey(v)
+	ids := h.entries[k]
+	for i, x := range ids {
+		if x == id {
+			h.entries[k] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(h.entries[k]) == 0 {
+		delete(h.entries, k)
+	}
+}
+
+func (h *hashIndex) lookup(v sqltypes.Value) []rowID {
+	return h.entries[indexKey(v)]
+}
+
+// uniqueIndex enforces PRIMARY KEY / UNIQUE over a column tuple.
+// SQL semantics: rows containing NULL in any constrained column are
+// exempt from uniqueness (except PK columns, which are NOT NULL anyway).
+type uniqueIndex struct {
+	label   string
+	cols    []int
+	colName []string
+	entries map[string]rowID
+}
+
+func newUniqueIndex(label string, schema *TableSchema, cols []string) *uniqueIndex {
+	ui := &uniqueIndex{label: label, colName: cols, entries: make(map[string]rowID)}
+	for _, c := range cols {
+		ui.cols = append(ui.cols, schema.ColIndex(c))
+	}
+	return ui
+}
+
+func (ui *uniqueIndex) key(vals []sqltypes.Value) (string, bool) {
+	tuple := make([]sqltypes.Value, len(ui.cols))
+	for i, ci := range ui.cols {
+		if vals[ci].IsNull() {
+			return "", false
+		}
+		tuple[i] = vals[ci]
+	}
+	return indexKey(tuple...), true
+}
+
+func (ui *uniqueIndex) check(vals []sqltypes.Value, self rowID) error {
+	k, ok := ui.key(vals)
+	if !ok {
+		return nil
+	}
+	if existing, dup := ui.entries[k]; dup && existing != self {
+		return fmt.Errorf("sqldb: %s violation on (%s)", ui.label, strings.Join(ui.colName, ", "))
+	}
+	return nil
+}
+
+func (ui *uniqueIndex) add(vals []sqltypes.Value, id rowID) {
+	if k, ok := ui.key(vals); ok {
+		ui.entries[k] = id
+	}
+}
+
+func (ui *uniqueIndex) remove(vals []sqltypes.Value, id rowID) {
+	if k, ok := ui.key(vals); ok {
+		if ui.entries[k] == id {
+			delete(ui.entries, k)
+		}
+	}
+}
+
+// lookup returns the row holding the given key tuple, if any.
+func (ui *uniqueIndex) lookup(tuple []sqltypes.Value) (rowID, bool) {
+	for _, v := range tuple {
+		if v.IsNull() {
+			return 0, false
+		}
+	}
+	id, ok := ui.entries[indexKey(tuple...)]
+	return id, ok
+}

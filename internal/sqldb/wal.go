@@ -1,0 +1,349 @@
+package sqldb
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sqltypes"
+)
+
+// Write-ahead logging and snapshot persistence.
+//
+// On-disk layout inside the database directory:
+//
+//	snapshot.db — full image: DDL log + heaps + counters
+//	wal.log     — redo records for transactions committed since the
+//	              last checkpoint
+//
+// Every WAL record is framed as
+//
+//	uint32 length | uint32 crc32(payload) | payload
+//
+// and replay stops cleanly at the first torn or corrupt frame, which is
+// exactly what a crash mid-write produces. Only transactions whose
+// records are followed by a commit frame are applied.
+
+const (
+	walOpBegin  = byte(1)
+	walOpCommit = byte(2)
+	walOpInsert = byte(3)
+	walOpDelete = byte(4)
+	walOpUpdate = byte(5)
+	walOpDDL    = byte(6)
+)
+
+// walRecord is one redo record, buffered per transaction and written at
+// commit.
+type walRecord struct {
+	op    byte
+	table string
+	row   rowID
+	vals  []sqltypes.Value // insert: new row; update: new row
+	ddl   string
+}
+
+// walFile is the append-only log writer.
+type walFile struct {
+	f *os.File
+}
+
+func openWAL(path string) (*walFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walFile{f: f}, nil
+}
+
+func (w *walFile) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}
+
+// appendTx writes BEGIN, the buffered records, COMMIT, then syncs.
+// The transaction is durable once appendTx returns nil.
+func (w *walFile) appendTx(txID uint64, recs []walRecord) error {
+	var frame bytes.Buffer
+	writeFrame := func(payload []byte) {
+		var hdr [8]byte
+		putUint32(hdr[0:4], uint32(len(payload)))
+		putUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		frame.Write(hdr[:])
+		frame.Write(payload)
+	}
+	writeFrame(encodeWALRecord(walRecord{op: walOpBegin}, txID))
+	for _, r := range recs {
+		writeFrame(encodeWALRecord(r, txID))
+	}
+	writeFrame(encodeWALRecord(walRecord{op: walOpCommit}, txID))
+	if _, err := w.f.Write(frame.Bytes()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func putUint32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func encodeWALRecord(r walRecord, txID uint64) []byte {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	bw.WriteByte(r.op)
+	writeUint64(bw, txID)
+	switch r.op {
+	case walOpInsert, walOpUpdate:
+		writeString(bw, r.table)
+		writeUint64(bw, uint64(r.row))
+		writeRow(bw, r.vals)
+	case walOpDelete:
+		writeString(bw, r.table)
+		writeUint64(bw, uint64(r.row))
+	case walOpDDL:
+		writeString(bw, r.ddl)
+	}
+	bw.Flush()
+	return buf.Bytes()
+}
+
+func decodeWALRecord(payload []byte) (walRecord, uint64, error) {
+	br := bufio.NewReader(bytes.NewReader(payload))
+	op, err := br.ReadByte()
+	if err != nil {
+		return walRecord{}, 0, err
+	}
+	txID, err := readUint64(br)
+	if err != nil {
+		return walRecord{}, 0, err
+	}
+	r := walRecord{op: op}
+	switch op {
+	case walOpInsert, walOpUpdate:
+		if r.table, err = readString(br); err != nil {
+			return r, 0, err
+		}
+		id, err := readUint64(br)
+		if err != nil {
+			return r, 0, err
+		}
+		r.row = rowID(id)
+		if r.vals, err = readRow(br); err != nil {
+			return r, 0, err
+		}
+	case walOpDelete:
+		if r.table, err = readString(br); err != nil {
+			return r, 0, err
+		}
+		id, err := readUint64(br)
+		if err != nil {
+			return r, 0, err
+		}
+		r.row = rowID(id)
+	case walOpDDL:
+		if r.ddl, err = readString(br); err != nil {
+			return r, 0, err
+		}
+	case walOpBegin, walOpCommit:
+	default:
+		return r, 0, fmt.Errorf("sqldb: corrupt WAL op %d", op)
+	}
+	return r, txID, nil
+}
+
+// readWAL parses the log and returns the records of committed
+// transactions, in commit order. Torn trailing frames are tolerated.
+func readWAL(path string) ([][]walRecord, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	var committed [][]walRecord
+	pending := map[uint64][]walRecord{}
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break // clean EOF or torn header: stop
+		}
+		length := getUint32(hdr[0:4])
+		sum := getUint32(hdr[4:8])
+		if length > 64<<20 {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt frame
+		}
+		rec, txID, err := decodeWALRecord(payload)
+		if err != nil {
+			break
+		}
+		switch rec.op {
+		case walOpBegin:
+			pending[txID] = nil
+		case walOpCommit:
+			committed = append(committed, pending[txID])
+			delete(pending, txID)
+		default:
+			pending[txID] = append(pending[txID], rec)
+		}
+	}
+	return committed, nil
+}
+
+// ---------- snapshot ----------
+
+const snapshotMagic = "EASIADB1"
+
+// saveSnapshot writes the complete database image atomically
+// (tmp + rename).
+func (db *DB) saveSnapshotLocked() error {
+	if db.dir == "" {
+		return nil
+	}
+	tmp := filepath.Join(db.dir, "snapshot.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		f.Close()
+		return err
+	}
+	writeUint64(bw, db.nextTx)
+	writeUint64(bw, uint64(db.nextRow))
+	// DDL log: replaying it rebuilds catalogue + indexes.
+	writeUint64(bw, uint64(len(db.ddlLog)))
+	for _, ddl := range db.ddlLog {
+		writeString(bw, ddl)
+	}
+	// Heaps.
+	names := db.cat.TableNames()
+	writeUint64(bw, uint64(len(names)))
+	for _, name := range names {
+		td := db.data[name]
+		writeString(bw, name)
+		writeUint64(bw, uint64(td.live))
+		var werr error
+		td.scan(func(id rowID, vals []sqltypes.Value) bool {
+			if werr = writeUint64(bw, uint64(id)); werr != nil {
+				return false
+			}
+			if werr = writeRow(bw, vals); werr != nil {
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			f.Close()
+			return werr
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, "snapshot.db"))
+}
+
+// loadSnapshot restores the database image; missing snapshot is fine.
+func (db *DB) loadSnapshotLocked() error {
+	path := filepath.Join(db.dir, "snapshot.db")
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapshotMagic {
+		return fmt.Errorf("sqldb: %s is not a database snapshot", path)
+	}
+	if db.nextTx, err = readUint64(br); err != nil {
+		return err
+	}
+	nr, err := readUint64(br)
+	if err != nil {
+		return err
+	}
+	db.nextRow = rowID(nr)
+	nDDL, err := readUint64(br)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nDDL; i++ {
+		ddl, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if err := db.applyDDLText(ddl); err != nil {
+			return fmt.Errorf("sqldb: snapshot DDL replay: %w", err)
+		}
+	}
+	nTables, err := readUint64(br)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nTables; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		td, ok := db.data[name]
+		if !ok {
+			return fmt.Errorf("sqldb: snapshot heap for unknown table %s", name)
+		}
+		nRows, err := readUint64(br)
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < nRows; j++ {
+			id, err := readUint64(br)
+			if err != nil {
+				return err
+			}
+			vals, err := readRow(br)
+			if err != nil {
+				return err
+			}
+			if err := td.insert(rowID(id), vals); err != nil {
+				return fmt.Errorf("sqldb: snapshot row replay: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package sqltypes
+
+import (
+	"bytes"
+	"strings"
+)
+
+// Compare orders two non-NULL values. It returns (-1|0|1, true) when the
+// pair is comparable under SQL rules (numeric with numeric, string with
+// string/CLOB, bool with bool, time with time, blob with blob, datalink
+// with datalink by URL), and (0, false) otherwise — including when either
+// side is NULL, since NULL compares as UNKNOWN.
+func Compare(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	// Numeric cross-kind promotion.
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			return cmpInt(a.i, b.i), true
+		}
+		af, _ := a.AsDouble()
+		bf, _ := b.AsDouble()
+		return cmpFloat(af, bf), true
+	}
+	switch {
+	case a.IsTextual() && b.IsTextual():
+		return strings.Compare(a.s, b.s), true
+	case a.kind == KindBool && b.kind == KindBool:
+		return cmpInt(a.i, b.i), true
+	case a.kind == KindTime && b.kind == KindTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1, true
+		case a.t.After(b.t):
+			return 1, true
+		default:
+			return 0, true
+		}
+	case a.kind == KindBytes && b.kind == KindBytes:
+		return bytes.Compare(a.b, b.b), true
+	case a.kind == KindDatalink && b.kind == KindDatalink:
+		return strings.Compare(a.s, b.s), true
+	// Mixed string/number: SQL engines typically attempt numeric coercion
+	// of the string operand; we follow that convention because the QBE
+	// layer sends every restriction as text.
+	case a.IsTextual() && b.IsNumeric():
+		if af, ok := a.AsDouble(); ok {
+			bf, _ := b.AsDouble()
+			return cmpFloat(af, bf), true
+		}
+		return 0, false
+	case a.IsNumeric() && b.IsTextual():
+		if bf, ok := b.AsDouble(); ok {
+			af, _ := a.AsDouble()
+			return cmpFloat(af, bf), true
+		}
+		return 0, false
+	case a.kind == KindTime && b.IsTextual():
+		if bt, err := ParseTimestamp(b.s); err == nil {
+			return Compare(a, NewTime(bt))
+		}
+		return 0, false
+	case a.IsTextual() && b.kind == KindTime:
+		c, ok := Compare(b, a)
+		return -c, ok
+	}
+	return 0, false
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SortCompare orders values for ORDER BY: NULLs sort first, then by
+// Compare; incomparable pairs order by kind so sorting is total and stable.
+func SortCompare(a, b Value) int {
+	an, bn := a.kind == KindNull, b.kind == KindNull
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if c, ok := Compare(a, b); ok {
+		return c
+	}
+	return cmpInt(int64(a.kind), int64(b.kind))
+}

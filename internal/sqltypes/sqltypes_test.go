@@ -1,0 +1,273 @@
+package sqltypes
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Fatal("zero value is not NULL")
+	}
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{NewInt(42), KindInt, "42"},
+		{NewDouble(2.5), KindDouble, "2.5"},
+		{NewString("abc"), KindString, "abc"},
+		{NewBool(true), KindBool, "TRUE"},
+		{NewBytes([]byte{1, 2}), KindBytes, "\x01\x02"},
+		{NewClob("large text"), KindClob, "large text"},
+		{NewDatalink("http://h/p/f"), KindDatalink, "http://h/p/f"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind(), c.kind)
+		}
+		if c.v.AsString() != c.str {
+			t.Errorf("AsString = %q, want %q", c.v.AsString(), c.str)
+		}
+		if c.v.IsNull() {
+			t.Errorf("%v claims NULL", c.v)
+		}
+	}
+	ts := time.Date(2000, 3, 27, 9, 30, 0, 0, time.UTC)
+	if NewTime(ts).AsString() != "2000-03-27 09:30:00" {
+		t.Errorf("timestamp string = %q", NewTime(ts).AsString())
+	}
+}
+
+func TestCoercions(t *testing.T) {
+	if n, ok := NewString(" 17 ").AsInt(); !ok || n != 17 {
+		t.Errorf("string→int: %d %v", n, ok)
+	}
+	if _, ok := NewString("x").AsInt(); ok {
+		t.Error("garbage string coerced to int")
+	}
+	if f, ok := NewInt(3).AsDouble(); !ok || f != 3 {
+		t.Errorf("int→double: %f %v", f, ok)
+	}
+	if f, ok := NewDouble(2.75).AsDouble(); !ok || f != 2.75 {
+		t.Errorf("double identity: %f %v", f, ok)
+	}
+	if _, ok := NewDouble(2.5).AsInt(); ok {
+		t.Error("fractional double coerced to int")
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive over ints/doubles/strings.
+func TestCompareProperties(t *testing.T) {
+	antisym := func(a, b int64) bool {
+		x, y := NewInt(a), NewInt(b)
+		c1, ok1 := Compare(x, y)
+		c2, ok2 := Compare(y, x)
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+	reflStr := func(s string) bool {
+		c, ok := Compare(NewString(s), NewString(s))
+		return ok && c == 0
+	}
+	if err := quick.Check(reflStr, nil); err != nil {
+		t.Error(err)
+	}
+	crossNum := func(a int64, b float64) bool {
+		c1, ok1 := Compare(NewInt(a), NewDouble(b))
+		c2, ok2 := Compare(NewDouble(b), NewInt(a))
+		return ok1 && ok2 && c1 == -c2
+	}
+	if err := quick.Check(crossNum, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareNullIsUnknown(t *testing.T) {
+	if _, ok := Compare(Null, NewInt(1)); ok {
+		t.Error("NULL compared")
+	}
+	if Null.Equal(Null) {
+		t.Error("NULL = NULL must not be true")
+	}
+}
+
+// Property: SortCompare is a total order (antisymmetric; NULLs first).
+func TestSortCompareTotal(t *testing.T) {
+	mk := func(sel uint8, n int64, s string) Value {
+		switch sel % 4 {
+		case 0:
+			return Null
+		case 1:
+			return NewInt(n)
+		case 2:
+			return NewString(s)
+		default:
+			return NewDouble(float64(n) / 3)
+		}
+	}
+	f := func(s1, s2 uint8, n1, n2 int64, a, b string) bool {
+		x, y := mk(s1, n1, a), mk(s2, n2, b)
+		return SortCompare(x, y) == -SortCompare(y, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if SortCompare(Null, NewInt(-999)) != -1 {
+		t.Error("NULL must sort first")
+	}
+}
+
+func TestCoerceFor(t *testing.T) {
+	vc := TypeInfo{Kind: KindString, Size: 5}
+	if _, err := CoerceFor(vc, NewString("toolong")); err == nil {
+		t.Error("overlong VARCHAR accepted")
+	}
+	v, err := CoerceFor(vc, NewInt(42))
+	if err != nil || v.AsString() != "42" {
+		t.Errorf("int→varchar: %v %v", v, err)
+	}
+	if v, err := CoerceFor(TypeInfo{Kind: KindBool}, NewString("yes")); err != nil || !v.Bool() {
+		t.Errorf("yes→bool: %v %v", v, err)
+	}
+	if _, err := CoerceFor(TypeInfo{Kind: KindTime}, NewString("not a date")); err == nil {
+		t.Error("garbage timestamp accepted")
+	}
+	if v, err := CoerceFor(TypeInfo{Kind: KindTime}, NewString("2000-03-27")); err != nil || v.Kind() != KindTime {
+		t.Errorf("date literal: %v %v", v, err)
+	}
+	if _, err := CoerceFor(TypeInfo{Kind: KindDatalink}, NewString("ftp://host/x")); err == nil {
+		t.Error("unsupported scheme accepted for DATALINK")
+	}
+	if v, err := CoerceFor(TypeInfo{Kind: KindDatalink}, NewString("http://h/d/f.dat")); err != nil || v.Kind() != KindDatalink {
+		t.Errorf("url→datalink: %v %v", v, err)
+	}
+	// NULL passes through every type.
+	for _, k := range []Kind{KindInt, KindDouble, KindString, KindBool, KindTime, KindBytes, KindClob, KindDatalink} {
+		if v, err := CoerceFor(TypeInfo{Kind: k}, Null); err != nil || !v.IsNull() {
+			t.Errorf("NULL into %v: %v %v", k, v, err)
+		}
+	}
+}
+
+func TestDatalinkURLParsing(t *testing.T) {
+	u, err := ParseDatalinkURL("http://fs1.soton.ac.uk:8080/vol0/run1/ts42.tsf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Scheme != "http" || u.Host != "fs1.soton.ac.uk:8080" || u.Path != "/vol0/run1/ts42.tsf" {
+		t.Fatalf("parsed = %+v", u)
+	}
+	if u.Dir() != "/vol0/run1" || u.File() != "ts42.tsf" {
+		t.Fatalf("dir/file = %q %q", u.Dir(), u.File())
+	}
+	if got := u.WithToken("TOK"); got != "http://fs1.soton.ac.uk:8080/vol0/run1/TOK;ts42.tsf" {
+		t.Fatalf("WithToken = %q", got)
+	}
+	for _, bad := range []string{"ftp://h/p", "http://", "http://host", "http://host/dir/", "nonsense"} {
+		if _, err := ParseDatalinkURL(bad); err == nil {
+			t.Errorf("ParseDatalinkURL(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: parse/format round-trips for URL-ish inputs.
+func TestDatalinkRoundTripProperty(t *testing.T) {
+	f := func(hostRaw, dirRaw, fileRaw string) bool {
+		clean := func(s, fallback string) string {
+			s = strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+					return r
+				}
+				return -1
+			}, s)
+			if s == "" {
+				return fallback
+			}
+			return s
+		}
+		url := "http://" + clean(hostRaw, "host") + "/" + clean(dirRaw, "dir") + "/" + clean(fileRaw, "file")
+		u, err := ParseDatalinkURL(url)
+		return err == nil && u.String() == url
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitTokenizedPath(t *testing.T) {
+	p, tok := SplitTokenizedPath("/dir/sub/TOKEN;file.dat")
+	if p != "/dir/sub/file.dat" || tok != "TOKEN" {
+		t.Fatalf("got %q %q", p, tok)
+	}
+	p, tok = SplitTokenizedPath("/dir/plain.dat")
+	if p != "/dir/plain.dat" || tok != "" {
+		t.Fatalf("got %q %q", p, tok)
+	}
+}
+
+func TestDatalinkOptionsValidate(t *testing.T) {
+	if err := DefaultEASIA().Validate(); err != nil {
+		t.Fatalf("paper defaults invalid: %v", err)
+	}
+	bad := DatalinkOptions{FileLinkControl: false, ReadPerm: ReadDB}
+	if err := bad.Validate(); err == nil {
+		t.Error("READ PERMISSION DB without control accepted")
+	}
+	bad = DatalinkOptions{FileLinkControl: false, RecoveryYes: true}
+	if err := bad.Validate(); err == nil {
+		t.Error("RECOVERY YES without control accepted")
+	}
+	bad = DatalinkOptions{FileLinkControl: true, OnUnlink: UnlinkNone}
+	if err := bad.Validate(); err == nil {
+		t.Error("control without ON UNLINK accepted")
+	}
+}
+
+func TestDatalinkOptionsString(t *testing.T) {
+	s := DefaultEASIA().String()
+	for _, want := range []string{
+		"LINKTYPE URL", "FILE LINK CONTROL", "INTEGRITY ALL",
+		"READ PERMISSION DB", "WRITE PERMISSION BLOCKED",
+		"RECOVERY YES", "ON UNLINK RESTORE",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("options string missing %q: %s", want, s)
+		}
+	}
+	loose := DatalinkOptions{}
+	if !strings.Contains(loose.String(), "NO FILE LINK CONTROL") {
+		t.Errorf("loose options: %s", loose.String())
+	}
+}
+
+func TestSizeAndStringRendering(t *testing.T) {
+	if NewString("abcd").Size() != 4 || NewBytes(make([]byte, 9)).Size() != 9 {
+		t.Error("sizes wrong")
+	}
+	if got := NewString("O'Brien").String(); got != "'O''Brien'" {
+		t.Errorf("SQL literal escape: %q", got)
+	}
+	if got := NewDatalink("http://h/d/f").String(); !strings.HasPrefix(got, "DLVALUE(") {
+		t.Errorf("datalink literal: %q", got)
+	}
+}
+
+func TestParseTimestampFormats(t *testing.T) {
+	for _, s := range []string{
+		"2000-03-27 09:30:00",
+		"2000-03-27",
+		"2000-03-27T09:30:00Z",
+	} {
+		if _, err := ParseTimestamp(s); err != nil {
+			t.Errorf("ParseTimestamp(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseTimestamp("27/03/2000"); err == nil {
+		t.Error("ambiguous format accepted")
+	}
+}

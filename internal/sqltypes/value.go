@@ -1,0 +1,249 @@
+// Package sqltypes defines the SQL value system shared by the relational
+// engine (internal/sqldb), the SQL/MED layer (internal/med) and every
+// component above them.
+//
+// A Value is a compact tagged union covering the SQL types the EASIA
+// archive needs: NULL, INTEGER, DOUBLE, VARCHAR, BOOLEAN, TIMESTAMP, BLOB,
+// CLOB and DATALINK (SQL/MED, ISO/IEC 9075-9). Values are immutable by
+// convention: once stored in the engine they must not be mutated in place.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported SQL kinds.
+const (
+	KindNull     Kind = iota
+	KindInt           // INTEGER / BIGINT (64-bit)
+	KindDouble        // DOUBLE PRECISION / FLOAT
+	KindString        // CHAR / VARCHAR
+	KindBool          // BOOLEAN
+	KindTime          // TIMESTAMP
+	KindBytes         // BLOB
+	KindClob          // CLOB (character large object)
+	KindDatalink      // DATALINK (SQL/MED)
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindDouble:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	case KindTime:
+		return "TIMESTAMP"
+	case KindBytes:
+		return "BLOB"
+	case KindClob:
+		return "CLOB"
+	case KindDatalink:
+		return "DATALINK"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is SQL NULL.
+type Value struct {
+	kind Kind
+	i    int64     // KindInt, KindBool (0/1)
+	f    float64   // KindDouble
+	s    string    // KindString, KindClob, KindDatalink (URL form)
+	b    []byte    // KindBytes
+	t    time.Time // KindTime
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INTEGER value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewDouble returns a DOUBLE value.
+func NewDouble(v float64) Value { return Value{kind: KindDouble, f: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewTime returns a TIMESTAMP value (stored in UTC).
+func NewTime(v time.Time) Value { return Value{kind: KindTime, t: v.UTC()} }
+
+// NewBytes returns a BLOB value. The slice is used directly; callers must
+// not mutate it afterwards.
+func NewBytes(v []byte) Value { return Value{kind: KindBytes, b: v} }
+
+// NewClob returns a CLOB value.
+func NewClob(v string) Value { return Value{kind: KindClob, s: v} }
+
+// NewDatalink returns a DATALINK value holding the canonical URL form
+// "scheme://host/path" exactly as it would appear in an SQL INSERT.
+func NewDatalink(url string) Value { return Value{kind: KindDatalink, s: url} }
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the INTEGER payload; valid only when Kind()==KindInt or KindBool.
+func (v Value) Int() int64 { return v.i }
+
+// Double returns the DOUBLE payload.
+func (v Value) Double() float64 { return v.f }
+
+// Str returns the string payload of VARCHAR, CLOB or DATALINK values.
+func (v Value) Str() string { return v.s }
+
+// Bool returns the BOOLEAN payload.
+func (v Value) Bool() bool { return v.i != 0 }
+
+// Time returns the TIMESTAMP payload.
+func (v Value) Time() time.Time { return v.t }
+
+// Bytes returns the BLOB payload. Callers must not mutate the result.
+func (v Value) Bytes() []byte { return v.b }
+
+// AsInt coerces the value to int64 where a lossless or conventional SQL
+// conversion exists.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt, KindBool:
+		return v.i, true
+	case KindDouble:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+			return int64(v.f), true
+		}
+		return 0, false
+	case KindString:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return n, true
+	default:
+		return 0, false
+	}
+}
+
+// AsDouble coerces the value to float64 under SQL numeric promotion rules.
+func (v Value) AsDouble() (float64, bool) {
+	switch v.kind {
+	case KindInt, KindBool:
+		return float64(v.i), true
+	case KindDouble:
+		return v.f, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+// AsString renders the value as the string a CAST(x AS VARCHAR) would give.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindDouble:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString, KindClob, KindDatalink:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindTime:
+		return v.t.Format("2006-01-02 15:04:05")
+	case KindBytes:
+		return string(v.b)
+	default:
+		return ""
+	}
+}
+
+// IsNumeric reports whether the value participates in arithmetic.
+func (v Value) IsNumeric() bool {
+	return v.kind == KindInt || v.kind == KindDouble
+}
+
+// IsTextual reports whether the value is character data (VARCHAR or CLOB).
+func (v Value) IsTextual() bool {
+	return v.kind == KindString || v.kind == KindClob
+}
+
+// Size returns the logical size in bytes/characters of the value: the
+// length for strings/CLOBs/BLOBs, 8 for numerics and timestamps, and the
+// URL length for DATALINKs. The web layer displays this next to LOB and
+// DATALINK hyperlinks, as in the paper's result-table figure.
+func (v Value) Size() int {
+	switch v.kind {
+	case KindString, KindClob, KindDatalink:
+		return len(v.s)
+	case KindBytes:
+		return len(v.b)
+	case KindNull:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// String implements fmt.Stringer with an SQL-literal style rendering,
+// used in logs and error messages.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindClob:
+		return fmt.Sprintf("CLOB(%d)", len(v.s))
+	case KindBytes:
+		return fmt.Sprintf("BLOB(%d)", len(v.b))
+	case KindDatalink:
+		return fmt.Sprintf("DLVALUE('%s')", v.s)
+	default:
+		return v.AsString()
+	}
+}
+
+// Equal reports strict SQL equality (NULL is not equal to anything,
+// including NULL). Use Compare for ordering with NULL handling.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return false
+	}
+	c, ok := Compare(v, o)
+	return ok && c == 0
+}

@@ -1,0 +1,155 @@
+// Package turb is the scientific-data substrate of the reproduction: a
+// binary file format for turbulence simulation snapshots (the paper's
+// UK Turbulence Consortium result files), a deterministic synthetic
+// field generator, and the post-processing kernels the archive's
+// server-side operations use — plane slicing, summary statistics and
+// image rendering.
+//
+// A TSF ("turbulence snapshot file") holds the velocity components
+// u, v, w and the pressure p on an N³ collocated grid at one timestep —
+// the paper's datasets with MEASUREMENT = 'u,v,w,p'. Two grid sizes
+// bracket the paper's file sizes: the consortium's "small" (85 MB) and
+// "large" (544 MB) simulation files.
+package turb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Fields are the stored quantities, in on-disk order.
+var Fields = []string{"u", "v", "w", "p"}
+
+const (
+	tsfMagic   = "TSF1"
+	headerSize = 4 + 4 + 4 + 4 + 8 + 8 // magic, version, n, step, time, reynolds
+	version    = 1
+)
+
+// Header is the fixed-size TSF preamble.
+type Header struct {
+	N        int     // grid points per axis
+	Step     int     // timestep index
+	Time     float64 // simulation time
+	Reynolds float64 // Reynolds number of the run
+}
+
+// DataBytes returns the payload size (all four fields) for the header.
+func (h Header) DataBytes() int64 {
+	n := int64(h.N)
+	return int64(len(Fields)) * n * n * n * 4
+}
+
+// FileBytes returns the total file size for a grid of side n.
+func FileBytes(n int) int64 {
+	h := Header{N: n}
+	return headerSize + h.DataBytes()
+}
+
+// Snapshot is a fully materialised timestep.
+type Snapshot struct {
+	Header
+	// Data maps field name → N³ values in x-fastest order:
+	// index(i,j,k) = (k*N+j)*N + i.
+	Data map[string][]float32
+}
+
+// At returns field value at grid point (i,j,k).
+func (s *Snapshot) At(field string, i, j, k int) float32 {
+	return s.Data[field][(k*s.N+j)*s.N+i]
+}
+
+// WriteTo serialises the snapshot. It implements io.WriterTo.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	if _, err := bw.WriteString(tsfMagic); err != nil {
+		return written, err
+	}
+	var hdr [headerSize - 4]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], version)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(s.N))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(s.Step))
+	binary.LittleEndian.PutUint64(hdr[12:20], math.Float64bits(s.Time))
+	binary.LittleEndian.PutUint64(hdr[20:28], math.Float64bits(s.Reynolds))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return written, err
+	}
+	written = headerSize
+	buf := make([]byte, 4)
+	for _, f := range Fields {
+		vals := s.Data[f]
+		if len(vals) != s.N*s.N*s.N {
+			return written, fmt.Errorf("turb: field %s has %d values, want %d", f, len(vals), s.N*s.N*s.N)
+		}
+		for _, v := range vals {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return written, err
+			}
+			written += 4
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadHeader parses just the preamble.
+func ReadHeader(r io.Reader) (Header, error) {
+	var raw [headerSize]byte
+	if _, err := io.ReadFull(r, raw[:]); err != nil {
+		return Header{}, fmt.Errorf("turb: short header: %w", err)
+	}
+	if string(raw[0:4]) != tsfMagic {
+		return Header{}, fmt.Errorf("turb: not a TSF file (magic %q)", raw[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != version {
+		return Header{}, fmt.Errorf("turb: unsupported TSF version %d", v)
+	}
+	h := Header{
+		N:        int(binary.LittleEndian.Uint32(raw[8:12])),
+		Step:     int(binary.LittleEndian.Uint32(raw[12:16])),
+		Time:     math.Float64frombits(binary.LittleEndian.Uint64(raw[16:24])),
+		Reynolds: math.Float64frombits(binary.LittleEndian.Uint64(raw[24:32])),
+	}
+	if h.N <= 0 || h.N > 4096 {
+		return Header{}, fmt.Errorf("turb: implausible grid size %d", h.N)
+	}
+	return h, nil
+}
+
+// Read materialises a whole snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := ReadHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Header: h, Data: make(map[string][]float32, len(Fields))}
+	n3 := h.N * h.N * h.N
+	buf := make([]byte, 4)
+	for _, f := range Fields {
+		vals := make([]float32, n3)
+		for i := range vals {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("turb: short field %s: %w", f, err)
+			}
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		}
+		s.Data[f] = vals
+	}
+	return s, nil
+}
+
+// fieldOffset returns the byte offset of a field's payload.
+func fieldOffset(h Header, field string) (int64, error) {
+	n3 := int64(h.N) * int64(h.N) * int64(h.N)
+	for i, f := range Fields {
+		if f == field {
+			return headerSize + int64(i)*n3*4, nil
+		}
+	}
+	return 0, fmt.Errorf("turb: unknown field %q", field)
+}

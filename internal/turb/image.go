@@ -1,0 +1,62 @@
+package turb
+
+import (
+	"fmt"
+	"math"
+)
+
+// PGM renders the slice as a binary PGM (P5) grayscale image, values
+// normalised to the slice's own range. This reproduces the paper's
+// "GetImage" visualisation operation: instead of shipping the N³ cube,
+// the server ships an N×N image of the requested plane.
+func (sl *Slice) PGM() []byte {
+	header := fmt.Sprintf("P5\n%d %d\n255\n", sl.N, sl.N)
+	out := make([]byte, 0, len(header)+sl.N*sl.N)
+	out = append(out, header...)
+	st := sl.Stats()
+	span := st.Max - st.Min
+	for _, v := range sl.Data {
+		var g byte
+		if span > 0 {
+			g = byte(math.Round((float64(v) - st.Min) / span * 255))
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// PPM renders the slice as a binary PPM (P6) with a blue–white–red
+// diverging palette centred on zero, the conventional rendering for
+// signed velocity components.
+func (sl *Slice) PPM() []byte {
+	header := fmt.Sprintf("P6\n%d %d\n255\n", sl.N, sl.N)
+	out := make([]byte, 0, len(header)+3*sl.N*sl.N)
+	out = append(out, header...)
+	st := sl.Stats()
+	limit := math.Max(math.Abs(st.Min), math.Abs(st.Max))
+	for _, v := range sl.Data {
+		r, g, b := diverging(float64(v), limit)
+		out = append(out, r, g, b)
+	}
+	return out
+}
+
+// diverging maps v in [-limit, limit] to blue(−)→white(0)→red(+).
+func diverging(v, limit float64) (byte, byte, byte) {
+	if limit == 0 {
+		return 255, 255, 255
+	}
+	t := v / limit
+	if t > 1 {
+		t = 1
+	}
+	if t < -1 {
+		t = -1
+	}
+	if t >= 0 {
+		c := byte(math.Round(255 * (1 - t)))
+		return 255, c, c
+	}
+	c := byte(math.Round(255 * (1 + t)))
+	return c, c, 255
+}

@@ -1,0 +1,171 @@
+package turb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Axis selects the plane normal for slicing.
+type Axis uint8
+
+// Slice axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// String names the axis.
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "x"
+	case AxisY:
+		return "y"
+	case AxisZ:
+		return "z"
+	default:
+		return fmt.Sprintf("Axis(%d)", uint8(a))
+	}
+}
+
+// ParseAxis maps "x"/"y"/"z" (as sent by operation forms) to an Axis.
+func ParseAxis(s string) (Axis, error) {
+	switch s {
+	case "x", "X", "x0":
+		return AxisX, nil
+	case "y", "Y":
+		return AxisY, nil
+	case "z", "Z":
+		return AxisZ, nil
+	}
+	return 0, fmt.Errorf("turb: unknown axis %q", s)
+}
+
+// Slice is one extracted N×N plane of one field. This is the paper's
+// flagship data-reduction operation: a slice is N× smaller than the cube
+// it came from.
+type Slice struct {
+	N     int
+	Field string
+	Axis  Axis
+	Index int
+	Data  []float32 // N*N values, row-major
+}
+
+// Bytes returns the serialised size of the slice payload.
+func (sl *Slice) Bytes() int64 { return int64(sl.N) * int64(sl.N) * 4 }
+
+// ExtractSlice cuts the plane axis=index from a materialised snapshot.
+func (s *Snapshot) ExtractSlice(field string, axis Axis, index int) (*Slice, error) {
+	vals, ok := s.Data[field]
+	if !ok {
+		return nil, fmt.Errorf("turb: unknown field %q", field)
+	}
+	n := s.N
+	if index < 0 || index >= n {
+		return nil, fmt.Errorf("turb: slice index %d outside grid [0,%d)", index, n)
+	}
+	out := make([]float32, n*n)
+	switch axis {
+	case AxisX:
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				out[k*n+j] = vals[(k*n+j)*n+index]
+			}
+		}
+	case AxisY:
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				out[k*n+i] = vals[(k*n+index)*n+i]
+			}
+		}
+	case AxisZ:
+		copy(out, vals[index*n*n:(index+1)*n*n])
+	default:
+		return nil, fmt.Errorf("turb: bad axis %v", axis)
+	}
+	return &Slice{N: n, Field: field, Axis: axis, Index: index, Data: out}, nil
+}
+
+// SliceFromFile extracts a plane directly from a TSF stream without
+// materialising the cube — the server-side post-processing path. It
+// returns the slice and the number of payload bytes actually read,
+// which the data-reduction experiment (E3) reports: a z-slice reads
+// exactly N² values; x/y slices read strided runs.
+func SliceFromFile(rs io.ReadSeeker, field string, axis Axis, index int) (*Slice, int64, error) {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	h, err := ReadHeader(rs)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := h.N
+	if index < 0 || index >= n {
+		return nil, 0, fmt.Errorf("turb: slice index %d outside grid [0,%d)", index, n)
+	}
+	base, err := fieldOffset(h, field)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]float32, n*n)
+	var bytesRead int64
+	readRun := func(off int64, dst []float32) error {
+		if _, err := rs.Seek(off, io.SeekStart); err != nil {
+			return err
+		}
+		buf := make([]byte, len(dst)*4)
+		if _, err := io.ReadFull(rs, buf); err != nil {
+			return err
+		}
+		bytesRead += int64(len(buf))
+		for i := range dst {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		return nil
+	}
+	switch axis {
+	case AxisZ:
+		// One contiguous run of N² values.
+		off := base + int64(index)*int64(n)*int64(n)*4
+		if err := readRun(off, out); err != nil {
+			return nil, bytesRead, err
+		}
+	case AxisY:
+		// N runs of N values (one row per k).
+		row := make([]float32, n)
+		for k := 0; k < n; k++ {
+			off := base + (int64(k)*int64(n)+int64(index))*int64(n)*4
+			if err := readRun(off, row); err != nil {
+				return nil, bytesRead, err
+			}
+			copy(out[k*n:], row)
+		}
+	case AxisX:
+		// N² single values; read row-by-row to amortise seeks.
+		row := make([]float32, n)
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				off := base + ((int64(k)*int64(n)+int64(j))*int64(n)+int64(index))*4
+				if err := readRun(off, row[:1]); err != nil {
+					return nil, bytesRead, err
+				}
+				out[k*n+j] = row[0]
+			}
+		}
+	default:
+		return nil, 0, fmt.Errorf("turb: bad axis %v", axis)
+	}
+	return &Slice{N: n, Field: field, Axis: axis, Index: index, Data: out}, bytesRead, nil
+}
+
+// ReductionFactor reports cube bytes / slice bytes for grid side n —
+// the paper's bandwidth saving from server-side post-processing.
+func ReductionFactor(n int) float64 {
+	cube := float64(FileBytes(n))
+	slice := float64(n) * float64(n) * 4
+	return cube / slice
+}

@@ -1,0 +1,129 @@
+package turb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarises one field of a snapshot — the archive's cheap
+// "data reduction to a few numbers" operation.
+type Stats struct {
+	Field string
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+	RMS   float64
+}
+
+// FieldStats computes summary statistics over one field.
+func (s *Snapshot) FieldStats(field string) (Stats, error) {
+	vals, ok := s.Data[field]
+	if !ok {
+		return Stats{}, fmt.Errorf("turb: unknown field %q", field)
+	}
+	return computeStats(field, vals), nil
+}
+
+// SliceStats computes summary statistics over a slice.
+func (sl *Slice) Stats() Stats { return computeStats(sl.Field, sl.Data) }
+
+func computeStats(field string, vals []float32) Stats {
+	st := Stats{Field: field, Count: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(vals) == 0 {
+		st.Min, st.Max = 0, 0
+		return st
+	}
+	var sum, sumSq float64
+	for _, v := range vals {
+		f := float64(v)
+		sum += f
+		sumSq += f * f
+		if f < st.Min {
+			st.Min = f
+		}
+		if f > st.Max {
+			st.Max = f
+		}
+	}
+	st.Mean = sum / float64(len(vals))
+	st.RMS = math.Sqrt(sumSq / float64(len(vals)))
+	return st
+}
+
+// KineticEnergy returns the volume-averaged kinetic energy
+// ½⟨u²+v²+w²⟩ — the quantity whose decay validates the generator
+// against the analytic Taylor–Green solution.
+func (s *Snapshot) KineticEnergy() float64 {
+	u, v, w := s.Data["u"], s.Data["v"], s.Data["w"]
+	var sum float64
+	for i := range u {
+		sum += float64(u[i])*float64(u[i]) + float64(v[i])*float64(v[i]) + float64(w[i])*float64(w[i])
+	}
+	return 0.5 * sum / float64(len(u))
+}
+
+// Report renders stats as the text block a post-processing operation
+// returns to the browser.
+func (st Stats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "field %s: n=%d\n", st.Field, st.Count)
+	fmt.Fprintf(&b, "  min  = % .6f\n", st.Min)
+	fmt.Fprintf(&b, "  max  = % .6f\n", st.Max)
+	fmt.Fprintf(&b, "  mean = % .6f\n", st.Mean)
+	fmt.Fprintf(&b, "  rms  = % .6f\n", st.RMS)
+	return b.String()
+}
+
+// Histogram builds a fixed-width histogram of a slice's values, the
+// basis for the "GetImage"-style visual summaries.
+func (sl *Slice) Histogram(bins int) []int {
+	if bins <= 0 {
+		bins = 16
+	}
+	st := sl.Stats()
+	out := make([]int, bins)
+	span := st.Max - st.Min
+	if span == 0 {
+		out[0] = len(sl.Data)
+		return out
+	}
+	for _, v := range sl.Data {
+		b := int((float64(v) - st.Min) / span * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[b]++
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of a slice's values.
+func (sl *Slice) Percentile(p float64) float64 {
+	if len(sl.Data) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(sl.Data))
+	for i, v := range sl.Data {
+		vals[i] = float64(v)
+	}
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 100 {
+		return vals[len(vals)-1]
+	}
+	idx := p / 100 * float64(len(vals)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[lo]
+	}
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}

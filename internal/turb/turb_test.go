@@ -1,0 +1,303 @@
+package turb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(8, 3, 42)
+	b := Generate(8, 3, 42)
+	for _, f := range Fields {
+		for i := range a.Data[f] {
+			if a.Data[f][i] != b.Data[f][i] {
+				t.Fatalf("field %s differs at %d", f, i)
+			}
+		}
+	}
+	c := Generate(8, 3, 43)
+	same := true
+	for i := range a.Data["u"] {
+		if a.Data["u"][i] != c.Data["u"][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := Generate(12, 7, 1)
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != FileBytes(12) {
+		t.Fatalf("wrote %d bytes, want %d", n, FileBytes(12))
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 12 || got.Step != 7 || got.Reynolds != s.Reynolds {
+		t.Fatalf("header = %+v", got.Header)
+	}
+	for _, f := range Fields {
+		for i := range s.Data[f] {
+			if s.Data[f][i] != got.Data[f][i] {
+				t.Fatalf("field %s differs at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestReadHeaderOnly(t *testing.T) {
+	s := Generate(8, 2, 5)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 8 || h.Step != 2 {
+		t.Fatalf("header = %+v", h)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a tsf file at all........."))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestSliceAxes(t *testing.T) {
+	s := Generate(6, 1, 9)
+	for _, axis := range []Axis{AxisX, AxisY, AxisZ} {
+		sl, err := s.ExtractSlice("u", axis, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sl.Data) != 36 {
+			t.Fatalf("axis %v: %d values", axis, len(sl.Data))
+		}
+	}
+	// Slice values must match direct grid lookups.
+	sl, _ := s.ExtractSlice("p", AxisX, 2)
+	for k := 0; k < 6; k++ {
+		for j := 0; j < 6; j++ {
+			if sl.Data[k*6+j] != s.At("p", 2, j, k) {
+				t.Fatalf("x-slice mismatch at j=%d k=%d", j, k)
+			}
+		}
+	}
+	sl, _ = s.ExtractSlice("v", AxisY, 4)
+	for k := 0; k < 6; k++ {
+		for i := 0; i < 6; i++ {
+			if sl.Data[k*6+i] != s.At("v", i, 4, k) {
+				t.Fatalf("y-slice mismatch at i=%d k=%d", i, k)
+			}
+		}
+	}
+	sl, _ = s.ExtractSlice("w", AxisZ, 1)
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			if sl.Data[j*6+i] != s.At("w", i, j, 1) {
+				t.Fatalf("z-slice mismatch at i=%d j=%d", i, j)
+			}
+		}
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	s := Generate(4, 0, 1)
+	if _, err := s.ExtractSlice("q", AxisX, 0); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := s.ExtractSlice("u", AxisX, 4); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := s.ExtractSlice("u", AxisX, -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+// TestSliceFromFileMatchesInMemory verifies the streaming extractor
+// against whole-cube slicing, and that it reads only a fraction of the
+// file (the paper's data-reduction claim).
+func TestSliceFromFileMatchesInMemory(t *testing.T) {
+	s := Generate(16, 4, 77)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	file := bytes.NewReader(buf.Bytes())
+	for _, axis := range []Axis{AxisX, AxisY, AxisZ} {
+		want, err := s.ExtractSlice("v", axis, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, bytesRead, err := SliceFromFile(file, "v", axis, 5)
+		if err != nil {
+			t.Fatalf("axis %v: %v", axis, err)
+		}
+		for i := range want.Data {
+			if want.Data[i] != got.Data[i] {
+				t.Fatalf("axis %v: value %d differs", axis, i)
+			}
+		}
+		if bytesRead >= FileBytes(16) {
+			t.Fatalf("axis %v read the whole file (%d bytes)", axis, bytesRead)
+		}
+		if axis == AxisZ && bytesRead != 16*16*4 {
+			t.Fatalf("z-slice read %d bytes, want %d", bytesRead, 16*16*4)
+		}
+	}
+}
+
+func TestFileBytesAndReduction(t *testing.T) {
+	// 128³ × 4 fields × 4 bytes + 32-byte header.
+	want := int64(128*128*128*4*4) + 32
+	if got := FileBytes(128); got != want {
+		t.Fatalf("FileBytes(128) = %d, want %d", got, want)
+	}
+	// Reduction factor ≈ 4·N (4 fields × N planes).
+	rf := ReductionFactor(128)
+	if rf < 500 || rf > 520 {
+		t.Fatalf("ReductionFactor(128) = %.1f, want ≈512", rf)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := Generate(8, 0, 3)
+	st, err := s.FieldStats("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count != 512 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.Min >= st.Max {
+		t.Fatalf("degenerate range [%f, %f]", st.Min, st.Max)
+	}
+	if st.RMS <= 0 {
+		t.Fatalf("rms = %f", st.RMS)
+	}
+	// Taylor–Green u has zero spatial mean; noise shifts it only slightly.
+	if math.Abs(st.Mean) > 0.05 {
+		t.Fatalf("mean = %f, want ≈0", st.Mean)
+	}
+	if _, err := s.FieldStats("nope"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if !bytes.Contains([]byte(st.Report()), []byte("field u")) {
+		t.Fatal("report missing field name")
+	}
+}
+
+// TestKineticEnergyDecays validates generator physics: Taylor–Green
+// kinetic energy decays monotonically with timestep.
+func TestKineticEnergyDecays(t *testing.T) {
+	e0 := Generate(16, 0, 1).KineticEnergy()
+	e10 := Generate(16, 10, 1).KineticEnergy()
+	e50 := Generate(16, 50, 1).KineticEnergy()
+	if !(e0 > e10 && e10 > e50) {
+		t.Fatalf("energy not decaying: %f %f %f", e0, e10, e50)
+	}
+	// Analytic check: E(t) ≈ E(0)·e^{-4νt} for the vortex part; with
+	// small noise the ratio should be within 20% of the analytic value.
+	nu, dt := 0.01, 0.05
+	analytic := math.Exp(-4 * nu * 50 * dt)
+	ratio := e50 / e0
+	if math.Abs(ratio-analytic)/analytic > 0.2 {
+		t.Fatalf("decay ratio %.4f vs analytic %.4f", ratio, analytic)
+	}
+}
+
+func TestImages(t *testing.T) {
+	s := Generate(8, 1, 2)
+	sl, _ := s.ExtractSlice("u", AxisZ, 0)
+	pgm := sl.PGM()
+	if !bytes.HasPrefix(pgm, []byte("P5\n8 8\n255\n")) {
+		t.Fatalf("pgm header: %q", pgm[:12])
+	}
+	if len(pgm) != len("P5\n8 8\n255\n")+64 {
+		t.Fatalf("pgm size = %d", len(pgm))
+	}
+	ppm := sl.PPM()
+	if !bytes.HasPrefix(ppm, []byte("P6\n8 8\n255\n")) {
+		t.Fatalf("ppm header: %q", ppm[:12])
+	}
+	if len(ppm) != len("P6\n8 8\n255\n")+3*64 {
+		t.Fatalf("ppm size = %d", len(ppm))
+	}
+}
+
+func TestHistogramAndPercentile(t *testing.T) {
+	sl := &Slice{N: 2, Field: "u", Data: []float32{0, 1, 2, 3}}
+	h := sl.Histogram(4)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("histogram total = %d", total)
+	}
+	if p := sl.Percentile(0); p != 0 {
+		t.Fatalf("p0 = %f", p)
+	}
+	if p := sl.Percentile(100); p != 3 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if p := sl.Percentile(50); p != 1.5 {
+		t.Fatalf("p50 = %f", p)
+	}
+}
+
+// Property: encode/decode headers round-trip for arbitrary plausible
+// parameters.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(nRaw uint8, step uint16, time, re float64) bool {
+		n := int(nRaw%32) + 2
+		s := &Snapshot{
+			Header: Header{N: n, Step: int(step), Time: math.Abs(time), Reynolds: math.Abs(re)},
+			Data:   map[string][]float32{},
+		}
+		for _, fld := range Fields {
+			s.Data[fld] = make([]float32, n*n*n)
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		h, err := ReadHeader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		return h.N == n && h.Step == int(step)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	for s, want := range map[string]Axis{"x": AxisX, "y": AxisY, "z": AxisZ, "x0": AxisX} {
+		got, err := ParseAxis(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAxis(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseAxis("t"); err == nil {
+		t.Error("bad axis accepted")
+	}
+}

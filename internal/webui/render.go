@@ -1,0 +1,260 @@
+package webui
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/sqltypes"
+	"repro/internal/xuis"
+)
+
+// Link is one hyperlink rendered beside a cell value.
+type Link struct {
+	Href  string
+	Label string
+}
+
+// Cell is one rendered result-table cell.
+type Cell struct {
+	Text  string
+	Links []Link
+}
+
+// RenderedRow is one rendered result row.
+type RenderedRow struct {
+	Cells []Cell
+}
+
+// resultsView is the data handed to the results template.
+type resultsView struct {
+	Title        string
+	User         core.User
+	Error        string
+	Table        string
+	TableDisplay string
+	Count        int
+	Headers      []string
+	Rows         []RenderedRow
+}
+
+// buildResults decorates a result set with the paper's four browsing
+// modes. It needs the XUIS (aliases, FK/PK markup, substitutions), the
+// archive (token minting, FK substitution queries) and the user (guest
+// policy).
+func buildResults(a *core.Archive, rs *core.ResultSet, u core.User) (*resultsView, error) {
+	spec := a.Spec()
+	view := &resultsView{
+		Table:        rs.Table,
+		TableDisplay: rs.Table,
+		Count:        len(rs.Rows),
+	}
+	var specTable *xuis.Table
+	if spec != nil {
+		if t, ok := spec.Table(rs.Table); ok {
+			specTable = t
+			view.TableDisplay = t.DisplayName()
+		}
+	}
+	colMeta := make([]*xuis.Column, len(rs.Columns))
+	for j, name := range rs.Columns {
+		header := name
+		if specTable != nil {
+			if c, ok := specTable.Column(name); ok {
+				colMeta[j] = c
+				header = c.DisplayName()
+			}
+		}
+		view.Headers = append(view.Headers, header)
+	}
+
+	// Identify primary-key columns present in the result so rows can be
+	// addressed by LOB and operation links.
+	schema, _ := a.DB.Catalog().Table(rs.Table)
+	pkPresent := map[string]int{}
+	if schema != nil {
+		for _, pk := range schema.PrimaryKey {
+			for j, col := range rs.Columns {
+				if strings.EqualFold(col, pk) {
+					pkPresent[pk] = j
+				}
+			}
+		}
+		if len(pkPresent) != len(schema.PrimaryKey) {
+			pkPresent = nil // incomplete key: suppress row-addressed links
+		}
+	}
+
+	eng := a.Ops()
+	for i := range rs.Rows {
+		rowMap := rs.Row(i)
+		keyParams := url.Values{}
+		for pk, j := range pkPresent {
+			keyParams.Set("pk_"+pk, rs.Rows[i][j].AsString())
+		}
+		var row RenderedRow
+		for j, v := range rs.Rows[i] {
+			cell := renderCell(a, eng, rs, colMeta[j], rs.ColIDs[j], v, rowMap, keyParams, u)
+			row.Cells = append(row.Cells, cell)
+		}
+		view.Rows = append(view.Rows, row)
+	}
+	return view, nil
+}
+
+func renderCell(a *core.Archive, eng *ops.Engine, rs *core.ResultSet, meta *xuis.Column,
+	colID string, v sqltypes.Value, rowMap map[string]sqltypes.Value, keyParams url.Values, u core.User) Cell {
+
+	if v.IsNull() {
+		return Cell{Text: ""}
+	}
+	table, column, _ := xuis.SplitColID(colID)
+
+	switch v.Kind() {
+	case sqltypes.KindDatalink:
+		return renderDatalinkCell(a, eng, colID, v, rowMap, keyParams, u, table)
+	case sqltypes.KindBytes, sqltypes.KindClob:
+		// "Hypertext link displays size of object — rematerialised and
+		// returned to the client."
+		label := fmt.Sprintf("%s (%d bytes)", v.Kind(), v.Size())
+		if len(keyParams) == 0 {
+			return Cell{Text: label}
+		}
+		q := cloneValues(keyParams)
+		q.Set("table", table)
+		q.Set("col", column)
+		return Cell{Text: "", Links: []Link{{Href: "/lob?" + q.Encode(), Label: label}}}
+	}
+
+	text := v.AsString()
+	var links []Link
+
+	if meta != nil && meta.FK != nil {
+		refTable, refCol, err := xuis.SplitColID(meta.FK.TableColumn)
+		if err == nil {
+			// FK substitution: show the referenced row's display column.
+			if meta.FK.SubstColumn != "" {
+				if _, subst, err := xuis.SplitColID(meta.FK.SubstColumn); err == nil {
+					if s, err := a.SubstituteFK(refTable, refCol, subst, text); err == nil {
+						text = s
+					}
+				}
+			}
+			q := url.Values{}
+			q.Set("mode", "fk")
+			q.Set("table", refTable)
+			q.Set("col", refCol)
+			q.Set("value", v.AsString())
+			links = append(links, Link{Href: "/browse?" + q.Encode(), Label: "details"})
+		}
+	}
+	if meta != nil && meta.PK != nil {
+		for _, ref := range meta.PK.RefBy {
+			childTable, childCol, err := xuis.SplitColID(ref.TableColumn)
+			if err != nil {
+				continue
+			}
+			q := url.Values{}
+			q.Set("mode", "pk")
+			q.Set("table", childTable)
+			q.Set("col", childCol)
+			q.Set("value", v.AsString())
+			links = append(links, Link{Href: "/browse?" + q.Encode(), Label: "→ " + childTable})
+		}
+	}
+	return Cell{Text: text, Links: links}
+}
+
+func renderDatalinkCell(a *core.Archive, eng *ops.Engine, colID string, v sqltypes.Value,
+	rowMap map[string]sqltypes.Value, keyParams url.Values, u core.User, table string) Cell {
+
+	parsed, err := sqltypes.ParseDatalinkURL(v.Str())
+	if err != nil {
+		return Cell{Text: v.Str()}
+	}
+	text := parsed.File()
+	if h, ok := a.Host(parsed.Host); ok {
+		if fi, err := h.StatFile(parsed.Path); err == nil {
+			text = fmt.Sprintf("%s (%d bytes)", parsed.File(), fi.Size)
+		}
+	}
+	var links []Link
+	// DATALINK browsing: the hyperlink carries the encrypted access
+	// token; guests get no download link at all.
+	if u.CanDownload() {
+		if tokURL, err := a.DownloadURL(v.Str(), u); err == nil {
+			q := url.Values{}
+			q.Set("url", tokURL)
+			links = append(links, Link{Href: "/download?" + q.Encode(), Label: "download"})
+		}
+	}
+	// Operations applicable to this row.
+	if eng != nil {
+		for _, op := range eng.Applicable(colID, rowMap, ops.User{Name: u.Name, Guest: u.Guest}) {
+			q := cloneValues(keyParams)
+			q.Set("op", op.Name)
+			q.Set("colid", colID)
+			q.Set("table", table)
+			links = append(links, Link{Href: "/opform?" + q.Encode(), Label: "op:" + op.Name})
+		}
+		if u.CanUpload() && eng.CanUpload(colID, rowMap, ops.User{Name: u.Name, Guest: u.Guest}) {
+			q := cloneValues(keyParams)
+			q.Set("colid", colID)
+			q.Set("table", table)
+			links = append(links, Link{Href: "/uploadform?" + q.Encode(), Label: "upload code"})
+		}
+	}
+	return Cell{Text: text, Links: links}
+}
+
+func cloneValues(v url.Values) url.Values {
+	out := url.Values{}
+	for k, vs := range v {
+		for _, s := range vs {
+			out.Add(k, s)
+		}
+	}
+	return out
+}
+
+// queryFormView feeds the QBE form template.
+type queryFormView struct {
+	Title     string
+	User      core.User
+	Error     string
+	Table     string
+	Fields    []formField
+	Operators []string
+}
+
+type formField struct {
+	Name    string
+	Display string
+	Samples []string
+}
+
+var formOperators = []string{"=", "<>", "<", "<=", ">", ">=", "LIKE", "CONTAINS", "STARTS"}
+
+// buildQueryForm assembles the QBE form for one table from the XUIS.
+func buildQueryForm(spec *xuis.Spec, table string, u core.User) (*queryFormView, error) {
+	t, ok := spec.Table(table)
+	if !ok || t.Hidden {
+		return nil, fmt.Errorf("webui: unknown table %s", table)
+	}
+	view := &queryFormView{
+		Title:     "Query " + t.DisplayName(),
+		User:      u,
+		Table:     t.Name,
+		Operators: formOperators,
+	}
+	for _, c := range t.VisibleColumns() {
+		f := formField{Name: c.Name, Display: c.DisplayName()}
+		if c.Samples != nil {
+			f.Samples = c.Samples.Values
+		}
+		view.Fields = append(view.Fields, f)
+	}
+	return view, nil
+}

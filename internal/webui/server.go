@@ -1,0 +1,520 @@
+package webui
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/sqltypes"
+	"repro/internal/xuis"
+)
+
+// Server is the EASIA web front end over an Archive.
+type Server struct {
+	archive *core.Archive
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]core.User
+	runs     map[string]*ops.Result // recent operation results for /opfile
+	runSeq   int
+}
+
+// NewServer builds the HTTP front end.
+func NewServer(a *core.Archive) *Server {
+	s := &Server{
+		archive:  a,
+		mux:      http.NewServeMux(),
+		sessions: map[string]core.User{},
+		runs:     map[string]*ops.Result{},
+	}
+	s.mux.HandleFunc("/", s.handleHome)
+	s.mux.HandleFunc("/login", s.handleLogin)
+	s.mux.HandleFunc("/logout", s.handleLogout)
+	s.mux.HandleFunc("/table", s.withUser(s.handleQueryForm))
+	s.mux.HandleFunc("/query", s.withUser(s.handleQuery))
+	s.mux.HandleFunc("/browse", s.withUser(s.handleBrowse))
+	s.mux.HandleFunc("/lob", s.withUser(s.handleLOB))
+	s.mux.HandleFunc("/download", s.withUser(s.handleDownload))
+	s.mux.HandleFunc("/opform", s.withUser(s.handleOpForm))
+	s.mux.HandleFunc("/oprun", s.withUser(s.handleOpRun))
+	s.mux.HandleFunc("/opfile", s.withUser(s.handleOpFile))
+	s.mux.HandleFunc("/uploadform", s.withUser(s.handleUploadForm))
+	s.mux.HandleFunc("/upload", s.withUser(s.handleUpload))
+	s.mux.HandleFunc("/xuis", s.withUser(s.handleXUIS))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---------- sessions ----------
+
+const sessionCookie = "easia_session"
+
+func (s *Server) currentUser(r *http.Request) (core.User, bool) {
+	c, err := r.Cookie(sessionCookie)
+	if err != nil {
+		return core.User{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.sessions[c.Value]
+	return u, ok
+}
+
+func (s *Server) startSession(w http.ResponseWriter, u core.User) {
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		http.Error(w, "session error", http.StatusInternalServerError)
+		return
+	}
+	id := hex.EncodeToString(raw[:])
+	s.mu.Lock()
+	s.sessions[id] = u
+	s.mu.Unlock()
+	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: id, Path: "/", HttpOnly: true})
+}
+
+// withUser gates a handler behind login.
+func (s *Server) withUser(h func(http.ResponseWriter, *http.Request, core.User)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		u, ok := s.currentUser(r)
+		if !ok {
+			http.Redirect(w, r, "/", http.StatusSeeOther)
+			return
+		}
+		h(w, r, u)
+	}
+}
+
+func (s *Server) renderError(w http.ResponseWriter, u core.User, status int, msg string) {
+	w.WriteHeader(status)
+	_ = homeTmpl.Execute(w, struct {
+		Title  string
+		User   core.User
+		Error  string
+		Tables []tableEntry
+	}{Title: "Error", User: u, Error: msg})
+}
+
+// ---------- pages ----------
+
+type tableEntry struct {
+	Name    string
+	Display string
+}
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	u, _ := s.currentUser(r)
+	var tables []tableEntry
+	if spec := s.archive.Spec(); spec != nil {
+		for _, t := range spec.VisibleTables() {
+			tables = append(tables, tableEntry{Name: t.Name, Display: t.DisplayName()})
+		}
+	}
+	_ = homeTmpl.Execute(w, struct {
+		Title  string
+		User   core.User
+		Error  string
+		Tables []tableEntry
+	}{Title: "Scientific Data Archive", User: u, Tables: tables})
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	u, err := s.archive.Users.Authenticate(r.FormValue("username"), r.FormValue("password"))
+	if err != nil {
+		s.renderError(w, core.User{}, http.StatusUnauthorized, "invalid username or password")
+		return
+	}
+	s.startSession(w, u)
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	if c, err := r.Cookie(sessionCookie); err == nil {
+		s.mu.Lock()
+		delete(s.sessions, c.Value)
+		s.mu.Unlock()
+	}
+	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: "", Path: "/", MaxAge: -1})
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Server) handleQueryForm(w http.ResponseWriter, r *http.Request, u core.User) {
+	spec := s.archive.Spec()
+	if spec == nil {
+		s.renderError(w, u, http.StatusServiceUnavailable, "no XUIS installed")
+		return
+	}
+	view, err := buildQueryForm(spec, r.URL.Query().Get("name"), u)
+	if err != nil {
+		s.renderError(w, u, http.StatusNotFound, err.Error())
+		return
+	}
+	_ = queryFormTmpl.Execute(w, view)
+}
+
+// handleQuery translates the QBE form submission and renders results.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, u core.User) {
+	if err := r.ParseForm(); err != nil {
+		s.renderError(w, u, http.StatusBadRequest, err.Error())
+		return
+	}
+	table := r.Form.Get("table")
+	q := core.QBE{Table: table}
+	if r.Form.Get("all") == "" {
+		q.Select = r.Form["sel"]
+		for key, vals := range r.Form {
+			if !strings.HasPrefix(key, "val_") || len(vals) == 0 || strings.TrimSpace(vals[0]) == "" {
+				continue
+			}
+			col := strings.TrimPrefix(key, "val_")
+			op := r.Form.Get("op_" + col)
+			if op == "" {
+				op = "="
+			}
+			q.Restrictions = append(q.Restrictions, core.Restriction{Column: col, Op: op, Value: vals[0]})
+		}
+		q.OrderBy = r.Form.Get("orderby")
+		q.Desc = r.Form.Get("desc") == "1"
+		if lim := r.Form.Get("limit"); lim != "" {
+			n, err := strconv.Atoi(lim)
+			if err != nil || n < 0 {
+				s.renderError(w, u, http.StatusBadRequest, "invalid limit")
+				return
+			}
+			q.Limit = n
+		}
+	}
+	rs, err := s.archive.Search(q)
+	if err != nil {
+		s.renderError(w, u, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.renderResults(w, rs, u)
+}
+
+func (s *Server) renderResults(w http.ResponseWriter, rs *core.ResultSet, u core.User) {
+	view, err := buildResults(s.archive, rs, u)
+	if err != nil {
+		s.renderError(w, u, http.StatusInternalServerError, err.Error())
+		return
+	}
+	view.Title = "Results from " + view.TableDisplay
+	view.User = u
+	_ = resultsTmpl.Execute(w, view)
+}
+
+// handleBrowse serves both browsing modes.
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request, u core.User) {
+	q := r.URL.Query()
+	table, col, value := q.Get("table"), q.Get("col"), q.Get("value")
+	var (
+		rs  *core.ResultSet
+		err error
+	)
+	switch q.Get("mode") {
+	case "fk":
+		rs, err = s.archive.BrowseFK(table, col, value)
+	case "pk":
+		rs, err = s.archive.BrowsePK(table, col, value)
+	default:
+		err = fmt.Errorf("webui: unknown browse mode %q", q.Get("mode"))
+	}
+	if err != nil {
+		s.renderError(w, u, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.renderResults(w, rs, u)
+}
+
+// handleLOB rematerialises a BLOB/CLOB and returns it with the
+// appropriate MIME type.
+func (s *Server) handleLOB(w http.ResponseWriter, r *http.Request, u core.User) {
+	q := r.URL.Query()
+	table, col := q.Get("table"), q.Get("col")
+	key := map[string]string{}
+	for k, vs := range q {
+		if strings.HasPrefix(k, "pk_") && len(vs) > 0 {
+			key[strings.TrimPrefix(k, "pk_")] = vs[0]
+		}
+	}
+	row, err := s.archive.RowByKey(table, key)
+	if err != nil {
+		s.renderError(w, u, http.StatusNotFound, err.Error())
+		return
+	}
+	v, ok := row[strings.ToUpper(table)+"."+strings.ToUpper(col)]
+	if !ok || v.IsNull() {
+		s.renderError(w, u, http.StatusNotFound, "no such object")
+		return
+	}
+	switch v.Kind() {
+	case sqltypes.KindClob:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, v.AsString())
+	case sqltypes.KindBytes:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(v.Bytes())
+	default:
+		s.renderError(w, u, http.StatusBadRequest, "column is not a BLOB or CLOB")
+	}
+}
+
+// handleDownload streams a DATALINK file via its tokenized URL. The
+// token inside the URL is what authorises the read — exactly the
+// paper's mechanism.
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request, u core.User) {
+	tokURL := r.URL.Query().Get("url")
+	rc, err := s.archive.OpenDownload(tokURL)
+	if err != nil {
+		s.renderError(w, u, http.StatusForbidden, err.Error())
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, rc) //nolint:errcheck // client disconnects are not errors
+}
+
+func (s *Server) opFromRequest(r *http.Request) (opName, colID, table string, key map[string]string) {
+	get := func(k string) string {
+		if r.Method == http.MethodPost {
+			return r.PostFormValue(k)
+		}
+		return r.URL.Query().Get(k)
+	}
+	key = map[string]string{}
+	var src map[string][]string
+	if r.Method == http.MethodPost {
+		r.ParseForm()
+		src = r.PostForm
+	} else {
+		src = r.URL.Query()
+	}
+	for k, vs := range src {
+		if strings.HasPrefix(k, "pk_") && len(vs) > 0 {
+			key[strings.TrimPrefix(k, "pk_")] = vs[0]
+		}
+	}
+	return get("op"), get("colid"), get("table"), key
+}
+
+// handleOpForm renders the parameter form generated from XUIS markup.
+func (s *Server) handleOpForm(w http.ResponseWriter, r *http.Request, u core.User) {
+	opName, colID, table, key := s.opFromRequest(r)
+	spec := s.archive.Spec()
+	if spec == nil {
+		s.renderError(w, u, http.StatusServiceUnavailable, "no XUIS installed")
+		return
+	}
+	tbl, colName, err := xuis.SplitColID(colID)
+	if err != nil {
+		s.renderError(w, u, http.StatusBadRequest, err.Error())
+		return
+	}
+	specTable, ok := spec.Table(tbl)
+	if !ok {
+		s.renderError(w, u, http.StatusNotFound, "unknown table")
+		return
+	}
+	col, ok := specTable.Column(colName)
+	if !ok {
+		s.renderError(w, u, http.StatusNotFound, "unknown column")
+		return
+	}
+	var op *xuis.Operation
+	for _, candidate := range col.Operations {
+		if candidate.Name == opName {
+			op = candidate
+		}
+	}
+	if op == nil {
+		s.renderError(w, u, http.StatusNotFound, "unknown operation")
+		return
+	}
+	view := struct {
+		Title       string
+		User        core.User
+		Error       string
+		Op          string
+		ColID       string
+		Table       string
+		Description string
+		Key         map[string]string
+		Params      []xuis.Variable
+	}{
+		Title: "Run " + op.Name, User: u, Op: op.Name, ColID: colID, Table: table,
+		Description: op.Description, Key: key,
+	}
+	if op.Parameters != nil {
+		for _, p := range op.Parameters.Params {
+			view.Params = append(view.Params, p.Variable)
+		}
+	}
+	_ = opFormTmpl.Execute(w, view)
+}
+
+// handleOpRun executes the operation and renders its result.
+func (s *Server) handleOpRun(w http.ResponseWriter, r *http.Request, u core.User) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	opName, colID, table, key := s.opFromRequest(r)
+	params := map[string]string{}
+	for k, vs := range r.PostForm {
+		if k == "op" || k == "colid" || k == "table" || strings.HasPrefix(k, "pk_") || len(vs) == 0 {
+			continue
+		}
+		params[k] = vs[0]
+	}
+	res, err := s.archive.RunOperation(opName, colID, table, key, params, u)
+	if err != nil {
+		s.renderError(w, u, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.renderOpResult(w, res, u)
+}
+
+type opFileEntry struct {
+	Name string
+	Size int
+}
+
+func (s *Server) renderOpResult(w http.ResponseWriter, res *ops.Result, u core.User) {
+	s.mu.Lock()
+	s.runSeq++
+	runID := fmt.Sprintf("r%06d", s.runSeq)
+	s.runs[runID] = res
+	// Bound the retained results.
+	if len(s.runs) > 64 {
+		for k := range s.runs {
+			if k != runID {
+				delete(s.runs, k)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	var files []opFileEntry
+	for _, f := range res.Files {
+		files = append(files, opFileEntry{Name: f.Name, Size: len(f.Data)})
+	}
+	_ = opResultTmpl.Execute(w, struct {
+		Title     string
+		User      core.User
+		Error     string
+		Op        string
+		Elapsed   string
+		Steps     int64
+		FromCache bool
+		Stdout    string
+		Files     []opFileEntry
+		BatchPlan string
+		RunID     string
+	}{
+		Title: "Operation output", User: u, Op: res.Operation,
+		Elapsed: res.Elapsed.String(), Steps: res.Steps, FromCache: res.FromCache,
+		Stdout: res.Stdout, Files: files, BatchPlan: res.BatchPlan, RunID: runID,
+	})
+}
+
+// handleOpFile serves one artefact of a recent operation run.
+func (s *Server) handleOpFile(w http.ResponseWriter, r *http.Request, u core.User) {
+	q := r.URL.Query()
+	s.mu.Lock()
+	res, ok := s.runs[q.Get("run")]
+	s.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	name := q.Get("name")
+	for _, f := range res.Files {
+		if f.Name == name {
+			w.Header().Set("Content-Type", mimeFor(name))
+			w.Write(f.Data)
+			return
+		}
+	}
+	http.NotFound(w, r)
+}
+
+func mimeFor(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".pgm"):
+		return "image/x-portable-graymap"
+	case strings.HasSuffix(name, ".ppm"):
+		return "image/x-portable-pixmap"
+	case strings.HasSuffix(name, ".txt"):
+		return "text/plain; charset=utf-8"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+func (s *Server) handleUploadForm(w http.ResponseWriter, r *http.Request, u core.User) {
+	_, colID, table, key := s.opFromRequest(r)
+	file := key["FILE_NAME"]
+	_ = uploadFormTmpl.Execute(w, struct {
+		Title string
+		User  core.User
+		Error string
+		ColID string
+		Table string
+		File  string
+		Key   map[string]string
+	}{Title: "Upload post-processing code", User: u, ColID: colID, Table: table, File: file, Key: key})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, u core.User) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	_, colID, table, key := s.opFromRequest(r)
+	entry := r.PostFormValue("entry")
+	if entry == "" {
+		entry = "main.easl"
+	}
+	code := []byte(r.PostFormValue("code"))
+	res, err := s.archive.UploadAndRun(colID, table, key, code, "easl", entry, nil, u)
+	if err != nil {
+		s.renderError(w, u, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.renderOpResult(w, res, u)
+}
+
+// handleXUIS serves the active specification as XML — the document that
+// defines the whole interface.
+func (s *Server) handleXUIS(w http.ResponseWriter, r *http.Request, u core.User) {
+	spec := s.archive.Spec()
+	if spec == nil {
+		http.Error(w, "no XUIS installed", http.StatusServiceUnavailable)
+		return
+	}
+	data, err := spec.Marshal()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(data)
+}

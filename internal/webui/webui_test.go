@@ -1,0 +1,464 @@
+package webui
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dlfs"
+	"repro/internal/med"
+	"repro/internal/turb"
+	"repro/internal/xuis"
+)
+
+// testSite assembles a full EASIA web deployment for HTTP-level tests.
+type testSite struct {
+	srv     *httptest.Server
+	archive *core.Archive
+	client  *http.Client
+}
+
+func newSite(t *testing.T) *testSite {
+	t.Helper()
+	secret := []byte("webui-secret")
+	a, err := core.Open(core.Config{Secret: secret, WorkRoot: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	auth, _ := med.NewTokenAuthority(secret, 0)
+	store, err := dlfs.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AttachFileServer(core.WrapManager(dlfs.NewManager("fs1.sim:80", store, auth)))
+	if err := a.InitTurbulenceSchema(); err != nil {
+		t.Fatal(err)
+	}
+	seed := []string{
+		`INSERT INTO AUTHOR VALUES ('A19990110151042', 'Papiani', 'University of Southampton', 'p@soton.ac.uk')`,
+		`INSERT INTO SIMULATION VALUES ('S19990110150932', 'A19990110151042', 'Turbulent channel flow',
+			'DNS of channel flow at Re=1395.', 12, 1395.0, 100, '2000-03-27 09:00:00')`,
+	}
+	for _, sql := range seed {
+		if _, err := a.DB.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var tsf bytes.Buffer
+	if _, err := turb.Generate(12, 4, 7).WriteTo(&tsf); err != nil {
+		t.Fatal(err)
+	}
+	dsURL, err := a.ArchiveFile("fs1.sim:80", "/vol0/run1/ts4.tsf", bytes.NewReader(tsf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DB.Exec(fmt.Sprintf(
+		`INSERT INTO RESULT_FILE VALUES ('ts4.tsf', 'S19990110150932', 4, 'u,v,w,p', 'TSF', %d, DLVALUE('%s'))`,
+		tsf.Len(), dsURL)); err != nil {
+		t.Fatal(err)
+	}
+	codeURL, err := a.ArchiveFile("fs1.sim:80", "/codes/getimage.easl", strings.NewReader(`
+let axis = params["slice"]
+if (axis == nil) { axis = "z" }
+writeImage("slice.pgm", filename, "u", axis, floor(datasetInfo(filename).n / 2))
+print("rendered", axis)
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DB.Exec(fmt.Sprintf(
+		`INSERT INTO CODE_FILE VALUES ('GetImage.easl', 'S19990110150932', 'EASL', 'Slice renderer', DLVALUE('%s'))`,
+		codeURL)); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := a.GenerateXUIS("TURBULENCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Customisations from the paper: alias + FK substitution + an
+	// operation with a parameter form + upload.
+	if err := spec.SetFKSubstitution("SIMULATION", "AUTHOR_KEY", "AUTHOR.NAME"); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Operation{
+		Name: "GetImage", Type: "EASL", Filename: "getimage.easl", Format: "easl", GuestAccess: true,
+		Location: &xuis.Location{DatabaseResult: &xuis.DatabaseResult{
+			ColID:      "CODE_FILE.DOWNLOAD_CODE_FILE",
+			Conditions: []xuis.Condition{{ColID: "CODE_FILE.CODE_NAME", Eq: "'GetImage.easl'"}},
+		}},
+		Description: "Visualise one slice of the dataset",
+		Parameters: &xuis.Parameters{Params: []xuis.Param{
+			{Variable: xuis.Variable{
+				Description: "Select the slice you wish to visualise:",
+				Select: &xuis.Select{Name: "slice", Size: 3, Options: []xuis.Option{
+					{Value: "x", Label: "x plane"}, {Value: "y", Label: "y plane"}, {Value: "z", Label: "z plane"},
+				}},
+			}},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetUpload("RESULT_FILE", "DOWNLOAD_RESULT", &xuis.Upload{
+		Type: "EASL", Format: "easl", GuestAccess: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Users.Add(core.User{Name: "papiani"}, "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewServer(a))
+	t.Cleanup(srv.Close)
+	jar, _ := cookiejar.New(nil)
+	client := &http.Client{Jar: jar}
+	return &testSite{srv: srv, archive: a, client: client}
+}
+
+func (ts *testSite) login(t *testing.T, user, pass string) {
+	t.Helper()
+	resp, err := ts.client.PostForm(ts.srv.URL+"/login", url.Values{
+		"username": {user}, "password": {pass},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login status %d", resp.StatusCode)
+	}
+}
+
+func (ts *testSite) get(t *testing.T, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.client.Get(ts.srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func (ts *testSite) post(t *testing.T, path string, form url.Values) (int, string) {
+	t.Helper()
+	resp, err := ts.client.PostForm(ts.srv.URL+path, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestLoginAndHome(t *testing.T) {
+	ts := newSite(t)
+	// Anonymous home shows the login form, not the tables.
+	_, body := ts.get(t, "/")
+	if !strings.Contains(body, "Login") || strings.Contains(body, "RESULT_FILE") {
+		t.Fatalf("anonymous home wrong:\n%s", body)
+	}
+	// Bad credentials rejected.
+	code, _ := ts.post(t, "/login", url.Values{"username": {"guest"}, "password": {"wrong"}})
+	if code != http.StatusUnauthorized {
+		t.Fatalf("bad login status %d", code)
+	}
+	ts.login(t, "guest", "guest")
+	_, body = ts.get(t, "/")
+	for _, want := range []string{"Author", "Simulation", "Result File", "/table?name=AUTHOR"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("home missing %q", want)
+		}
+	}
+}
+
+func TestProtectedPagesRedirectAnonymous(t *testing.T) {
+	ts := newSite(t)
+	for _, path := range []string{"/table?name=AUTHOR", "/query?table=AUTHOR&all=1", "/xuis"} {
+		resp, err := http.Get(ts.srv.URL + path) // no cookie jar
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// The default client follows the redirect back to "/".
+		if resp.Request.URL.Path != "/" {
+			t.Errorf("%s not gated (landed on %s)", path, resp.Request.URL.Path)
+		}
+	}
+}
+
+// TestQueryFormRendering reproduces the paper's "Searching the archive"
+// figure: field checkboxes, operator drop-downs, sample values.
+func TestQueryFormRendering(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	code, body := ts.get(t, "/table?name=SIMULATION")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		`name="sel" value="SIMULATION_KEY"`,
+		`name="op_TITLE"`,
+		`<option>CONTAINS</option>`,
+		`S19990110150932`, // sample value from the data
+		`name="val_REYNOLDS"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("query form missing %q", want)
+		}
+	}
+}
+
+// TestResultTableBrowsingLinks reproduces the paper's "Result table"
+// figure: PK browsing, FK browsing with substitution, CLOB link, and
+// DATALINK links with operations.
+func TestResultTableBrowsingLinks(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "papiani", "s3cret")
+
+	_, body := ts.get(t, "/query?table=SIMULATION&all=1")
+	// FK substitution: the AUTHOR_KEY cell shows the author's name.
+	if !strings.Contains(body, "Papiani") {
+		t.Error("FK substitution not applied")
+	}
+	if !strings.Contains(body, "/browse?col=AUTHOR_KEY&amp;mode=fk&amp;table=AUTHOR") &&
+		!strings.Contains(body, "mode=fk") {
+		t.Error("FK browse link missing")
+	}
+	// PK browsing: SIMULATION_KEY links to the three referencing tables.
+	for _, child := range []string{"RESULT_FILE", "CODE_FILE", "VISUALISATION_FILE"} {
+		if !strings.Contains(body, "→ "+child) {
+			t.Errorf("PK browse link to %s missing", child)
+		}
+	}
+	// CLOB link with size.
+	if !strings.Contains(body, "CLOB (") {
+		t.Error("CLOB size link missing")
+	}
+
+	_, body = ts.get(t, "/query?table=RESULT_FILE&all=1")
+	// DATALINK cell: file name with size, download link with token, op link.
+	if !strings.Contains(body, "ts4.tsf (") {
+		t.Error("DATALINK size display missing")
+	}
+	if !strings.Contains(body, "/download?url=") || !strings.Contains(body, "%3B") {
+		t.Error("tokenized download link missing")
+	}
+	if !strings.Contains(body, "op:GetImage") {
+		t.Error("operation link missing")
+	}
+	if !strings.Contains(body, "upload code") {
+		t.Error("upload link missing")
+	}
+}
+
+// TestGuestPolicy: guests see no download or upload links but still see
+// guest-accessible operations.
+func TestGuestPolicy(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	_, body := ts.get(t, "/query?table=RESULT_FILE&all=1")
+	if strings.Contains(body, "/download?url=") {
+		t.Error("guest sees download link")
+	}
+	if strings.Contains(body, "upload code") {
+		t.Error("guest sees upload link")
+	}
+	if !strings.Contains(body, "op:GetImage") {
+		t.Error("guest-accessible operation hidden from guest")
+	}
+}
+
+func TestQBEQueryWithRestrictions(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	q := url.Values{
+		"table":     {"SIMULATION"},
+		"sel":       {"SIMULATION_KEY", "TITLE"},
+		"op_TITLE":  {"CONTAINS"},
+		"val_TITLE": {"channel"},
+	}
+	_, body := ts.get(t, "/query?"+q.Encode())
+	if !strings.Contains(body, "1 row(s)") {
+		t.Fatalf("restricted query wrong:\n%s", body)
+	}
+	q.Set("val_TITLE", "no-such-thing")
+	_, body = ts.get(t, "/query?"+q.Encode())
+	if !strings.Contains(body, "0 row(s)") {
+		t.Fatal("impossible restriction returned rows")
+	}
+}
+
+func TestBrowseEndpoints(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	_, body := ts.get(t, "/browse?mode=fk&table=AUTHOR&col=AUTHOR_KEY&value=A19990110151042")
+	if !strings.Contains(body, "p@soton.ac.uk") {
+		t.Error("fk browse missing author details")
+	}
+	_, body = ts.get(t, "/browse?mode=pk&table=RESULT_FILE&col=SIMULATION_KEY&value=S19990110150932")
+	if !strings.Contains(body, "ts4.tsf") {
+		t.Error("pk browse missing result file")
+	}
+	code, _ := ts.get(t, "/browse?mode=zap&table=AUTHOR&col=X&value=1")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad mode status %d", code)
+	}
+}
+
+func TestLOBRematerialisation(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	code, body := ts.get(t, "/lob?table=SIMULATION&col=DESCRIPTION&pk_SIMULATION_KEY=S19990110150932")
+	if code != 200 || !strings.Contains(body, "DNS of channel flow") {
+		t.Fatalf("lob: %d %q", code, body)
+	}
+}
+
+// TestDownloadFlow: the full DATALINK browsing path over HTTP — follow
+// the tokenized link from the result table and get the file bytes.
+func TestDownloadFlow(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "papiani", "s3cret")
+	_, body := ts.get(t, "/query?table=RESULT_FILE&all=1")
+	// Extract the download link.
+	i := strings.Index(body, `/download?url=`)
+	if i < 0 {
+		t.Fatal("no download link")
+	}
+	end := strings.IndexByte(body[i:], '"')
+	href := strings.ReplaceAll(body[i:i+end], "&amp;", "&")
+	code, content := ts.get(t, href)
+	if code != 200 {
+		t.Fatalf("download status %d", code)
+	}
+	if int64(len(content)) != turb.FileBytes(12) {
+		t.Fatalf("downloaded %d bytes, want %d", len(content), turb.FileBytes(12))
+	}
+}
+
+// TestOperationFlow: operation form (generated from XUIS), run, fetch
+// the produced image — the paper's three operation figures.
+func TestOperationFlow(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	q := url.Values{
+		"op":                {"GetImage"},
+		"colid":             {"RESULT_FILE.DOWNLOAD_RESULT"},
+		"table":             {"RESULT_FILE"},
+		"pk_FILE_NAME":      {"ts4.tsf"},
+		"pk_SIMULATION_KEY": {"S19990110150932"},
+	}
+	code, body := ts.get(t, "/opform?"+q.Encode())
+	if code != 200 {
+		t.Fatalf("opform status %d", code)
+	}
+	for _, want := range []string{
+		"Select the slice you wish to visualise:",
+		`<select name="slice" size="3">`,
+		`<option value="z">z plane</option>`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("opform missing %q", want)
+		}
+	}
+
+	form := url.Values{}
+	for k, vs := range q {
+		form[k] = vs
+	}
+	form.Set("slice", "z")
+	code, body = ts.post(t, "/oprun", form)
+	if code != 200 {
+		t.Fatalf("oprun status %d: %s", code, body)
+	}
+	if !strings.Contains(body, "rendered z") {
+		t.Errorf("operation output missing:\n%s", body)
+	}
+	if !strings.Contains(body, "easl-run --sandbox") {
+		t.Error("batch plan missing")
+	}
+	// Fetch the produced image.
+	i := strings.Index(body, `/opfile?run=`)
+	if i < 0 {
+		t.Fatal("no result file link")
+	}
+	end := strings.IndexByte(body[i:], '"')
+	href := strings.ReplaceAll(body[i:i+end], "&amp;", "&")
+	resp, err := ts.client.Get(ts.srv.URL + href)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Type") != "image/x-portable-graymap" {
+		t.Errorf("content type %q", resp.Header.Get("Content-Type"))
+	}
+	if !bytes.HasPrefix(img, []byte("P5\n12 12\n")) {
+		t.Errorf("image payload wrong: %q", img[:12])
+	}
+}
+
+// TestUploadFlow: authorised code upload over HTTP; guests rejected.
+func TestUploadFlow(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "papiani", "s3cret")
+	form := url.Values{
+		"colid":             {"RESULT_FILE.DOWNLOAD_RESULT"},
+		"table":             {"RESULT_FILE"},
+		"pk_FILE_NAME":      {"ts4.tsf"},
+		"pk_SIMULATION_KEY": {"S19990110150932"},
+		"entry":             {"main.easl"},
+		"code":              {`print("uploaded code ran on", filename)`},
+	}
+	code, body := ts.post(t, "/upload", form)
+	if code != 200 || !strings.Contains(body, "uploaded code ran on ts4.tsf") {
+		t.Fatalf("upload: %d\n%s", code, body)
+	}
+
+	ts2 := newSite(t)
+	ts2.login(t, "guest", "guest")
+	code, _ = ts2.post(t, "/upload", form)
+	if code != http.StatusBadRequest {
+		t.Fatalf("guest upload status %d, want 400", code)
+	}
+}
+
+func TestXUISEndpoint(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	resp, err := ts.client.Get(ts.srv.URL + "/xuis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/xml") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), `<xuis database="TURBULENCE"`) {
+		t.Error("XUIS body wrong")
+	}
+}
+
+func TestLogout(t *testing.T) {
+	ts := newSite(t)
+	ts.login(t, "guest", "guest")
+	if _, body := ts.get(t, "/"); !strings.Contains(body, "logout") {
+		t.Fatal("not logged in")
+	}
+	ts.get(t, "/logout")
+	if _, body := ts.get(t, "/"); strings.Contains(body, "logout") {
+		t.Fatal("still logged in after logout")
+	}
+}

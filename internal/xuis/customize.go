@@ -1,0 +1,147 @@
+package xuis
+
+import "fmt"
+
+// Customisation transforms — the paper's "the default XUIS can be
+// customised prior to system initialisation": aliases, hiding, FK
+// substitute columns, user-defined relationships, samples, operations
+// and upload markup. Each helper mutates the spec in place and returns
+// an error when the target does not exist, so customisation scripts
+// fail loudly rather than silently producing a broken UI.
+
+// SetTableAlias sets the display alias for a table.
+func (s *Spec) SetTableAlias(table, alias string) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("xuis: unknown table %s", table)
+	}
+	t.Alias = alias
+	return nil
+}
+
+// SetColumnAlias sets the display alias for a column.
+func (s *Spec) SetColumnAlias(table, column, alias string) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	c.Alias = alias
+	return nil
+}
+
+// HideTable removes a table from the generated UI without touching the
+// database.
+func (s *Spec) HideTable(table string) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("xuis: unknown table %s", table)
+	}
+	t.Hidden = true
+	return nil
+}
+
+// HideColumn removes a column from query forms and result tables.
+func (s *Spec) HideColumn(table, column string) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	c.Hidden = true
+	return nil
+}
+
+// SetFKSubstitution makes result tables show substColumn's value from
+// the referenced table instead of the raw foreign-key value — the
+// paper's example replaces AUTHOR_KEY with the author's Name.
+func (s *Spec) SetFKSubstitution(table, column, substColumn string) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	if c.FK == nil {
+		return fmt.Errorf("xuis: column %s.%s has no foreign key to substitute", table, column)
+	}
+	c.FK.SubstColumn = substColumn
+	return nil
+}
+
+// AddUserRelationship declares a browsing link that has no backing
+// referential-integrity constraint.
+func (s *Spec) AddUserRelationship(table, column, targetTableColumn string) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	if c.FK != nil {
+		return fmt.Errorf("xuis: column %s.%s already has a relationship", table, column)
+	}
+	c.FK = &FKSpec{TableColumn: targetTableColumn, UserDefined: true}
+	return nil
+}
+
+// SetSamples replaces a column's sample values ("different sample
+// values" is one of the paper's customisation points).
+func (s *Spec) SetSamples(table, column string, samples ...string) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		c.Samples = nil
+		return nil
+	}
+	c.Samples = &Samples{Values: samples}
+	return nil
+}
+
+// AddOperation attaches a post-processing operation to a column.
+func (s *Spec) AddOperation(table, column string, op *Operation) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	for _, existing := range c.Operations {
+		if existing.Name == op.Name {
+			return fmt.Errorf("xuis: operation %s already defined on %s.%s", op.Name, table, column)
+		}
+	}
+	c.Operations = append(c.Operations, op)
+	return nil
+}
+
+// RemoveOperation detaches a named operation.
+func (s *Spec) RemoveOperation(table, column, name string) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	for i, existing := range c.Operations {
+		if existing.Name == name {
+			c.Operations = append(c.Operations[:i], c.Operations[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("xuis: no operation %s on %s.%s", name, table, column)
+}
+
+// SetUpload enables (or, with nil, disables) code upload on a column.
+func (s *Spec) SetUpload(table, column string, up *Upload) error {
+	c, err := s.column(table, column)
+	if err != nil {
+		return err
+	}
+	c.Upload = up
+	return nil
+}
+
+func (s *Spec) column(table, column string) (*Column, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("xuis: unknown table %s", table)
+	}
+	c, ok := t.Column(column)
+	if !ok {
+		return nil, fmt.Errorf("xuis: unknown column %s.%s", table, column)
+	}
+	return c, nil
+}

@@ -1,0 +1,99 @@
+package xuis
+
+// DTD is the document type definition for XUIS files — the paper:
+// "Default XUIS conforms to a DTD that we have created." The Go XML
+// stack does not validate against DTDs, so Validate() enforces these
+// rules programmatically (plus catalogue consistency the DTD cannot
+// express); the DTD itself is served for interoperability and
+// documents the element vocabulary in one place.
+const DTD = `<!-- DTD for the EASIA XML User Interface Specification (XUIS) -->
+<!ELEMENT xuis (table*)>
+<!ATTLIST xuis
+  database CDATA #REQUIRED
+  version  CDATA #IMPLIED>
+
+<!ELEMENT table (tablealias?, column*)>
+<!ATTLIST table
+  name       CDATA #REQUIRED
+  primaryKey CDATA #REQUIRED
+  hidden     (true|false) "false">
+
+<!ELEMENT tablealias (#PCDATA)>
+
+<!ELEMENT column (colalias?, type, pk?, fk?, samples?, operation*, upload?)>
+<!ATTLIST column
+  name   CDATA #REQUIRED
+  colid  CDATA #REQUIRED
+  hidden (true|false) "false">
+
+<!ELEMENT colalias (#PCDATA)>
+
+<!-- The SQL type is an empty element named after the type, e.g.
+     <type><VARCHAR/><size>30</size></type> -->
+<!ELEMENT type ((INTEGER|DOUBLE|VARCHAR|BOOLEAN|TIMESTAMP|BLOB|CLOB|DATALINK), size?)>
+<!ELEMENT INTEGER   EMPTY>
+<!ELEMENT DOUBLE    EMPTY>
+<!ELEMENT VARCHAR   EMPTY>
+<!ELEMENT BOOLEAN   EMPTY>
+<!ELEMENT TIMESTAMP EMPTY>
+<!ELEMENT BLOB      EMPTY>
+<!ELEMENT CLOB      EMPTY>
+<!ELEMENT DATALINK  EMPTY>
+<!ELEMENT size (#PCDATA)>
+
+<!ELEMENT pk (refby*)>
+<!ELEMENT refby EMPTY>
+<!ATTLIST refby tablecolumn CDATA #REQUIRED>
+
+<!ELEMENT fk EMPTY>
+<!ATTLIST fk
+  tablecolumn CDATA #REQUIRED
+  substcolumn CDATA #IMPLIED
+  userdefined (true|false) "false">
+
+<!ELEMENT samples (sample*)>
+<!ELEMENT sample (#PCDATA)>
+
+<!ELEMENT operation (if?, location, description?, parameters?)>
+<!ATTLIST operation
+  name         CDATA #REQUIRED
+  type         CDATA #IMPLIED
+  filename     CDATA #IMPLIED
+  format       CDATA #IMPLIED
+  guest.access (true|false) "false"
+  column       (true|false) "false">
+
+<!ELEMENT if (condition+)>
+<!ELEMENT condition (eq)>
+<!ATTLIST condition colid CDATA #REQUIRED>
+<!ELEMENT eq (#PCDATA)>
+
+<!ELEMENT location (database.result | URL)>
+<!ELEMENT database.result (condition*)>
+<!ATTLIST database.result colid CDATA #REQUIRED>
+<!ELEMENT URL (#PCDATA)>
+
+<!ELEMENT description (#PCDATA)>
+
+<!ELEMENT parameters (param+)>
+<!ELEMENT param (variable)>
+<!ELEMENT variable (description, (select | input+))>
+<!ELEMENT select (option+)>
+<!ATTLIST select
+  name CDATA #REQUIRED
+  size CDATA #IMPLIED>
+<!ELEMENT option (#PCDATA)>
+<!ATTLIST option value CDATA #REQUIRED>
+<!ELEMENT input (#PCDATA)>
+<!ATTLIST input
+  type  CDATA #REQUIRED
+  name  CDATA #REQUIRED
+  value CDATA #IMPLIED>
+
+<!ELEMENT upload (if?)>
+<!ATTLIST upload
+  type         CDATA #REQUIRED
+  format       CDATA #REQUIRED
+  guest.access (true|false) "false"
+  column       (true|false) "false">
+`

@@ -1,0 +1,338 @@
+// Package xuis implements the XML User Interface Specification at the
+// heart of the paper: a schema-derived XML document that drives the
+// entire web interface. The element vocabulary reproduces the paper's
+// fragments — <table>, <tablealias>, <column>, <type>, <pk>/<refby>,
+// <fk substcolumn=…>, <samples>, <operation> (with <if>/<condition>,
+// <location>, <parameters>) and <upload> — and the package provides the
+// default-XUIS generator tool, structural validation standing in for the
+// paper's DTD, and the customisation transforms the paper describes
+// (aliases, hidden tables/columns, substitute columns, user-defined
+// relationships, per-user personalisation).
+package xuis
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// Spec is the root <xuis> document.
+type Spec struct {
+	XMLName  xml.Name `xml:"xuis"`
+	Database string   `xml:"database,attr"`
+	Version  string   `xml:"version,attr,omitempty"`
+	Tables   []*Table `xml:"table"`
+}
+
+// Table describes one archive table and its UI behaviour.
+type Table struct {
+	Name       string    `xml:"name,attr"`
+	PrimaryKey string    `xml:"primaryKey,attr"` // "TABLE.COL [TABLE.COL…]"
+	Hidden     bool      `xml:"hidden,attr,omitempty"`
+	Alias      string    `xml:"tablealias,omitempty"`
+	Columns    []*Column `xml:"column"`
+}
+
+// Column describes one column: its type, key relationships, sample
+// values and any operations or upload capability bound to it.
+type Column struct {
+	Name   string   `xml:"name,attr"`
+	ColID  string   `xml:"colid,attr"` // "TABLE.COLUMN"
+	Hidden bool     `xml:"hidden,attr,omitempty"`
+	Alias  string   `xml:"colalias,omitempty"`
+	Type   TypeSpec `xml:"type"`
+	// PK carries reverse references when this column is (part of) the
+	// primary key: every table.column that references it.
+	PK *PKSpec `xml:"pk,omitempty"`
+	// FK links this column to the primary key it references; an
+	// optional substitute column replaces raw key values in result
+	// tables (the paper's customisation example).
+	FK         *FKSpec      `xml:"fk,omitempty"`
+	Samples    *Samples     `xml:"samples,omitempty"`
+	Operations []*Operation `xml:"operation,omitempty"`
+	Upload     *Upload      `xml:"upload,omitempty"`
+}
+
+// TypeSpec renders the paper's idiom <type><VARCHAR/><size>30</size></type>:
+// an empty element named after the SQL type plus an optional size.
+type TypeSpec struct {
+	SQLType string // "VARCHAR", "INTEGER", "DATALINK", …
+	Size    int
+}
+
+// MarshalXML writes <type><VARCHAR/><size>30</size></type>.
+func (t TypeSpec) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	if err := e.EncodeToken(start); err != nil {
+		return err
+	}
+	name := t.SQLType
+	if name == "" {
+		name = "VARCHAR"
+	}
+	inner := xml.StartElement{Name: xml.Name{Local: name}}
+	if err := e.EncodeToken(inner); err != nil {
+		return err
+	}
+	if err := e.EncodeToken(inner.End()); err != nil {
+		return err
+	}
+	if t.Size > 0 {
+		if err := e.EncodeElement(t.Size, xml.StartElement{Name: xml.Name{Local: "size"}}); err != nil {
+			return err
+		}
+	}
+	return e.EncodeToken(start.End())
+}
+
+// UnmarshalXML parses the same shape back.
+func (t *TypeSpec) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return err
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			if el.Name.Local == "size" {
+				var size int
+				if err := d.DecodeElement(&size, &el); err != nil {
+					return err
+				}
+				t.Size = size
+			} else {
+				t.SQLType = el.Name.Local
+				if err := d.Skip(); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			if el.Name == start.Name {
+				return nil
+			}
+		}
+	}
+}
+
+// PKSpec lists the referencing columns of a primary-key column.
+type PKSpec struct {
+	RefBy []RefBy `xml:"refby"`
+}
+
+// RefBy is one <refby tablecolumn="SIMULATION.AUTHOR_KEY"/>.
+type RefBy struct {
+	TableColumn string `xml:"tablecolumn,attr"`
+}
+
+// FKSpec is <fk tablecolumn="AUTHOR.AUTHOR_KEY" substcolumn="AUTHOR.NAME"/>.
+type FKSpec struct {
+	TableColumn string `xml:"tablecolumn,attr"`
+	SubstColumn string `xml:"substcolumn,attr,omitempty"`
+	// UserDefined marks relationships added through customisation that
+	// have no backing referential-integrity constraint (the paper:
+	// "Hypertext links to related data can be specified in the XML even
+	// if there are no referential integrity constraints defined").
+	UserDefined bool `xml:"userdefined,attr,omitempty"`
+}
+
+// Samples holds example values shown in query-form drop-downs.
+type Samples struct {
+	Values []string `xml:"sample"`
+}
+
+// Operation binds a server-side post-processing code to a column, the
+// paper's central "operations" mechanism.
+type Operation struct {
+	Name        string      `xml:"name,attr"`
+	Type        string      `xml:"type,attr"`     // "EASL" here; "JAVA" in the paper
+	Filename    string      `xml:"filename,attr"` // initial executable inside the package
+	Format      string      `xml:"format,attr"`   // "easl", "zip", "tar.gz", …
+	GuestAccess bool        `xml:"guest.access,attr"`
+	PerColumn   bool        `xml:"column,attr"`
+	If          *IfSpec     `xml:"if,omitempty"`
+	Location    *Location   `xml:"location"`
+	Description string      `xml:"description,omitempty"`
+	Parameters  *Parameters `xml:"parameters,omitempty"`
+}
+
+// IfSpec restricts an operation/upload to rows matching all conditions.
+type IfSpec struct {
+	Conditions []Condition `xml:"condition"`
+}
+
+// Condition is <condition colid="…"><eq>'VALUE'</eq></condition>.
+// Values keep the paper's quoted-literal form.
+type Condition struct {
+	ColID string `xml:"colid,attr"`
+	Eq    string `xml:"eq"`
+}
+
+// Value strips the SQL-style quotes from the condition literal.
+func (c Condition) Value() string {
+	return strings.Trim(strings.TrimSpace(c.Eq), "'")
+}
+
+// Location says where the operation's code lives: either archived in
+// the database (a DATALINK column plus conditions selecting the row) or
+// an external URL service (the paper's NCSA SDB example).
+type Location struct {
+	DatabaseResult *DatabaseResult `xml:"database.result,omitempty"`
+	URL            string          `xml:"URL,omitempty"`
+}
+
+// DatabaseResult selects the DATALINK holding the packaged code.
+type DatabaseResult struct {
+	ColID      string      `xml:"colid,attr"`
+	Conditions []Condition `xml:"condition"`
+}
+
+// Parameters describes the HTML form generated at invocation time.
+type Parameters struct {
+	Params []Param `xml:"param"`
+}
+
+// Param wraps one variable, matching the paper's <param><variable>…
+type Param struct {
+	Variable Variable `xml:"variable"`
+}
+
+// Variable is one form control: a <select> with options or a set of
+// <input> radio/text controls.
+type Variable struct {
+	Description string  `xml:"description"`
+	Select      *Select `xml:"select,omitempty"`
+	Inputs      []Input `xml:"input,omitempty"`
+}
+
+// Select is a drop-down.
+type Select struct {
+	Name    string   `xml:"name,attr"`
+	Size    int      `xml:"size,attr,omitempty"`
+	Options []Option `xml:"option"`
+}
+
+// Option is one drop-down entry.
+type Option struct {
+	Value string `xml:"value,attr"`
+	Label string `xml:",chardata"`
+}
+
+// Input is a radio button or text field.
+type Input struct {
+	Type  string `xml:"type,attr"`
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr,omitempty"`
+	Label string `xml:",chardata"`
+}
+
+// Upload marks a DATALINK column as accepting user-uploaded
+// post-processing code, with guest-policy and row conditions.
+type Upload struct {
+	Type        string  `xml:"type,attr"`
+	Format      string  `xml:"format,attr"`
+	GuestAccess bool    `xml:"guest.access,attr"`
+	PerColumn   bool    `xml:"column,attr"`
+	If          *IfSpec `xml:"if,omitempty"`
+}
+
+// ---------- lookup helpers ----------
+
+// Table returns the (case-insensitive) named table.
+func (s *Spec) Table(name string) (*Table, bool) {
+	for _, t := range s.Tables {
+		if strings.EqualFold(t.Name, name) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Column returns the (case-insensitive) named column.
+func (t *Table) Column(name string) (*Column, bool) {
+	for _, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// DisplayName returns the alias if set, else the raw name.
+func (t *Table) DisplayName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// DisplayName returns the alias if set, else the raw name.
+func (c *Column) DisplayName() string {
+	if c.Alias != "" {
+		return c.Alias
+	}
+	return c.Name
+}
+
+// VisibleTables returns non-hidden tables in document order.
+func (s *Spec) VisibleTables() []*Table {
+	var out []*Table
+	for _, t := range s.Tables {
+		if !t.Hidden {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// VisibleColumns returns non-hidden columns in document order.
+func (t *Table) VisibleColumns() []*Column {
+	var out []*Column
+	for _, c := range t.Columns {
+		if !c.Hidden {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SplitColID splits "TABLE.COLUMN" into its parts.
+func SplitColID(colid string) (table, column string, err error) {
+	i := strings.IndexByte(colid, '.')
+	if i <= 0 || i == len(colid)-1 {
+		return "", "", fmt.Errorf("xuis: malformed colid %q (want TABLE.COLUMN)", colid)
+	}
+	return colid[:i], colid[i+1:], nil
+}
+
+// Marshal renders the spec as indented XML with the standard header.
+func (s *Spec) Marshal() ([]byte, error) {
+	body, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), append(body, '\n')...), nil
+}
+
+// Parse reads a spec from XML.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := xml.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("xuis: %w", err)
+	}
+	return &s, nil
+}
+
+// Clone deep-copies the spec (personalisation: "different users … can
+// have different XML files" — clone the default, then customise).
+func (s *Spec) Clone() *Spec {
+	data, err := xml.Marshal(s)
+	if err != nil {
+		// Marshal of an in-memory spec cannot fail with well-formed
+		// field types; a failure here is a programming error.
+		panic("xuis: clone marshal: " + err.Error())
+	}
+	var out Spec
+	if err := xml.Unmarshal(data, &out); err != nil {
+		panic("xuis: clone unmarshal: " + err.Error())
+	}
+	return &out
+}

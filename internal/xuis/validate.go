@@ -1,0 +1,161 @@
+package xuis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+)
+
+// Validate checks the structural rules the paper's DTD would enforce,
+// plus referential consistency against the live catalogue: every colid
+// must name a real table.column, FK targets must exist, operation
+// locations must be well formed, and upload/operation markup may only
+// hang off DATALINK columns.
+func Validate(s *Spec, cat *sqldb.Catalog) error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("xuis: "+format, args...))
+	}
+	colExists := func(colid string) bool {
+		table, column, err := SplitColID(colid)
+		if err != nil {
+			return false
+		}
+		schema, ok := cat.Table(table)
+		if !ok {
+			return false
+		}
+		return schema.ColIndex(column) >= 0
+	}
+	checkConds := func(where string, conds []Condition) {
+		for _, c := range conds {
+			if !colExists(c.ColID) {
+				report("%s: condition references unknown column %q", where, c.ColID)
+			}
+			if strings.TrimSpace(c.Eq) == "" {
+				report("%s: condition on %s has empty <eq>", where, c.ColID)
+			}
+		}
+	}
+
+	if s.Database == "" {
+		report("missing database attribute")
+	}
+	seenTables := map[string]bool{}
+	for _, t := range s.Tables {
+		key := strings.ToUpper(t.Name)
+		if seenTables[key] {
+			report("duplicate table %s", t.Name)
+		}
+		seenTables[key] = true
+		schema, ok := cat.Table(t.Name)
+		if !ok {
+			report("table %s does not exist in the database", t.Name)
+			continue
+		}
+		for _, pkcol := range strings.Fields(t.PrimaryKey) {
+			if !colExists(pkcol) {
+				report("table %s: primaryKey names unknown column %q", t.Name, pkcol)
+			}
+		}
+		seenCols := map[string]bool{}
+		for _, c := range t.Columns {
+			where := t.Name + "." + c.Name
+			ck := strings.ToUpper(c.Name)
+			if seenCols[ck] {
+				report("duplicate column %s", where)
+			}
+			seenCols[ck] = true
+			if schema.ColIndex(c.Name) < 0 {
+				report("column %s does not exist in the database", where)
+				continue
+			}
+			wantColID := strings.ToUpper(t.Name) + "." + strings.ToUpper(c.Name)
+			if !strings.EqualFold(c.ColID, wantColID) {
+				report("column %s: colid %q does not match %q", where, c.ColID, wantColID)
+			}
+			if c.Type.SQLType == "" {
+				report("column %s: missing type", where)
+			}
+			if c.PK != nil {
+				for _, r := range c.PK.RefBy {
+					if !colExists(r.TableColumn) {
+						report("column %s: refby names unknown column %q", where, r.TableColumn)
+					}
+				}
+			}
+			if c.FK != nil {
+				if !colExists(c.FK.TableColumn) {
+					report("column %s: fk targets unknown column %q", where, c.FK.TableColumn)
+				}
+				if c.FK.SubstColumn != "" {
+					if !colExists(c.FK.SubstColumn) {
+						report("column %s: fk substcolumn %q unknown", where, c.FK.SubstColumn)
+					} else {
+						// The substitute must live in the referenced table.
+						ft, _, _ := SplitColID(c.FK.TableColumn)
+						st, _, _ := SplitColID(c.FK.SubstColumn)
+						if !strings.EqualFold(ft, st) {
+							report("column %s: substcolumn %q is not in referenced table %s", where, c.FK.SubstColumn, ft)
+						}
+					}
+				}
+			}
+			for _, op := range c.Operations {
+				opWhere := fmt.Sprintf("operation %s on %s", op.Name, where)
+				if op.Name == "" {
+					report("%s: missing name", opWhere)
+				}
+				if op.Location == nil {
+					report("%s: missing <location>", opWhere)
+				} else {
+					hasDB := op.Location.DatabaseResult != nil
+					hasURL := strings.TrimSpace(op.Location.URL) != ""
+					switch {
+					case hasDB && hasURL:
+						report("%s: location has both database.result and URL", opWhere)
+					case !hasDB && !hasURL:
+						report("%s: location is empty", opWhere)
+					case hasDB:
+						dr := op.Location.DatabaseResult
+						if !colExists(dr.ColID) {
+							report("%s: location colid %q unknown", opWhere, dr.ColID)
+						}
+						checkConds(opWhere, dr.Conditions)
+					}
+				}
+				if op.If != nil {
+					checkConds(opWhere, op.If.Conditions)
+				}
+				if op.Parameters != nil {
+					for i, p := range op.Parameters.Params {
+						v := p.Variable
+						if v.Select == nil && len(v.Inputs) == 0 {
+							report("%s: param %d has no control", opWhere, i+1)
+						}
+						if v.Select != nil && v.Select.Name == "" {
+							report("%s: param %d select missing name", opWhere, i+1)
+						}
+						for _, inp := range v.Inputs {
+							if inp.Name == "" {
+								report("%s: param %d input missing name", opWhere, i+1)
+							}
+						}
+					}
+				}
+			}
+			if c.Upload != nil {
+				col, _ := schema.Col(c.Name)
+				if col.Type.Datalink == nil {
+					report("column %s: <upload> requires a DATALINK column", where)
+				}
+				if c.Upload.If != nil {
+					checkConds("upload on "+where, c.Upload.If.Conditions)
+				}
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,420 @@
+package xuis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// testDB builds a miniature of the paper's turbulence schema with a few
+// rows, enough to exercise generation, sampling and validation.
+func testDB(t *testing.T) *sqldb.DB {
+	t.Helper()
+	db, err := sqldb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ddl := `
+CREATE TABLE AUTHOR (
+  AUTHOR_KEY VARCHAR(30) PRIMARY KEY,
+  NAME VARCHAR(100) NOT NULL,
+  EMAIL VARCHAR(100));
+CREATE TABLE SIMULATION (
+  SIMULATION_KEY VARCHAR(30) PRIMARY KEY,
+  AUTHOR_KEY VARCHAR(30) REFERENCES AUTHOR (AUTHOR_KEY),
+  TITLE VARCHAR(200) NOT NULL);
+CREATE TABLE RESULT_FILE (
+  FILE_NAME VARCHAR(100),
+  SIMULATION_KEY VARCHAR(30) REFERENCES SIMULATION (SIMULATION_KEY),
+  MEASUREMENT VARCHAR(30),
+  DOWNLOAD_RESULT DATALINK LINKTYPE URL NO FILE LINK CONTROL,
+  PRIMARY KEY (FILE_NAME, SIMULATION_KEY));
+`
+	if err := db.ExecScript(ddl); err != nil {
+		t.Fatal(err)
+	}
+	seed := []string{
+		`INSERT INTO AUTHOR VALUES ('A19990110151042', 'Papiani', 'p@soton.ac.uk')`,
+		`INSERT INTO AUTHOR VALUES ('A19990209151042', 'Wason', NULL)`,
+		`INSERT INTO SIMULATION VALUES ('S19990110150932', 'A19990110151042', 'Channel flow Re=1395')`,
+		`INSERT INTO RESULT_FILE VALUES ('ts1.tsf', 'S19990110150932', 'u,v,w,p',
+			DLVALUE('http://fs1.sim:80/vol0/run1/ts1.tsf'))`,
+	}
+	for _, sql := range seed {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func generate(t *testing.T, db *sqldb.DB) *Spec {
+	t.Helper()
+	spec, err := Generator{MaxSamples: 2}.Generate(db, "TURBULENCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestGeneratedAuthorFragment reproduces the paper's "XUIS fragment"
+// slide: the AUTHOR table with type, size, pk/refby and samples.
+func TestGeneratedAuthorFragment(t *testing.T) {
+	spec := generate(t, testDB(t))
+	data, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml := string(data)
+	for _, want := range []string{
+		`<table name="AUTHOR" primaryKey="AUTHOR.AUTHOR_KEY">`,
+		`<column name="AUTHOR_KEY" colid="AUTHOR.AUTHOR_KEY">`,
+		`<VARCHAR></VARCHAR>`,
+		`<size>30</size>`,
+		`<refby tablecolumn="SIMULATION.AUTHOR_KEY">`,
+		`<sample>A19990110151042</sample>`,
+		`<sample>A19990209151042</sample>`,
+	} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("generated XUIS missing %q\n%s", want, xml)
+		}
+	}
+}
+
+func TestGeneratedRelationships(t *testing.T) {
+	spec := generate(t, testDB(t))
+	sim, ok := spec.Table("SIMULATION")
+	if !ok {
+		t.Fatal("SIMULATION missing")
+	}
+	ak, _ := sim.Column("AUTHOR_KEY")
+	if ak.FK == nil || ak.FK.TableColumn != "AUTHOR.AUTHOR_KEY" {
+		t.Fatalf("fk = %+v", ak.FK)
+	}
+	sk, _ := sim.Column("SIMULATION_KEY")
+	if sk.PK == nil || len(sk.PK.RefBy) != 1 || sk.PK.RefBy[0].TableColumn != "RESULT_FILE.SIMULATION_KEY" {
+		t.Fatalf("pk refby = %+v", sk.PK)
+	}
+	rf, _ := spec.Table("RESULT_FILE")
+	if rf.PrimaryKey != "RESULT_FILE.FILE_NAME RESULT_FILE.SIMULATION_KEY" {
+		t.Fatalf("composite pk attr = %q", rf.PrimaryKey)
+	}
+	dl, _ := rf.Column("DOWNLOAD_RESULT")
+	if dl.Type.SQLType != "DATALINK" {
+		t.Fatalf("datalink type = %+v", dl.Type)
+	}
+	if dl.Samples != nil {
+		t.Fatal("DATALINK column should not carry samples by default")
+	}
+}
+
+func TestRoundTripXML(t *testing.T) {
+	spec := generate(t, testDB(t))
+	data, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("round trip not stable:\n--- first\n%s\n--- second\n%s", data, data2)
+	}
+}
+
+func TestValidateAcceptsGenerated(t *testing.T) {
+	db := testDB(t)
+	spec := generate(t, db)
+	if err := Validate(spec, db.Catalog()); err != nil {
+		t.Fatalf("generated spec invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBreakage(t *testing.T) {
+	db := testDB(t)
+	check := func(mutate func(*Spec), wantSub string) {
+		t.Helper()
+		spec := generate(t, db)
+		mutate(spec)
+		err := Validate(spec, db.Catalog())
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("want error containing %q, got %v", wantSub, err)
+		}
+	}
+	check(func(s *Spec) { s.Tables[0].Name = "GHOST" }, "does not exist")
+	check(func(s *Spec) { s.Tables[0].Columns[0].ColID = "AUTHOR.WRONG" }, "colid")
+	check(func(s *Spec) {
+		sim, _ := s.Table("SIMULATION")
+		c, _ := sim.Column("AUTHOR_KEY")
+		c.FK.SubstColumn = "SIMULATION.TITLE" // not in referenced table
+	}, "not in referenced table")
+	check(func(s *Spec) {
+		rf, _ := s.Table("RESULT_FILE")
+		c, _ := rf.Column("DOWNLOAD_RESULT")
+		c.Operations = append(c.Operations, &Operation{Name: "Broken"})
+	}, "missing <location>")
+	check(func(s *Spec) {
+		a, _ := s.Table("AUTHOR")
+		c, _ := a.Column("NAME")
+		c.Upload = &Upload{Type: "EASL", Format: "easl"}
+	}, "requires a DATALINK")
+}
+
+// TestOperationFragment reproduces the paper's "XUIS fragment for an
+// operation" slides: the GetImage operation with condition, location in
+// the database, and a parameter form.
+func TestOperationFragment(t *testing.T) {
+	db := testDB(t)
+	spec := generate(t, db)
+	op := &Operation{
+		Name:        "GetImage",
+		Type:        "EASL",
+		Filename:    "GetImage.easl",
+		Format:      "easl",
+		GuestAccess: true,
+		If: &IfSpec{Conditions: []Condition{
+			{ColID: "RESULT_FILE.SIMULATION_KEY", Eq: "'S19990110150932'"},
+		}},
+		Location: &Location{DatabaseResult: &DatabaseResult{
+			ColID: "RESULT_FILE.DOWNLOAD_RESULT",
+			Conditions: []Condition{
+				{ColID: "RESULT_FILE.FILE_NAME", Eq: "'GetImage.easl'"},
+			},
+		}},
+		Parameters: &Parameters{Params: []Param{
+			{Variable: Variable{
+				Description: "Select the slice you wish to visualise:",
+				Select: &Select{Name: "slice", Size: 4, Options: []Option{
+					{Value: "x0", Label: "x0=0.0"},
+					{Value: "x1", Label: "x1=0.1015625"},
+				}},
+			}},
+			{Variable: Variable{
+				Description: "Select velocity component or pressure:",
+				Inputs: []Input{
+					{Type: "radio", Name: "type", Value: "u", Label: "u speed"},
+					{Type: "radio", Name: "type", Value: "p", Label: "pressure"},
+				},
+			}},
+		}},
+	}
+	if err := spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(spec, db.Catalog()); err != nil {
+		t.Fatalf("spec with operation invalid: %v", err)
+	}
+	data, _ := spec.Marshal()
+	xml := string(data)
+	for _, want := range []string{
+		`<operation name="GetImage" type="EASL" filename="GetImage.easl" format="easl" guest.access="true" column="false">`,
+		`<condition colid="RESULT_FILE.SIMULATION_KEY">`,
+		`<eq>&#39;S19990110150932&#39;</eq>`,
+		`<database.result colid="RESULT_FILE.DOWNLOAD_RESULT">`,
+		`<select name="slice" size="4">`,
+		`<option value="x0">x0=0.0</option>`,
+		`<input type="radio" name="type" value="u">u speed</input>`,
+	} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("operation XML missing %q\n%s", want, xml)
+		}
+	}
+	// Round trip keeps the operation intact.
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := back.Table("RESULT_FILE")
+	c, _ := rf.Column("DOWNLOAD_RESULT")
+	if len(c.Operations) != 1 || c.Operations[0].Name != "GetImage" {
+		t.Fatalf("operation lost in round trip: %+v", c.Operations)
+	}
+	if got := c.Operations[0].If.Conditions[0].Value(); got != "S19990110150932" {
+		t.Fatalf("condition value = %q", got)
+	}
+}
+
+// TestURLOperationFragment reproduces the paper's SDB fragment: an
+// operation whose location is an external URL service.
+func TestURLOperationFragment(t *testing.T) {
+	db := testDB(t)
+	spec := generate(t, db)
+	op := &Operation{
+		Name:        "SDB",
+		GuestAccess: true,
+		If: &IfSpec{Conditions: []Condition{
+			{ColID: "RESULT_FILE.MEASUREMENT", Eq: "'HDF'"},
+		}},
+		Location:    &Location{URL: "http://quagga.ecs.soton.ac.uk:8080/servlet/SDBservlet"},
+		Description: "NCSA Scientific Data Browser",
+	}
+	if err := spec.AddOperation("RESULT_FILE", "DOWNLOAD_RESULT", op); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(spec, db.Catalog()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := spec.Marshal()
+	if !strings.Contains(string(data), `<URL>http://quagga.ecs.soton.ac.uk:8080/servlet/SDBservlet</URL>`) {
+		t.Fatalf("URL location missing:\n%s", data)
+	}
+}
+
+// TestUploadFragment reproduces the paper's code-upload fragment:
+// upload allowed on the DATALINK, but not for guests, with conditions.
+func TestUploadFragment(t *testing.T) {
+	db := testDB(t)
+	spec := generate(t, db)
+	up := &Upload{
+		Type:        "EASL",
+		Format:      "easl",
+		GuestAccess: false,
+		If: &IfSpec{Conditions: []Condition{
+			{ColID: "RESULT_FILE.SIMULATION_KEY", Eq: "'S19990110150932'"},
+			{ColID: "RESULT_FILE.MEASUREMENT", Eq: "'u,v,w,p'"},
+		}},
+	}
+	if err := spec.SetUpload("RESULT_FILE", "DOWNLOAD_RESULT", up); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(spec, db.Catalog()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := spec.Marshal()
+	xml := string(data)
+	if !strings.Contains(xml, `<upload type="EASL" format="easl" guest.access="false" column="false">`) {
+		t.Fatalf("upload markup missing:\n%s", xml)
+	}
+	if !strings.Contains(xml, `<eq>&#39;u,v,w,p&#39;</eq>`) {
+		t.Fatalf("upload conditions missing:\n%s", xml)
+	}
+}
+
+// TestCustomisation reproduces the paper's customisation slide: alias
+// the table, replace the FK value with the Author's Name.
+func TestCustomisation(t *testing.T) {
+	db := testDB(t)
+	spec := generate(t, db)
+
+	if err := spec.SetTableAlias("SIMULATION", "Numerical Simulation"); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetFKSubstitution("SIMULATION", "AUTHOR_KEY", "AUTHOR.NAME"); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetColumnAlias("SIMULATION", "AUTHOR_KEY", "Author"); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetSamples("SIMULATION", "TITLE", "user defined sample 1", "user defined sample value 2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.HideColumn("AUTHOR", "EMAIL"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(spec, db.Catalog()); err != nil {
+		t.Fatal(err)
+	}
+
+	data, _ := spec.Marshal()
+	xml := string(data)
+	for _, want := range []string{
+		`<tablealias>Numerical Simulation</tablealias>`,
+		`substcolumn="AUTHOR.NAME"`,
+		`<sample>user defined sample 1</sample>`,
+	} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("customised XUIS missing %q", want)
+		}
+	}
+	a, _ := spec.Table("AUTHOR")
+	if cols := a.VisibleColumns(); len(cols) != 2 {
+		t.Fatalf("visible author columns = %d, want 2", len(cols))
+	}
+	// Errors for unknown targets.
+	if err := spec.SetTableAlias("GHOST", "x"); err == nil {
+		t.Fatal("alias on unknown table accepted")
+	}
+	if err := spec.SetFKSubstitution("AUTHOR", "NAME", "X.Y"); err == nil {
+		t.Fatal("substitution without FK accepted")
+	}
+}
+
+func TestUserDefinedRelationship(t *testing.T) {
+	db := testDB(t)
+	spec := generate(t, db)
+	// RESULT_FILE.MEASUREMENT has no FK; add a user-defined link.
+	if err := spec.AddUserRelationship("RESULT_FILE", "MEASUREMENT", "SIMULATION.SIMULATION_KEY"); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := spec.Table("RESULT_FILE")
+	c, _ := rf.Column("MEASUREMENT")
+	if c.FK == nil || !c.FK.UserDefined {
+		t.Fatalf("user relationship not recorded: %+v", c.FK)
+	}
+	if err := Validate(spec, db.Catalog()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersonalisation: cloning gives independent per-user specs.
+func TestPersonalisation(t *testing.T) {
+	db := testDB(t)
+	base := generate(t, db)
+	guest := base.Clone()
+	if err := guest.HideTable("AUTHOR"); err != nil {
+		t.Fatal(err)
+	}
+	if len(guest.VisibleTables()) != len(base.VisibleTables())-1 {
+		t.Fatal("clone hiding leaked or failed")
+	}
+	if a, _ := base.Table("AUTHOR"); a.Hidden {
+		t.Fatal("customising the clone mutated the base spec")
+	}
+}
+
+func TestSplitColID(t *testing.T) {
+	tbl, col, err := SplitColID("RESULT_FILE.DOWNLOAD_RESULT")
+	if err != nil || tbl != "RESULT_FILE" || col != "DOWNLOAD_RESULT" {
+		t.Fatalf("got %s %s %v", tbl, col, err)
+	}
+	for _, bad := range []string{"NOPE", ".X", "X.", ""} {
+		if _, _, err := SplitColID(bad); err == nil {
+			t.Errorf("SplitColID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	if got := titleCase("RESULT_FILE"); got != "Result File" {
+		t.Fatalf("titleCase = %q", got)
+	}
+}
+
+func TestDTDDocumentsEveryElement(t *testing.T) {
+	// Every element the package can emit must be declared in the DTD.
+	for _, el := range []string{
+		"xuis", "table", "tablealias", "column", "colalias", "type", "size",
+		"pk", "refby", "fk", "samples", "sample", "operation", "if",
+		"condition", "eq", "location", "database.result", "URL",
+		"description", "parameters", "param", "variable", "select",
+		"option", "input", "upload", "DATALINK", "VARCHAR",
+	} {
+		if !strings.Contains(DTD, "<!ELEMENT "+el+" ") &&
+			!strings.Contains(DTD, "<!ELEMENT "+el+"   ") &&
+			!strings.Contains(DTD, "<!ELEMENT "+el+"\t") {
+			t.Errorf("DTD missing element declaration for %q", el)
+		}
+	}
+	for _, attr := range []string{"primaryKey", "colid", "substcolumn", "guest.access", "tablecolumn"} {
+		if !strings.Contains(DTD, attr) {
+			t.Errorf("DTD missing attribute %q", attr)
+		}
+	}
+}
