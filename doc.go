@@ -11,4 +11,32 @@
 // paper-versus-measured record of every table and figure. The library
 // lives under internal/ (core is the archive facade); cmd/ holds the
 // runnable daemons and tools; examples/ holds runnable walkthroughs.
+//
+// # The metadata engine's prepare/cache layer
+//
+// All archive traffic funnels through the embedded SQL/MED engine
+// (internal/sqldb), so its per-statement cost bounds the whole system.
+// Two mechanisms keep that cost down:
+//
+//   - Prepared statements and a plan cache. DB.Prepare(sql) returns a
+//     *sqldb.Stmt whose parsed AST and — for SELECTs — bound plan
+//     (resolved table/column slots, expanded projection) are reused
+//     across executions. An internal LRU keyed by SQL text backs
+//     Prepare and is consulted by plain Exec/Query too, so every caller
+//     gets statement caching for free. Any DDL bumps a schema epoch;
+//     plans record the epoch they were bound at and transparently
+//     re-bind when it moves, so a stale plan is never served.
+//
+//   - A concurrent read path. The engine lock is an RWMutex: SELECTs
+//     (Query, Stmt.Query) share a read lock and run in parallel, while
+//     DML, DDL, explicit transactions and checkpoints take it
+//     exclusively. Query results are fully materialised copies, valid
+//     after the lock is released and concurrent with later writes.
+//
+// The hot internal callers hold prepared statements: QBE searches and
+// FK substitution (internal/core/qbe.go), row-by-key lookups, the
+// link-control column scan behind download-URL minting and startup
+// reconciliation (internal/core/archive.go), and — through those — the
+// webui query/browse/result handlers. BenchmarkAblation_PlanCache and
+// BenchmarkParallelQuery in bench_test.go track both mechanisms.
 package repro

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -266,9 +267,15 @@ func (a *Archive) datalinkColumnFor(url string) (sqldb.Column, bool) {
 		schema, _ := cat.Table(name)
 		for _, ci := range schema.DatalinkColumns() {
 			col := schema.Cols[ci]
-			rows, err := a.DB.Query(
-				fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = DLVALUE(?)", schema.Name, col.Name),
-				sqltypes.NewString(url))
+			// Link-control lookup on every download-link render: prepared
+			// per (table, column), so only the first render pays for
+			// parsing and binding.
+			stmt, err := a.DB.Prepare(
+				fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = DLVALUE(?)", schema.Name, col.Name))
+			if err != nil {
+				continue
+			}
+			rows, err := stmt.Query(sqltypes.NewString(url))
 			if err == nil && len(rows.Data) == 1 && rows.Data[0][0].Int() > 0 {
 				return col, true
 			}
@@ -306,8 +313,12 @@ func (a *Archive) Reconcile() error {
 			if opts == nil || !opts.FileLinkControl {
 				continue
 			}
-			rows, err := a.DB.Query(fmt.Sprintf(
+			stmt, err := a.DB.Prepare(fmt.Sprintf(
 				"SELECT %s FROM %s WHERE %s IS NOT NULL", col.Name, schema.Name, col.Name))
+			if err != nil {
+				return err
+			}
+			rows, err := stmt.Query()
 			if err != nil {
 				return err
 			}
@@ -347,17 +358,32 @@ func (a *Archive) RowByKey(table string, key map[string]string) (map[string]sqlt
 	if len(key) == 0 {
 		return nil, fmt.Errorf("core: empty row key")
 	}
+	// Sort the key columns so the same key shape always renders the same
+	// SQL text (map iteration order would otherwise scatter it across
+	// distinct plan-cache entries).
+	cols := make([]string, 0, len(key))
+	for col := range key {
+		cols = append(cols, col)
+	}
+	sort.Strings(cols)
 	var conds []string
 	var args []sqltypes.Value
-	for col, val := range key {
+	for _, col := range cols {
 		if schema.ColIndex(col) < 0 {
 			return nil, fmt.Errorf("core: unknown key column %s.%s", table, col)
 		}
 		conds = append(conds, fmt.Sprintf("%s = ?", strings.ToUpper(col)))
-		args = append(args, sqltypes.NewString(val))
+		args = append(args, sqltypes.NewString(key[col]))
 	}
-	rows, err := a.DB.Query(
-		fmt.Sprintf("SELECT * FROM %s WHERE %s", schema.Name, strings.Join(conds, " AND ")), args...)
+	// The key columns of a table rarely vary per caller (LOB links and
+	// operation forms always address rows by primary key), so this text
+	// repeats and the prepared plan is shared.
+	stmt, err := a.DB.Prepare(
+		fmt.Sprintf("SELECT * FROM %s WHERE %s", schema.Name, strings.Join(conds, " AND ")))
+	if err != nil {
+		return nil, err
+	}
+	rows, err := stmt.Query(args...)
 	if err != nil {
 		return nil, err
 	}

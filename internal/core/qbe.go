@@ -125,13 +125,21 @@ func (rs *ResultSet) Row(i int) map[string]sqltypes.Value {
 	return out
 }
 
-// Search runs a QBE and returns the decorated result set.
+// Search runs a QBE and returns the decorated result set. A given
+// search shape (table, selected columns, restriction operators) always
+// compiles to the same parameterised SQL text, so Prepare resolves to
+// one shared cached plan: repeated form submissions and browse clicks
+// skip parsing and binding entirely.
 func (a *Archive) Search(q QBE) (*ResultSet, error) {
 	sql, args, err := a.BuildSQL(q)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := a.DB.Query(sql, args...)
+	stmt, err := a.DB.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := stmt.Query(args...)
 	if err != nil {
 		return nil, err
 	}
@@ -169,10 +177,15 @@ func (a *Archive) BrowsePK(childTable, childColumn, value string) (*ResultSet, e
 // SubstituteFK resolves the paper's customisation: show a named column
 // of the referenced table instead of the raw key value.
 func (a *Archive) SubstituteFK(refTable, refColumn, substColumn, keyValue string) (string, error) {
-	rows, err := a.DB.Query(
-		fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?",
-			strings.ToUpper(substColumn), strings.ToUpper(refTable), strings.ToUpper(refColumn)),
-		sqltypes.NewString(keyValue))
+	// Called once per FK cell on the result page; the statement text is
+	// identical for every cell of a column, so the prepared plan is
+	// shared across the whole render.
+	stmt, err := a.DB.Prepare(fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?",
+		strings.ToUpper(substColumn), strings.ToUpper(refTable), strings.ToUpper(refColumn)))
+	if err != nil {
+		return "", err
+	}
+	rows, err := stmt.Query(sqltypes.NewString(keyValue))
 	if err != nil {
 		return "", err
 	}

@@ -6,8 +6,8 @@ import (
 	"repro/internal/sqltypes"
 )
 
-// Stmt is any parsed SQL statement.
-type Stmt interface{ stmtNode() }
+// Statement is any parsed SQL statement (the AST root).
+type Statement interface{ stmtNode() }
 
 // CreateTableStmt is CREATE TABLE.
 type CreateTableStmt struct {

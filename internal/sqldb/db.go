@@ -33,16 +33,43 @@ type Result struct {
 	RowsAffected int
 }
 
-// Rows is a fully materialised query result.
+// Rows is a fully materialised query result, detached from live storage:
+// it shares no mutable state with the engine, so it stays valid (and
+// safe to read from any goroutine) after the query returns, concurrent
+// with later writes.
 type Rows struct {
 	Columns []string
 	Kinds   []sqltypes.Kind
 	Data    [][]sqltypes.Value
+
+	// colIdx caches upper-cased column name → position so per-cell Get
+	// calls (the result-page render path) avoid an O(columns) scan.
+	colIdx map[string]int
+}
+
+// newRows builds a result shell with the column-lookup cache populated.
+func newRows(columns []string, kinds []sqltypes.Kind) *Rows {
+	r := &Rows{Columns: columns, Kinds: kinds}
+	r.colIdx = make(map[string]int, len(columns))
+	for i, c := range columns {
+		key := strings.ToUpper(c)
+		if _, dup := r.colIdx[key]; !dup { // first occurrence wins, like the scan
+			r.colIdx[key] = i
+		}
+	}
+	return r
 }
 
 // ColIndex returns the position of the named result column
 // (case-insensitive), or -1.
 func (r *Rows) ColIndex(name string) int {
+	if r.colIdx != nil {
+		if i, ok := r.colIdx[strings.ToUpper(name)]; ok {
+			return i
+		}
+		return -1
+	}
+	// Hand-constructed Rows (tests, adapters) lack the cache.
 	for i, c := range r.Columns {
 		if strings.EqualFold(c, name) {
 			return i
@@ -67,19 +94,38 @@ type indexDef struct {
 	Column string
 }
 
-// DB is an embedded SQL database. All operations are serialised by an
-// internal mutex: the archive workload is metadata-scale (the bulk data
-// lives on the file servers), so single-writer serialisable semantics is
-// the honest, simple choice. A DB with an empty directory is purely
-// in-memory; otherwise snapshot.db and wal.log in the directory provide
-// durability with crash recovery.
+// DB is an embedded SQL database with single-writer / multi-reader
+// locking: SELECTs (Query, Stmt.Query) take mu as a read lock and run
+// concurrently; DML, DDL, transactions and maintenance take it
+// exclusively. The archive workload is metadata-scale (the bulk data
+// lives on the file servers), so single-writer serialisable semantics
+// with a concurrent read path is the honest, simple choice. A DB with an
+// empty directory is purely in-memory; otherwise snapshot.db and wal.log
+// in the directory provide durability with crash recovery.
+//
+// Locking rules (for maintainers):
+//   - Everything reachable from cat, data, indexes, nowFn and
+//     schemaEpoch is written only under mu.Lock and may be read under
+//     mu.RLock.
+//   - Query results are fully materialised copies, never views into
+//     storage, so they outlive the read lock.
+//   - The plan cache (plans) and per-statement plan builds (Stmt.mu)
+//     have their own locks, never held while acquiring mu.
 type DB struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	cat     *Catalog
 	data    map[string]*tableData
 	indexes map[string]indexDef // index name (upper) → definition
 	nextRow rowID
 	nextTx  uint64
+
+	// schemaEpoch counts DDL statements. Prepared plans record the epoch
+	// they were bound at and re-bind when it moves, so no cached plan
+	// ever executes against a changed catalogue.
+	schemaEpoch uint64
+	// plans is the LRU of prepared statements Exec/Query consult, so
+	// unprepared callers get statement caching for free.
+	plans *planCache
 
 	dir       string
 	wal       *walFile
@@ -107,6 +153,7 @@ func Open(dir string) (*DB, error) {
 		cat:             NewCatalog(),
 		data:            make(map[string]*tableData),
 		indexes:         make(map[string]indexDef),
+		plans:           newPlanCache(DefaultPlanCacheCapacity),
 		dir:             dir,
 		nowFn:           time.Now,
 		nextTx:          1,
@@ -210,8 +257,8 @@ func (db *DB) SetClock(now func() time.Time) {
 // Catalog exposes the live schema catalogue for read-only use (XUIS
 // generation, browsing). Callers must not mutate it.
 func (db *DB) Catalog() *Catalog {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.cat
 }
 
@@ -248,30 +295,15 @@ func (db *DB) checkpointLocked() error {
 }
 
 // Exec parses and executes one statement in autocommit mode. SELECT is
-// allowed (the result is discarded); use Query to read rows.
+// allowed (the result is discarded); use Query to read rows. The parsed
+// statement comes from the plan cache, so hot DML loops (link control,
+// archival inserts) skip the lexer and parser after the first call.
 func (db *DB) Exec(sql string, args ...sqltypes.Value) (Result, error) {
-	stmt, err := Parse(sql)
+	st, err := db.preparedStmt(sql)
 	if err != nil {
 		return Result{}, err
 	}
-	if _, ok := stmt.(*TxStmt); ok {
-		return Result{}, fmt.Errorf("sqldb: use Begin/Commit/Rollback on *DB, not SQL text")
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return Result{}, fmt.Errorf("sqldb: database is closed")
-	}
-	tx := db.newTxLocked()
-	res, _, err := db.execStmtLocked(tx, stmt, args)
-	if err != nil {
-		db.rollbackLocked(tx)
-		return Result{}, err
-	}
-	if err := db.commitLocked(tx); err != nil {
-		return Result{}, err
-	}
-	return res, nil
+	return st.Exec(args...)
 }
 
 // ExecScript runs a semicolon-separated DDL/DML script, each statement
@@ -302,22 +334,16 @@ func (db *DB) ExecScript(sql string) error {
 	return nil
 }
 
-// Query parses and executes a SELECT, returning materialised rows.
+// Query parses and executes a SELECT, returning materialised rows. It
+// runs under the shared read lock — concurrent Query calls proceed in
+// parallel — and reuses the cached plan when the same SQL text was seen
+// before.
 func (db *DB) Query(sql string, args ...sqltypes.Value) (*Rows, error) {
-	stmt, err := Parse(sql)
+	st, err := db.preparedStmt(sql)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, fmt.Errorf("sqldb: database is closed")
-	}
-	return db.execSelectLocked(sel, args)
+	return st.Query(args...)
 }
 
 // ---------- transactions ----------

@@ -10,7 +10,7 @@ import (
 // execStmtLocked dispatches a parsed statement. It returns a Result for
 // DML/DDL or Rows for SELECT. The caller holds db.mu and owns commit or
 // rollback of tx.
-func (db *DB) execStmtLocked(tx *txState, stmt Stmt, params []sqltypes.Value) (Result, *Rows, error) {
+func (db *DB) execStmtLocked(tx *txState, stmt Statement, params []sqltypes.Value) (Result, *Rows, error) {
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
 		return db.execCreateTableLocked(tx, s)
@@ -83,6 +83,7 @@ func (db *DB) execCreateTableLocked(tx *txState, s *CreateTableStmt) (Result, *R
 	db.data[schema.Name] = newTableData(schema)
 	ddl := renderCreateTable(s)
 	db.ddlLog = append(db.ddlLog, ddl)
+	db.schemaEpoch++ // invalidate cached plans
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }
@@ -126,6 +127,7 @@ func (db *DB) execDropTableLocked(tx *txState, s *DropTableStmt) (Result, *Rows,
 	}
 	ddl := "DROP TABLE " + schema.Name
 	db.ddlLog = append(db.ddlLog, ddl)
+	db.schemaEpoch++ // invalidate cached plans
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }
@@ -157,6 +159,7 @@ func (db *DB) execCreateIndexLocked(tx *txState, s *CreateIndexStmt) (Result, *R
 	db.indexes[name] = indexDef{Name: name, Table: schema.Name, Column: col}
 	ddl := fmt.Sprintf("CREATE INDEX %s ON %s (%s)", name, schema.Name, col)
 	db.ddlLog = append(db.ddlLog, ddl)
+	db.schemaEpoch++ // invalidate cached plans
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }
@@ -173,6 +176,7 @@ func (db *DB) execDropIndexLocked(tx *txState, s *DropIndexStmt) (Result, *Rows,
 	}
 	ddl := "DROP INDEX " + name
 	db.ddlLog = append(db.ddlLog, ddl)
+	db.schemaEpoch++ // invalidate cached plans
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }

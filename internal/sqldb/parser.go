@@ -9,7 +9,7 @@ import (
 )
 
 // Parse parses a single SQL statement. A trailing semicolon is allowed.
-func Parse(sql string) (Stmt, error) {
+func Parse(sql string) (Statement, error) {
 	toks, err := lex(sql)
 	if err != nil {
 		return nil, err
@@ -29,13 +29,13 @@ func Parse(sql string) (Stmt, error) {
 // ParseScript parses a semicolon-separated sequence of statements,
 // ignoring empty statements. Used for DDL scripts such as the turbulence
 // schema.
-func ParseScript(sql string) ([]Stmt, error) {
+func ParseScript(sql string) ([]Statement, error) {
 	toks, err := lex(sql)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks, src: sql}
-	var out []Stmt
+	var out []Statement
 	for {
 		for p.accept(tokSymbol, ";") {
 		}
@@ -119,7 +119,7 @@ func (p *parser) identifier(what string) (string, error) {
 	return "", p.errf("expected %s, got %s", what, t)
 }
 
-func (p *parser) parseStatement() (Stmt, error) {
+func (p *parser) parseStatement() (Statement, error) {
 	switch {
 	case p.atKeyword("SELECT"):
 		return p.parseSelect()
@@ -146,7 +146,7 @@ func (p *parser) parseStatement() (Stmt, error) {
 
 // ---------- DDL ----------
 
-func (p *parser) parseCreate() (Stmt, error) {
+func (p *parser) parseCreate() (Statement, error) {
 	if err := p.expectKeyword("CREATE"); err != nil {
 		return nil, err
 	}
@@ -165,7 +165,7 @@ func (p *parser) parseCreate() (Stmt, error) {
 	}
 }
 
-func (p *parser) parseCreateTable() (Stmt, error) {
+func (p *parser) parseCreateTable() (Statement, error) {
 	stmt := &CreateTableStmt{}
 	if p.acceptKeyword("IF") {
 		if err := p.expectKeyword("NOT"); err != nil {
@@ -490,7 +490,7 @@ func (p *parser) parseDatalinkOptions() (*sqltypes.DatalinkOptions, error) {
 	}
 }
 
-func (p *parser) parseCreateIndex() (Stmt, error) {
+func (p *parser) parseCreateIndex() (Statement, error) {
 	name, err := p.identifier("index name")
 	if err != nil {
 		return nil, err
@@ -512,7 +512,7 @@ func (p *parser) parseCreateIndex() (Stmt, error) {
 	return &CreateIndexStmt{Name: name, Table: table, Column: cols[0]}, nil
 }
 
-func (p *parser) parseDrop() (Stmt, error) {
+func (p *parser) parseDrop() (Statement, error) {
 	if err := p.expectKeyword("DROP"); err != nil {
 		return nil, err
 	}
@@ -543,7 +543,7 @@ func (p *parser) parseDrop() (Stmt, error) {
 
 // ---------- DML ----------
 
-func (p *parser) parseInsert() (Stmt, error) {
+func (p *parser) parseInsert() (Statement, error) {
 	if err := p.expectKeyword("INSERT"); err != nil {
 		return nil, err
 	}
@@ -593,7 +593,7 @@ func (p *parser) parseInsert() (Stmt, error) {
 	return stmt, nil
 }
 
-func (p *parser) parseUpdate() (Stmt, error) {
+func (p *parser) parseUpdate() (Statement, error) {
 	if err := p.expectKeyword("UPDATE"); err != nil {
 		return nil, err
 	}
@@ -633,7 +633,7 @@ func (p *parser) parseUpdate() (Stmt, error) {
 	return stmt, nil
 }
 
-func (p *parser) parseDelete() (Stmt, error) {
+func (p *parser) parseDelete() (Statement, error) {
 	if err := p.expectKeyword("DELETE"); err != nil {
 		return nil, err
 	}
@@ -657,7 +657,7 @@ func (p *parser) parseDelete() (Stmt, error) {
 
 // ---------- SELECT ----------
 
-func (p *parser) parseSelect() (Stmt, error) {
+func (p *parser) parseSelect() (Statement, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}

@@ -8,26 +8,72 @@ import (
 	"repro/internal/sqltypes"
 )
 
-// execSelectLocked runs a SELECT against current state and materialises
-// the result. The planner is deliberately simple — nested-loop joins in
+// planTable is one resolved FROM item inside a selectPlan.
+type planTable struct {
+	schema *TableSchema
+	data   *tableData
+	alias  string
+	start  int // offset of this table's columns in the joined row
+}
+
+// selectPlan is a bound, resolved SELECT ready for execution. Planning
+// mutates the statement AST (the binder writes ColRef.Index), so a plan
+// is built at most once per (statement, schema epoch) — see Stmt — and
+// execution via runSelect treats both the plan and the AST as strictly
+// read-only. That property is what lets concurrent readers share one
+// cached plan under the engine's read lock.
+type selectPlan struct {
+	stmt       *SelectStmt
+	tables     []planTable
+	env        *bindEnv
+	aggregated bool
+	orderBound []bool
+	proj       []Expr
+	labels     []string
+	kinds      []sqltypes.Kind
+	noFrom     bool
+}
+
+// execSelectLocked plans and runs a SELECT in one step (the uncached
+// path). The caller must hold db.mu (read or write); the statement must
+// not be shared with concurrent executions.
+func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, error) {
+	plan, err := db.planSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(plan, params)
+}
+
+// planSelect resolves FROM items against the catalogue and binds every
+// expression. The planner is deliberately simple — nested-loop joins in
 // FROM order with pushed ON predicates, hash-index lookups for simple
 // equality filters, hash aggregation, then sort/limit — which is ample
-// for the archive's metadata queries.
-func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, error) {
-	// SELECT without FROM: evaluate items once against an empty row.
+// for the archive's metadata queries. Caller holds db.mu (read suffices;
+// binding of a shared statement is serialised by Stmt.mu).
+func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
+	// SELECT without FROM: bind items against an empty namespace.
 	if len(s.From) == 0 {
-		return db.selectNoFrom(s, params)
+		plan := &selectPlan{stmt: s, noFrom: true}
+		for _, item := range s.Items {
+			if item.Star {
+				return nil, fmt.Errorf("sqldb: SELECT * requires a FROM clause")
+			}
+			if err := bindExpr(item.Expr, &bindEnv{}, false); err != nil {
+				return nil, err
+			}
+			label := item.Alias
+			if label == "" {
+				label = exprLabel(item.Expr)
+			}
+			plan.proj = append(plan.proj, item.Expr)
+			plan.labels = append(plan.labels, label)
+		}
+		return plan, nil
 	}
 
-	// Resolve FROM items and build the binding environment.
-	type fromTable struct {
-		schema *TableSchema
-		data   *tableData
-		alias  string
-		start  int // offset of this table's columns in the joined row
-	}
 	var (
-		tables []fromTable
+		tables []planTable
 		env    = &bindEnv{}
 	)
 	for _, fi := range s.From {
@@ -44,7 +90,7 @@ func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, e
 				return nil, fmt.Errorf("sqldb: duplicate table alias %s", alias)
 			}
 		}
-		ft := fromTable{schema: schema, data: db.data[schema.Name], alias: alias, start: len(env.cols)}
+		ft := planTable{schema: schema, data: db.data[schema.Name], alias: alias, start: len(env.cols)}
 		for _, c := range schema.Cols {
 			env.cols = append(env.cols, qualCol{table: alias, col: c.Name})
 		}
@@ -99,87 +145,102 @@ func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, e
 				return nil, err
 			}
 		}
-		_ = fi
 	}
+
+	proj, labels, kinds, err := db.expandProjection(s, env)
+	if err != nil {
+		return nil, err
+	}
+	return &selectPlan{
+		stmt:       s,
+		tables:     tables,
+		env:        env,
+		aggregated: aggregated,
+		orderBound: orderBound,
+		proj:       proj,
+		labels:     labels,
+		kinds:      kinds,
+	}, nil
+}
+
+// runSelect executes a bound plan against current state and materialises
+// a fully detached result (Rows shares no mutable storage with the
+// engine). It must not mutate the plan or its AST: concurrent readers
+// share both. Caller holds db.mu (read suffices).
+func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error) {
+	if plan.noFrom {
+		return db.runSelectNoFrom(plan, params)
+	}
+	s := plan.stmt
+	tables := plan.tables
+	aggregated := plan.aggregated
+	orderBound := plan.orderBound
 
 	ctx := &evalCtx{params: params, now: db.nowFn()}
 
-	// Nested-loop join, building joined rows incrementally.
-	width := len(env.cols)
-	rows := make([][]sqltypes.Value, 1)
-	rows[0] = make([]sqltypes.Value, 0, width)
-	for i, ft := range tables {
-		cond := s.From[i].JoinCond
-		left := s.From[i].LeftJoin
-		var next [][]sqltypes.Value
-
-		// Index fast path for the first table with WHERE col = const.
-		var candidates [][]sqltypes.Value
-		if i == 0 {
-			if ids, ok := db.indexCandidates(ft.data, s.Where, ctx, ft.alias); ok {
-				for _, id := range ids {
-					if vals, live := ft.data.get(id); live {
-						candidates = append(candidates, vals)
-					}
-				}
+	var rows [][]sqltypes.Value
+	whereApplied := false
+	if len(tables) == 1 {
+		// Single-table fast path: no joined row to assemble, so reference
+		// the stored row slices directly and fuse the WHERE filter into
+		// the scan. Aliasing storage is safe — the engine never mutates a
+		// row slice in place (updates swap in a fresh slice, deletes only
+		// tombstone) and the projection below copies values out, so
+		// nothing mutable escapes into the result.
+		whereApplied = true
+		ft := tables[0]
+		keep := func(vals []sqltypes.Value) (bool, error) {
+			if s.Where == nil {
+				return true, nil
 			}
+			ctx.vals = vals
+			v, err := evalExpr(s.Where, ctx)
+			if err != nil {
+				return false, err
+			}
+			return !v.IsNull() && truthy(v), nil
 		}
-		scanInto := func(base []sqltypes.Value) error {
-			matched := false
-			appendRow := func(vals []sqltypes.Value) error {
-				combined := make([]sqltypes.Value, len(base), width)
-				copy(combined, base)
-				combined = append(combined, vals...)
-				if cond != nil {
-					ctx.vals = combined
-					v, err := evalExpr(cond, ctx)
-					if err != nil {
-						return err
-					}
-					if v.IsNull() || !truthy(v) {
-						return nil
-					}
+		if ids, ok := db.indexCandidates(ft.data, s.Where, ctx, ft.alias); ok {
+			for _, id := range ids {
+				vals, live := ft.data.get(id)
+				if !live {
+					continue
 				}
-				matched = true
-				next = append(next, combined)
-				return nil
+				ok, err := keep(vals)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					rows = append(rows, vals)
+				}
 			}
+		} else {
 			var scanErr error
-			if candidates != nil {
-				for _, vals := range candidates {
-					if scanErr = appendRow(vals); scanErr != nil {
-						break
-					}
+			ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
+				ok, err := keep(vals)
+				if err != nil {
+					scanErr = err
+					return false
 				}
-			} else {
-				ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
-					scanErr = appendRow(vals)
-					return scanErr == nil
-				})
-			}
+				if ok {
+					rows = append(rows, vals)
+				}
+				return true
+			})
 			if scanErr != nil {
-				return scanErr
-			}
-			if left && !matched {
-				combined := make([]sqltypes.Value, len(base), width)
-				copy(combined, base)
-				for range ft.schema.Cols {
-					combined = append(combined, sqltypes.Null)
-				}
-				next = append(next, combined)
-			}
-			return nil
-		}
-		for _, base := range rows {
-			if err := scanInto(base); err != nil {
-				return nil, err
+				return nil, scanErr
 			}
 		}
-		rows = next
+	} else {
+		var err error
+		rows, err = db.joinRows(plan, ctx)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	// WHERE.
-	if s.Where != nil {
+	// WHERE (already fused into the single-table scan above).
+	if s.Where != nil && !whereApplied {
 		filtered := rows[:0]
 		for _, r := range rows {
 			ctx.vals = r
@@ -194,13 +255,17 @@ func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, e
 		rows = filtered
 	}
 
-	// Expand projection list (stars → column refs).
-	proj, labels, kinds, err := db.expandProjection(s, tables[0].alias, env)
-	if err != nil {
-		return nil, err
-	}
+	proj, labels := plan.proj, plan.labels
+	// The result owns its Columns and Kinds slices: the kind backfill
+	// below writes to Kinds, Columns is an exported field callers may
+	// touch, and the plan (with its labels and kinds) is shared across
+	// concurrent executions.
+	kinds := make([]sqltypes.Kind, len(plan.kinds))
+	copy(kinds, plan.kinds)
+	columns := make([]string, len(labels))
+	copy(columns, labels)
 
-	out := &Rows{Columns: labels, Kinds: kinds}
+	out := newRows(columns, kinds)
 	type outRow struct {
 		vals  []sqltypes.Value
 		group [][]sqltypes.Value // aggregated queries: the source group
@@ -356,29 +421,104 @@ func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, e
 	return out, nil
 }
 
-func (db *DB) selectNoFrom(s *SelectStmt, params []sqltypes.Value) (*Rows, error) {
+// joinRows materialises the nested-loop join for multi-table SELECTs,
+// building joined rows incrementally in FROM order with pushed ON
+// predicates. Read-only on the plan.
+func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, error) {
+	s := plan.stmt
+	width := len(plan.env.cols)
+	rows := make([][]sqltypes.Value, 1)
+	rows[0] = make([]sqltypes.Value, 0, width)
+	for i, ft := range plan.tables {
+		cond := s.From[i].JoinCond
+		left := s.From[i].LeftJoin
+		var next [][]sqltypes.Value
+
+		// Index fast path for the first table with WHERE col = const.
+		var candidates [][]sqltypes.Value
+		if i == 0 {
+			if ids, ok := db.indexCandidates(ft.data, s.Where, ctx, ft.alias); ok {
+				for _, id := range ids {
+					if vals, live := ft.data.get(id); live {
+						candidates = append(candidates, vals)
+					}
+				}
+			}
+		}
+		scanInto := func(base []sqltypes.Value) error {
+			matched := false
+			appendRow := func(vals []sqltypes.Value) error {
+				combined := make([]sqltypes.Value, len(base), width)
+				copy(combined, base)
+				combined = append(combined, vals...)
+				if cond != nil {
+					ctx.vals = combined
+					v, err := evalExpr(cond, ctx)
+					if err != nil {
+						return err
+					}
+					if v.IsNull() || !truthy(v) {
+						return nil
+					}
+				}
+				matched = true
+				next = append(next, combined)
+				return nil
+			}
+			var scanErr error
+			if candidates != nil {
+				for _, vals := range candidates {
+					if scanErr = appendRow(vals); scanErr != nil {
+						break
+					}
+				}
+			} else {
+				ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
+					scanErr = appendRow(vals)
+					return scanErr == nil
+				})
+			}
+			if scanErr != nil {
+				return scanErr
+			}
+			if left && !matched {
+				combined := make([]sqltypes.Value, len(base), width)
+				copy(combined, base)
+				for range ft.schema.Cols {
+					combined = append(combined, sqltypes.Null)
+				}
+				next = append(next, combined)
+			}
+			return nil
+		}
+		for _, base := range rows {
+			if err := scanInto(base); err != nil {
+				return nil, err
+			}
+		}
+		rows = next
+	}
+	return rows, nil
+}
+
+// runSelectNoFrom evaluates a FROM-less SELECT once against an empty
+// row. Binding already happened at plan time; this path is read-only on
+// the plan like runSelect.
+func (db *DB) runSelectNoFrom(plan *selectPlan, params []sqltypes.Value) (*Rows, error) {
 	ctx := &evalCtx{params: params, now: db.nowFn()}
-	out := &Rows{}
-	var vals []sqltypes.Value
-	for _, item := range s.Items {
-		if item.Star {
-			return nil, fmt.Errorf("sqldb: SELECT * requires a FROM clause")
-		}
-		if err := bindExpr(item.Expr, &bindEnv{}, false); err != nil {
-			return nil, err
-		}
-		v, err := evalExpr(item.Expr, ctx)
+	vals := make([]sqltypes.Value, len(plan.proj))
+	kinds := make([]sqltypes.Kind, len(plan.proj))
+	for i, e := range plan.proj {
+		v, err := evalExpr(e, ctx)
 		if err != nil {
 			return nil, err
 		}
-		label := item.Alias
-		if label == "" {
-			label = exprLabel(item.Expr)
-		}
-		out.Columns = append(out.Columns, label)
-		out.Kinds = append(out.Kinds, v.Kind())
-		vals = append(vals, v)
+		vals[i] = v
+		kinds[i] = v.Kind()
 	}
+	columns := make([]string, len(plan.labels))
+	copy(columns, plan.labels)
+	out := newRows(columns, kinds)
 	out.Data = [][]sqltypes.Value{vals}
 	return out, nil
 }
@@ -429,8 +569,9 @@ func collectEqualities(e Expr) []*Binary {
 }
 
 // expandProjection turns SELECT items into a flat expression list with
-// labels and static kinds where known.
-func (db *DB) expandProjection(s *SelectStmt, firstAlias string, env *bindEnv) ([]Expr, []string, []sqltypes.Kind, error) {
+// labels and static kinds where known. The ColRefs it creates for stars
+// are plan-owned and never rebound.
+func (db *DB) expandProjection(s *SelectStmt, env *bindEnv) ([]Expr, []string, []sqltypes.Kind, error) {
 	var (
 		proj   []Expr
 		labels []string

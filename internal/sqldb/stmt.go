@@ -1,0 +1,207 @@
+package sqldb
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/sqltypes"
+)
+
+// DefaultPlanCacheCapacity bounds the internal LRU of prepared plans
+// that Exec/Query consult. The archive's statement population is small
+// (QBE shapes, browse/link-control templates), so a few hundred entries
+// cover the working set with room to spare.
+const DefaultPlanCacheCapacity = 256
+
+// Stmt is a prepared statement: SQL parsed once, with — for SELECTs — a
+// bound plan (resolved table/column references, expanded projection)
+// reused across executions. A Stmt is safe for concurrent use. Plans are
+// invalidated by schema epoch: any DDL bumps the database's epoch, and
+// the next execution transparently re-binds against the new catalogue,
+// so a prepared statement never serves a stale plan.
+type Stmt struct {
+	db   *DB
+	text string
+	ast  Statement
+
+	// mu serialises plan (re)builds. Binding writes ColRef.Index into
+	// the shared AST, so it must never run concurrently with another
+	// build; executions of an already-built plan are read-only and run
+	// concurrently under the engine's read lock.
+	mu    sync.Mutex
+	plan  *selectPlan
+	epoch uint64
+}
+
+// Prepare parses sql into a reusable statement. Repeated Prepare calls
+// with identical text share one Stmt through the plan cache, so holding
+// prepared statements is free; transaction control is rejected.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	return db.preparedStmt(sql)
+}
+
+// Text returns the statement's SQL text.
+func (s *Stmt) Text() string { return s.text }
+
+// Exec runs the prepared statement in autocommit mode under the
+// exclusive writer lock (DML/DDL mutate shared state; a prepared SELECT
+// via Exec is allowed, with the result discarded).
+func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
+	// SELECT via Exec: reuse the cached plan through the same path as
+	// Query. This is not just an optimisation — it keeps every binding
+	// of this statement's shared AST serialised under s.mu.
+	if _, ok := s.ast.(*SelectStmt); ok {
+		_, err := s.Query(args...)
+		return Result{}, err
+	}
+	db := s.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return Result{}, fmt.Errorf("sqldb: database is closed")
+	}
+	tx := db.newTxLocked()
+	res, _, err := db.execStmtLocked(tx, s.ast, args)
+	if err != nil {
+		db.rollbackLocked(tx)
+		return Result{}, err
+	}
+	if err := db.commitLocked(tx); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Query runs a prepared SELECT under the shared read lock: any number of
+// prepared queries execute concurrently, serialising only against
+// writers. The bound plan is reused as long as the schema epoch is
+// unchanged.
+func (s *Stmt) Query(args ...sqltypes.Value) (*Rows, error) {
+	sel, ok := s.ast.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	db := s.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, fmt.Errorf("sqldb: database is closed")
+	}
+	plan, err := s.selectPlanLocked(sel)
+	if err != nil {
+		return nil, err
+	}
+	return db.runSelect(plan, args)
+}
+
+// selectPlanLocked returns the statement's plan, (re)building it when
+// missing or built against an older schema epoch. Caller holds db.mu
+// (read suffices: the epoch only changes under the writer lock, so it
+// cannot move while we hold the read lock).
+func (s *Stmt) selectPlanLocked(sel *SelectStmt) (*selectPlan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.plan != nil && s.epoch == s.db.schemaEpoch {
+		return s.plan, nil
+	}
+	plan, err := s.db.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	s.plan = plan
+	s.epoch = s.db.schemaEpoch
+	return plan, nil
+}
+
+// ---------- plan cache ----------
+
+// planCache is a bounded LRU of prepared statements keyed by SQL text.
+// It has its own lock (never held together with db.mu) so cache lookups
+// stay off the engine's critical path.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *Stmt
+	entries map[string]*list.Element
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *planCache) get(text string) (*Stmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[text]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*Stmt), true
+}
+
+func (c *planCache) put(st *Stmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[st.text]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[st.text] = c.order.PushFront(st)
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*Stmt).text)
+	}
+}
+
+func (c *planCache) reset(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// SetPlanCacheCapacity resizes the internal plan cache, dropping all
+// cached entries; zero disables caching entirely (every Exec/Query then
+// parses and binds from scratch — the ablation baseline).
+func (db *DB) SetPlanCacheCapacity(n int) {
+	db.plans.reset(n)
+}
+
+// PlanCacheLen reports how many statements are currently cached.
+func (db *DB) PlanCacheLen() int { return db.plans.len() }
+
+// preparedStmt returns the shared prepared statement for sql, parsing
+// and caching it on a miss. Evicted statements keep working — eviction
+// only drops the cache's reference.
+func (db *DB) preparedStmt(sql string) (*Stmt, error) {
+	if st, ok := db.plans.get(sql); ok {
+		return st, nil
+	}
+	ast, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := ast.(*TxStmt); ok {
+		return nil, fmt.Errorf("sqldb: use Begin/Commit/Rollback on *DB, not SQL text")
+	}
+	st := &Stmt{db: db, text: sql, ast: ast}
+	db.plans.put(st)
+	return st, nil
+}

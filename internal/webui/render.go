@@ -89,14 +89,23 @@ func buildResults(a *core.Archive, rs *core.ResultSet, u core.User) (*resultsVie
 
 	eng := a.Ops()
 	for i := range rs.Rows {
-		rowMap := rs.Row(i)
+		// Only DATALINK cells consult the row as a colid→value map (for
+		// operation applicability); build it lazily so ordinary metadata
+		// rows skip the per-row map allocation entirely.
+		var rowMap map[string]sqltypes.Value
+		rowOf := func() map[string]sqltypes.Value {
+			if rowMap == nil {
+				rowMap = rs.Row(i)
+			}
+			return rowMap
+		}
 		keyParams := url.Values{}
 		for pk, j := range pkPresent {
 			keyParams.Set("pk_"+pk, rs.Rows[i][j].AsString())
 		}
 		var row RenderedRow
 		for j, v := range rs.Rows[i] {
-			cell := renderCell(a, eng, rs, colMeta[j], rs.ColIDs[j], v, rowMap, keyParams, u)
+			cell := renderCell(a, eng, rs, colMeta[j], rs.ColIDs[j], v, rowOf, keyParams, u)
 			row.Cells = append(row.Cells, cell)
 		}
 		view.Rows = append(view.Rows, row)
@@ -105,7 +114,7 @@ func buildResults(a *core.Archive, rs *core.ResultSet, u core.User) (*resultsVie
 }
 
 func renderCell(a *core.Archive, eng *ops.Engine, rs *core.ResultSet, meta *xuis.Column,
-	colID string, v sqltypes.Value, rowMap map[string]sqltypes.Value, keyParams url.Values, u core.User) Cell {
+	colID string, v sqltypes.Value, rowOf func() map[string]sqltypes.Value, keyParams url.Values, u core.User) Cell {
 
 	if v.IsNull() {
 		return Cell{Text: ""}
@@ -114,7 +123,7 @@ func renderCell(a *core.Archive, eng *ops.Engine, rs *core.ResultSet, meta *xuis
 
 	switch v.Kind() {
 	case sqltypes.KindDatalink:
-		return renderDatalinkCell(a, eng, colID, v, rowMap, keyParams, u, table)
+		return renderDatalinkCell(a, eng, colID, v, rowOf(), keyParams, u, table)
 	case sqltypes.KindBytes, sqltypes.KindClob:
 		// "Hypertext link displays size of object — rematerialised and
 		// returned to the client."

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Run the benchmark suite and record the results as BENCH_<date>.json in
+# the repo root, so the perf trajectory accumulates across PRs.
+#
+# Usage: scripts/bench.sh [go-test-bench-regexp]
+#   BENCHTIME=2s scripts/bench.sh 'BenchmarkAblation.*'
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-.}"
+BENCHTIME="${BENCHTIME:-0.5s}"
+DATE="$(date -u +%Y%m%d)"
+OUT="BENCH_${DATE}.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# No pipeline here: under plain sh `go test | tee` would exit with
+# tee's status and a failed bench run would still record a green JSON.
+go test -run 'xxx' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . > "$RAW" 2>&1 || {
+    cat "$RAW"
+    echo "bench run failed" >&2
+    exit 1
+}
+cat "$RAW"
+
+# Convert `go test -bench` text output into a JSON array of
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+awk -v date="$DATE" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, (ns == "" ? "null" : ns)
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  ]\n}" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
