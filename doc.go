@@ -16,7 +16,7 @@
 //
 // All archive traffic funnels through the embedded SQL/MED engine
 // (internal/sqldb), so its per-statement cost bounds the whole system.
-// Two mechanisms keep that cost down:
+// Four mechanisms keep that cost down:
 //
 //   - Prepared statements and a plan cache. DB.Prepare(sql) returns a
 //     *sqldb.Stmt whose parsed AST and — for SELECTs — bound plan
@@ -33,10 +33,37 @@
 //     exclusively. Query results are fully materialised copies, valid
 //     after the lock is released and concurrent with later writes.
 //
+//   - Secondary indexes with an access-path planner. CREATE INDEX name
+//     ON table (col) USING {HASH|ORDERED} builds either an O(1)
+//     equality index or an ordered B+tree (the default) over a
+//     canonical total-order key encoding of sqltypes values. At plan
+//     time a small planner analyses the WHERE conjuncts and ORDER BY
+//     and picks equality→hash, range/BETWEEN/IS NULL→ordered scan, or
+//     an in-order index read that replaces the sort (and lets LIMIT
+//     stop the scan early); the choice is cached in the prepared plan
+//     and re-made when DDL moves the schema epoch. Index paths only
+//     narrow the candidate set — the residual predicate is always
+//     re-applied — so the returned row set is identical to a full
+//     scan's (property-tested in internal/sqldb/planner_test.go,
+//     ablated by BenchmarkAblation_OrderedIndex). One documented
+//     ordering caveat: integers beyond 2^53 that share a float64 key
+//     image (see key.go) sort in insertion order within the collision
+//     when ORDER BY is served by the index.
+//
+//   - WAL group commit. Committers stage their redo frames under the
+//     writer lock (log order = commit order) and wait for durability
+//     after releasing it; the first waiter flushes the whole pending
+//     batch with one fsync. Concurrent commit load therefore pays ~one
+//     fsync per flush window instead of one per transaction
+//     (BenchmarkAblation_GroupCommit).
+//
 // The hot internal callers hold prepared statements: QBE searches and
 // FK substitution (internal/core/qbe.go), row-by-key lookups, the
-// link-control column scan behind download-URL minting and startup
+// link-control column probe behind download-URL minting and startup
 // reconciliation (internal/core/archive.go), and — through those — the
-// webui query/browse/result handlers. BenchmarkAblation_PlanCache and
-// BenchmarkParallelQuery in bench_test.go track both mechanisms.
+// webui query/browse/result handlers. The turbulence schema
+// (internal/core/schema.go) picks index kinds per query shape: HASH on
+// the SIMULATION_KEY browse columns, ORDERED on TIMESTEP/CREATED range
+// columns and on the DATALINK columns, so the DLVALUE(?) equality probe
+// and Reconcile's IS NOT NULL scan are both index-served.
 package repro

@@ -42,11 +42,15 @@ type DropTableStmt struct {
 	IfExists bool
 }
 
-// CreateIndexStmt is CREATE INDEX name ON table (col).
+// CreateIndexStmt is CREATE INDEX name ON table (col) [USING kind].
+// Using is "HASH", "ORDERED" or "" (which defaults to ORDERED: it
+// serves equality plus the range/ORDER BY shapes that dominate the
+// archive's metadata queries).
 type CreateIndexStmt struct {
 	Name   string
 	Table  string
 	Column string
+	Using  string
 }
 
 // DropIndexStmt is DROP INDEX name.

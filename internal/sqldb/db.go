@@ -92,6 +92,7 @@ type indexDef struct {
 	Name   string
 	Table  string
 	Column string
+	Kind   string // IndexKindHash or IndexKindOrdered
 }
 
 // DB is an embedded SQL database with single-writer / multi-reader
@@ -103,14 +104,30 @@ type indexDef struct {
 // empty directory is purely in-memory; otherwise snapshot.db and wal.log
 // in the directory provide durability with crash recovery.
 //
+// Secondary indexes: CREATE INDEX name ON table (col) USING {HASH|
+// ORDERED} (ORDERED when USING is omitted) builds an equality hash
+// index or an ordered B+tree over the canonical key encoding shared by
+// every index (see key.go). The access-path planner (planner.go) routes
+// SELECT/UPDATE/DELETE through them for equality, range, BETWEEN and
+// IS [NOT] NULL predicates and satisfies single-key ORDER BY from an
+// ordered index in either direction. Index definitions live in the WAL
+// DDL log and are rebuilt on replay; CREATE/DROP INDEX bumps the schema
+// epoch, so cached plans transparently re-plan.
+//
 // Locking rules (for maintainers):
-//   - Everything reachable from cat, data, indexes, nowFn and
-//     schemaEpoch is written only under mu.Lock and may be read under
-//     mu.RLock.
+//   - Everything reachable from cat, data, indexes, nowFn, fullScanOnly
+//     and schemaEpoch is written only under mu.Lock and may be read
+//     under mu.RLock.
 //   - Query results are fully materialised copies, never views into
 //     storage, so they outlive the read lock.
 //   - The plan cache (plans) and per-statement plan builds (Stmt.mu)
 //     have their own locks, never held while acquiring mu.
+//   - Commit durability happens OUTSIDE mu: commitLocked stages WAL
+//     frames under the writer lock and returns a finish closure that
+//     waits for the group-commit flush after the lock is released, so
+//     readers and other writers overlap with the fsync. The walFile has
+//     its own mutex and must never be touched under mu except through
+//     stageTx/checkpointLocked.
 type DB struct {
 	mu      sync.RWMutex
 	cat     *Catalog
@@ -123,6 +140,12 @@ type DB struct {
 	// they were bound at and re-bind when it moves, so no cached plan
 	// ever executes against a changed catalogue.
 	schemaEpoch uint64
+	// inflight lists transactions whose WAL frames are staged but whose
+	// durability is not yet acknowledged, in commit order. On a flush
+	// failure the whole undurable suffix is unwound in REVERSE commit
+	// order (see unwindFailedLocked) so overlapping transactions restore
+	// cleanly.
+	inflight []*txState
 	// plans is the LRU of prepared statements Exec/Query consult, so
 	// unprepared callers get statement caching for free.
 	plans *planCache
@@ -133,6 +156,11 @@ type DB struct {
 	ddlLog    []string
 	replaying bool
 	closed    bool
+
+	// fullScanOnly disables index access paths at execution time (the
+	// planner still runs; its choice is ignored). Ablation and
+	// property-testing knob — see SetFullScanOnly.
+	fullScanOnly bool
 
 	// nowFn supplies the clock for NOW(); injectable for deterministic
 	// tests and the network-simulated experiments.
@@ -247,6 +275,18 @@ func (db *DB) SetLinkController(lc LinkController) {
 	db.linkCtl = lc
 }
 
+// SetFullScanOnly disables (on=true) or re-enables index-driven access
+// paths for SELECT/UPDATE/DELETE execution. With it on, every statement
+// scans the heap; results are identical because index paths only ever
+// narrow the candidate set before the residual predicate re-checks it.
+// This is the ablation baseline for BenchmarkAblation_OrderedIndex and
+// the oracle the planner property tests compare against.
+func (db *DB) SetFullScanOnly(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.fullScanOnly = on
+}
+
 // SetClock injects the NOW() clock (tests and simulation).
 func (db *DB) SetClock(now func() time.Time) {
 	db.mu.Lock()
@@ -272,6 +312,16 @@ func (db *DB) Checkpoint() error {
 func (db *DB) checkpointLocked() error {
 	if db.dir == "" {
 		return nil
+	}
+	// Fence the WAL before snapshotting: staged-but-unflushed
+	// transactions are visible in memory, and if their flush failed
+	// they will be unwound — a snapshot taken first would persist them
+	// anyway and resurrect "rolled back" data on restart. A barrier
+	// failure therefore aborts the checkpoint.
+	if db.wal != nil {
+		if err := db.wal.barrier(); err != nil {
+			return fmt.Errorf("sqldb: checkpoint aborted, WAL flush failed: %w", err)
+		}
 	}
 	for _, td := range db.data {
 		td.compact()
@@ -325,11 +375,14 @@ func (db *DB) ExecScript(sql string) error {
 			db.mu.Unlock()
 			return err
 		}
-		if err := db.commitLocked(tx); err != nil {
-			db.mu.Unlock()
+		finish, err := db.commitLocked(tx)
+		db.mu.Unlock()
+		if err != nil {
 			return err
 		}
-		db.mu.Unlock()
+		if err := finish(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -354,6 +407,12 @@ type txState struct {
 	undo     []undoOp
 	redo     []walRecord
 	usedLink bool
+
+	// Group-commit fields, set when the transaction's frames are staged
+	// in the WAL: its commit sequence and the log it was staged into
+	// (checkpoints swap db.wal, so the pointer is captured here).
+	seq uint64
+	wal *walFile
 }
 
 type undoKind uint8
@@ -377,27 +436,111 @@ func (db *DB) newTxLocked() *txState {
 	return tx
 }
 
-func (db *DB) commitLocked(tx *txState) error {
+// commitLocked stages the transaction's redo records into the WAL's
+// pending buffer (pure memory work — on-disk order therefore matches
+// commit order) and returns a finish function the caller MUST invoke
+// after releasing db.mu. finish blocks until the records are durable:
+// concurrent committers batch behind one fsync there (group commit),
+// which is why it runs outside the writer lock. It then runs the
+// link-control commit (only after durability, per the LinkController
+// contract) and any due checkpoint.
+//
+// A staging failure rolls the transaction back immediately and returns
+// a nil finish. A flush failure inside finish unwinds the WHOLE
+// undurable suffix of staged transactions in reverse commit order under
+// a re-acquired writer lock (overlapping transactions on the same rows
+// must unwind LIFO to restore cleanly); the WAL error is sticky, so
+// every transaction in and after the failed batch fails the same way
+// rather than diverging from disk. Until finish returns, readers can
+// observe the transaction's committed-but-not-yet-durable effects —
+// the standard group-commit visibility window.
+func (db *DB) commitLocked(tx *txState) (func() error, error) {
+	staged := false
 	if db.wal != nil && len(tx.redo) > 0 {
-		if err := db.wal.appendTx(tx.id, tx.redo); err != nil {
+		seq, err := db.wal.stageTx(tx.id, tx.redo)
+		if err != nil {
 			// Durability failed: the in-memory effects must not survive.
 			db.rollbackLocked(tx)
-			return fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err)
+			return nil, fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err)
 		}
-	}
-	if tx.usedLink && db.linkCtl != nil {
-		if err := db.linkCtl.Commit(tx.id); err != nil {
-			// The DB transaction is durable; surface the file-side error
-			// but do not undo committed state. Reconciliation at startup
-			// repairs divergence (see med.Coordinator.Reconcile).
-			return fmt.Errorf("sqldb: transaction committed but link control failed: %w", err)
-		}
+		tx.seq = seq
+		tx.wal = db.wal
+		db.inflight = append(db.inflight, tx)
+		staged = true
 	}
 	db.txSinceCheckpoint++
-	if db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery {
-		return db.checkpointLocked()
+	checkpointDue := db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery
+	wal := db.wal
+	linkCtl := db.linkCtl
+	finish := func() error {
+		if staged {
+			werr := wal.waitDurable(tx.seq)
+			db.mu.Lock()
+			if werr != nil {
+				db.unwindFailedLocked()
+				db.mu.Unlock()
+				return fmt.Errorf("sqldb: WAL flush failed, transaction rolled back: %w", werr)
+			}
+			db.dropInflightLocked(tx)
+			db.mu.Unlock()
+		}
+		if tx.usedLink && linkCtl != nil {
+			if err := linkCtl.Commit(tx.id); err != nil {
+				// The DB transaction is durable; surface the file-side error
+				// but do not undo committed state. Reconciliation at startup
+				// repairs divergence (see med.Coordinator.Reconcile).
+				return fmt.Errorf("sqldb: transaction committed but link control failed: %w", err)
+			}
+		}
+		if checkpointDue {
+			db.mu.Lock()
+			defer db.mu.Unlock()
+			// Re-check: a concurrent finisher may have checkpointed first.
+			if db.closed || db.CheckpointEvery <= 0 || db.txSinceCheckpoint < db.CheckpointEvery {
+				return nil
+			}
+			return db.checkpointLocked()
+		}
+		return nil
 	}
-	return nil
+	return finish, nil
+}
+
+// dropInflightLocked removes a now-durable transaction from the staged
+// list. The list is short (bounded by concurrent committers), so a
+// linear scan is fine.
+func (db *DB) dropInflightLocked(tx *txState) {
+	for i, t := range db.inflight {
+		if t == tx {
+			db.inflight = append(db.inflight[:i], db.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// unwindFailedLocked rolls back every staged transaction that did not
+// reach disk, newest first, after a WAL flush failure. Reverse commit
+// order matters: if T1 inserted a row and T2 deleted it, undoing T2
+// (re-insert) before T1 (delete) restores the pre-batch state, while
+// arrival-order undo would leave the row dangling. Transactions whose
+// sequence is already durable are left for their own finish to retire.
+// Idempotent: the first finisher to observe the sticky error unwinds
+// the batch; later ones find their transaction already gone.
+func (db *DB) unwindFailedLocked() {
+	var durable []*txState
+	for i := len(db.inflight) - 1; i >= 0; i-- {
+		tx := db.inflight[i]
+		if tx.wal.isDurable(tx.seq) {
+			durable = append(durable, tx)
+			continue
+		}
+		db.rollbackLocked(tx)
+	}
+	// durable was collected newest-first; restore commit order.
+	for i, j := 0, len(durable)-1; i < j; i, j = i+1, j-1 {
+		durable[i], durable[j] = durable[j], durable[i]
+	}
+	db.inflight = durable
 }
 
 func (db *DB) rollbackLocked(tx *txState) {
@@ -477,15 +620,21 @@ func (tx *Tx) Query(sql string, args ...sqltypes.Value) (*Rows, error) {
 	return tx.db.execSelectLocked(sel, args)
 }
 
-// Commit makes the transaction durable and releases the lock.
+// Commit makes the transaction durable and releases the lock. The
+// fsync (batched with concurrent committers — see commitLocked) happens
+// after the lock is released, so readers and other writers proceed
+// while this transaction's records reach disk.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return fmt.Errorf("sqldb: transaction already finished")
 	}
 	tx.done = true
-	err := tx.db.commitLocked(tx.state)
+	finish, err := tx.db.commitLocked(tx.state)
 	tx.db.mu.Unlock()
-	return err
+	if err != nil {
+		return err
+	}
+	return finish()
 }
 
 // Rollback undoes the transaction and releases the lock.

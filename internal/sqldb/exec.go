@@ -150,14 +150,26 @@ func (db *DB) execCreateIndexLocked(tx *txState, s *CreateIndexStmt) (Result, *R
 	if _, exists := td.indexes[col]; exists {
 		return Result{}, nil, fmt.Errorf("sqldb: column %s.%s is already indexed", s.Table, s.Column)
 	}
-	idx := newHashIndex(name, col)
+	kind := strings.ToUpper(s.Using)
+	if kind == "" {
+		kind = IndexKindOrdered
+	}
+	var idx secondaryIndex
+	switch kind {
+	case IndexKindHash:
+		idx = newHashIndex(name, col)
+	case IndexKindOrdered:
+		idx = newOrderedIndex(name, col)
+	default:
+		return Result{}, nil, fmt.Errorf("sqldb: unknown index kind %s (want HASH or ORDERED)", s.Using)
+	}
 	td.scan(func(id rowID, vals []sqltypes.Value) bool {
 		idx.add(vals[ci], id)
 		return true
 	})
 	td.indexes[col] = idx
-	db.indexes[name] = indexDef{Name: name, Table: schema.Name, Column: col}
-	ddl := fmt.Sprintf("CREATE INDEX %s ON %s (%s)", name, schema.Name, col)
+	db.indexes[name] = indexDef{Name: name, Table: schema.Name, Column: col, Kind: kind}
+	ddl := fmt.Sprintf("CREATE INDEX %s ON %s (%s) USING %s", name, schema.Name, col, kind)
 	db.ddlLog = append(db.ddlLog, ddl)
 	db.schemaEpoch++ // invalidate cached plans
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
@@ -380,23 +392,17 @@ func (db *DB) execDeleteLocked(tx *txState, s *DeleteStmt, params []sqltypes.Val
 	return Result{RowsAffected: deleted}, nil
 }
 
-// matchRowsLocked returns the IDs of rows satisfying where, using a hash
-// index when the predicate is a simple equality on an indexed column.
+// matchRowsLocked returns the IDs of rows satisfying where, routed
+// through the access-path planner: equality, range and null predicates
+// on indexed columns narrow the candidate set, and the full predicate is
+// re-applied to every candidate so index-path and scan-path semantics
+// are identical (the old equality fast path skipped that residual check,
+// which let encoded-key over-approximations reach UPDATE/DELETE).
 func (db *DB) matchRowsLocked(td *tableData, schema *TableSchema, where Expr, params []sqltypes.Value) ([]rowID, error) {
 	ctx := &evalCtx{params: params, now: db.nowFn()}
-	// Index fast path: WHERE col = literal/param.
-	if eq, ok := where.(*Binary); ok && eq.Op == "=" {
-		if cr, ok := eq.L.(*ColRef); ok {
-			if lit, lok := constValue(eq.R, ctx); lok {
-				if idx, exists := td.indexes[strings.ToUpper(cr.Col)]; exists {
-					return append([]rowID(nil), idx.lookup(lit)...), nil
-				}
-			}
-		}
-	}
 	var ids []rowID
 	var evalErr error
-	td.scan(func(id rowID, vals []sqltypes.Value) bool {
+	visit := func(id rowID, vals []sqltypes.Value) bool {
 		if where == nil {
 			ids = append(ids, id)
 			return true
@@ -411,21 +417,21 @@ func (db *DB) matchRowsLocked(td *tableData, schema *TableSchema, where Expr, pa
 			ids = append(ids, id)
 		}
 		return true
-	})
-	return ids, evalErr
-}
-
-// constValue evaluates e when it is row-independent (literal or param).
-func constValue(e Expr, ctx *evalCtx) (sqltypes.Value, bool) {
-	switch n := e.(type) {
-	case *Literal:
-		return n.Val, true
-	case *Param:
-		if n.N < len(ctx.params) {
-			return ctx.params[n.N], true
+	}
+	handled := false
+	if !db.fullScanOnly {
+		if path := planAccess(td, schema.Name, where, nil, nil, false, false); path != nil {
+			var err error
+			handled, err = scanAccessPath(td, path, ctx, visit)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
-	return sqltypes.Null, false
+	if !handled {
+		td.scan(visit)
+	}
+	return ids, evalErr
 }
 
 // ---------- constraints ----------
@@ -463,13 +469,16 @@ func (db *DB) checkRowConstraintsLocked(schema *TableSchema, vals []sqltypes.Val
 }
 
 // parentExistsLocked checks whether the parent table holds the key tuple,
-// preferring a matching unique index.
+// preferring a matching unique index; probes the index cannot align with
+// its column types (usable=false) fall through to the scan.
 func (db *DB) parentExistsLocked(parent *TableSchema, refCols []string, tuple []sqltypes.Value) bool {
 	ptd := db.data[parent.Name]
 	for _, ui := range ptd.uniqueIdx {
 		if sameCols(ui.colName, refCols) {
-			_, ok := ui.lookup(tuple)
-			return ok
+			if _, found, usable := ui.lookup(tuple); usable {
+				return found
+			}
+			break
 		}
 	}
 	// Fallback scan for FKs referencing non-unique columns.
@@ -534,10 +543,15 @@ func (db *DB) checkNoChildRefsLocked(schema *TableSchema, old, new []sqltypes.Va
 
 func (db *DB) childExistsLocked(child *TableSchema, cols []string, key []sqltypes.Value) bool {
 	ctd := db.data[child.Name]
-	// Single-column FK with an index: O(1).
-	if len(cols) == 1 {
-		if idx, ok := ctd.indexes[strings.ToUpper(cols[0])]; ok {
-			return len(idx.lookup(key[0])) > 0
+	// Single-column FK with an index: point lookup, when the probe
+	// aligns with the child column's type.
+	if len(cols) == 1 && !key[0].IsNull() {
+		col := strings.ToUpper(cols[0])
+		if idx, ok := ctd.indexes[col]; ok {
+			ci := child.ColIndex(col)
+			if pv, okp := probeValue(child.Cols[ci].Type.Kind, key[0]); okp {
+				return len(idx.lookupKey(encodeKey(pv))) > 0
+			}
 		}
 	}
 	idx := make([]int, len(cols))

@@ -1,0 +1,315 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Index kind names as they appear in CREATE INDEX ... USING and in the
+// catalogue. The default for CREATE INDEX without USING is ORDERED: it
+// serves every shape a hash index serves (point lookups cost O(log n)
+// instead of O(1)) and additionally range, prefix and in-order scans,
+// which dominate the archive's scientific-metadata queries.
+const (
+	IndexKindHash    = "HASH"
+	IndexKindOrdered = "ORDERED"
+)
+
+// secondaryIndex is the access interface shared by the hash and ordered
+// index implementations. Keys are canonical encodings (see encodeKey);
+// maintenance callers pass stored column values (already coerced to the
+// column type), while lookup callers must align probes via probeValue
+// before encoding.
+type secondaryIndex interface {
+	kindName() string
+	add(v sqltypes.Value, id rowID)
+	remove(v sqltypes.Value, id rowID)
+	// lookupKey returns the row IDs stored under one encoded key. The
+	// returned slice aliases index storage; callers must not mutate it
+	// and must copy it if it outlives the engine lock.
+	lookupKey(k string) []rowID
+}
+
+// rangeIndex is the extra surface of indexes that keep keys in order.
+type rangeIndex interface {
+	secondaryIndex
+	// scanRange visits entries with lo <= key <= hi in key order
+	// (reversed when desc); nil bounds are open ends. An exclusive
+	// bound skips entries equal to the bound key. The visitor returns
+	// false to stop.
+	scanRange(lo, hi *keyBound, desc bool, f func(k string, ids []rowID) bool)
+}
+
+// keyBound is one end of an ordered-index scan.
+type keyBound struct {
+	key  string
+	incl bool
+}
+
+// ---------- hash index ----------
+
+// hashIndex is a secondary equality index from canonical key → row IDs.
+type hashIndex struct {
+	name    string
+	column  string
+	entries map[string][]rowID
+}
+
+func newHashIndex(name, column string) *hashIndex {
+	return &hashIndex{name: name, column: strings.ToUpper(column), entries: make(map[string][]rowID)}
+}
+
+func (h *hashIndex) kindName() string { return IndexKindHash }
+
+func (h *hashIndex) add(v sqltypes.Value, id rowID) {
+	k := encodeKey(v)
+	h.entries[k] = append(h.entries[k], id)
+}
+
+func (h *hashIndex) remove(v sqltypes.Value, id rowID) {
+	k := encodeKey(v)
+	ids := h.entries[k]
+	for i, x := range ids {
+		if x == id {
+			h.entries[k] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(h.entries[k]) == 0 {
+		delete(h.entries, k)
+	}
+}
+
+func (h *hashIndex) lookupKey(k string) []rowID { return h.entries[k] }
+
+// ---------- ordered index (B+tree) ----------
+
+// Node fan-out. Leaves hold up to btreeLeafMax key/id entries, inner
+// nodes up to btreeInnerMax children; splits happen one past the cap.
+const (
+	btreeLeafMax  = 64
+	btreeInnerMax = 64
+)
+
+// orderedIndex is a B+tree over canonical key encodings supporting
+// point, range and in-order scans. All keys live in leaves; inner nodes
+// hold separators with len(seps) == len(children)-1, child i spanning
+// [seps[i-1], seps[i]). Deleting the last row ID under a key removes
+// the leaf entry but never rebalances: hollow nodes cost a little scan
+// work until the index is rebuilt (CREATE INDEX, snapshot/WAL replay),
+// which is the right trade for the archive's insert-mostly workload.
+type orderedIndex struct {
+	name   string
+	column string
+	root   *btreeNode
+}
+
+type btreeNode struct {
+	leaf     bool
+	keys     []string  // leaf entries
+	ids      [][]rowID // parallel to keys
+	seps     []string  // inner separators
+	children []*btreeNode
+}
+
+func newOrderedIndex(name, column string) *orderedIndex {
+	return &orderedIndex{
+		name:   name,
+		column: strings.ToUpper(column),
+		root:   &btreeNode{leaf: true},
+	}
+}
+
+func (ix *orderedIndex) kindName() string { return IndexKindOrdered }
+
+func (ix *orderedIndex) add(v sqltypes.Value, id rowID) {
+	right, sep := ix.root.insert(encodeKey(v), id)
+	if right != nil {
+		ix.root = &btreeNode{
+			seps:     []string{sep},
+			children: []*btreeNode{ix.root, right},
+		}
+	}
+}
+
+func (ix *orderedIndex) remove(v sqltypes.Value, id rowID) {
+	ix.root.remove(encodeKey(v), id)
+}
+
+func (ix *orderedIndex) lookupKey(k string) []rowID {
+	n := ix.root
+	for !n.leaf {
+		n = n.children[n.childFor(k)]
+	}
+	i := sort.SearchStrings(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.ids[i]
+	}
+	return nil
+}
+
+func (ix *orderedIndex) scanRange(lo, hi *keyBound, desc bool, f func(k string, ids []rowID) bool) {
+	if desc {
+		ix.root.descend(lo, hi, f)
+	} else {
+		ix.root.ascend(lo, hi, f)
+	}
+}
+
+// childFor routes key k: entries equal to a separator live in the child
+// to its right, matching the "separator = first key of right sibling"
+// split convention.
+func (n *btreeNode) childFor(k string) int {
+	return sort.Search(len(n.seps), func(i int) bool { return n.seps[i] > k })
+}
+
+// insert adds id under key k, returning a new right sibling and its
+// separator when the node split.
+func (n *btreeNode) insert(k string, id rowID) (*btreeNode, string) {
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			n.ids[i] = append(n.ids[i], id)
+			return nil, ""
+		}
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		n.ids = append(n.ids, nil)
+		copy(n.ids[i+1:], n.ids[i:])
+		n.ids[i] = []rowID{id}
+		if len(n.keys) <= btreeLeafMax {
+			return nil, ""
+		}
+		mid := len(n.keys) / 2
+		right := &btreeNode{
+			leaf: true,
+			keys: append([]string(nil), n.keys[mid:]...),
+			ids:  append([][]rowID(nil), n.ids[mid:]...),
+		}
+		n.keys = n.keys[:mid:mid]
+		n.ids = n.ids[:mid:mid]
+		return right, right.keys[0]
+	}
+	ci := n.childFor(k)
+	right, sep := n.children[ci].insert(k, id)
+	if right == nil {
+		return nil, ""
+	}
+	n.seps = append(n.seps, "")
+	copy(n.seps[ci+1:], n.seps[ci:])
+	n.seps[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.children) <= btreeInnerMax {
+		return nil, ""
+	}
+	mid := len(n.seps) / 2
+	up := n.seps[mid]
+	r := &btreeNode{
+		seps:     append([]string(nil), n.seps[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.seps = n.seps[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return r, up
+}
+
+func (n *btreeNode) remove(k string, id rowID) {
+	for !n.leaf {
+		n = n.children[n.childFor(k)]
+	}
+	i := sort.SearchStrings(n.keys, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return
+	}
+	ids := n.ids[i]
+	for j, x := range ids {
+		if x == id {
+			n.ids[i] = append(ids[:j], ids[j+1:]...)
+			break
+		}
+	}
+	if len(n.ids[i]) == 0 {
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.ids = append(n.ids[:i], n.ids[i+1:]...)
+	}
+}
+
+// within reports whether key k satisfies the scan bounds.
+func within(k string, lo, hi *keyBound) bool {
+	if lo != nil && (k < lo.key || (!lo.incl && k == lo.key)) {
+		return false
+	}
+	if hi != nil && (k > hi.key || (!hi.incl && k == hi.key)) {
+		return false
+	}
+	return true
+}
+
+func (n *btreeNode) ascend(lo, hi *keyBound, f func(k string, ids []rowID) bool) bool {
+	if n.leaf {
+		start := 0
+		if lo != nil {
+			start = sort.SearchStrings(n.keys, lo.key)
+		}
+		for i := start; i < len(n.keys); i++ {
+			if !within(n.keys[i], lo, hi) {
+				if hi != nil && n.keys[i] > hi.key {
+					return false
+				}
+				continue
+			}
+			if !f(n.keys[i], n.ids[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	start, end := 0, len(n.children)-1
+	if lo != nil {
+		start = n.childFor(lo.key)
+	}
+	if hi != nil {
+		end = n.childFor(hi.key)
+	}
+	for ci := start; ci <= end; ci++ {
+		if !n.children[ci].ascend(lo, hi, f) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *btreeNode) descend(lo, hi *keyBound, f func(k string, ids []rowID) bool) bool {
+	if n.leaf {
+		for i := len(n.keys) - 1; i >= 0; i-- {
+			if !within(n.keys[i], lo, hi) {
+				if lo != nil && n.keys[i] < lo.key {
+					return false
+				}
+				continue
+			}
+			if !f(n.keys[i], n.ids[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	start, end := 0, len(n.children)-1
+	if lo != nil {
+		start = n.childFor(lo.key)
+	}
+	if hi != nil {
+		end = n.childFor(hi.key)
+	}
+	for ci := end; ci >= start; ci-- {
+		if !n.children[ci].descend(lo, hi, f) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/sqltypes"
+)
+
+// Canonical index-key encoding.
+//
+// encodeKey maps a tuple of values onto a byte string such that
+//
+//  1. two tuples encode to the same key exactly when they are equal
+//     under the engine's comparison rules within one column's type
+//     domain (so the encoding is usable as a hash-map key), and
+//  2. the lexicographic byte order of single-value keys matches
+//     sqltypes.SortCompare (so the same encoding drives the ordered
+//     index's range and in-order scans).
+//
+// Every index in the engine — hash, ordered and the unique/PK indexes —
+// shares this one encoder. The previous encoder rendered values through
+// AsString, which collided across kinds (BOOLEAN TRUE vs VARCHAR 'TRUE',
+// TIMESTAMP vs its formatted text) and missed equal values with distinct
+// renderings (a timestamp probed via its RFC3339 spelling). Here each
+// value carries a class tag:
+//
+//	0x01 NULL
+//	0x02 numeric (INTEGER and DOUBLE share the class: 2 and 2.0 index
+//	     equally, as SQL comparison promotes them)
+//	0x03 text (VARCHAR and CLOB)
+//	0x04 BOOLEAN
+//	0x05 TIMESTAMP
+//	0x06 BLOB
+//	0x07 DATALINK
+//
+// Tag order matches the kind order SortCompare falls back to for
+// incomparable pairs, and within a class the payload is byte-comparable:
+// numerics use the sign-flipped IEEE-754 trick, timestamps sign-flipped
+// seconds plus nanoseconds, and byte strings an escape encoding that
+// keeps 0x00 transparent and orders prefixes first.
+//
+// Integers beyond 2^53 share their float64 image with neighbouring
+// values (the prior encoder had the same normalisation, and the
+// engine's own mixed int/double comparison promotes through float64).
+// Equality and range row SETS stay correct because every index consumer
+// re-applies the residual predicate; the one observable difference from
+// a heap scan is ordering WITHIN such a colliding key when an ordered
+// index serves ORDER BY — those rows come back in insertion order
+// rather than exact-integer order.
+
+const (
+	keyTagNull    = 0x01
+	keyTagNumeric = 0x02
+	keyTagText    = 0x03
+	keyTagBool    = 0x04
+	keyTagTime    = 0x05
+	keyTagBytes   = 0x06
+	keyTagLink    = 0x07
+)
+
+// encodeKey encodes a tuple of values into one canonical key.
+func encodeKey(vals ...sqltypes.Value) string {
+	var b []byte
+	for _, v := range vals {
+		b = appendKey(b, v)
+	}
+	return string(b)
+}
+
+// appendKey appends the canonical encoding of one value.
+func appendKey(b []byte, v sqltypes.Value) []byte {
+	switch v.Kind() {
+	case sqltypes.KindNull:
+		return append(b, keyTagNull)
+	case sqltypes.KindInt, sqltypes.KindDouble:
+		f, _ := v.AsDouble()
+		// Canonicalise values Compare treats as equal to one key:
+		// -0.0 equals +0.0, and all NaN payloads are one value that
+		// sorts below every number (matching sqltypes.Compare).
+		if f == 0 {
+			f = 0
+		} else if math.IsNaN(f) {
+			f = math.Float64frombits(math.Float64bits(math.NaN()) | 1<<63)
+		}
+		bits := math.Float64bits(f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip everything
+		} else {
+			bits |= 1 << 63 // non-negative: set the sign bit
+		}
+		b = append(b, keyTagNumeric)
+		return binary.BigEndian.AppendUint64(b, bits)
+	case sqltypes.KindString, sqltypes.KindClob:
+		return appendEscaped(append(b, keyTagText), v.Str())
+	case sqltypes.KindBool:
+		if v.Bool() {
+			return append(b, keyTagBool, 1)
+		}
+		return append(b, keyTagBool, 0)
+	case sqltypes.KindTime:
+		t := v.Time()
+		b = append(b, keyTagTime)
+		b = binary.BigEndian.AppendUint64(b, uint64(t.Unix())^(1<<63))
+		return binary.BigEndian.AppendUint32(b, uint32(t.Nanosecond()))
+	case sqltypes.KindBytes:
+		return appendEscaped(append(b, keyTagBytes), string(v.Bytes()))
+	case sqltypes.KindDatalink:
+		return appendEscaped(append(b, keyTagLink), v.Str())
+	}
+	return append(b, keyTagNull)
+}
+
+// appendEscaped writes s with 0x00 escaped as {0x00,0xFF} and a
+// {0x00,0x01} terminator, so concatenated tuple keys stay unambiguous
+// and "a" orders before "ab" and before "a\x00b".
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			b = append(b, 0x00, 0xFF)
+		} else {
+			b = append(b, s[i])
+		}
+	}
+	return append(b, 0x00, 0x01)
+}
+
+// nullKey is the canonical encoding of a single NULL, the boundary the
+// ordered index uses for IS NULL / IS NOT NULL scans.
+var nullKey = encodeKey(sqltypes.Null)
+
+// probeValue maps a lookup value into the key domain of a column of
+// kind colKind. Stored values are coerced to their column's type on
+// INSERT/UPDATE, so every key in a column's index belongs to one class;
+// a probe arriving as a different kind (the QBE layer sends every
+// restriction as text) must be coerced the same way before encoding.
+// ok=false means the probe cannot be aligned with the index — e.g. a
+// numeric probe against a VARCHAR column, which SQL compares by parsing
+// each stored string — and the caller must fall back to a heap scan,
+// which preserves exact comparison semantics.
+func probeValue(colKind sqltypes.Kind, v sqltypes.Value) (sqltypes.Value, bool) {
+	if v.IsNull() {
+		return v, false
+	}
+	switch colKind {
+	case sqltypes.KindInt, sqltypes.KindDouble:
+		if v.IsNumeric() {
+			return v, true
+		}
+		if v.IsTextual() {
+			if f, ok := v.AsDouble(); ok {
+				return sqltypes.NewDouble(f), true
+			}
+		}
+	case sqltypes.KindString, sqltypes.KindClob:
+		if v.IsTextual() {
+			return v, true
+		}
+	case sqltypes.KindBool:
+		if v.Kind() == sqltypes.KindBool {
+			return v, true
+		}
+	case sqltypes.KindTime:
+		if v.Kind() == sqltypes.KindTime {
+			return v, true
+		}
+		if v.IsTextual() {
+			if t, err := sqltypes.ParseTimestamp(v.Str()); err == nil {
+				return sqltypes.NewTime(t), true
+			}
+		}
+	case sqltypes.KindBytes:
+		if v.Kind() == sqltypes.KindBytes {
+			return v, true
+		}
+	case sqltypes.KindDatalink:
+		if v.Kind() == sqltypes.KindDatalink {
+			return v, true
+		}
+	}
+	return v, false
+}

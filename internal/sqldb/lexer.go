@@ -61,6 +61,7 @@ var keywords = map[string]bool{
 	"EXPIRY": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"CASCADE": true, "RESTRICT": true, "IF": true, "EXISTS": true, "CONSTRAINT": true,
+	"USING": true, "HASH": true, "ORDERED": true,
 }
 
 // lex converts an SQL string into tokens. It reports errors with byte

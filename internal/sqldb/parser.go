@@ -111,7 +111,8 @@ func (p *parser) identifier(what string) (string, error) {
 	// Permit a few keywords that commonly appear as identifiers.
 	if t.kind == tokKeyword {
 		switch t.text {
-		case "URL", "DB", "FS", "KEY", "YES", "NO", "ALL", "FILE", "READ", "WRITE", "CONTROL", "LINK":
+		case "URL", "DB", "FS", "KEY", "YES", "NO", "ALL", "FILE", "READ", "WRITE", "CONTROL", "LINK",
+			"HASH", "ORDERED":
 			p.pos++
 			return t.text, nil
 		}
@@ -509,7 +510,18 @@ func (p *parser) parseCreateIndex() (Statement, error) {
 	if len(cols) != 1 {
 		return nil, p.errf("only single-column indexes are supported")
 	}
-	return &CreateIndexStmt{Name: name, Table: table, Column: cols[0]}, nil
+	stmt := &CreateIndexStmt{Name: name, Table: table, Column: cols[0]}
+	if p.acceptKeyword("USING") {
+		switch {
+		case p.acceptKeyword("HASH"):
+			stmt.Using = IndexKindHash
+		case p.acceptKeyword("ORDERED"):
+			stmt.Using = IndexKindOrdered
+		default:
+			return nil, p.errf("expected HASH or ORDERED after USING")
+		}
+	}
+	return stmt, nil
 }
 
 func (p *parser) parseDrop() (Statement, error) {

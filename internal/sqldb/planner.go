@@ -1,0 +1,466 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// The access-path planner.
+//
+// planAccess inspects the WHERE conjuncts (and, for single-table
+// queries, the ORDER BY) of a bound SELECT and picks how the executor
+// reaches the first FROM table's rows:
+//
+//	equality on a hash-indexed column   → O(1) point lookup
+//	equality on an ordered column       → O(log n) point lookup
+//	range / BETWEEN on an ordered column→ ordered range scan
+//	IS [NOT] NULL on an ordered column  → scan of / past the NULL key
+//	ORDER BY an ordered column          → full in-order scan (no sort)
+//	otherwise                           → heap scan
+//
+// The chosen path is stored inside the cached selectPlan, so prepared
+// statements re-run it without re-analysis; the schema epoch invalidates
+// plans when indexes are created or dropped. Every path over-approximates
+// — the executor always re-applies the residual WHERE to candidate rows
+// — so the planner only needs monotone key bounds, never exact ones.
+// Probe values are aligned with the indexed column's type at execution
+// time (parameters are unknown at plan time); when alignment fails the
+// executor transparently falls back to a heap scan with identical
+// semantics.
+
+// accessPathKind enumerates the executor strategies.
+type accessPathKind uint8
+
+const (
+	pathHashEq      accessPathKind = iota // hash index point lookup
+	pathOrderedEq                         // ordered index point lookup
+	pathOrderedRange                      // ordered index range scan
+	pathOrderedNull                       // IS NULL / IS NOT NULL via ordered index
+	pathOrderedScan                       // full in-order scan (ORDER BY only)
+)
+
+// accessPath is the planner's decision for one table. All expression
+// fields are row-independent (literals, parameters, constant function
+// calls) and are evaluated once per execution.
+type accessPath struct {
+	kind   accessPathKind
+	table  string // table name (diagnostics)
+	column string // upper-cased indexed column
+	colPos int    // column position in the schema
+
+	eq      Expr // pathHashEq / pathOrderedEq probe
+	lo, hi  Expr // pathOrderedRange bounds; nil = open end
+	notNull bool // pathOrderedNull: true = IS NOT NULL
+
+	desc             bool // scan direction (ordered paths)
+	satisfiesOrderBy bool // rows arrive in ORDER BY order; skip the sort
+}
+
+// String renders the path for EXPLAIN-style introspection and tests.
+func (p *accessPath) String() string {
+	if p == nil {
+		return "full-scan"
+	}
+	target := p.table + "." + p.column
+	suffix := ""
+	if p.satisfiesOrderBy {
+		suffix = " order"
+		if p.desc {
+			suffix = " order-desc"
+		}
+	}
+	switch p.kind {
+	case pathHashEq:
+		return "hash-eq(" + target + ")" + suffix
+	case pathOrderedEq:
+		return "eq(" + target + ")" + suffix
+	case pathOrderedRange:
+		return "range(" + target + ")" + suffix
+	case pathOrderedNull:
+		if p.notNull {
+			return "not-null(" + target + ")" + suffix
+		}
+		return "null(" + target + ")" + suffix
+	case pathOrderedScan:
+		return "ordered-scan(" + target + ")" + suffix
+	}
+	return "full-scan"
+}
+
+// colPred accumulates the indexable predicates on one column.
+type colPred struct {
+	eq        Expr
+	lo, hi    Expr
+	isNull    bool
+	isNotNull bool
+}
+
+// planAccess picks the access path for the first FROM table of a bound
+// SELECT (or for a DML statement's target table). orderBy/orderBound
+// are consulted only when single is true — ORDER BY satisfaction makes
+// no sense once rows are joined or grouped.
+func planAccess(td *tableData, alias string, where Expr, orderBy []OrderItem, orderBound []bool, aggregated, single bool) *accessPath {
+	preds := collectColPreds(where, alias, td.schema)
+
+	// Score the candidate paths per indexed column, preferring the
+	// cheapest: hash equality, ordered equality, bounded range, half
+	// range, null tests. Columns are visited in declaration order so
+	// the choice is deterministic.
+	var best *accessPath
+	bestScore := 0
+	for pos, col := range td.schema.Cols {
+		idx, ok := td.indexes[col.Name]
+		if !ok {
+			continue
+		}
+		p, okp := preds[col.Name]
+		if !okp {
+			continue
+		}
+		_, ordered := idx.(rangeIndex)
+		var cand *accessPath
+		score := 0
+		switch {
+		case p.eq != nil && !ordered:
+			cand = &accessPath{kind: pathHashEq, eq: p.eq}
+			score = 5
+		case p.eq != nil:
+			cand = &accessPath{kind: pathOrderedEq, eq: p.eq}
+			score = 4
+		case ordered && p.lo != nil && p.hi != nil:
+			cand = &accessPath{kind: pathOrderedRange, lo: p.lo, hi: p.hi}
+			score = 3
+		case ordered && (p.lo != nil || p.hi != nil):
+			cand = &accessPath{kind: pathOrderedRange, lo: p.lo, hi: p.hi}
+			score = 2
+		case ordered && (p.isNull || p.isNotNull):
+			cand = &accessPath{kind: pathOrderedNull, notNull: p.isNotNull}
+			score = 1
+		}
+		if cand != nil && score > bestScore {
+			cand.table = td.schema.Name
+			cand.column = col.Name
+			cand.colPos = pos
+			best = cand
+			bestScore = score
+		}
+	}
+
+	// ORDER BY satisfaction: a single-key ORDER BY on a column our
+	// ordered path already scans in key order, or — when no predicate
+	// path was found — a full in-order scan of that column's ordered
+	// index in place of scan+sort.
+	if single && !aggregated && len(orderBy) == 1 && len(orderBound) == 1 && orderBound[0] {
+		if obCol, ok := orderByColumn(orderBy[0].Expr, alias, td.schema); ok {
+			switch {
+			case best != nil && best.column == obCol:
+				switch best.kind {
+				case pathOrderedEq, pathOrderedRange, pathOrderedNull:
+					best.desc = orderBy[0].Desc
+					best.satisfiesOrderBy = true
+				case pathHashEq:
+					// Every candidate shares one value in the ORDER BY
+					// column, so any emission order is sorted.
+					best.satisfiesOrderBy = true
+				}
+			case best == nil:
+				if idx, ok := td.indexes[obCol]; ok {
+					if _, ordered := idx.(rangeIndex); ordered {
+						best = &accessPath{
+							kind:             pathOrderedScan,
+							table:            td.schema.Name,
+							column:           obCol,
+							colPos:           td.schema.ColIndex(obCol),
+							desc:             orderBy[0].Desc,
+							satisfiesOrderBy: true,
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// orderByColumn recognises an ORDER BY key that is a plain reference to
+// one of this table's columns.
+func orderByColumn(e Expr, alias string, schema *TableSchema) (string, bool) {
+	cr, ok := e.(*ColRef)
+	if !ok {
+		return "", false
+	}
+	if cr.Table != "" && !strings.EqualFold(cr.Table, alias) {
+		return "", false
+	}
+	col := strings.ToUpper(cr.Col)
+	if schema.ColIndex(col) < 0 {
+		return "", false
+	}
+	return col, true
+}
+
+// collectColPreds walks the top-level AND tree gathering indexable
+// predicates per column of the target table.
+func collectColPreds(where Expr, alias string, schema *TableSchema) map[string]*colPred {
+	preds := make(map[string]*colPred)
+	at := func(col string) *colPred {
+		p, ok := preds[col]
+		if !ok {
+			p = &colPred{}
+			preds[col] = p
+		}
+		return p
+	}
+	colOf := func(e Expr) (string, bool) {
+		cr, ok := e.(*ColRef)
+		if !ok {
+			return "", false
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, alias) {
+			return "", false
+		}
+		col := strings.ToUpper(cr.Col)
+		if schema.ColIndex(col) < 0 {
+			return "", false
+		}
+		return col, true
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *Binary:
+			if n.Op == "AND" {
+				walk(n.L)
+				walk(n.R)
+				return
+			}
+			col, l2r := colOf(n.L)
+			val := n.R
+			op := n.Op
+			if !l2r {
+				var ok bool
+				col, ok = colOf(n.R)
+				if !ok {
+					return
+				}
+				val = n.L
+				// Flip the comparison for "const op col".
+				switch op {
+				case "<":
+					op = ">"
+				case "<=":
+					op = ">="
+				case ">":
+					op = "<"
+				case ">=":
+					op = "<="
+				}
+			}
+			if !isRowIndependent(val) {
+				return
+			}
+			p := at(col)
+			switch op {
+			case "=":
+				if p.eq == nil {
+					p.eq = val
+				}
+			case ">", ">=":
+				if p.lo == nil {
+					p.lo = val
+				}
+			case "<", "<=":
+				if p.hi == nil {
+					p.hi = val
+				}
+			}
+		case *BetweenExpr:
+			if n.Not {
+				return
+			}
+			col, ok := colOf(n.X)
+			if !ok || !isRowIndependent(n.Lo) || !isRowIndependent(n.Hi) {
+				return
+			}
+			p := at(col)
+			if p.lo == nil {
+				p.lo = n.Lo
+			}
+			if p.hi == nil {
+				p.hi = n.Hi
+			}
+		case *IsNullExpr:
+			if col, ok := colOf(n.X); ok {
+				if n.Not {
+					at(col).isNotNull = true
+				} else {
+					at(col).isNull = true
+				}
+			}
+		}
+	}
+	if where != nil {
+		walk(where)
+	}
+	return preds
+}
+
+// isRowIndependent reports whether e can be evaluated without a row:
+// no column references, no aggregates. Such expressions (literals,
+// parameters, DLVALUE(?), NOW()) are usable as index probes.
+func isRowIndependent(e Expr) bool {
+	ok := true
+	walkExpr(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *ColRef:
+			ok = false
+			return false
+		case *FuncCall:
+			if isAggregate(n.Name) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// evalProbe evaluates a row-independent probe expression.
+func evalProbe(e Expr, ctx *evalCtx) (sqltypes.Value, error) {
+	saved := ctx.vals
+	ctx.vals = nil
+	v, err := evalExpr(e, ctx)
+	ctx.vals = saved
+	return v, err
+}
+
+// scanAccessPath drives the chosen path against current table state,
+// emitting candidate rows (in key order for ordered paths). It returns
+// handled=false when the path cannot serve this execution — the probe
+// value does not align with the indexed column's type, or evaluating a
+// probe failed — and the caller must fall back to a heap scan, which
+// preserves exact comparison semantics. Candidates over-approximate the
+// WHERE clause: callers always re-apply the residual predicate.
+//
+// Value-typed range bounds are scanned inclusively even for strict
+// comparisons: distinct values can share an encoded key (float64 image
+// of huge integers), so exclusion happens in the residual predicate
+// where it is exact. The NULL boundary key is exact and is excluded
+// directly for IS NOT NULL.
+func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id rowID, vals []sqltypes.Value) bool) (bool, error) {
+	idx := td.indexes[path.column]
+	if idx == nil {
+		return false, nil
+	}
+	colKind := td.schema.Cols[path.colPos].Type.Kind
+
+	emitIDs := func(ids []rowID) bool {
+		for _, id := range ids {
+			vals, live := td.get(id)
+			if !live {
+				continue
+			}
+			if !emit(id, vals) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// encodeBound evaluates and aligns one range bound; key=="" with
+	// ok=true means the bound is absent (open end). Evaluation errors
+	// force the scan fallback, where the residual predicate surfaces
+	// them with full-scan semantics.
+	encodeBound := func(e Expr) (key string, null, ok bool) {
+		if e == nil {
+			return "", false, true
+		}
+		v, err := evalProbe(e, ctx)
+		if err != nil {
+			return "", false, false
+		}
+		if v.IsNull() {
+			return "", true, true
+		}
+		pv, okp := probeValue(colKind, v)
+		if !okp {
+			return "", false, false
+		}
+		return encodeKey(pv), false, true
+	}
+
+	switch path.kind {
+	case pathHashEq, pathOrderedEq:
+		v, err := evalProbe(path.eq, ctx)
+		if err != nil {
+			return false, nil
+		}
+		if v.IsNull() {
+			return true, nil // col = NULL is UNKNOWN: no rows
+		}
+		pv, ok := probeValue(colKind, v)
+		if !ok {
+			return false, nil
+		}
+		emitIDs(idx.lookupKey(encodeKey(pv)))
+		return true, nil
+
+	case pathOrderedRange:
+		rix, ok := idx.(rangeIndex)
+		if !ok {
+			return false, nil
+		}
+		loKey, loNull, loOK := encodeBound(path.lo)
+		hiKey, hiNull, hiOK := encodeBound(path.hi)
+		if !loOK || !hiOK {
+			return false, nil
+		}
+		if loNull || hiNull {
+			return true, nil // comparison with NULL matches nothing
+		}
+		var lo, hi *keyBound
+		if path.lo != nil {
+			lo = &keyBound{key: loKey, incl: true}
+		} else {
+			// Open low end still excludes NULLs: col < x is UNKNOWN
+			// for NULL, and the residual filter would drop them anyway.
+			lo = &keyBound{key: nullKey, incl: false}
+		}
+		if path.hi != nil {
+			hi = &keyBound{key: hiKey, incl: true}
+		}
+		rix.scanRange(lo, hi, path.desc, func(_ string, ids []rowID) bool {
+			return emitIDs(ids)
+		})
+		return true, nil
+
+	case pathOrderedNull:
+		rix, ok := idx.(rangeIndex)
+		if !ok {
+			return false, nil
+		}
+		if path.notNull {
+			rix.scanRange(&keyBound{key: nullKey, incl: false}, nil, path.desc, func(_ string, ids []rowID) bool {
+				return emitIDs(ids)
+			})
+		} else {
+			// All NULLs share one key; scan direction is immaterial.
+			emitIDs(idx.lookupKey(nullKey))
+		}
+		return true, nil
+
+	case pathOrderedScan:
+		rix, ok := idx.(rangeIndex)
+		if !ok {
+			return false, nil
+		}
+		rix.scanRange(nil, nil, path.desc, func(_ string, ids []rowID) bool {
+			return emitIDs(ids)
+		})
+		return true, nil
+	}
+	return false, fmt.Errorf("sqldb: unknown access path kind %d", path.kind)
+}

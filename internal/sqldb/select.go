@@ -32,6 +32,11 @@ type selectPlan struct {
 	labels     []string
 	kinds      []sqltypes.Kind
 	noFrom     bool
+
+	// path is the planner's access-path choice for the first FROM
+	// table (nil = heap scan); see planner.go. It is immutable after
+	// planning and shared by concurrent executions.
+	path *accessPath
 }
 
 // execSelectLocked plans and runs a SELECT in one step (the uncached
@@ -45,12 +50,15 @@ func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, e
 	return db.runSelect(plan, params)
 }
 
-// planSelect resolves FROM items against the catalogue and binds every
-// expression. The planner is deliberately simple — nested-loop joins in
-// FROM order with pushed ON predicates, hash-index lookups for simple
-// equality filters, hash aggregation, then sort/limit — which is ample
-// for the archive's metadata queries. Caller holds db.mu (read suffices;
-// binding of a shared statement is serialised by Stmt.mu).
+// planSelect resolves FROM items against the catalogue, binds every
+// expression and runs the access-path planner (planner.go) over the
+// first FROM table. Execution remains deliberately simple — nested-loop
+// joins in FROM order with pushed ON predicates, hash aggregation, then
+// sort/limit — but the initial table access is index-driven whenever the
+// WHERE conjuncts or ORDER BY allow: hash lookups for equalities,
+// ordered-index scans for ranges and in-order reads. Caller holds db.mu
+// (read suffices; binding of a shared statement is serialised by
+// Stmt.mu).
 func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 	// SELECT without FROM: bind items against an empty namespace.
 	if len(s.From) == 0 {
@@ -151,7 +159,7 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &selectPlan{
+	plan := &selectPlan{
 		stmt:       s,
 		tables:     tables,
 		env:        env,
@@ -160,7 +168,13 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 		proj:       proj,
 		labels:     labels,
 		kinds:      kinds,
-	}, nil
+	}
+	// Access-path selection for the first FROM table. DISTINCT keeps
+	// the first occurrence of each row, so index order survives dedup
+	// and ORDER BY satisfaction remains valid under it.
+	plan.path = planAccess(tables[0].data, tables[0].alias, s.Where,
+		s.OrderBy, orderBound, aggregated, len(tables) == 1)
+	return plan, nil
 }
 
 // runSelect executes a bound plan against current state and materialises
@@ -180,6 +194,7 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 
 	var rows [][]sqltypes.Value
 	whereApplied := false
+	orderApplied := false
 	if len(tables) == 1 {
 		// Single-table fast path: no joined row to assemble, so reference
 		// the stored row slices directly and fuse the WHERE filter into
@@ -189,6 +204,7 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 		// nothing mutable escapes into the result.
 		whereApplied = true
 		ft := tables[0]
+		var scanErr error
 		keep := func(vals []sqltypes.Value) (bool, error) {
 			if s.Where == nil {
 				return true, nil
@@ -200,22 +216,33 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 			}
 			return !v.IsNull() && truthy(v), nil
 		}
-		if ids, ok := db.indexCandidates(ft.data, s.Where, ctx, ft.alias); ok {
-			for _, id := range ids {
-				vals, live := ft.data.get(id)
-				if !live {
-					continue
-				}
+		// When the access path delivers rows already in ORDER BY order
+		// and no DISTINCT reshapes the set, the scan can stop as soon
+		// as OFFSET+LIMIT kept rows are collected.
+		stopAt := -1
+		if plan.path != nil && plan.path.satisfiesOrderBy && !s.Distinct && !aggregated && s.Limit >= 0 {
+			stopAt = s.Offset + s.Limit
+		}
+		handled := false
+		if plan.path != nil && !db.fullScanOnly {
+			var err error
+			handled, err = scanAccessPath(ft.data, plan.path, ctx, func(_ rowID, vals []sqltypes.Value) bool {
 				ok, err := keep(vals)
 				if err != nil {
-					return nil, err
+					scanErr = err
+					return false
 				}
 				if ok {
 					rows = append(rows, vals)
 				}
+				return stopAt < 0 || len(rows) < stopAt
+			})
+			if err != nil {
+				return nil, err
 			}
-		} else {
-			var scanErr error
+			orderApplied = handled && plan.path.satisfiesOrderBy
+		}
+		if !handled {
 			ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
 				ok, err := keep(vals)
 				if err != nil {
@@ -227,9 +254,9 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 				}
 				return true
 			})
-			if scanErr != nil {
-				return nil, scanErr
-			}
+		}
+		if scanErr != nil {
+			return nil, scanErr
 		}
 	} else {
 		var err error
@@ -318,7 +345,7 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 		seen := make(map[string]bool, len(outRows))
 		dedup := outRows[:0]
 		for _, r := range outRows {
-			k := indexKey(r.vals...)
+			k := encodeKey(r.vals...)
 			if !seen[k] {
 				seen[k] = true
 				dedup = append(dedup, r)
@@ -327,8 +354,9 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 		outRows = dedup
 	}
 
-	// ORDER BY.
-	if len(s.OrderBy) > 0 {
+	// ORDER BY (skipped when the access path already delivered rows in
+	// order — the index scan replaces the sort).
+	if len(s.OrderBy) > 0 && !orderApplied {
 		keys := make([][]sqltypes.Value, len(outRows))
 		for ri, r := range outRows {
 			ks := make([]sqltypes.Value, len(s.OrderBy))
@@ -434,16 +462,20 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		left := s.From[i].LeftJoin
 		var next [][]sqltypes.Value
 
-		// Index fast path for the first table with WHERE col = const.
+		// Access-path fast path for the first table: the planner's
+		// choice narrows the outer loop's candidates (the full WHERE is
+		// still applied after the join, so over-approximation is safe).
 		var candidates [][]sqltypes.Value
-		if i == 0 {
-			if ids, ok := db.indexCandidates(ft.data, s.Where, ctx, ft.alias); ok {
-				for _, id := range ids {
-					if vals, live := ft.data.get(id); live {
-						candidates = append(candidates, vals)
-					}
-				}
+		haveCandidates := false
+		if i == 0 && plan.path != nil && !db.fullScanOnly {
+			handled, err := scanAccessPath(ft.data, plan.path, ctx, func(_ rowID, vals []sqltypes.Value) bool {
+				candidates = append(candidates, vals)
+				return true
+			})
+			if err != nil {
+				return nil, err
 			}
+			haveCandidates = handled
 		}
 		scanInto := func(base []sqltypes.Value) error {
 			matched := false
@@ -466,7 +498,7 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 				return nil
 			}
 			var scanErr error
-			if candidates != nil {
+			if haveCandidates {
 				for _, vals := range candidates {
 					if scanErr = appendRow(vals); scanErr != nil {
 						break
@@ -521,51 +553,6 @@ func (db *DB) runSelectNoFrom(plan *selectPlan, params []sqltypes.Value) (*Rows,
 	out := newRows(columns, kinds)
 	out.Data = [][]sqltypes.Value{vals}
 	return out, nil
-}
-
-// indexCandidates detects "WHERE col = const [AND ...]" against the first
-// table and returns candidate row IDs from a hash index. The residual
-// WHERE is still applied afterwards, so over-approximation is safe.
-func (db *DB) indexCandidates(td *tableData, where Expr, ctx *evalCtx, alias string) ([]rowID, bool) {
-	eqs := collectEqualities(where)
-	for _, eq := range eqs {
-		cr, _ := eq.L.(*ColRef)
-		if cr == nil {
-			continue
-		}
-		if cr.Table != "" && !strings.EqualFold(cr.Table, alias) {
-			continue
-		}
-		v, ok := constValue(eq.R, ctx)
-		if !ok {
-			continue
-		}
-		if idx, exists := td.indexes[strings.ToUpper(cr.Col)]; exists {
-			return idx.lookup(v), true
-		}
-	}
-	return nil, false
-}
-
-// collectEqualities gathers top-level conjunctive equality predicates.
-func collectEqualities(e Expr) []*Binary {
-	var out []*Binary
-	var walk func(Expr)
-	walk = func(e Expr) {
-		b, ok := e.(*Binary)
-		if !ok {
-			return
-		}
-		switch b.Op {
-		case "AND":
-			walk(b.L)
-			walk(b.R)
-		case "=":
-			out = append(out, b)
-		}
-	}
-	walk(e)
-	return out
 }
 
 // expandProjection turns SELECT items into a flat expression list with
@@ -654,7 +641,7 @@ func groupRows(rows [][]sqltypes.Value, groupBy []Expr, ctx *evalCtx) ([][][]sql
 			}
 			key[i] = v
 		}
-		k := indexKey(key...)
+		k := encodeKey(key...)
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}

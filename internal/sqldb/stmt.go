@@ -44,6 +44,30 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 // Text returns the statement's SQL text.
 func (s *Stmt) Text() string { return s.text }
 
+// AccessPath describes how the statement's current plan reaches the
+// first FROM table — "hash-eq(T.C)", "eq(T.C)", "range(T.C)",
+// "not-null(T.C)", "ordered-scan(T.C)" (with an " order"/" order-desc"
+// suffix when the index scan also satisfies ORDER BY) or "full-scan".
+// EXPLAIN-style introspection for tests and diagnostics; building the
+// plan on demand, it reflects the live schema epoch, so it shows the
+// re-planned path after CREATE INDEX / DROP INDEX.
+func (s *Stmt) AccessPath() (string, error) {
+	sel, ok := s.ast.(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("sqldb: AccessPath requires a SELECT statement")
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	plan, err := s.selectPlanLocked(sel)
+	if err != nil {
+		return "", err
+	}
+	if plan.noFrom {
+		return "no-from", nil
+	}
+	return plan.path.String(), nil
+}
+
 // Exec runs the prepared statement in autocommit mode under the
 // exclusive writer lock (DML/DDL mutate shared state; a prepared SELECT
 // via Exec is allowed, with the result discarded).
@@ -57,17 +81,25 @@ func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
 	}
 	db := s.db
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return Result{}, fmt.Errorf("sqldb: database is closed")
 	}
 	tx := db.newTxLocked()
 	res, _, err := db.execStmtLocked(tx, s.ast, args)
 	if err != nil {
 		db.rollbackLocked(tx)
+		db.mu.Unlock()
 		return Result{}, err
 	}
-	if err := db.commitLocked(tx); err != nil {
+	finish, err := db.commitLocked(tx)
+	db.mu.Unlock()
+	if err != nil {
+		return Result{}, err
+	}
+	// The fsync happens here, outside the writer lock, batched with any
+	// concurrently committing transactions (WAL group commit).
+	if err := finish(); err != nil {
 		return Result{}, err
 	}
 	return res, nil

@@ -26,9 +26,10 @@ type tableData struct {
 	byID   map[rowID]int // rowID → position in rows
 	live   int           // number of non-deleted rows
 
-	// indexes maps upper-cased column name → hash index. The PK and
-	// UNIQUE constraints get implicit composite indexes in uniqueIdx.
-	indexes   map[string]*hashIndex
+	// indexes maps upper-cased column name → secondary index (hash or
+	// ordered; see index.go). The PK and UNIQUE constraints get implicit
+	// composite indexes in uniqueIdx.
+	indexes   map[string]secondaryIndex
 	uniqueIdx []*uniqueIndex // parallel to schema constraint list (PK first if present)
 }
 
@@ -36,7 +37,7 @@ func newTableData(schema *TableSchema) *tableData {
 	td := &tableData{
 		schema:  schema,
 		byID:    make(map[rowID]int),
-		indexes: make(map[string]*hashIndex),
+		indexes: make(map[string]secondaryIndex),
 	}
 	if len(schema.PrimaryKey) > 0 {
 		td.uniqueIdx = append(td.uniqueIdx, newUniqueIndex("PRIMARY KEY", schema, schema.PrimaryKey))
@@ -152,62 +153,7 @@ func (td *tableData) compact() {
 	td.rows = kept
 }
 
-// ---------- hash indexes ----------
-
-// indexKey encodes a tuple of values into a string map key. The encoding
-// tags each value with its kind and length so distinct tuples never
-// collide ("ab","c" vs "a","bc").
-func indexKey(vals ...sqltypes.Value) string {
-	var b strings.Builder
-	for _, v := range vals {
-		if v.IsNull() {
-			b.WriteString("\x00N;")
-			continue
-		}
-		s := v.AsString()
-		// Normalise numerics so 2 (int) and 2.0 (double) index equally.
-		if v.IsNumeric() {
-			f, _ := v.AsDouble()
-			s = fmt.Sprintf("%g", f)
-		}
-		fmt.Fprintf(&b, "\x00V%d:%s", len(s), s)
-	}
-	return b.String()
-}
-
-// hashIndex is a secondary equality index from value → row IDs.
-type hashIndex struct {
-	name    string
-	column  string
-	entries map[string][]rowID
-}
-
-func newHashIndex(name, column string) *hashIndex {
-	return &hashIndex{name: name, column: strings.ToUpper(column), entries: make(map[string][]rowID)}
-}
-
-func (h *hashIndex) add(v sqltypes.Value, id rowID) {
-	k := indexKey(v)
-	h.entries[k] = append(h.entries[k], id)
-}
-
-func (h *hashIndex) remove(v sqltypes.Value, id rowID) {
-	k := indexKey(v)
-	ids := h.entries[k]
-	for i, x := range ids {
-		if x == id {
-			h.entries[k] = append(ids[:i], ids[i+1:]...)
-			break
-		}
-	}
-	if len(h.entries[k]) == 0 {
-		delete(h.entries, k)
-	}
-}
-
-func (h *hashIndex) lookup(v sqltypes.Value) []rowID {
-	return h.entries[indexKey(v)]
-}
+// ---------- unique (PK / UNIQUE) indexes ----------
 
 // uniqueIndex enforces PRIMARY KEY / UNIQUE over a column tuple.
 // SQL semantics: rows containing NULL in any constrained column are
@@ -216,13 +162,16 @@ type uniqueIndex struct {
 	label   string
 	cols    []int
 	colName []string
+	kinds   []sqltypes.Kind // declared column kinds, for probe coercion
 	entries map[string]rowID
 }
 
 func newUniqueIndex(label string, schema *TableSchema, cols []string) *uniqueIndex {
 	ui := &uniqueIndex{label: label, colName: cols, entries: make(map[string]rowID)}
 	for _, c := range cols {
-		ui.cols = append(ui.cols, schema.ColIndex(c))
+		ci := schema.ColIndex(c)
+		ui.cols = append(ui.cols, ci)
+		ui.kinds = append(ui.kinds, schema.Cols[ci].Type.Kind)
 	}
 	return ui
 }
@@ -235,7 +184,7 @@ func (ui *uniqueIndex) key(vals []sqltypes.Value) (string, bool) {
 		}
 		tuple[i] = vals[ci]
 	}
-	return indexKey(tuple...), true
+	return encodeKey(tuple...), true
 }
 
 func (ui *uniqueIndex) check(vals []sqltypes.Value, self rowID) error {
@@ -263,13 +212,22 @@ func (ui *uniqueIndex) remove(vals []sqltypes.Value, id rowID) {
 	}
 }
 
-// lookup returns the row holding the given key tuple, if any.
-func (ui *uniqueIndex) lookup(tuple []sqltypes.Value) (rowID, bool) {
-	for _, v := range tuple {
+// lookup returns the row holding the given key tuple, if any. Probe
+// values may come from another table's columns (FK checks), so each is
+// aligned with this index's column kinds first; usable=false means the
+// probe cannot be served here and the caller must fall back to a scan.
+func (ui *uniqueIndex) lookup(tuple []sqltypes.Value) (id rowID, found, usable bool) {
+	probe := make([]sqltypes.Value, len(tuple))
+	for i, v := range tuple {
 		if v.IsNull() {
-			return 0, false
+			return 0, false, true // NULL never matches a unique key
 		}
+		pv, ok := probeValue(ui.kinds[i], v)
+		if !ok {
+			return 0, false, false
+		}
+		probe[i] = pv
 	}
-	id, ok := ui.entries[indexKey(tuple...)]
-	return id, ok
+	id, found = ui.entries[encodeKey(probe...)]
+	return id, found, true
 }

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 
 	"repro/internal/sqltypes"
 )
@@ -48,9 +50,41 @@ type walRecord struct {
 	ddl   string
 }
 
-// walFile is the append-only log writer.
+// Group commit parameters: a leader briefly waits for straggling
+// committers before draining the pending buffer (skipped once enough
+// transactions are queued), so concurrent commits share one fsync.
+const (
+	groupCommitWindow  = 50 * time.Microsecond
+	groupCommitMaxTxns = 32
+)
+
+// walFile is the append-only log writer with group commit.
+//
+// Committers stage their frames under the engine's writer lock
+// (stageTx: pure memory append, commit order = log order), then release
+// the engine lock and block in waitDurable. The first waiter becomes
+// the flush leader: it drains the whole pending buffer — its own frames
+// plus those of every transaction staged meanwhile — with one write and
+// one Sync; the rest just wait for their sequence to become durable.
+// Under concurrent commit load this turns N fsyncs into roughly one per
+// fsync latency window.
+//
+// A write or sync failure is sticky: the log is considered poisoned,
+// every in-flight and subsequent commit fails, and callers roll their
+// in-memory effects back, so acknowledged state never diverges further
+// from disk.
 type walFile struct {
-	f *os.File
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	pending  bytes.Buffer // staged frames not yet written
+	nPending int          // staged transactions in pending
+	seq      uint64       // last staged commit sequence
+	durable  uint64       // highest sequence known fsynced
+	flushing bool         // a leader is draining/syncing
+	waiters  int          // committers inside waitDurable
+	flushes  int          // completed flush batches (observability/tests)
+	err      error        // sticky write/sync failure
 }
 
 func openWAL(path string) (*walFile, error) {
@@ -58,36 +92,127 @@ func openWAL(path string) (*walFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &walFile{f: f}, nil
+	w := &walFile{f: f}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
 }
 
+// close flushes everything staged, then closes the file.
 func (w *walFile) close() error {
 	if w == nil || w.f == nil {
 		return nil
 	}
-	return w.f.Close()
+	err := w.barrier()
+	cerr := w.f.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
 }
 
-// appendTx writes BEGIN, the buffered records, COMMIT, then syncs.
-// The transaction is durable once appendTx returns nil.
-func (w *walFile) appendTx(txID uint64, recs []walRecord) error {
-	var frame bytes.Buffer
+// stageTx appends BEGIN, the records and COMMIT to the pending buffer
+// and returns the transaction's commit sequence for waitDurable. Called
+// in commit order (the engine's writer lock serialises committers), so
+// on-disk order always matches in-memory commit order. No I/O here.
+func (w *walFile) stageTx(txID uint64, recs []walRecord) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
 	writeFrame := func(payload []byte) {
 		var hdr [8]byte
 		putUint32(hdr[0:4], uint32(len(payload)))
 		putUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-		frame.Write(hdr[:])
-		frame.Write(payload)
+		w.pending.Write(hdr[:])
+		w.pending.Write(payload)
 	}
 	writeFrame(encodeWALRecord(walRecord{op: walOpBegin}, txID))
 	for _, r := range recs {
 		writeFrame(encodeWALRecord(r, txID))
 	}
 	writeFrame(encodeWALRecord(walRecord{op: walOpCommit}, txID))
-	if _, err := w.f.Write(frame.Bytes()); err != nil {
-		return err
+	w.nPending++
+	w.seq++
+	return w.seq, nil
+}
+
+// waitDurable blocks until every staged sequence up to seq is on disk.
+// The transaction is durable once it returns nil.
+func (w *walFile) waitDurable(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.waiters++
+	defer func() { w.waiters-- }()
+	for {
+		if w.durable >= seq {
+			return nil // our frames hit disk, even if a later flush failed
+		}
+		if w.err != nil {
+			return w.err
+		}
+		if w.flushing {
+			w.cond.Wait()
+			continue
+		}
+		w.flushLocked()
 	}
-	return w.f.Sync()
+}
+
+// isDurable reports whether the given commit sequence has been fsynced.
+func (w *walFile) isDurable(seq uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return seq <= w.durable
+}
+
+// barrier flushes everything staged so far (checkpoint/close fence).
+func (w *walFile) barrier() error {
+	w.mu.Lock()
+	seq := w.seq
+	w.mu.Unlock()
+	return w.waitDurable(seq)
+}
+
+// flushLocked elects the caller leader, drains the pending buffer and
+// syncs once. Called with w.mu held; the lock is released around the
+// straggler window and the file I/O.
+func (w *walFile) flushLocked() {
+	w.flushing = true
+	if (w.nPending > 1 || w.waiters > 1) && w.nPending < groupCommitMaxTxns {
+		// Company detected (another staged transaction or another
+		// waiter): give concurrently-committing transactions a moment
+		// to stage their frames into this flush. A lone serial
+		// committer skips the window — it would be pure added latency.
+		w.mu.Unlock()
+		time.Sleep(groupCommitWindow)
+		w.mu.Lock()
+	}
+	data := append([]byte(nil), w.pending.Bytes()...)
+	target := w.seq
+	w.pending.Reset()
+	w.nPending = 0
+	w.mu.Unlock()
+
+	var err error
+	if len(data) > 0 {
+		if _, werr := w.f.Write(data); werr != nil {
+			err = werr
+		} else {
+			err = w.f.Sync()
+		}
+	}
+
+	w.mu.Lock()
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	if err == nil && target > w.durable {
+		w.durable = target
+	}
+	w.flushes++
+	w.flushing = false
+	w.cond.Broadcast()
 }
 
 func putUint32(b []byte, v uint32) {

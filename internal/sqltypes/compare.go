@@ -2,6 +2,7 @@ package sqltypes
 
 import (
 	"bytes"
+	"math"
 	"strings"
 )
 
@@ -85,8 +86,21 @@ func cmpFloat(a, b float64) int {
 		return -1
 	case a > b:
 		return 1
-	default:
+	case a == b:
 		return 0
+	}
+	// At least one NaN (every operator above is false). Order NaN below
+	// every number and equal to itself, keeping the ordering total —
+	// the naive "neither < nor >" fallthrough reported NaN equal to
+	// everything, which no index structure can represent.
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	default:
+		return 1
 	}
 }
 

@@ -4,6 +4,14 @@
 #
 # Usage: scripts/bench.sh [go-test-bench-regexp]
 #   BENCHTIME=2s scripts/bench.sh 'BenchmarkAblation.*'
+#
+# The default pattern runs every benchmark, including the ablations
+# that track the engine's perf levers across PRs:
+#   BenchmarkAblation_PlanCache    — prepared-statement plan cache
+#   BenchmarkAblation_OrderedIndex — ordered index vs full scan on a
+#                                    selective 100k-row range predicate
+#   BenchmarkAblation_GroupCommit  — WAL group commit vs serial fsyncs
+#                                    (parallel vs serial committers)
 set -eu
 
 cd "$(dirname "$0")/.."
