@@ -4,18 +4,32 @@
 // encrypted access tokens for READ PERMISSION DB files, and speaks the
 // two-phase link protocol with the archive's coordinator.
 //
-// Usage:
+// Usage (single file server):
 //
 //	dlfsd -host fs1.example.org:8081 -listen :8081 -root /data/archive -secret s3cret
+//
+// With -replica flags the daemon instead runs as a replication
+// gateway: it serves the same wire protocol, but every file is placed
+// on -rf of the named peer daemons (rendezvous hashing), link-control
+// 2PC fans out to the placed replicas, reads fail over past dead
+// peers, and a background health checker + anti-entropy loop
+// re-replicates what a crashed peer missed once it rejoins:
+//
+//	dlfsd -host fs.example.org:8080 -listen :8080 -secret s3cret \
+//	      -rf 2 -replica fs1.example.org:8081=http://fs1.example.org:8081 \
+//	            -replica fs2.example.org:8081=http://fs2.example.org:8081
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/dlfs"
+	"repro/internal/dlfs/cluster"
 	"repro/internal/med"
 )
 
@@ -23,10 +37,20 @@ func main() {
 	var (
 		host   = flag.String("host", "localhost:8081", "host[:port] as it appears in DATALINK URLs")
 		listen = flag.String("listen", ":8081", "listen address")
-		root   = flag.String("root", "dlfs-data", "file store root directory")
+		root   = flag.String("root", "dlfs-data", "file store root directory (single-server mode)")
 		secret = flag.String("secret", "", "shared token secret (must match the archive server)")
 		ttl    = flag.Duration("ttl", med.DefaultTokenTTL, "default token lifetime")
+		rf     = flag.Int("rf", cluster.DefaultReplicationFactor, "replication factor (gateway mode)")
+		probe  = flag.Duration("probe", 2*time.Second, "health-probe / anti-entropy interval (gateway mode)")
 	)
+	var replicas []string
+	flag.Func("replica", "peer daemon as host=baseURL (repeatable; enables gateway mode)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want host=baseURL, got %q", v)
+		}
+		replicas = append(replicas, v)
+		return nil
+	})
 	flag.Parse()
 	if *secret == "" {
 		log.Fatal("dlfsd: -secret is required (shared with the archive server)")
@@ -35,18 +59,43 @@ func main() {
 	if err != nil {
 		log.Fatalf("dlfsd: %v", err)
 	}
-	store, err := dlfs.NewStore(*root)
-	if err != nil {
-		log.Fatalf("dlfsd: %v", err)
+
+	var backend dlfs.Backend
+	switch {
+	case len(replicas) > 0:
+		rs := cluster.New(cluster.Config{
+			Host:              *host,
+			ReplicationFactor: *rf,
+			ProbeInterval:     *probe,
+			Tokens:            auth,
+		})
+		for _, spec := range replicas {
+			name, base, _ := strings.Cut(spec, "=")
+			if err := rs.Add(cluster.NewClientNode(dlfs.NewClient(name, base, nil))); err != nil {
+				log.Fatalf("dlfsd: %v", err)
+			}
+		}
+		// The probe/repair loop runs for the process lifetime; the
+		// process exits via log.Fatal below, which performs no
+		// graceful shutdown (and would skip deferred calls anyway).
+		rs.Start()
+		backend = rs
+		log.Printf("dlfsd: gateway for host %s over replicas %v (rf=%d, probe=%s) on %s",
+			*host, rs.Members(), *rf, *probe, *listen)
+	default:
+		store, err := dlfs.NewStore(*root)
+		if err != nil {
+			log.Fatalf("dlfsd: %v", err)
+		}
+		backend = dlfs.NewManager(*host, store, auth)
+		log.Printf("dlfsd: serving host %s from %s on %s (%d linked files)",
+			*host, *root, *listen, store.LinkedCount())
 	}
-	mgr := dlfs.NewManager(*host, store, auth)
 	srv := &http.Server{
 		Addr:         *listen,
-		Handler:      dlfs.NewServer(mgr),
+		Handler:      dlfs.NewServer(backend),
 		ReadTimeout:  5 * time.Minute,
 		WriteTimeout: 30 * time.Minute, // large dataset downloads
 	}
-	log.Printf("dlfsd: serving host %s from %s on %s (%d linked files)",
-		*host, *root, *listen, store.LinkedCount())
 	log.Fatal(srv.ListenAndServe())
 }

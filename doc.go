@@ -57,6 +57,29 @@
 //     fsync per flush window instead of one per transaction
 //     (BenchmarkAblation_GroupCommit).
 //
+// # The replicated DATALINK file-server tier
+//
+// The paper's files live on distributed file servers; one crashed
+// daemon must not make its files unreadable or wedge link-control 2PC.
+// internal/dlfs/cluster groups several Data Links File Managers behind
+// one logical DATALINK host as a ReplicaSet: rendezvous-hash placement
+// puts every file on ReplicationFactor members (default 2), Prepare/
+// Commit/EnsureLinked/Put fan out to the placed replicas, Open/Stat
+// fail over in placement order with token checks intact, and a health
+// checker (periodic Ping probe + consecutive-failure circuit breaker,
+// manual MarkDown/MarkUp) keeps routing away from dead members. A down
+// replica never blocks a link or a read; the divergence it accrues is
+// recorded and an anti-entropy pass (Repair — run by the background
+// loop, by core's Reconcile, and on demand) re-replicates files, link
+// state and staged commits once the member rejoins, last writer
+// winning. Abort failures are no longer dropped anywhere in the stack:
+// they surface through Coordinator.Abort/Tx.Rollback and are queued
+// for retry so a rolled-back prepare cannot leak reserved files on a
+// server that missed the abort. See internal/dlfs/README.md for the
+// placement/consistency details and cmd/dlfsd for the gateway
+// deployment mode; BenchmarkAblation_Failover and
+// BenchmarkReplicatedPut track the tier's read/write costs.
+//
 // The hot internal callers hold prepared statements: QBE searches and
 // FK substitution (internal/core/qbe.go), row-by-key lookups, the
 // link-control column probe behind download-URL minting and startup

@@ -1,9 +1,14 @@
-// Distributed deployment: the paper's architecture over real HTTP.
-// Two Data Links File Manager daemons run on loopback listeners; the
-// archive server talks to them through dlfs.Client exactly as it would
-// across the Internet. The example exercises the two-phase link
-// protocol over the wire, token-gated downloads, integrity enforcement
-// against a remote host, and a coordinated backup.
+// Distributed deployment: the paper's architecture over real HTTP,
+// with the replicated file-server tier. Three Data Links File Manager
+// daemons run on loopback listeners; the archive server addresses them
+// as ONE logical DATALINK host through a cluster.ReplicaSet — every
+// file is placed on two daemons, link-control 2PC fans out over the
+// wire, and reads fail over when a daemon drops off the network.
+//
+// The example exercises the two-phase link protocol over the wire,
+// token-gated downloads, integrity enforcement against a remote host,
+// a netsim-injected partition with failover reads and anti-entropy
+// re-replication after the partition heals, and a coordinated backup.
 //
 //	go run ./examples/distributed
 package main
@@ -20,9 +25,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dlfs"
+	"repro/internal/dlfs/cluster"
 	"repro/internal/med"
+	"repro/internal/netsim"
 	"repro/internal/turb"
 )
+
+// logicalHost is the single host name DATALINK URLs carry; the replica
+// set maps it onto the physical daemons.
+const logicalHost = "archive-fs.sim:80"
 
 func main() {
 	secret := []byte("distributed-secret")
@@ -33,7 +44,7 @@ func main() {
 	defer os.RemoveAll(work)
 
 	// --- file-server hosts: real daemons on loopback ---
-	startDaemon := func(name, dir string) (host string, mgr *dlfs.Manager, shutdown func()) {
+	startDaemon := func(name, dir string) daemon {
 		auth, err := med.NewTokenAuthority(secret, 0)
 		if err != nil {
 			log.Fatal(err)
@@ -46,17 +57,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		host = ln.Addr().String()
-		mgr = dlfs.NewManager(host, store, auth)
+		host := ln.Addr().String()
+		mgr := dlfs.NewManager(host, store, auth)
 		srv := &http.Server{Handler: dlfs.NewServer(mgr)}
 		go srv.Serve(ln) //nolint:errcheck // closed on shutdown
 		fmt.Printf("%s daemon listening on %s (root %s)\n", name, host, dir)
-		return host, mgr, func() { srv.Close() }
+		return daemon{host: host, store: store, stop: func() { srv.Close() }}
 	}
-	host1, _, stop1 := startDaemon("fs1", work+"/fs1")
-	defer stop1()
-	host2, _, stop2 := startDaemon("fs2", work+"/fs2")
-	defer stop2()
+	daemons := []daemon{
+		startDaemon("fs1", work+"/fs1"),
+		startDaemon("fs2", work+"/fs2"),
+		startDaemon("fs3", work+"/fs3"),
+	}
+	for _, d := range daemons {
+		defer d.stop()
+	}
 
 	// --- archive server host ---
 	archive, err := core.Open(core.Config{
@@ -68,10 +83,23 @@ func main() {
 		log.Fatal(err)
 	}
 	defer archive.Close()
-	client1 := dlfs.NewClient(host1, "http://"+host1, nil)
-	client2 := dlfs.NewClient(host2, "http://"+host2, nil)
-	archive.AttachFileServer(core.WrapClient(client1))
-	archive.AttachFileServer(core.WrapClient(client2))
+
+	// The replica set: one logical DATALINK host over the three
+	// daemons, replication factor 2, traffic routed through a netsim
+	// fault controller so we can sever a WAN path below.
+	faults := netsim.NewFaults()
+	rs := cluster.New(cluster.Config{
+		Host:              logicalHost,
+		ReplicationFactor: 2,
+		Tokens:            archive.Tokens,
+	})
+	for _, d := range daemons {
+		client := dlfs.NewClient(d.host, "http://"+d.host, faults.Client(nil))
+		if err := rs.Add(cluster.NewClientNode(client)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	archive.AttachFileServer(rs)
 
 	if err := archive.InitTurbulenceSchema(); err != nil {
 		log.Fatal(err)
@@ -79,42 +107,49 @@ func main() {
 	mustExec(archive, `INSERT INTO AUTHOR VALUES ('A1', 'Papiani', 'Southampton', NULL)`)
 	mustExec(archive, `INSERT INTO SIMULATION VALUES ('S1', 'A1', 'Distributed demo', NULL, 16, 100.0, 2, NOW())`)
 
-	// Archive one dataset on each host — data lives closest to where it
-	// is used, and both are managed by the single central database.
-	for i, host := range []string{host1, host2} {
+	// Archive two datasets. Each lands on 2 of the 3 daemons; the
+	// single central database manages all of them through one host name.
+	for i := 0; i < 2; i++ {
 		var buf bytes.Buffer
 		if _, err := turb.Generate(16, i, int64(i)).WriteTo(&buf); err != nil {
 			log.Fatal(err)
 		}
 		path := fmt.Sprintf("/runs/s1/ts%d.tsf", i)
-		url, err := archive.ArchiveFile(host, path, bytes.NewReader(buf.Bytes()))
+		url, err := archive.ArchiveFile(logicalHost, path, bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			log.Fatal(err)
 		}
 		mustExec(archive, fmt.Sprintf(
 			`INSERT INTO RESULT_FILE VALUES ('ts%d.tsf', 'S1', %d, 'u,v,w,p', 'TSF', %d, DLVALUE('%s'))`,
 			i, i, buf.Len(), url))
-		fmt.Printf("archived %s (link managed over HTTP)\n", url)
+		fmt.Printf("archived %s on replicas %v\n", url, holders(daemons, path))
 	}
 
-	// --- integrity enforcement across the wire ---
-	if err := client1.Remove("/runs/s1/ts0.tsf"); errors.Is(err, dlfs.ErrLinked) {
-		fmt.Println("remote delete of a linked file -> refused by the daemon")
+	// --- integrity enforcement across the wire, via the set ---
+	if err := rs.Remove("/runs/s1/ts0.tsf"); errors.Is(err, dlfs.ErrLinked) {
+		fmt.Println("remote delete of a linked file -> refused by the tier")
 	} else {
 		log.Fatalf("integrity breach: %v", err)
 	}
-	if err := client1.Rename("/runs/s1/ts0.tsf", "/runs/s1/sneaky.tsf"); errors.Is(err, dlfs.ErrLinked) {
-		fmt.Println("remote rename of a linked file -> refused by the daemon")
+	if err := rs.Rename("/runs/s1/ts0.tsf", "/runs/s1/sneaky.tsf"); errors.Is(err, dlfs.ErrLinked) {
+		fmt.Println("remote rename of a linked file -> refused by the tier")
 	} else {
 		log.Fatalf("integrity breach: %v", err)
 	}
 
-	// --- token-gated download over HTTP ---
-	rs, err := archive.Search(core.QBE{Table: "RESULT_FILE", OrderBy: "TIMESTEP"})
+	// --- sever the WAN path to ts0's PRIMARY replica ---
+	path := "/runs/s1/ts0.tsf"
+	victim := rs.Replicas(path)[0]
+	faults.Partition(victim)
+	fmt.Printf("netsim: partitioned %s (primary for %s)\n", victim, path)
+
+	// Token-gated download still works: the read fails over to the
+	// surviving replica, token check intact.
+	rows, err := archive.Search(core.QBE{Table: "RESULT_FILE", OrderBy: "TIMESTEP"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dl := rs.Row(0)["RESULT_FILE.DOWNLOAD_RESULT"].Str()
+	dl := rows.Row(0)["RESULT_FILE.DOWNLOAD_RESULT"].Str()
 	tokURL, err := archive.DownloadURL(dl, core.User{Name: "papiani"})
 	if err != nil {
 		log.Fatal(err)
@@ -125,45 +160,81 @@ func main() {
 	}
 	n, _ := io.Copy(io.Discard, rc)
 	rc.Close()
-	fmt.Printf("token-gated HTTP download: %d bytes\n", n)
+	fmt.Printf("token-gated download during the partition: %d bytes (failovers so far: %d)\n",
+		n, rs.Stats().Failovers)
 	if _, err := archive.OpenDownload(dl); err != nil {
-		fmt.Printf("tokenless HTTP download -> refused (%v)\n", shortErr(err))
+		fmt.Printf("tokenless download -> still refused (%v)\n", shortErr(err))
 	} else {
 		log.Fatal("tokenless download succeeded")
 	}
 
+	// New links keep committing through 2PC while the replica is dark.
+	var buf bytes.Buffer
+	if _, err := turb.Generate(16, 2, 2).WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	url, err := archive.ArchiveFile(logicalHost, "/runs/s1/ts2.tsf", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustExec(archive, fmt.Sprintf(
+		`INSERT INTO RESULT_FILE VALUES ('ts2.tsf', 'S1', 2, 'u,v,w,p', 'TSF', %d, DLVALUE('%s'))`,
+		buf.Len(), url))
+	fmt.Printf("new link committed during the partition: %s (under-replicated: %v)\n",
+		url, rs.UnderReplicated())
+
+	// --- the partition heals: anti-entropy restores full replication ---
+	faults.Heal(victim)
+	rs.Probe()
+	stats, err := rs.Repair()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partition healed; repair copied %d files, relinked %d (pending %d)\n",
+		stats.Copied, stats.Relinked, stats.Pending)
+
 	// --- a failed transaction leaves no remote link state ---
 	if _, err := archive.DB.Exec(
 		`INSERT INTO RESULT_FILE VALUES ('ghost.tsf', 'S1', 9, 'u', 'TSF', 0,
-			DLVALUE('http://` + host1 + `/runs/s1/ghost.tsf'))`); err != nil {
+			DLVALUE('http://` + logicalHost + `/runs/s1/ghost.tsf'))`); err != nil {
 		fmt.Printf("insert referencing a missing remote file -> refused (%v)\n", shortErr(err))
 	} else {
 		log.Fatal("dangling insert accepted")
 	}
 
 	// --- coordinated backup of database + linked files ---
-	// (The dlfs.Client does not expose backup; in-process managers on
-	// each host would run it. Here we back up through fresh managers
-	// bound to the same stores to show the mechanism.)
+	// The set's members are remote clients (no backup interface), so
+	// back up through managers bound directly to the daemons' stores —
+	// on a real deployment each host runs this locally.
 	backupDir := work + "/backup"
 	auth, _ := med.NewTokenAuthority(secret, 0)
-	store1, err := dlfs.NewStore(work + "/fs1")
-	if err != nil {
-		log.Fatal(err)
-	}
-	store2, err := dlfs.NewStore(work + "/fs2")
-	if err != nil {
-		log.Fatal(err)
-	}
-	parts := []med.BackupParticipant{
-		dlfs.NewManager(host1, store1, auth),
-		dlfs.NewManager(host2, store2, auth),
+	parts := []med.BackupParticipant{}
+	for _, d := range daemons {
+		parts = append(parts, dlfs.NewManager(d.host, d.store, auth))
 	}
 	captured, err := med.BackupSet{Dir: backupDir}.Backup(archive.DB, work+"/db", parts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("coordinated backup captured the database plus %d linked files into %s\n", captured, backupDir)
+	fmt.Printf("coordinated backup captured the database plus %d linked replicas into %s\n", captured, backupDir)
+}
+
+// daemon is one loopback file-server process.
+type daemon struct {
+	host  string
+	store *dlfs.Store
+	stop  func()
+}
+
+// holders reports which daemons hold path on disk.
+func holders(daemons []daemon, path string) []string {
+	var out []string
+	for _, d := range daemons {
+		if _, err := d.store.Stat(path); err == nil {
+			out = append(out, d.host)
+		}
+	}
+	return out
 }
 
 func mustExec(a *core.Archive, sql string) {

@@ -300,8 +300,17 @@ func (a *Archive) OpenDownload(tokenizedURL string) (io.ReadCloser, error) {
 	return h.OpenFile(path, token)
 }
 
+// repairer is the replication hook: a host backed by a replica set
+// (cluster.ReplicaSet) exposes an anti-entropy pass, which Reconcile
+// runs after link repair so rejoined members converge immediately.
+type repairer interface {
+	RepairLinks() error
+}
+
 // Reconcile repairs file-manager link state after crash recovery: every
 // controlled DATALINK value in the database must be linked on its host.
+// Replicated hosts additionally get an anti-entropy pass, and aborts
+// that never reached a file server are retried by the coordinator.
 func (a *Archive) Reconcile() error {
 	cat := a.DB.Catalog()
 	var firstErr error
@@ -327,6 +336,19 @@ func (a *Archive) Reconcile() error {
 				urls = append(urls, r[0].Str())
 			}
 			if err := a.Coord.Reconcile(urls, *opts); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	a.mu.RLock()
+	hosts := make([]FileHost, 0, len(a.hosts))
+	for _, h := range a.hosts {
+		hosts = append(hosts, h)
+	}
+	a.mu.RUnlock()
+	for _, h := range hosts {
+		if r, ok := h.(repairer); ok {
+			if err := r.RepairLinks(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -93,10 +93,11 @@ func (c *Client) Prepare(txID uint64, op med.LinkOp) error {
 // Commit implements med.FileServer.
 func (c *Client) Commit(txID uint64) error { return c.post("/dlfm/commit", txReq{Tx: txID}) }
 
-// Abort implements med.FileServer. Abort is best-effort over the wire:
-// an unreachable daemon will discard the pending work when the
-// transaction never commits.
-func (c *Client) Abort(txID uint64) { _ = c.post("/dlfm/abort", txReq{Tx: txID}) }
+// Abort implements med.FileServer. A failure is surfaced — an
+// unreachable daemon still holds the staged prepare and its path
+// reservations, so the coordinator queues the abort for retry rather
+// than letting a rolled-back transaction leak files on that server.
+func (c *Client) Abort(txID uint64) error { return c.post("/dlfm/abort", txReq{Tx: txID}) }
 
 // EnsureLinked implements med.FileServer.
 func (c *Client) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
@@ -123,24 +124,36 @@ func (c *Client) Put(path string, r io.Reader) error {
 
 // Open downloads a file; token may be empty for READ PERMISSION FS files.
 func (c *Client) Open(path, token string) (io.ReadCloser, error) {
+	rc, _, err := c.OpenStat(path, token)
+	return rc, err
+}
+
+// OpenStat downloads a file and rebuilds its FileInfo from the
+// response headers — one round trip, which is what the replication
+// tier's failover reads use.
+func (c *Client) OpenStat(path, token string) (io.ReadCloser, FileInfo, error) {
 	url := c.baseURL + "/files" + path
 	if token != "" {
 		u, err := sqltypes.ParseDatalinkURL("http://" + c.host + path)
 		if err != nil {
-			return nil, err
+			return nil, FileInfo{}, err
 		}
 		url = c.baseURL + "/files" + u.Dir() + "/" + token + ";" + u.File()
 	}
 	resp, err := c.hc.Get(url)
 	if err != nil {
-		return nil, err
+		return nil, FileInfo{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
-		return nil, remoteError(resp.StatusCode, strings.TrimSpace(string(msg)))
+		return nil, FileInfo{}, remoteError(resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
-	return resp.Body, nil
+	fi := FileInfo{Path: path, Size: resp.ContentLength, Linked: resp.Header.Get("X-Dlfs-Linked") == "true"}
+	if t, terr := http.ParseTime(resp.Header.Get("Last-Modified")); terr == nil {
+		fi.ModTime = t
+	}
+	return resp.Body, fi, nil
 }
 
 // Stat queries file metadata.
@@ -158,7 +171,39 @@ func (c *Client) Stat(path string) (FileInfo, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return FileInfo{}, err
 	}
-	return FileInfo{Path: sr.Path, Size: sr.Size, Linked: sr.Linked}, nil
+	return FileInfo{Path: sr.Path, Size: sr.Size, ModTime: sr.ModTime, Linked: sr.Linked, Opts: sr.Opts}, nil
+}
+
+// Ping probes the daemon's health endpoint (the cluster's failure
+// detector calls it periodically).
+func (c *Client) Ping() error {
+	resp, err := c.hc.Get(c.baseURL + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dlfs: health probe of %s: HTTP %d", c.host, resp.StatusCode)
+	}
+	return nil
+}
+
+// LinkStates fetches the daemon's full link registry (anti-entropy).
+func (c *Client) LinkStates() ([]LinkState, error) {
+	resp, err := c.hc.Get(c.baseURL + "/dlfm/links")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, remoteError(resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var states []LinkState
+	if err := json.NewDecoder(resp.Body).Decode(&states); err != nil {
+		return nil, err
+	}
+	return states, nil
 }
 
 // Rename asks the remote store to rename a file (refused while linked).

@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dlfs"
+	"repro/internal/med"
+	"repro/internal/sqltypes"
+)
+
+// Anti-entropy re-replication. Repair reconciles every member against
+// the tier's desired state, assembled from two sources:
+//
+//   - the dirty set: desired states the tier witnessed itself (a link
+//     commit, ensure or put that missed a replica). These are
+//     authoritative, including desired UNLINKED state — the one case a
+//     registry union cannot express;
+//   - the union of all reachable members' link registries, newest
+//     LinkedAt winning per path (last-writer-wins). This is what pulls
+//     a rejoining or freshly-registered replacement member up to date
+//     even when the coordinator that witnessed the divergence is gone.
+//
+// For each desired-linked path, every healthy placed replica must hold
+// the file (copied from any member that has it, through the normal
+// token-checked read path) and the link. For each desired-unlinked
+// path, a replica still holding the link runs a private unlink 2PC.
+// Dirty entries are dropped once fully applied; paths that still miss
+// a replica (member still down) stay queued for the next pass.
+
+// RepairStats reports one Repair pass.
+type RepairStats struct {
+	Scanned  int // paths examined
+	Copied   int // file bodies re-replicated onto a member
+	Relinked int // links re-established on a member
+	Unlinked int // stale links removed from a member
+	Pending  int // paths still under-replicated (member down)
+	Errors   int // per-replica repair failures
+}
+
+// isStructuralRepairErr separates failures worth surfacing from a
+// repair pass (a protocol refusal, no surviving copy of a file, no
+// token authority to copy READ PERMISSION DB files) from the transport
+// failures that are the expected condition during a partition — those
+// keep the path pending and the next pass retries them.
+func isStructuralRepairErr(err error) bool {
+	return isDomainErr(err) || errors.Is(err, ErrNoTokenMinting) || errors.Is(err, ErrNoReplica)
+}
+
+// RepairLinks runs one anti-entropy pass, discarding the statistics.
+// It exists so layers above (core's Reconcile) can declare the repair
+// hook structurally without importing this package's types.
+func (rs *ReplicaSet) RepairLinks() error {
+	_, err := rs.Repair()
+	return err
+}
+
+// Repair runs one anti-entropy pass and reports what it did. It is safe
+// to call concurrently with reads and link traffic; the background loop
+// started by Start calls it after every membership flip.
+func (rs *ReplicaSet) Repair() (RepairStats, error) {
+	var stats RepairStats
+	var errs []error
+
+	// First drain commits that never reached a replica: the member
+	// still holds the staged transaction and its path reservations,
+	// which would block future link work on those paths. Commit is
+	// idempotent, and a member that crash-restarted (losing the staged
+	// state) treats it as an unknown-transaction no-op — the file/link
+	// divergence is then healed by the scan below either way.
+	rs.mu.Lock()
+	queued := rs.retryCommits
+	rs.retryCommits = make(map[uint64]map[string]*member)
+	rs.mu.Unlock()
+	for txID, members := range queued {
+		for name, m := range members {
+			rs.mu.Lock()
+			isDown := m.down
+			rs.mu.Unlock()
+			if !isDown {
+				if err := m.node.Commit(txID); err == nil {
+					rs.noteSuccess(m)
+					continue
+				} else {
+					rs.noteFailure(m)
+					stats.Errors++
+					if isStructuralRepairErr(err) {
+						errs = append(errs, fmt.Errorf("retry commit tx %d on %s: %w", txID, name, err))
+					}
+				}
+			}
+			rs.mu.Lock()
+			if rs.retryCommits[txID] == nil {
+				rs.retryCommits[txID] = make(map[string]*member)
+			}
+			rs.retryCommits[txID][name] = m
+			rs.mu.Unlock()
+		}
+	}
+
+	union, unionErr := rs.linkUnion()
+	if unionErr != nil && isStructuralRepairErr(unionErr) {
+		errs = append(errs, unionErr)
+	}
+
+	// Desired state: registry union first, dirty overrides on top.
+	// orig keeps the dirty entry exactly as snapshotted, so the
+	// compare-and-delete below can tell whether a concurrent partial
+	// write re-marked the path while this pass was repairing it.
+	type want struct {
+		dirtyState
+		fromDirt bool
+		orig     dirtyState
+	}
+	desired := make(map[string]want, len(union))
+	for path, ls := range union {
+		desired[path] = want{dirtyState: dirtyState{wantLinked: boolPtr(true), opts: ls.Opts}}
+	}
+	rs.mu.Lock()
+	for path, d := range rs.dirty {
+		if d.syncContent && d.wantLinked == nil && !d.remove {
+			// Content-only entry: keep the union's link verdict if any,
+			// but still force the content sync.
+			if w, ok := desired[path]; ok {
+				w.syncContent = true
+				w.fromDirt = true
+				w.orig = d
+				desired[path] = w
+				continue
+			}
+		}
+		desired[path] = want{dirtyState: d, fromDirt: true, orig: d}
+	}
+	rs.mu.Unlock()
+
+	paths := make([]string, 0, len(desired))
+	for p := range desired {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	for _, path := range paths {
+		w := desired[path]
+		stats.Scanned++
+		var targets []*member
+		var downCount int
+		if w.remove {
+			// A tombstoned deletion must reach every member holding a
+			// stray copy, not just the placed replicas.
+			for _, m := range rs.allMembers() {
+				rs.mu.Lock()
+				isDown := m.down
+				rs.mu.Unlock()
+				if isDown {
+					downCount++
+				} else {
+					targets = append(targets, m)
+				}
+			}
+		} else {
+			up, downPlaced := rs.routeSnapshot(path)
+			targets, downCount = up, len(downPlaced)
+		}
+		incomplete := downCount > 0
+		for _, m := range targets {
+			changed, err := rs.repairOn(m, path, w.dirtyState)
+			if err != nil {
+				stats.Errors++
+				incomplete = true
+				if isStructuralRepairErr(err) {
+					errs = append(errs, fmt.Errorf("repair %s on %s: %w", path, m.name, err))
+				}
+				continue
+			}
+			stats.Copied += changed.copied
+			stats.Relinked += changed.relinked
+			stats.Unlinked += changed.unlinked
+		}
+		if incomplete {
+			stats.Pending++
+		}
+		if w.fromDirt && !incomplete {
+			// Compare-and-delete: a partial write that raced this pass
+			// re-marked the entry (boolPtr allocates, so any re-mark
+			// changes the struct), and its divergence must survive for
+			// the next pass rather than be wiped with the old one.
+			rs.mu.Lock()
+			if cur, ok := rs.dirty[path]; ok && cur == w.orig {
+				delete(rs.dirty, path)
+			}
+			rs.mu.Unlock()
+		}
+	}
+	return stats, errors.Join(errs...)
+}
+
+// repairDelta is what repairOn changed on one member.
+type repairDelta struct {
+	copied, relinked, unlinked int
+}
+
+// repairOn drives one member to the desired state of one path.
+func (rs *ReplicaSet) repairOn(m *member, path string, w dirtyState) (repairDelta, error) {
+	var d repairDelta
+	wantLinked, opts := w.wantLinked, w.opts
+	if w.remove {
+		err := m.node.Remove(path)
+		if errors.Is(err, dlfs.ErrLinked) && wantLinked != nil && !*wantLinked {
+			// The member missed the unlink AND the removal: drop the
+			// stale link first, then the copy.
+			if uerr := rs.unlinkOn(m, path, opts); uerr != nil {
+				return d, uerr
+			}
+			d.unlinked++
+			err = m.node.Remove(path)
+		}
+		if err == nil || errors.Is(err, dlfs.ErrNotFound) {
+			return d, nil
+		}
+		return d, err
+	}
+	fi, err := m.node.Stat(path)
+	switch {
+	case err == nil:
+	case errors.Is(err, dlfs.ErrNotFound):
+		if wantLinked != nil && !*wantLinked {
+			return d, nil // no file, no link: nothing to undo
+		}
+		if cerr := rs.copyTo(m, path, opts); cerr != nil {
+			return d, cerr
+		}
+		d.copied++
+		fi = dlfs.FileInfo{Path: path}
+	default:
+		return d, err
+	}
+	// Content can only be synced while the file is unlinked (linked
+	// files are immutable), so the sync is ordered around the link
+	// repair by direction: when the desired state is LINKED, stale
+	// bytes must be replaced BEFORE the link goes on — afterwards they
+	// would be baked in; when the desired state is UNLINKED, the stale
+	// link must come off first or the sync guard would skip the file.
+	syncContent := func() error {
+		if !w.syncContent || fi.Linked || d.copied > 0 {
+			return nil
+		}
+		vs := rs.versions(path)
+		if len(vs) == 0 {
+			return nil
+		}
+		src := vs[0]
+		if src.m == m || (!src.info.ModTime.After(fi.ModTime) && src.info.Size == fi.Size) {
+			return nil
+		}
+		if cerr := rs.copyFrom(m, path, opts, vs); cerr != nil {
+			return cerr
+		}
+		d.copied++
+		return nil
+	}
+	if wantLinked != nil && *wantLinked {
+		if err := syncContent(); err != nil {
+			return d, err
+		}
+	}
+	switch {
+	case wantLinked == nil:
+	case *wantLinked && !fi.Linked:
+		if err := m.node.EnsureLinked(path, opts); err != nil {
+			return d, err
+		}
+		fi.Linked = true
+		d.relinked++
+	case !*wantLinked && fi.Linked:
+		if err := rs.unlinkOn(m, path, opts); err != nil {
+			return d, err
+		}
+		fi.Linked = false
+		d.unlinked++
+	}
+	if err := syncContent(); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// nextRepairTx allocates a synthetic transaction id for repair-time
+// link operations (high bit set so it can never collide with engine
+// transaction ids).
+func (rs *ReplicaSet) nextRepairTx() uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.repairTx++
+	return rs.repairTx
+}
+
+// unlinkOn removes a stale link from one member that missed an unlink
+// commit, via a private unlink 2PC against just that member. ON UNLINK
+// DELETE must not fire here — the unlink already happened logically;
+// deleting now would destroy the only copies left on rejoining members
+// under RESTORE semantics on the others. Use RESTORE.
+func (rs *ReplicaSet) unlinkOn(m *member, path string, opts sqltypes.DatalinkOptions) error {
+	restore := opts
+	restore.OnUnlink = sqltypes.UnlinkRestore
+	tx := rs.nextRepairTx()
+	if err := m.node.Prepare(tx, med.LinkOp{Kind: med.OpUnlink, Path: path, Opts: restore}); err != nil {
+		return err
+	}
+	return m.node.Commit(tx)
+}
+
+// versionInfo names a member holding a copy of a path.
+type versionInfo struct {
+	m    *member
+	info dlfs.FileInfo
+}
+
+// versions stats path on every reachable member and returns the copies
+// newest-first (one Stat sweep feeds both source ranking and the copy
+// loop, so a repair copy pays N stats, not 2N).
+func (rs *ReplicaSet) versions(path string) []versionInfo {
+	var out []versionInfo
+	for _, m := range rs.upMembers() {
+		fi, err := m.node.Stat(path)
+		if err != nil {
+			if !errors.Is(err, dlfs.ErrNotFound) && !isDomainErr(err) {
+				rs.noteFailure(m)
+			}
+			continue
+		}
+		out = append(out, versionInfo{m: m, info: fi})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].info.ModTime.After(out[j].info.ModTime) })
+	return out
+}
+
+// copyTo re-replicates path's content onto member dst from the newest
+// reachable copy. Runs its own Stat sweep; callers that already hold
+// one use copyFrom.
+func (rs *ReplicaSet) copyTo(dst *member, path string, opts sqltypes.DatalinkOptions) error {
+	return rs.copyFrom(dst, path, opts, rs.versions(path))
+}
+
+// copyFrom re-replicates path's content onto member dst from the
+// given newest-first candidate sources (falling back through older
+// holders if a source fails mid-copy), through the normal
+// token-checked read path: for READ PERMISSION DB files the configured
+// token authority mints an internal replication token, exactly as the
+// archive mints download tokens.
+func (rs *ReplicaSet) copyFrom(dst *member, path string, opts sqltypes.DatalinkOptions, vs []versionInfo) error {
+	var errs []error
+	tried := false
+	for _, v := range vs {
+		if v.m == dst {
+			continue
+		}
+		tried = true
+		src, fi := v.m, v.info
+		token := ""
+		if fi.Linked && fi.Opts.ReadPerm == sqltypes.ReadDB || !fi.Linked && opts.ReadPerm == sqltypes.ReadDB {
+			if rs.cfg.Tokens == nil {
+				return fmt.Errorf("%w: %s", ErrNoTokenMinting, path)
+			}
+			var err error
+			token, err = rs.cfg.Tokens.Mint(path, "dlfs-replication", 0)
+			if err != nil {
+				return err
+			}
+		}
+		rc, _, err := src.node.Open(path, token)
+		if err != nil {
+			if !isDomainErr(err) {
+				rs.noteFailure(src)
+			}
+			errs = append(errs, fmt.Errorf("source %s: %w", src.name, err))
+			continue
+		}
+		data, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("source %s: %w", src.name, err))
+			continue
+		}
+		if _, err := dst.node.Put(path, bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("store on %s: %w", dst.name, err)
+		}
+		return nil
+	}
+	if !tried && len(errs) == 0 {
+		errs = append(errs, fmt.Errorf("%w: no replica holds %s", dlfs.ErrNotFound, path))
+	}
+	return fmt.Errorf("cluster: re-replicate %s: %w", path, errors.Join(errs...))
+}

@@ -1,0 +1,682 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dlfs"
+	"repro/internal/med"
+	"repro/internal/sqltypes"
+)
+
+func newAuth(t testing.TB) *med.TokenAuthority {
+	t.Helper()
+	ta, err := med.NewTokenAuthority([]byte("cluster-test-secret"), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ta
+}
+
+// newSet builds a replica set of n in-process managers sharing one
+// token authority. Returns the set and the managers by member host.
+func newSet(t testing.TB, n, rf int) (*ReplicaSet, map[string]*dlfs.Manager) {
+	t.Helper()
+	auth := newAuth(t)
+	rs := New(Config{Host: "fs.sim:80", ReplicationFactor: rf, Tokens: auth})
+	mgrs := make(map[string]*dlfs.Manager, n)
+	for i := 0; i < n; i++ {
+		host := string(rune('a'+i)) + ".replica.sim:80"
+		store, err := dlfs.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := dlfs.NewManager(host, store, auth)
+		mgrs[host] = m
+		if err := rs.Add(NewManagerNode(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rs, mgrs
+}
+
+// holders returns which managers have the file on disk.
+func holders(mgrs map[string]*dlfs.Manager, path string) []string {
+	var out []string
+	for host, m := range mgrs {
+		if _, err := m.Stat(path); err == nil {
+			out = append(out, host)
+		}
+	}
+	return out
+}
+
+// linkedOn returns which managers have the path linked.
+func linkedOn(mgrs map[string]*dlfs.Manager, path string) []string {
+	var out []string
+	for host, m := range mgrs {
+		if fi, err := m.Stat(path); err == nil && fi.Linked {
+			out = append(out, host)
+		}
+	}
+	return out
+}
+
+func linkVia(t *testing.T, rs *ReplicaSet, tx uint64, path string, opts sqltypes.DatalinkOptions) {
+	t.Helper()
+	if err := rs.Prepare(tx, med.LinkOp{Kind: med.OpLink, Path: path, Opts: opts}); err != nil {
+		t.Fatalf("Prepare link %s: %v", path, err)
+	}
+	if err := rs.Commit(tx); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestPlacementDeterministicAndSpread(t *testing.T) {
+	names := []string{"a.sim", "b.sim", "c.sim", "d.sim"}
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		path := "/runs/s1/ts" + string(rune('0'+i%10)) + strings.Repeat("x", i%7) + ".tsf"
+		r1 := rankMembers(names, path)
+		r2 := rankMembers(names, path)
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatalf("placement not deterministic for %s", path)
+			}
+		}
+		counts[r1[0]]++
+	}
+	for _, n := range names {
+		if counts[n] == 0 {
+			t.Fatalf("member %s never primary: %v", n, counts)
+		}
+	}
+	// Minimal movement: adding a member must not reshuffle the relative
+	// order of the existing ones.
+	for i := 0; i < 100; i++ {
+		path := "/d/f" + strings.Repeat("y", i%13) + ".dat"
+		before := rankMembers(names, path)
+		after := rankMembers(append(append([]string{}, names...), "e.sim"), path)
+		var filtered []string
+		for _, n := range after {
+			if n != "e.sim" {
+				filtered = append(filtered, n)
+			}
+		}
+		for j := range before {
+			if before[j] != filtered[j] {
+				t.Fatalf("adding a member reshuffled placement of %s: %v vs %v", path, before, after)
+			}
+		}
+	}
+}
+
+func TestReplicatedPutAndLink(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	if _, err := rs.Put("/runs/s1/ts0.tsf", strings.NewReader("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if got := holders(mgrs, "/runs/s1/ts0.tsf"); len(got) != 2 {
+		t.Fatalf("holders = %v, want 2 replicas", got)
+	}
+	linkVia(t, rs, 1, "/runs/s1/ts0.tsf", sqltypes.DefaultEASIA())
+	if got := linkedOn(mgrs, "/runs/s1/ts0.tsf"); len(got) != 2 {
+		t.Fatalf("linked on %v, want 2 replicas", got)
+	}
+	// Integrity holds on every replica through the set, too.
+	if err := rs.Remove("/runs/s1/ts0.tsf"); !errors.Is(err, dlfs.ErrLinked) {
+		t.Fatalf("Remove linked: %v, want ErrLinked", err)
+	}
+}
+
+func TestFailoverReadWithTokenChecks(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	auth := newAuth(t)
+	path := "/runs/s1/ts1.tsf"
+	if _, err := rs.Put(path, strings.NewReader("classified")); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs, 1, path, sqltypes.DefaultEASIA())
+
+	// Take down the PRIMARY replica for this path.
+	primary := rankMembers(rs.Members(), path)[0]
+	if err := rs.MarkDown(primary); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tokenless read still refused (failover must not bypass security).
+	if _, _, err := rs.Open(path, ""); !errors.Is(err, dlfs.ErrTokenRequired) {
+		t.Fatalf("tokenless read with primary down: %v, want ErrTokenRequired", err)
+	}
+	// Tokened read fails over to the surviving replica.
+	tok, _ := auth.Mint(path, "u", 0)
+	rc, _, err := rs.Open(path, tok)
+	if err != nil {
+		t.Fatalf("failover read: %v", err)
+	}
+	body, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(body) != "classified" {
+		t.Fatalf("failover read body = %q", body)
+	}
+	if rs.Stats().Failovers == 0 {
+		t.Fatal("failover not counted")
+	}
+	_ = mgrs
+}
+
+func TestCommitWithReplicaDownThenRepair(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/runs/s1/ts2.tsf"
+	placed := rankMembers(rs.Members(), path)[:2]
+
+	if _, err := rs.Put(path, strings.NewReader("data")); err != nil {
+		t.Fatal(err)
+	}
+	// One placed replica goes dark before the link transaction.
+	if err := rs.MarkDown(placed[1]); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs, 7, path, sqltypes.DefaultEASIA())
+
+	if got := linkedOn(mgrs, path); len(got) != 1 {
+		t.Fatalf("linked on %v while replica down, want 1", got)
+	}
+	if len(rs.UnderReplicated()) == 0 {
+		t.Fatal("partial commit not queued for repair")
+	}
+
+	// The member rejoins: anti-entropy restores full replication.
+	if err := rs.MarkUp(placed[1]); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rs.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.Copied == 0 && stats.Relinked == 0 {
+		t.Fatalf("repair did nothing: %+v", stats)
+	}
+	if got := linkedOn(mgrs, path); len(got) != 2 {
+		t.Fatalf("after repair linked on %v, want 2", got)
+	}
+	if len(rs.UnderReplicated()) != 0 {
+		t.Fatalf("dirty set not drained: %v", rs.UnderReplicated())
+	}
+}
+
+func TestUnlinkWhileReplicaDownRepaired(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/runs/s1/ts3.tsf"
+	placed := rankMembers(rs.Members(), path)[:2]
+	opts := sqltypes.DefaultEASIA()
+
+	if _, err := rs.Put(path, strings.NewReader("data")); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs, 1, path, opts)
+
+	if err := rs.MarkDown(placed[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: path, Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// The down replica still thinks the file is linked.
+	if got := linkedOn(mgrs, path); len(got) != 1 {
+		t.Fatalf("stale links: %v", got)
+	}
+	if err := rs.MarkUp(placed[0]); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rs.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.Unlinked == 0 {
+		t.Fatalf("stale link not removed: %+v", stats)
+	}
+	if got := linkedOn(mgrs, path); len(got) != 0 {
+		t.Fatalf("after repair still linked on %v", got)
+	}
+}
+
+func TestReplacementMemberCatchesUp(t *testing.T) {
+	rs, mgrs := newSet(t, 2, 2)
+	auth := newAuth(t)
+	path := "/runs/s1/ts4.tsf"
+	if _, err := rs.Put(path, strings.NewReader("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs, 1, path, sqltypes.DefaultEASIA())
+
+	// A replacement host registers; repair must copy + link onto it if
+	// placement selects it.
+	store, err := dlfs.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := dlfs.NewManager("z.replica.sim:80", store, auth)
+	if err := rs.Add(NewManagerNode(fresh)); err != nil {
+		t.Fatal(err)
+	}
+	mgrs["z.replica.sim:80"] = fresh
+	if _, err := rs.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	placedNow := rankMembers(rs.Members(), path)[:2]
+	for _, name := range placedNow {
+		fi, err := mgrs[name].Stat(path)
+		if err != nil || !fi.Linked {
+			t.Fatalf("placed replica %s not caught up: fi=%+v err=%v", name, fi, err)
+		}
+	}
+}
+
+func TestHealthCheckerCircuitBreaker(t *testing.T) {
+	auth := newAuth(t)
+	rs := New(Config{Host: "fs.sim:80", ReplicationFactor: 1, FailureThreshold: 3, Tokens: auth})
+	flaky := &flakyNode{Node: newManagerNode(t, auth, "f.sim:80")}
+	if err := rs.Add(flaky); err != nil {
+		t.Fatal(err)
+	}
+	flaky.fail = true
+	for i := 0; i < 2; i++ {
+		rs.Probe()
+	}
+	if len(rs.Down()) != 0 {
+		t.Fatal("breaker tripped before threshold")
+	}
+	if flipped := rs.Probe(); len(flipped) != 1 {
+		t.Fatalf("third failure did not trip: %v", flipped)
+	}
+	if got := rs.Down(); len(got) != 1 {
+		t.Fatalf("Down = %v", got)
+	}
+	// Recovery closes the circuit on the next probe.
+	flaky.fail = false
+	if flipped := rs.Probe(); len(flipped) != 1 {
+		t.Fatalf("recovery not detected: %v", flipped)
+	}
+	if len(rs.Down()) != 0 {
+		t.Fatal("breaker still open after recovery")
+	}
+	// A manual hold survives healthy probes.
+	if err := rs.MarkDown("f.sim:80"); err != nil {
+		t.Fatal(err)
+	}
+	rs.Probe()
+	if len(rs.Down()) != 1 {
+		t.Fatal("probe overrode manual MarkDown")
+	}
+}
+
+func TestAbortFailureSurfacedAndRetried(t *testing.T) {
+	auth := newAuth(t)
+	rs := New(Config{Host: "fs.sim:80", ReplicationFactor: 2, Tokens: auth})
+	good := newManagerNode(t, auth, "g.sim:80")
+	flaky := &flakyNode{Node: newManagerNode(t, auth, "h.sim:80")}
+	if err := rs.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Add(flaky); err != nil {
+		t.Fatal(err)
+	}
+	path := "/d/f.dat"
+	if _, err := rs.Put(path, strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Drive the whole flow through the coordinator: prepare on both
+	// replicas, then the flaky member drops off before the abort lands.
+	c := med.NewCoordinator()
+	c.Register(rs)
+	if err := c.PrepareLink(10, "http://fs.sim:80"+path, sqltypes.DefaultEASIA()); err != nil {
+		t.Fatal(err)
+	}
+	flaky.fail = true
+	if err := c.Abort(10); err == nil {
+		t.Fatal("coordinator swallowed abort failure")
+	}
+	if c.FailedAbortCount() != 1 {
+		t.Fatalf("FailedAbortCount = %d", c.FailedAbortCount())
+	}
+	// While the member is still dark the path stays reserved there, and
+	// the retry keeps the abort queued rather than dropping it.
+	if err := c.RetryFailedAborts(); err == nil || c.FailedAbortCount() != 1 {
+		t.Fatalf("retry against dark member: err=%v queued=%d", err, c.FailedAbortCount())
+	}
+	flaky.fail = false
+	if err := c.RetryFailedAborts(); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if c.FailedAbortCount() != 0 {
+		t.Fatal("retry did not drain the queue")
+	}
+	// The reservation is gone everywhere: a new transaction can claim
+	// the path on both replicas.
+	if err := rs.Prepare(11, med.LinkOp{Kind: med.OpLink, Path: path, Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatalf("path still reserved after retried abort: %v", err)
+	}
+	if err := rs.Abort(11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveTombstoneRepaired: deleting a file while one holder is
+// down must not let the rejoined member resurrect it.
+func TestRemoveTombstoneRepaired(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/staging/tmp.dat"
+	if _, err := rs.Put(path, strings.NewReader("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	downHolder := holders(mgrs, path)[0]
+	if err := rs.MarkDown(downHolder); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Remove(path); err != nil {
+		t.Fatalf("Remove with a holder down: %v", err)
+	}
+	if got := rs.UnderReplicated(); len(got) != 1 {
+		t.Fatalf("deletion not tombstoned: %v", got)
+	}
+	if err := rs.MarkUp(downHolder); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := holders(mgrs, path); len(got) != 0 {
+		t.Fatalf("deleted file resurrected on %v", got)
+	}
+	if got := rs.UnderReplicated(); len(got) != 0 {
+		t.Fatalf("tombstone not cleared: %v", got)
+	}
+}
+
+// TestStaleContentResynced: an overwrite that missed a down replica is
+// re-copied onto it by anti-entropy, newest version winning.
+func TestStaleContentResynced(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/staging/data.dat"
+	if _, err := rs.Put(path, strings.NewReader("version-one")); err != nil {
+		t.Fatal(err)
+	}
+	stale := holders(mgrs, path)[0]
+	if err := rs.MarkDown(stale); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // ModTime must move past v1's
+	if _, err := rs.Put(path, strings.NewReader("version-two!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.MarkUp(stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	rc, _, err := mgrs[stale].Open(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(body) != "version-two!" {
+		t.Fatalf("rejoined member serves stale content %q", body)
+	}
+}
+
+// TestPartialPutDoesNotEraseUnlinkTombstone: a partial Put recorded
+// after a partial unlink must merge with — not clobber — the pending
+// unlink, or Repair would trust the rejoined replica's stale registry
+// and resurrect a link the database already dropped.
+func TestPartialPutDoesNotEraseUnlinkTombstone(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/runs/s1/ts5.tsf"
+	opts := sqltypes.DefaultEASIA()
+	if _, err := rs.Put(path, strings.NewReader("v1")); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs, 1, path, opts)
+
+	victim := holders(mgrs, path)[0]
+	if err := rs.MarkDown(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Unlink commits only on the reachable replica…
+	if err := rs.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: path, Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	// …then a new Put of the now-unlinked path is partial too.
+	if _, err := rs.Put(path, strings.NewReader("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.MarkUp(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := linkedOn(mgrs, path); len(got) != 0 {
+		t.Fatalf("unlink tombstone lost: stale link resurrected on %v", got)
+	}
+	rc, _, err := mgrs[victim].Open(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(body) != "v2-longer" {
+		t.Fatalf("rejoined replica content %q, want the post-unlink overwrite", body)
+	}
+}
+
+// TestRemoveAfterPartialUnlinkRepaired: unlink commits while a member
+// is down, then the file is removed — the rejoined member still holds
+// the stale LINK, so repair must unlink it before deleting the copy
+// (a bare remove tombstone would fail with ErrLinked forever).
+func TestRemoveAfterPartialUnlinkRepaired(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/runs/s1/ts6.tsf"
+	opts := sqltypes.DefaultEASIA()
+	if _, err := rs.Put(path, strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs, 1, path, opts)
+	victim := holders(mgrs, path)[0]
+	if err := rs.MarkDown(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: path, Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Remove(path); err != nil {
+		t.Fatalf("Remove after unlink: %v", err)
+	}
+	if err := rs.MarkUp(victim); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rs.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if stats.Unlinked == 0 {
+		t.Fatalf("stale link not removed before deletion: %+v", stats)
+	}
+	if got := holders(mgrs, path); len(got) != 0 {
+		t.Fatalf("removed file survives on %v", got)
+	}
+	if got := rs.UnderReplicated(); len(got) != 0 {
+		t.Fatalf("tombstone not cleared: %v", got)
+	}
+}
+
+// TestCommitReachingNoReplicaIsRetried: a commit that lands nowhere is
+// queued and drained by Repair once a replica returns, because the
+// database is already durable by then.
+func TestCommitReachingNoReplicaIsRetried(t *testing.T) {
+	auth := newAuth(t)
+	rs := New(Config{Host: "fs.sim:80", ReplicationFactor: 1, Tokens: auth})
+	store, err := dlfs.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := dlfs.NewManager("only.sim:80", store, auth)
+	flaky := &flakyNode{Node: NewManagerNode(mgr)}
+	if err := rs.Add(flaky); err != nil {
+		t.Fatal(err)
+	}
+	path := "/d/f.dat"
+	if _, err := rs.Put(path, strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Prepare(5, med.LinkOp{Kind: med.OpLink, Path: path, Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatal(err)
+	}
+	flaky.fail = true
+	if err := rs.Commit(5); err == nil {
+		t.Fatal("commit reaching no replica reported success")
+	}
+	flaky.fail = false
+	if _, err := rs.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	fi, err := mgr.Stat(path)
+	if err != nil || !fi.Linked {
+		t.Fatalf("staged commit never drained: %+v err=%v", fi, err)
+	}
+	// The path reservation is gone: new link work proceeds.
+	if err := rs.Prepare(6, med.LinkOp{Kind: med.OpUnlink, Path: path, Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatalf("path still wedged after retried commit: %v", err)
+	}
+	if err := rs.Abort(6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackupRestoreThroughSet(t *testing.T) {
+	rs, _ := newSet(t, 3, 2)
+	path := "/runs/s1/keep.tsf"
+	if _, err := rs.Put(path, strings.NewReader("precious")); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs, 1, path, sqltypes.DefaultEASIA())
+	dst := t.TempDir()
+	n, err := rs.BackupLinked(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("backed up %d files, want 1", n)
+	}
+	rs2, mgrs2 := newSet(t, 2, 2)
+	if _, err := rs2.RestoreLinked(dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := linkedOn(mgrs2, path); len(got) != 2 {
+		t.Fatalf("restore linked on %v, want both members", got)
+	}
+}
+
+// newManagerNode builds a single-manager node on a temp store.
+func newManagerNode(t testing.TB, auth *med.TokenAuthority, host string) Node {
+	t.Helper()
+	store, err := dlfs.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManagerNode(dlfs.NewManager(host, store, auth))
+}
+
+// flakyNode simulates a crashed daemon: every call errors while fail
+// is set. (HTTP-level faults are exercised in integration_test.go via
+// netsim; this keeps the unit tests in-process.)
+type flakyNode struct {
+	Node
+	fail bool
+}
+
+var errDown = errors.New("dial tcp: connection refused (simulated)")
+
+func (f *flakyNode) guard() error {
+	if f.fail {
+		return errDown
+	}
+	return nil
+}
+
+func (f *flakyNode) Prepare(tx uint64, op med.LinkOp) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.Node.Prepare(tx, op)
+}
+
+func (f *flakyNode) Commit(tx uint64) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.Node.Commit(tx)
+}
+
+func (f *flakyNode) Abort(tx uint64) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.Node.Abort(tx)
+}
+
+func (f *flakyNode) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.Node.EnsureLinked(path, opts)
+}
+
+func (f *flakyNode) Put(path string, r io.Reader) (int64, error) {
+	if err := f.guard(); err != nil {
+		return 0, err
+	}
+	return f.Node.Put(path, r)
+}
+
+func (f *flakyNode) Open(path, token string) (io.ReadCloser, dlfs.FileInfo, error) {
+	if err := f.guard(); err != nil {
+		return nil, dlfs.FileInfo{}, err
+	}
+	return f.Node.Open(path, token)
+}
+
+func (f *flakyNode) Stat(path string) (dlfs.FileInfo, error) {
+	if err := f.guard(); err != nil {
+		return dlfs.FileInfo{}, err
+	}
+	return f.Node.Stat(path)
+}
+
+func (f *flakyNode) LinkStates() ([]dlfs.LinkState, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	return f.Node.LinkStates()
+}
+
+func (f *flakyNode) Ping() error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.Node.Ping()
+}

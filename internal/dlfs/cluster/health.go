@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dlfs"
+	"repro/internal/med"
+)
+
+// Failure detection: a per-member circuit breaker fed by two sources —
+// the periodic Ping probe (Probe / the background loop started by
+// Start) and transport failures observed inline by reads and writes.
+// FailureThreshold consecutive failures open the circuit (the member is
+// skipped by routing, except as a last resort for reads); one success
+// closes it. MarkDown/MarkUp pin the state manually — probes will not
+// flip a held member — which is what tests and operators drain/restore
+// members with.
+
+// MarkDown manually opens a member's circuit and holds it open.
+func (rs *ReplicaSet) MarkDown(name string) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m, ok := rs.members[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, name)
+	}
+	m.down = true
+	m.held = true
+	return nil
+}
+
+// MarkUp closes a member's circuit and releases any manual hold. The
+// caller should follow with Repair (the background loop does) so the
+// member catches up on what it missed.
+func (rs *ReplicaSet) MarkUp(name string) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m, ok := rs.members[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMember, name)
+	}
+	m.down = false
+	m.held = false
+	m.fails = 0
+	return nil
+}
+
+// Down lists the members whose circuit is currently open, sorted.
+func (rs *ReplicaSet) Down() []string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []string
+	for _, name := range rs.order {
+		if rs.members[name].down {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Probe runs one health-check round: every member that is not manually
+// held is pinged, failures feed its breaker, and a recovered member is
+// routed to again (its catch-up copy happens on the next Repair).
+// It returns the names of members whose circuit changed state.
+func (rs *ReplicaSet) Probe() []string {
+	rs.mu.Lock()
+	ms := make([]*member, 0, len(rs.order))
+	for _, name := range rs.order {
+		if m := rs.members[name]; !m.held {
+			ms = append(ms, m)
+		}
+	}
+	rs.mu.Unlock()
+	var flipped []string
+	for _, m := range ms {
+		err := m.node.Ping()
+		var changed bool
+		if err != nil {
+			changed = rs.noteFailure(m)
+		} else {
+			changed = rs.noteSuccess(m)
+		}
+		if changed {
+			flipped = append(flipped, m.name)
+		}
+	}
+	return flipped
+}
+
+// noteFailure feeds one failure into the member's breaker; reports
+// whether the circuit just opened. Held members never flip.
+func (rs *ReplicaSet) noteFailure(m *member) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m.fails++
+	if !m.down && !m.held && m.fails >= rs.cfg.FailureThreshold {
+		m.down = true
+		return true
+	}
+	return false
+}
+
+// noteSuccess resets the member's breaker; reports whether the circuit
+// just closed. Held members stay down until MarkUp.
+func (rs *ReplicaSet) noteSuccess(m *member) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	m.fails = 0
+	if m.down && !m.held {
+		m.down = false
+		return true
+	}
+	return false
+}
+
+// Start launches the background health checker + anti-entropy loop:
+// every ProbeInterval it probes all members and, whenever a member
+// rejoined or the dirty set is non-empty, runs a Repair pass. Stop
+// shuts it down.
+func (rs *ReplicaSet) Start() {
+	rs.mu.Lock()
+	if rs.stopCh != nil {
+		rs.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	rs.stopCh = stop
+	rs.mu.Unlock()
+	rs.wg.Add(1)
+	go func() {
+		defer rs.wg.Done()
+		ticker := time.NewTicker(rs.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				flipped := rs.Probe()
+				rs.mu.Lock()
+				pending := len(rs.dirty) > 0 || len(rs.retryCommits) > 0
+				rs.mu.Unlock()
+				if len(flipped) > 0 || pending {
+					rs.Repair() //nolint:errcheck // next tick retries; Repair keeps its own stats
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop started by Start.
+func (rs *ReplicaSet) Stop() {
+	rs.mu.Lock()
+	stop := rs.stopCh
+	rs.stopCh = nil
+	rs.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		rs.wg.Wait()
+	}
+}
+
+// isDomainErr reports whether err is a verdict of the dlfs/med
+// protocol itself — a refusal every replica would agree on — rather
+// than a transport failure particular to one replica.
+func isDomainErr(err error) bool {
+	switch {
+	case errors.Is(err, dlfs.ErrNotFound),
+		errors.Is(err, dlfs.ErrAlreadyLinked),
+		errors.Is(err, dlfs.ErrNotLinked),
+		errors.Is(err, dlfs.ErrLinked),
+		errors.Is(err, dlfs.ErrWriteBlocked),
+		errors.Is(err, dlfs.ErrBadPath),
+		isAuthErr(err):
+		return true
+	}
+	// Link-control reservation conflicts are plain errors on the store
+	// and arrive as message-mapped remote errors over the wire.
+	return err != nil && strings.Contains(err.Error(), "reserved by transaction")
+}
+
+// isAuthErr reports access-control verdicts, which reads must return
+// immediately instead of failing over (every replica shares the token
+// authority, so the verdict is the same everywhere).
+func isAuthErr(err error) bool {
+	return errors.Is(err, dlfs.ErrTokenRequired) ||
+		errors.Is(err, med.ErrTokenExpired) ||
+		errors.Is(err, med.ErrTokenTampered) ||
+		errors.Is(err, med.ErrTokenWrongFile)
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Replica placement uses rendezvous (highest-random-weight) hashing:
+// every (member, path) pair gets a pseudo-random score and the path
+// lives on the top-RF scorers. The properties the tier relies on:
+//
+//   - deterministic — every coordinator computes the same placement
+//     from the same membership, with no placement table to replicate;
+//   - minimal movement — registering or removing one member only
+//     remaps the paths that gained or lost a top-RF slot, which keeps
+//     anti-entropy's re-replication work proportional to the change;
+//   - balanced — scores are independent per member, so load spreads
+//     evenly without virtual-node bookkeeping.
+//
+// Placement ranks ALL registered members, not just healthy ones:
+// health is a routing concern (skip down members, repair later), not a
+// placement concern. If placement chased health, every flap would remap
+// paths and anti-entropy would thrash.
+
+// rendezvousScore hashes one (member, path) pair.
+func rendezvousScore(member, path string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member)) //nolint:errcheck // fnv cannot fail
+	h.Write([]byte{0})      //nolint:errcheck
+	h.Write([]byte(path))   //nolint:errcheck
+	return h.Sum64()
+}
+
+// rankMembers orders member names for a path by descending score (name
+// ascending on the vanishingly-rare tie, for determinism).
+func rankMembers(names []string, path string) []string {
+	type scored struct {
+		name  string
+		score uint64
+	}
+	ranked := make([]scored, len(names))
+	for i, n := range names {
+		ranked[i] = scored{name: n, score: rendezvousScore(n, path)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.name
+	}
+	return out
+}

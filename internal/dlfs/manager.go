@@ -37,8 +37,8 @@ func (m *Manager) Prepare(txID uint64, op med.LinkOp) error { return m.store.Pre
 // Commit implements med.FileServer.
 func (m *Manager) Commit(txID uint64) error { return m.store.Commit(txID) }
 
-// Abort implements med.FileServer.
-func (m *Manager) Abort(txID uint64) { m.store.Abort(txID) }
+// Abort implements med.FileServer. In-process aborts cannot fail.
+func (m *Manager) Abort(txID uint64) error { m.store.Abort(txID); return nil }
 
 // EnsureLinked implements med.FileServer.
 func (m *Manager) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
@@ -62,8 +62,22 @@ func (m *Manager) Open(path, token string) (io.ReadCloser, FileInfo, error) {
 // Stat describes a file.
 func (m *Manager) Stat(path string) (FileInfo, error) { return m.store.Stat(path) }
 
+// Rename moves a file (refused while either end is linked).
+func (m *Manager) Rename(oldPath, newPath string) error { return m.store.Rename(oldPath, newPath) }
+
+// Remove deletes a file (refused while linked).
+func (m *Manager) Remove(path string) error { return m.store.Remove(path) }
+
+// LinkStates lists the link registry (anti-entropy and the daemon's
+// /dlfm/links route).
+func (m *Manager) LinkStates() []LinkState { return m.store.LinkStates() }
+
+// Ping reports liveness; an in-process manager is always reachable.
+func (m *Manager) Ping() error { return nil }
+
 // Compile-time interface checks.
 var (
 	_ med.FileServer        = (*Manager)(nil)
 	_ med.BackupParticipant = (*Manager)(nil)
+	_ Backend               = (*Manager)(nil)
 )

@@ -7,12 +7,29 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/med"
 	"repro/internal/sqltypes"
 )
 
-// Server exposes a Manager over HTTP: the wire protocol between the
+// Backend is what the HTTP daemon serves: the SQL/MED participant
+// protocol plus file and registry access. dlfs.Manager (one local
+// store) implements it, and so does cluster.ReplicaSet (a replicated
+// tier fanning out to several stores) — which is how cmd/dlfsd can run
+// either as a plain file manager or as a replication gateway without
+// the wire protocol changing.
+type Backend interface {
+	med.FileServer
+	Put(path string, r io.Reader) (int64, error)
+	Open(path, token string) (io.ReadCloser, FileInfo, error)
+	Stat(path string) (FileInfo, error)
+	Rename(oldPath, newPath string) error
+	Remove(path string) error
+	LinkStates() []LinkState
+}
+
+// Server exposes a Backend over HTTP: the wire protocol between the
 // database host's coordinator and a remote file-server host, plus plain
 // file GET/PUT for browsers and archiving tools.
 //
@@ -26,16 +43,17 @@ import (
 //	POST /dlfm/remove   {"path":"/d/f"}
 //	GET  /dlfm/stat?path=/d/f
 //	GET  /dlfm/linked
+//	GET  /dlfm/links
 //	PUT  /files/<path>
 //	GET  /files/<dir>/<token;file>          (token segment optional)
 //	GET  /healthz
 type Server struct {
-	mgr *Manager
+	mgr Backend
 	mux *http.ServeMux
 }
 
-// NewServer wraps a manager in the HTTP daemon.
-func NewServer(mgr *Manager) *Server {
+// NewServer wraps a backend in the HTTP daemon.
+func NewServer(mgr Backend) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/dlfm/prepare", s.handlePrepare)
 	s.mux.HandleFunc("/dlfm/commit", s.handleCommit)
@@ -45,6 +63,7 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("/dlfm/remove", s.handleRemove)
 	s.mux.HandleFunc("/dlfm/stat", s.handleStat)
 	s.mux.HandleFunc("/dlfm/linked", s.handleLinked)
+	s.mux.HandleFunc("/dlfm/links", s.handleLinks)
 	s.mux.HandleFunc("/files/", s.handleFiles)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -83,9 +102,11 @@ type pathReq struct {
 }
 
 type statResp struct {
-	Path   string `json:"path"`
-	Size   int64  `json:"size"`
-	Linked bool   `json:"linked"`
+	Path    string                   `json:"path"`
+	Size    int64                    `json:"size"`
+	ModTime time.Time                `json:"mod_time"`
+	Linked  bool                     `json:"linked"`
+	Opts    sqltypes.DatalinkOptions `json:"opts"` // meaningful when linked
 }
 
 func writeErr(w http.ResponseWriter, err error) {
@@ -146,7 +167,10 @@ func (s *Server) handleAbort(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	s.mgr.Abort(req.Tx)
+	if err := s.mgr.Abort(req.Tx); err != nil {
+		writeErr(w, err)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -167,7 +191,7 @@ func (s *Server) handleRename(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if err := s.mgr.Store().Rename(req.Old, req.New); err != nil {
+	if err := s.mgr.Rename(req.Old, req.New); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -179,7 +203,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if err := s.mgr.Store().Remove(req.Path); err != nil {
+	if err := s.mgr.Remove(req.Path); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -193,11 +217,24 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	json.NewEncoder(w).Encode(statResp{Path: fi.Path, Size: fi.Size, Linked: fi.Linked})
+	json.NewEncoder(w).Encode(statResp{
+		Path: fi.Path, Size: fi.Size, ModTime: fi.ModTime, Linked: fi.Linked, Opts: fi.Opts,
+	})
 }
 
 func (s *Server) handleLinked(w http.ResponseWriter, r *http.Request) {
-	json.NewEncoder(w).Encode(s.mgr.Store().LinkedPaths())
+	states := s.mgr.LinkStates()
+	paths := make([]string, 0, len(states))
+	for _, ls := range states {
+		paths = append(paths, ls.Path)
+	}
+	json.NewEncoder(w).Encode(paths)
+}
+
+// handleLinks serves the full registry — paths plus options and link
+// times — which the replication tier's anti-entropy scan consumes.
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(s.mgr.LinkStates())
 }
 
 // handleFiles serves uploads and (token-gated) downloads. The download
@@ -228,6 +265,10 @@ func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
 		defer rc.Close()
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Length", fmt.Sprintf("%d", fi.Size))
+		// Metadata headers let Client.OpenStat rebuild FileInfo without
+		// a separate stat round trip (the replication tier's read path).
+		w.Header().Set("Last-Modified", fi.ModTime.UTC().Format(http.TimeFormat))
+		w.Header().Set("X-Dlfs-Linked", fmt.Sprintf("%t", fi.Linked))
 		io.Copy(w, rc) //nolint:errcheck // client disconnects are not server errors
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -272,6 +272,20 @@ func (s *Store) LinkedPaths() []string {
 	return out
 }
 
+// LinkStates returns the full link registry, sorted by path. The
+// cluster's anti-entropy loop uses it to learn which options (and
+// link time, for last-writer-wins ordering) each replica holds.
+func (s *Store) LinkStates() []LinkState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]LinkState, 0, len(s.links))
+	for _, ls := range s.links {
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // ---------- file operations with link enforcement ----------
 
 // Put writes a file (creating directories as needed). Writes to linked

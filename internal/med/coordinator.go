@@ -41,8 +41,11 @@ type FileServer interface {
 	// Commit atomically applies every operation prepared under txID.
 	// It must be idempotent: committing an unknown txID is a no-op.
 	Commit(txID uint64) error
-	// Abort discards every operation prepared under txID.
-	Abort(txID uint64)
+	// Abort discards every operation prepared under txID. Like Commit it
+	// must be idempotent (aborting an unknown txID is a no-op), so the
+	// coordinator can retry aborts that failed to reach the server. A
+	// non-nil error means the server may still hold the staged prepare.
+	Abort(txID uint64) error
 	// EnsureLinked repairs divergence after a crash between the
 	// database commit and the file-manager commit: the file must end up
 	// linked with the given options no matter what state it was in.
@@ -61,13 +64,20 @@ type Coordinator struct {
 	mu      sync.Mutex
 	servers map[string]FileServer // host → manager
 	pending map[uint64]map[string]FileServer
+	// failedAborts queues (txID → servers) whose Abort did not get
+	// through (e.g. the daemon was unreachable). Until the abort lands,
+	// the server holds the staged prepare and its path reservations —
+	// files could leak. RetryFailedAborts drains the queue; Reconcile
+	// calls it as part of startup repair.
+	failedAborts map[uint64]map[string]FileServer
 }
 
 // NewCoordinator returns a coordinator with no registered file servers.
 func NewCoordinator() *Coordinator {
 	return &Coordinator{
-		servers: make(map[string]FileServer),
-		pending: make(map[uint64]map[string]FileServer),
+		servers:      make(map[string]FileServer),
+		pending:      make(map[uint64]map[string]FileServer),
+		failedAborts: make(map[uint64]map[string]FileServer),
 	}
 }
 
@@ -103,21 +113,50 @@ func (c *Coordinator) prepare(txID uint64, url string, kind LinkOpKind, opts sql
 	if err != nil {
 		return err
 	}
+	host := strings.ToLower(u.Host)
 	c.mu.Lock()
-	fs, ok := c.servers[strings.ToLower(u.Host)]
+	fs, ok := c.servers[host]
 	if ok {
 		m := c.pending[txID]
 		if m == nil {
 			m = make(map[string]FileServer)
 			c.pending[txID] = m
 		}
-		m[strings.ToLower(u.Host)] = fs
+		m[host] = fs
 	}
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("med: no file manager registered for host %s", u.Host)
 	}
+	// Opportunistically drain aborts this host missed: a leaked staged
+	// prepare holds its paths reserved, which would reject this new
+	// prepare with a reservation conflict. If the server is reachable
+	// enough to prepare, it is reachable enough to take the aborts.
+	c.retryFailedAbortsForHost(host)
 	return fs.Prepare(txID, LinkOp{Kind: kind, Path: u.Path, Opts: opts})
+}
+
+// retryFailedAbortsForHost re-sends queued aborts destined for host
+// (best-effort; still-failing entries stay queued).
+func (c *Coordinator) retryFailedAbortsForHost(host string) {
+	type entry struct {
+		txID uint64
+		fs   FileServer
+	}
+	c.mu.Lock()
+	var retry []entry
+	for txID, servers := range c.failedAborts {
+		if fs, ok := servers[host]; ok {
+			retry = append(retry, entry{txID: txID, fs: fs})
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range retry {
+		if err := e.fs.Abort(e.txID); err != nil {
+			continue // stays queued
+		}
+		c.dropFailedAbort(e.txID, host)
+	}
 }
 
 // PrepareLink implements the engine's LinkController contract.
@@ -146,22 +185,96 @@ func (c *Coordinator) Commit(txID uint64) error {
 }
 
 // Abort discards the transaction's link work on every involved server.
-func (c *Coordinator) Abort(txID uint64) {
+// Failures are aggregated and returned — a server that missed its abort
+// still holds the staged prepare, which would leak files — and the
+// (txID, server) pairs are queued for RetryFailedAborts.
+func (c *Coordinator) Abort(txID uint64) error {
 	c.mu.Lock()
 	involved := c.pending[txID]
 	delete(c.pending, txID)
 	c.mu.Unlock()
-	for _, fs := range involved {
-		fs.Abort(txID)
+	var errs []error
+	for host, fs := range involved {
+		if err := fs.Abort(txID); err != nil {
+			errs = append(errs, fmt.Errorf("host %s: abort tx %d: %w", fs.Host(), txID, err))
+			c.mu.Lock()
+			m := c.failedAborts[txID]
+			if m == nil {
+				m = make(map[string]FileServer)
+				c.failedAborts[txID] = m
+			}
+			m[host] = fs
+			c.mu.Unlock()
+		}
 	}
+	return errors.Join(errs...)
+}
+
+// RetryFailedAborts re-sends every queued abort. Entries that succeed
+// (Abort is idempotent on the server) are dropped; the rest stay queued
+// and their errors are returned. The queue maps are only ever touched
+// under the lock — the snapshot taken here is a private slice — so this
+// is safe against concurrent per-host retries from prepare.
+func (c *Coordinator) RetryFailedAborts() error {
+	type entry struct {
+		txID uint64
+		host string
+		fs   FileServer
+	}
+	c.mu.Lock()
+	var queued []entry
+	for txID, servers := range c.failedAborts {
+		for host, fs := range servers {
+			queued = append(queued, entry{txID: txID, host: host, fs: fs})
+		}
+	}
+	c.mu.Unlock()
+	var errs []error
+	for _, e := range queued {
+		if err := e.fs.Abort(e.txID); err != nil {
+			errs = append(errs, fmt.Errorf("host %s: abort tx %d: %w", e.fs.Host(), e.txID, err))
+			continue
+		}
+		c.dropFailedAbort(e.txID, e.host)
+	}
+	return errors.Join(errs...)
+}
+
+// dropFailedAbort removes one settled entry from the retry queue.
+func (c *Coordinator) dropFailedAbort(txID uint64, host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if servers, ok := c.failedAborts[txID]; ok {
+		delete(servers, host)
+		if len(servers) == 0 {
+			delete(c.failedAborts, txID)
+		}
+	}
+}
+
+// FailedAbortCount reports how many (transaction, server) aborts are
+// still queued for retry.
+func (c *Coordinator) FailedAbortCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, servers := range c.failedAborts {
+		n += len(servers)
+	}
+	return n
 }
 
 // Reconcile repairs file-manager state after recovery: for every
 // DATALINK value that the (already recovered) database holds, the
 // corresponding file must be linked. The archive core calls this at
-// startup with the URLs of all controlled DATALINK columns.
+// startup with the URLs of all controlled DATALINK columns. Aborts that
+// previously failed to reach their server are retried first, so a
+// rolled-back prepare cannot keep files reserved across a recovery.
 func (c *Coordinator) Reconcile(urls []string, opts sqltypes.DatalinkOptions) error {
 	var errs []error
+	if err := c.RetryFailedAborts(); err != nil {
+		errs = append(errs, err)
+	}
 	for _, url := range urls {
 		u, err := sqltypes.ParseDatalinkURL(url)
 		if err != nil {

@@ -125,9 +125,10 @@ func TestTokenInspect(t *testing.T) {
 type fakeServer struct {
 	host     string
 	prepared []LinkOp
-	commits  []uint64
-	aborts   []uint64
-	failPrep bool
+	commits   []uint64
+	aborts    []uint64
+	failPrep  bool
+	failAbort bool
 }
 
 func (f *fakeServer) Host() string { return f.host }
@@ -139,7 +140,13 @@ func (f *fakeServer) Prepare(tx uint64, op LinkOp) error {
 	return nil
 }
 func (f *fakeServer) Commit(tx uint64) error { f.commits = append(f.commits, tx); return nil }
-func (f *fakeServer) Abort(tx uint64)        { f.aborts = append(f.aborts, tx) }
+func (f *fakeServer) Abort(tx uint64) error {
+	if f.failAbort {
+		return ErrTokenTampered // any error will do
+	}
+	f.aborts = append(f.aborts, tx)
+	return nil
+}
 func (f *fakeServer) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
 	f.prepared = append(f.prepared, LinkOp{Kind: OpLink, Path: path, Opts: opts})
 	return nil
@@ -188,9 +195,43 @@ func TestCoordinatorAbortFanout(t *testing.T) {
 	if err := c.PrepareLink(3, "http://fs1.sim:80/d/x.tsf", opts); err != nil {
 		t.Fatal(err)
 	}
-	c.Abort(3)
+	if err := c.Abort(3); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
 	if len(fs1.aborts) != 1 {
 		t.Fatalf("aborts = %v", fs1.aborts)
+	}
+}
+
+// TestCoordinatorAbortFailureQueued: an abort that cannot reach its
+// server is surfaced, queued, and retried until it lands — a staged
+// prepare must not silently leak files on a server that missed the
+// abort.
+func TestCoordinatorAbortFailureQueued(t *testing.T) {
+	c := NewCoordinator()
+	fs1 := &fakeServer{host: "fs1.sim:80", failAbort: true}
+	c.Register(fs1)
+	opts := sqltypes.DefaultEASIA()
+	if err := c.PrepareLink(4, "http://fs1.sim:80/d/x.tsf", opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Abort(4); err == nil {
+		t.Fatal("abort failure was swallowed")
+	}
+	if c.FailedAbortCount() != 1 {
+		t.Fatalf("FailedAbortCount = %d, want 1", c.FailedAbortCount())
+	}
+	// While the server stays unreachable the retry keeps it queued.
+	if err := c.RetryFailedAborts(); err == nil || c.FailedAbortCount() != 1 {
+		t.Fatalf("retry against dead server: err=%v queued=%d", err, c.FailedAbortCount())
+	}
+	// Once it comes back the retry drains the queue.
+	fs1.failAbort = false
+	if err := c.RetryFailedAborts(); err != nil {
+		t.Fatalf("retry after recovery: %v", err)
+	}
+	if c.FailedAbortCount() != 0 || len(fs1.aborts) != 1 {
+		t.Fatalf("queue not drained: queued=%d aborts=%v", c.FailedAbortCount(), fs1.aborts)
 	}
 }
 

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultsPartitionAndHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	f := NewFaults()
+	hc := f.Client(nil)
+
+	if _, err := hc.Get(srv.URL); err != nil {
+		t.Fatalf("healthy request: %v", err)
+	}
+	f.Partition(host)
+	if !f.Partitioned(host) {
+		t.Fatal("Partitioned not reported")
+	}
+	_, err := hc.Get(srv.URL)
+	if err == nil {
+		t.Fatal("request crossed a partition")
+	}
+	var pe *PartitionError
+	if !errors.As(err, &pe) || pe.Host != host {
+		t.Fatalf("err = %v, want PartitionError for %s", err, host)
+	}
+	f.Heal(host)
+	if _, err := hc.Get(srv.URL); err != nil {
+		t.Fatalf("request after heal: %v", err)
+	}
+}
+
+func TestFaultsCrashAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "served")
+	}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	f := NewFaults()
+	hc := f.Client(nil)
+	f.CrashAfter(host, "/dlfm/prepare", 1)
+
+	// Non-matching traffic does not consume the rule.
+	if _, err := hc.Get(srv.URL + "/files/x"); err != nil {
+		t.Fatal(err)
+	}
+	// The matching request is DELIVERED (the daemon acts on it)…
+	resp, err := hc.Get(srv.URL + "/dlfm/prepare")
+	if err != nil {
+		t.Fatalf("crash-triggering request must still be served: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "served" {
+		t.Fatalf("body = %q", body)
+	}
+	// …and every request after it fails: crashed between prepare and
+	// commit, from the coordinator's point of view.
+	if _, err := hc.Get(srv.URL + "/dlfm/commit"); err == nil {
+		t.Fatal("host survived its scripted crash")
+	}
+}
+
+func TestFaultsDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	f := NewFaults()
+	hc := f.Client(nil)
+	f.SetDelay(host, 30*time.Millisecond)
+	start := time.Now()
+	if _, err := hc.Get(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 30*time.Millisecond {
+		t.Fatalf("slow-replica delay not applied: %v", took)
+	}
+	f.SetDelay(host, 0)
+	start = time.Now()
+	if _, err := hc.Get(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 20*time.Millisecond {
+		t.Fatalf("delay survived removal: %v", took)
+	}
+}

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,12 +21,15 @@ import (
 //	inside the transaction; they must validate (e.g. file existence for
 //	links) and reserve the action.
 //	Commit is called after the transaction's WAL records are durable.
-//	Abort is called on rollback and must release reservations.
+//	Abort is called on rollback and must release reservations. An abort
+//	failure (an unreachable file server that still holds a staged
+//	prepare) is surfaced alongside the rollback so the caller knows the
+//	file side may leak until the coordinator retries or reconciles.
 type LinkController interface {
 	PrepareLink(txID uint64, url string, opts sqltypes.DatalinkOptions) error
 	PrepareUnlink(txID uint64, url string, opts sqltypes.DatalinkOptions) error
 	Commit(txID uint64) error
-	Abort(txID uint64)
+	Abort(txID uint64) error
 }
 
 // Result reports the effect of a DML statement.
@@ -371,9 +375,9 @@ func (db *DB) ExecScript(sql string) error {
 		tx := db.newTxLocked()
 		_, _, err := db.execStmtLocked(tx, stmt, nil)
 		if err != nil {
-			db.rollbackLocked(tx)
+			rbErr := db.rollbackLocked(tx)
 			db.mu.Unlock()
-			return err
+			return errors.Join(err, rbErr)
 		}
 		finish, err := db.commitLocked(tx)
 		db.mu.Unlock()
@@ -460,8 +464,8 @@ func (db *DB) commitLocked(tx *txState) (func() error, error) {
 		seq, err := db.wal.stageTx(tx.id, tx.redo)
 		if err != nil {
 			// Durability failed: the in-memory effects must not survive.
-			db.rollbackLocked(tx)
-			return nil, fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err)
+			rbErr := db.rollbackLocked(tx)
+			return nil, errors.Join(fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err), rbErr)
 		}
 		tx.seq = seq
 		tx.wal = db.wal
@@ -477,9 +481,9 @@ func (db *DB) commitLocked(tx *txState) (func() error, error) {
 			werr := wal.waitDurable(tx.seq)
 			db.mu.Lock()
 			if werr != nil {
-				db.unwindFailedLocked()
+				abortErr := db.unwindFailedLocked()
 				db.mu.Unlock()
-				return fmt.Errorf("sqldb: WAL flush failed, transaction rolled back: %w", werr)
+				return errors.Join(fmt.Errorf("sqldb: WAL flush failed, transaction rolled back: %w", werr), abortErr)
 			}
 			db.dropInflightLocked(tx)
 			db.mu.Unlock()
@@ -525,25 +529,36 @@ func (db *DB) dropInflightLocked(tx *txState) {
 // arrival-order undo would leave the row dangling. Transactions whose
 // sequence is already durable are left for their own finish to retire.
 // Idempotent: the first finisher to observe the sticky error unwinds
-// the batch; later ones find their transaction already gone.
-func (db *DB) unwindFailedLocked() {
+// the batch; later ones find their transaction already gone. The
+// returned error aggregates link-control abort failures from the
+// unwound transactions.
+func (db *DB) unwindFailedLocked() error {
 	var durable []*txState
+	var abortErrs []error
 	for i := len(db.inflight) - 1; i >= 0; i-- {
 		tx := db.inflight[i]
 		if tx.wal.isDurable(tx.seq) {
 			durable = append(durable, tx)
 			continue
 		}
-		db.rollbackLocked(tx)
+		if err := db.rollbackLocked(tx); err != nil {
+			abortErrs = append(abortErrs, err)
+		}
 	}
 	// durable was collected newest-first; restore commit order.
 	for i, j := 0, len(durable)-1; i < j; i, j = i+1, j-1 {
 		durable[i], durable[j] = durable[j], durable[i]
 	}
 	db.inflight = durable
+	return errors.Join(abortErrs...)
 }
 
-func (db *DB) rollbackLocked(tx *txState) {
+// rollbackLocked undoes the transaction's in-memory effects and releases
+// its link-control reservations. The returned error never means the
+// database rollback failed (undo cannot fail); it reports a link-control
+// abort that could not reach a file server, so a staged prepare may
+// survive there until the coordinator retries the abort or reconciles.
+func (db *DB) rollbackLocked(tx *txState) error {
 	// Apply undo in reverse order.
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
@@ -561,8 +576,11 @@ func (db *DB) rollbackLocked(tx *txState) {
 		}
 	}
 	if tx.usedLink && db.linkCtl != nil {
-		db.linkCtl.Abort(tx.id)
+		if err := db.linkCtl.Abort(tx.id); err != nil {
+			return fmt.Errorf("sqldb: link-control abort of tx %d failed (file-side reservations may leak until retry/reconcile): %w", tx.id, err)
+		}
 	}
+	return nil
 }
 
 // Tx is an explicit transaction. It holds the database lock for its whole
@@ -637,15 +655,17 @@ func (tx *Tx) Commit() error {
 	return finish()
 }
 
-// Rollback undoes the transaction and releases the lock.
+// Rollback undoes the transaction and releases the lock. A non-nil
+// error reports a link-control abort that could not reach its file
+// server (the database rollback itself cannot fail).
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return nil
 	}
 	tx.done = true
-	tx.db.rollbackLocked(tx.state)
+	err := tx.db.rollbackLocked(tx.state)
 	tx.db.mu.Unlock()
-	return nil
+	return err
 }
 
 // applyDDLText re-executes logged DDL during snapshot/WAL replay.

@@ -486,7 +486,7 @@ func (rc *recordingController) PrepareUnlink(txID uint64, url string, opts sqlty
 	return nil
 }
 func (rc *recordingController) Commit(txID uint64) error { rc.commits++; return nil }
-func (rc *recordingController) Abort(txID uint64)        { rc.aborts++ }
+func (rc *recordingController) Abort(txID uint64) error  { rc.aborts++; return nil }
 
 func TestDatalinkLinkControlFlow(t *testing.T) {
 	db := memDB(t)

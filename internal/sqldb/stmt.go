@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -88,9 +89,9 @@ func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
 	tx := db.newTxLocked()
 	res, _, err := db.execStmtLocked(tx, s.ast, args)
 	if err != nil {
-		db.rollbackLocked(tx)
+		rbErr := db.rollbackLocked(tx)
 		db.mu.Unlock()
-		return Result{}, err
+		return Result{}, errors.Join(err, rbErr)
 	}
 	finish, err := db.commitLocked(tx)
 	db.mu.Unlock()

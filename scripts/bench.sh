@@ -12,6 +12,11 @@
 #                                    selective 100k-row range predicate
 #   BenchmarkAblation_GroupCommit  — WAL group commit vs serial fsyncs
 #                                    (parallel vs serial committers)
+#   BenchmarkAblation_Failover     — token-checked read latency through
+#                                    the replicated tier, 0 vs 1
+#                                    replicas down
+#   BenchmarkReplicatedPut         — archival write throughput at RF=1
+#                                    vs RF=2 fan-out
 set -eu
 
 cd "$(dirname "$0")/.."
