@@ -42,6 +42,8 @@ func main() {
 		ttl    = flag.Duration("ttl", med.DefaultTokenTTL, "default token lifetime")
 		rf     = flag.Int("rf", cluster.DefaultReplicationFactor, "replication factor (gateway mode)")
 		probe  = flag.Duration("probe", 2*time.Second, "health-probe / anti-entropy interval (gateway mode)")
+		state  = flag.String("state", "", "repair-state checkpoint file (gateway mode): removal tombstones and pending repairs survive a restart")
+		spool  = flag.String("spool", "", "spool directory for fan-out/repair payloads (gateway mode; default OS temp dir, often RAM-backed tmpfs — use a real disk for large datasets)")
 	)
 	var replicas []string
 	flag.Func("replica", "peer daemon as host=baseURL (repeatable; enables gateway mode)", func(v string) error {
@@ -68,12 +70,17 @@ func main() {
 			ReplicationFactor: *rf,
 			ProbeInterval:     *probe,
 			Tokens:            auth,
+			StatePath:         *state,
+			SpoolDir:          *spool,
 		})
 		for _, spec := range replicas {
 			name, base, _ := strings.Cut(spec, "=")
 			if err := rs.Add(cluster.NewClientNode(dlfs.NewClient(name, base, nil))); err != nil {
 				log.Fatalf("dlfsd: %v", err)
 			}
+		}
+		if err := rs.LoadState(); err != nil {
+			log.Fatalf("dlfsd: %v", err)
 		}
 		// The probe/repair loop runs for the process lifetime; the
 		// process exits via log.Fatal below, which performs no

@@ -72,7 +72,10 @@
 // recorded and an anti-entropy pass (Repair — run by the background
 // loop, by core's Reconcile, and on demand) re-replicates files, link
 // state and staged commits once the member rejoins, last writer
-// winning. Abort failures are no longer dropped anywhere in the stack:
+// winning: a write that reaches every placed replica supersedes any
+// stale repair verdict for its path, and with Config.StatePath (dlfsd
+// -state) the repair queue — removal tombstones included — survives a
+// gateway restart. Abort failures are no longer dropped anywhere in the stack:
 // they surface through Coordinator.Abort/Tx.Rollback and are queued
 // for retry so a rolled-back prepare cannot leak reserved files on a
 // server that missed the abort. See internal/dlfs/README.md for the

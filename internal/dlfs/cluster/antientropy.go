@@ -1,10 +1,8 @@
 package cluster
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 
 	"repro/internal/dlfs"
@@ -100,6 +98,13 @@ func (rs *ReplicaSet) Repair() (RepairStats, error) {
 			rs.mu.Unlock()
 		}
 	}
+	// Checkpoint the drained queue. Deliberately not done at the
+	// snapshot above: a crash mid-pass must leave the old (larger)
+	// queue on disk — retrying a commit is idempotent, dropping one is
+	// not.
+	rs.mu.Lock()
+	rs.saveStateLocked()
+	rs.mu.Unlock()
 
 	union, unionErr := rs.linkUnion()
 	if unionErr != nil && isStructuralRepairErr(unionErr) {
@@ -165,7 +170,18 @@ func (rs *ReplicaSet) Repair() (RepairStats, error) {
 			targets, downCount = up, len(downPlaced)
 		}
 		incomplete := downCount > 0
+		// Destructive verdicts (a tombstoned remove, a pending unlink)
+		// come only from the dirty set; re-validate the snapshotted
+		// entry before each one fires, since a concurrent write that
+		// reached every placed replica settles it mid-pass and the stale
+		// verdict must not delete what that write just created.
+		destructive := w.fromDirt && (w.remove || (w.wantLinked != nil && !*w.wantLinked))
+		superseded := false
 		for _, m := range targets {
+			if destructive && !rs.dirtyStillCurrent(path, w.orig.gen) {
+				superseded = true
+				break
+			}
 			changed, err := rs.repairOn(m, path, w.dirtyState)
 			if err != nil {
 				stats.Errors++
@@ -179,6 +195,13 @@ func (rs *ReplicaSet) Repair() (RepairStats, error) {
 			stats.Relinked += changed.relinked
 			stats.Unlinked += changed.unlinked
 		}
+		if superseded {
+			// The entry changed under the pass; whatever replaced it (or
+			// nothing, if a full write settled it) is the next pass's
+			// business. The compare-and-delete below would fail on the
+			// generation anyway.
+			continue
+		}
 		if incomplete {
 			stats.Pending++
 		}
@@ -190,6 +213,7 @@ func (rs *ReplicaSet) Repair() (RepairStats, error) {
 			rs.mu.Lock()
 			if cur, ok := rs.dirty[path]; ok && cur == w.orig {
 				delete(rs.dirty, path)
+				rs.saveStateLocked()
 			}
 			rs.mu.Unlock()
 		}
@@ -378,13 +402,20 @@ func (rs *ReplicaSet) copyFrom(dst *member, path string, opts sqltypes.DatalinkO
 			errs = append(errs, fmt.Errorf("source %s: %w", src.name, err))
 			continue
 		}
-		data, err := io.ReadAll(rc)
+		// Spool the source stream to a temp file before storing: a
+		// mid-stream source failure must fall back to the next holder
+		// without leaving dst truncated, and repair copies move the
+		// same multi-GB datasets the daemon is sized for, so no
+		// buffering in memory.
+		sp, err := newSpool(rs.cfg.SpoolDir, rc)
 		rc.Close()
 		if err != nil {
 			errs = append(errs, fmt.Errorf("source %s: %w", src.name, err))
 			continue
 		}
-		if _, err := dst.node.Put(path, bytes.NewReader(data)); err != nil {
+		_, err = dst.node.Put(path, sp.reader())
+		sp.Close()
+		if err != nil {
 			return fmt.Errorf("store on %s: %w", dst.name, err)
 		}
 		return nil

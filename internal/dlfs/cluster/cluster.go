@@ -22,10 +22,10 @@
 package cluster
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -63,6 +63,17 @@ type Config struct {
 	// with the members' validators. Without it, repairing such files
 	// fails with ErrNoTokenMinting.
 	Tokens *med.TokenAuthority
+	// StatePath, when set, checkpoints the tier's repair state (the
+	// dirty set and queued commit retries) to this file, so removal
+	// tombstones and pending repairs survive a gateway restart. Call
+	// LoadState after registering members to restore it. Empty keeps
+	// the state memory-only.
+	StatePath string
+	// SpoolDir is where fan-out writes and repair copies spool their
+	// payload for per-replica replay. Empty selects the OS temp dir —
+	// which on many Linux hosts is RAM-backed tmpfs, so gateways moving
+	// multi-GB datasets should point this at a real disk.
+	SpoolDir string
 }
 
 // DefaultReplicationFactor is used when Config leaves it zero.
@@ -276,6 +287,10 @@ func (rs *ReplicaSet) routeSnapshot(path string) (up, down []*member) {
 // link must be unlinked before its copy can be deleted — and any later
 // write clears a pending removal (the file exists again).
 func (rs *ReplicaSet) markDirtyLocked(path string, d dirtyState) {
+	// Checkpoint on every mark, whatever the merge path below: call
+	// sites must not be able to forget it (a lost tombstone is exactly
+	// the failure the checkpoint exists to prevent).
+	defer rs.saveStateLocked()
 	rs.dirtyGen++
 	d.gen = rs.dirtyGen
 	cur, ok := rs.dirty[path]
@@ -305,6 +320,68 @@ func (rs *ReplicaSet) markDirtyLocked(path string, d dirtyState) {
 }
 
 func boolPtr(b bool) *bool { return &b }
+
+// dirtyGenOf snapshots the generation of path's dirty entry (0 when
+// absent). Fan-outs take it before touching any replica, so settleDirty
+// can tell the entry they saw from one a concurrent writer re-marked.
+func (rs *ReplicaSet) dirtyGenOf(path string) uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.dirty[path].gen
+}
+
+// dirtyStillCurrent reports whether path's dirty entry still carries the
+// generation a Repair pass snapshotted. Repair re-checks this just
+// before every destructive step (a remove or unlink driven by the dirty
+// set): a concurrent fully-successful write settles the entry, and a
+// pass that already snapshotted the stale verdict must notice and stand
+// down instead of deleting data the write just acknowledged.
+func (rs *ReplicaSet) dirtyStillCurrent(path string, gen uint64) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	cur, ok := rs.dirty[path]
+	return ok && cur.gen == gen
+}
+
+// settled enumerates what a fully-successful fan-out decided for a path
+// on every placed replica.
+type settled struct {
+	link    bool // the link/remove verdict was applied everywhere placed
+	content bool // the bytes were rewritten everywhere placed
+}
+
+// settleDirty clears the parts of path's dirty entry that a fully-
+// successful fan-out has just superseded. Without this, Repair would
+// later apply a stale verdict: a removal tombstone queued while a
+// member was down would delete the file a newer fully-replicated Put
+// recreated, and a pending unlink would tear down a link the engine
+// has since fully re-committed — both violating last-writer-wins.
+// snapGen is the entry's generation observed before the fan-out began;
+// a newer generation means a concurrent partial write re-marked the
+// path mid-flight, and that record must survive untouched.
+func (rs *ReplicaSet) settleDirty(path string, snapGen uint64, s settled) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	cur, ok := rs.dirty[path]
+	if !ok || cur.gen != snapGen {
+		return
+	}
+	if s.link {
+		cur.wantLinked = nil
+		cur.opts = sqltypes.DatalinkOptions{}
+		cur.remove = false
+	}
+	if s.content {
+		cur.syncContent = false
+		cur.remove = false
+	}
+	if cur.wantLinked == nil && !cur.syncContent && !cur.remove {
+		delete(rs.dirty, path)
+	} else {
+		rs.dirty[path] = cur
+	}
+	rs.saveStateLocked()
+}
 
 // ---------- two-phase link control (med.FileServer) ----------
 
@@ -382,6 +459,13 @@ func (rs *ReplicaSet) Commit(txID uint64) error {
 	rs.mu.Lock()
 	w := rs.pending[txID]
 	delete(rs.pending, txID)
+	var snapGens map[string]uint64
+	if w != nil {
+		snapGens = make(map[string]uint64, len(w.ops))
+		for _, op := range w.ops {
+			snapGens[op.Path] = rs.dirty[op.Path].gen
+		}
+	}
 	rs.mu.Unlock()
 	if w == nil {
 		return nil // idempotence, like a single manager
@@ -412,6 +496,7 @@ func (rs *ReplicaSet) Commit(txID uint64) error {
 			rs.markDirtyLocked(op.Path, dirtyState{wantLinked: boolPtr(op.Kind == med.OpLink), opts: op.Opts})
 		}
 		rs.stats.PartialCommits++
+		rs.saveStateLocked()
 		rs.mu.Unlock()
 		return fmt.Errorf("cluster: commit tx %d reached no replica: %w", txID, errors.Join(errs...))
 	}
@@ -427,7 +512,16 @@ func (rs *ReplicaSet) Commit(txID uint64) error {
 			rs.retryCommits[txID] = missed
 		}
 		rs.stats.PartialCommits++
+		rs.saveStateLocked()
 		rs.mu.Unlock()
+	} else {
+		// Every placed replica committed: the transaction's verdict is
+		// the path's true state everywhere, so any stale dirty entry (a
+		// removal tombstone, a pending unlink from an earlier partial
+		// pass) is superseded and must not be applied by a later Repair.
+		for _, op := range w.ops {
+			rs.settleDirty(op.Path, snapGens[op.Path], settled{link: true})
+		}
 	}
 	return nil
 }
@@ -436,32 +530,59 @@ func (rs *ReplicaSet) Commit(txID uint64) error {
 // Failures are surfaced — the coordinator queues them for retry so a
 // staged prepare cannot leak files on a replica that missed the abort.
 func (rs *ReplicaSet) Abort(txID uint64) error {
+	// Snapshot the prepared members under the lock: the engine
+	// serializes per-transaction calls, but in gateway mode a retried
+	// abort can race a prepare for the same transaction, and iterating
+	// w.prepared while Prepare mutates it is a map race. Taking the
+	// snapshot OUT of pending (ownership transfer) matters too: a
+	// concurrent Prepare that re-stages on one of these members then
+	// creates its own surviving record instead of being wiped by this
+	// abort's cleanup, so a later retry still reaches it.
 	rs.mu.Lock()
 	w := rs.pending[txID]
+	var snap []*member
+	if w != nil {
+		for _, name := range sortedKeys(w.prepared) {
+			snap = append(snap, w.prepared[name])
+			delete(w.prepared, name)
+		}
+	}
 	rs.mu.Unlock()
 	if w == nil {
 		return nil
 	}
 	var errs []error
-	failed := make(map[string]*member)
-	for _, name := range sortedKeys(w.prepared) {
-		m := w.prepared[name]
+	failed := make(map[string]bool, len(snap))
+	for _, m := range snap {
 		if err := m.node.Abort(txID); err != nil {
 			rs.noteFailure(m)
-			failed[name] = m
+			failed[m.name] = true
 			errs = append(errs, fmt.Errorf("replica %s: abort tx %d: %w", m.name, txID, err))
 		} else {
 			rs.noteSuccess(m)
 		}
 	}
 	// Members whose abort failed keep the staged prepare and its path
-	// reservations. Retain them in pending so a retried Abort — the
-	// coordinator queues one — reaches exactly the members that missed.
+	// reservations: put them back so a retried Abort — the coordinator
+	// queues one — reaches them. Merge into whatever pending holds NOW
+	// (a concurrent Prepare or duplicated abort may have replaced or
+	// dropped the entry this call snapshotted from).
 	rs.mu.Lock()
-	if len(failed) == 0 {
+	cur := rs.pending[txID]
+	if len(failed) > 0 {
+		if cur == nil {
+			cur = &txWork{prepared: make(map[string]*member)}
+			rs.pending[txID] = cur
+		}
+		for _, m := range snap {
+			if failed[m.name] {
+				if _, exists := cur.prepared[m.name]; !exists {
+					cur.prepared[m.name] = m
+				}
+			}
+		}
+	} else if cur == w && len(cur.prepared) == 0 {
 		delete(rs.pending, txID)
-	} else {
-		w.prepared = failed
 	}
 	rs.mu.Unlock()
 	return errors.Join(errs...)
@@ -477,6 +598,7 @@ func (rs *ReplicaSet) EnsureLinked(path string, opts sqltypes.DatalinkOptions) e
 	if len(up) == 0 {
 		return fmt.Errorf("%w: ensure %s", ErrNoReplica, path)
 	}
+	snapGen := rs.dirtyGenOf(path)
 	var errs []error
 	ensured := 0
 	for _, m := range up {
@@ -507,6 +629,10 @@ func (rs *ReplicaSet) EnsureLinked(path string, opts sqltypes.DatalinkOptions) e
 		rs.markDirtyLocked(path, dirtyState{wantLinked: boolPtr(true), opts: opts})
 		rs.stats.PartialWrites++
 		rs.mu.Unlock()
+	} else {
+		// Every placed replica holds the link: supersede any stale
+		// tombstone or unlink verdict lingering from a partial pass.
+		rs.settleDirty(path, snapGen, settled{link: true})
 	}
 	return nil
 }
@@ -523,6 +649,7 @@ func (rs *ReplicaSet) Put(path string, r io.Reader) (int64, error) {
 	if len(up) == 0 {
 		return 0, fmt.Errorf("%w: put %s", ErrNoReplica, path)
 	}
+	snapGen := rs.dirtyGenOf(path)
 	// Pre-flight: a WRITE PERMISSION BLOCKED refusal must surface
 	// before ANY replica is mutated — discovering it mid-fan-out would
 	// leave the replicas that already accepted holding rejected bytes.
@@ -532,16 +659,18 @@ func (rs *ReplicaSet) Put(path string, r io.Reader) (int64, error) {
 			return 0, fmt.Errorf("cluster: put %s: replica %s: %w", path, m.name, dlfs.ErrWriteBlocked)
 		}
 	}
-	// Fan-out needs a rewindable source; result files stream through
-	// once from the simulation host, so buffer in memory.
-	data, err := io.ReadAll(r)
+	// Fan-out needs a rewindable source; spool it to a temp file rather
+	// than memory — the daemon is sized for multi-GB dataset transfers,
+	// and a few concurrent fan-outs must not exhaust RAM.
+	sp, err := newSpool(rs.cfg.SpoolDir, r)
 	if err != nil {
 		return 0, err
 	}
+	defer sp.Close()
 	var errs []error
 	stored := 0
 	for _, m := range up {
-		_, err := m.node.Put(path, bytes.NewReader(data))
+		_, err := m.node.Put(path, sp.reader())
 		switch {
 		case err == nil:
 			rs.noteSuccess(m)
@@ -570,8 +699,44 @@ func (rs *ReplicaSet) Put(path string, r io.Reader) (int64, error) {
 		rs.markDirtyLocked(path, dirtyState{syncContent: true})
 		rs.stats.PartialWrites++
 		rs.mu.Unlock()
+	} else {
+		// Every placed replica holds the new bytes: the file exists
+		// again, superseding any removal tombstone or content-sync
+		// verdict a Repair pass might otherwise apply on top of it.
+		rs.settleDirty(path, snapGen, settled{content: true})
 	}
-	return int64(len(data)), nil
+	return sp.size, nil
+}
+
+// spool buffers an upload in a temp file so a fan-out can replay it
+// once per replica without holding the whole payload in memory. dir ""
+// selects the OS temp dir (see Config.SpoolDir for the tmpfs caveat).
+type spool struct {
+	f    *os.File
+	size int64
+}
+
+func newSpool(dir string, r io.Reader) (*spool, error) {
+	f, err := os.CreateTemp(dir, "dlfs-fanout-*")
+	if err != nil {
+		return nil, err
+	}
+	sp := &spool{f: f}
+	if sp.size, err = io.Copy(f, r); err != nil {
+		sp.Close()
+		return nil, err
+	}
+	return sp, nil
+}
+
+// reader returns a fresh reader over the spooled bytes.
+func (sp *spool) reader() io.Reader { return io.NewSectionReader(sp.f, 0, sp.size) }
+
+func (sp *spool) Close() error {
+	name := sp.f.Name()
+	err := sp.f.Close()
+	os.Remove(name)
+	return err
 }
 
 // Open reads path with replica failover: placed replicas are tried in
@@ -696,6 +861,7 @@ func (rs *ReplicaSet) Rename(oldPath, newPath string) error {
 // rejoins — otherwise a rejoining member would resurrect the file
 // through the read fallback.
 func (rs *ReplicaSet) Remove(path string) error {
+	snapGen := rs.dirtyGenOf(path)
 	var errs []error
 	removed, skipped := 0, 0
 	for _, m := range rs.allMembers() {
@@ -746,6 +912,9 @@ func (rs *ReplicaSet) Remove(path string) error {
 		rs.mu.Lock()
 		rs.markDirtyLocked(path, dirtyState{remove: true})
 		rs.mu.Unlock()
+	} else {
+		// The file is gone from every member: nothing left to repair.
+		rs.settleDirty(path, snapGen, settled{link: true, content: true})
 	}
 	return errors.Join(errs...)
 }

@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -564,6 +567,179 @@ func TestCommitReachingNoReplicaIsRetried(t *testing.T) {
 	}
 	if err := rs.Abort(6); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFullPutSupersedesRemoveTombstone: a Remove that misses a down
+// member queues a tombstone; if the member rejoins and a new Put of the
+// same path then reaches EVERY placed replica, the tombstone is stale —
+// a later Repair must not apply it and delete the freshly-written file.
+func TestFullPutSupersedesRemoveTombstone(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/staging/reborn.dat"
+	if _, err := rs.Put(path, strings.NewReader("v1")); err != nil {
+		t.Fatal(err)
+	}
+	down := holders(mgrs, path)[0]
+	if err := rs.MarkDown(down); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Remove(path); err != nil {
+		t.Fatalf("Remove with a holder down: %v", err)
+	}
+	if got := rs.UnderReplicated(); len(got) != 1 {
+		t.Fatalf("deletion not tombstoned: %v", got)
+	}
+	// The member rejoins, and before any Repair pass the path is fully
+	// re-created on every placed replica.
+	if err := rs.MarkUp(down); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Put(path, strings.NewReader("v2-reborn")); err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.UnderReplicated(); len(got) != 0 {
+		t.Fatalf("fully-successful Put left stale dirty entry: %v", got)
+	}
+	if _, err := rs.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := holders(mgrs, path); len(got) != 2 {
+		t.Fatalf("Repair applied superseded tombstone: holders = %v, want 2", got)
+	}
+	rc, _, err := rs.Open(path, "")
+	if err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	body, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(body) != "v2-reborn" {
+		t.Fatalf("content = %q, want the re-created file", body)
+	}
+}
+
+// TestFullCommitSupersedesStaleDirtyVerdict: a pending-unlink verdict
+// left over from a partial pass must not survive a re-link commit that
+// reached every placed replica — Repair would otherwise unlink the path
+// everywhere while the database still holds the DATALINK.
+func TestFullCommitSupersedesStaleDirtyVerdict(t *testing.T) {
+	rs, mgrs := newSet(t, 3, 2)
+	path := "/runs/s1/ts9.tsf"
+	opts := sqltypes.DefaultEASIA()
+	if _, err := rs.Put(path, strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A stale desired-unlinked verdict lingers from an earlier pass.
+	rs.mu.Lock()
+	rs.markDirtyLocked(path, dirtyState{wantLinked: boolPtr(false), opts: opts})
+	rs.mu.Unlock()
+	// The engine links the path with every replica reachable: the
+	// commit is complete, so the stale verdict is superseded.
+	linkVia(t, rs, 3, path, opts)
+	if got := rs.UnderReplicated(); len(got) != 0 {
+		t.Fatalf("full commit left stale dirty verdict: %v", got)
+	}
+	if _, err := rs.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := linkedOn(mgrs, path); len(got) != 2 {
+		t.Fatalf("Repair applied superseded unlink: linked on %v, want 2", got)
+	}
+}
+
+// TestRepairStateSurvivesRestart: with StatePath set, a removal
+// tombstone queued while a member was down must survive a gateway
+// restart, so the rejoined member's stale copy is still deleted.
+func TestRepairStateSurvivesRestart(t *testing.T) {
+	auth := newAuth(t)
+	statePath := filepath.Join(t.TempDir(), "repair-state.json")
+	dirA, dirB := t.TempDir(), t.TempDir()
+	build := func() (*ReplicaSet, map[string]*dlfs.Manager) {
+		rs := New(Config{Host: "fs.sim:80", ReplicationFactor: 2, Tokens: auth, StatePath: statePath})
+		mgrs := make(map[string]*dlfs.Manager, 2)
+		for host, dir := range map[string]string{"a.sim:80": dirA, "b.sim:80": dirB} {
+			store, err := dlfs.NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := dlfs.NewManager(host, store, auth)
+			mgrs[host] = m
+			if err := rs.Add(NewManagerNode(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rs.LoadState(); err != nil {
+			t.Fatalf("LoadState: %v", err)
+		}
+		return rs, mgrs
+	}
+	rs, _ := build()
+	path := "/staging/ghost.dat"
+	if _, err := rs.Put(path, strings.NewReader("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.MarkDown("b.sim:80"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Remove(path); err != nil {
+		t.Fatalf("Remove with a holder down: %v", err)
+	}
+	// The gateway restarts: a fresh set over the same stores and state
+	// file must still know about the tombstone.
+	rs2, mgrs2 := build()
+	if got := rs2.UnderReplicated(); len(got) != 1 {
+		t.Fatalf("tombstone lost across restart: %v", got)
+	}
+	if _, err := rs2.Repair(); err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if _, err := mgrs2["b.sim:80"].Stat(path); !errors.Is(err, dlfs.ErrNotFound) {
+		t.Fatalf("deleted file resurrected after restart: %v", err)
+	}
+	if got := rs2.UnderReplicated(); len(got) != 0 {
+		t.Fatalf("tombstone not cleared: %v", got)
+	}
+}
+
+// TestAbortConcurrentWithPrepare: in gateway mode a retried abort can
+// race a prepare for the same transaction; the fan-out must snapshot
+// the prepared set instead of iterating it live (-race guards this).
+func TestAbortConcurrentWithPrepare(t *testing.T) {
+	rs, _ := newSet(t, 3, 2)
+	opts := sqltypes.DefaultEASIA()
+	for i := 0; i < 25; i++ {
+		tx := uint64(1000 + i)
+		pathA := fmt.Sprintf("/race/a%d.dat", i)
+		pathB := fmt.Sprintf("/race/b%d.dat", i)
+		for _, p := range []string{pathA, pathB} {
+			if _, err := rs.Put(p, strings.NewReader("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rs.Prepare(tx, med.LinkOp{Kind: med.OpLink, Path: pathA, Opts: opts}) //nolint:errcheck
+			rs.Prepare(tx, med.LinkOp{Kind: med.OpLink, Path: pathB, Opts: opts}) //nolint:errcheck
+		}()
+		go func() {
+			defer wg.Done()
+			rs.Abort(tx) //nolint:errcheck
+			rs.Abort(tx) //nolint:errcheck
+		}()
+		wg.Wait()
+		// Whatever interleaving happened, a final abort must release
+		// every reservation a late prepare staged.
+		if err := rs.Abort(tx); err != nil {
+			t.Fatalf("final abort: %v", err)
+		}
+		if err := rs.Prepare(tx+10000, med.LinkOp{Kind: med.OpLink, Path: pathA, Opts: opts}); err != nil {
+			t.Fatalf("path %s still reserved after abort: %v", pathA, err)
+		}
+		if err := rs.Abort(tx + 10000); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/sqltypes"
+)
+
+// Repair-state persistence. The dirty set and the queued commit
+// retries otherwise live only in memory, so a gateway restart would
+// permanently lose removal tombstones and pending repairs: a member
+// that was down during a Remove would resurrect the deleted file
+// through the read fallback forever, because the registry union cannot
+// express deletions. With Config.StatePath set, every mutation of the
+// repair state is checkpointed (atomic rename, like the store's link
+// registry) and LoadState restores it on startup.
+//
+// Checkpointing is best-effort by design: a failed write must not fail
+// the link or file operation that triggered it — the in-memory state
+// is still correct, and the next mutation retries the checkpoint.
+
+// persistedDirty is the JSON image of one dirty entry.
+type persistedDirty struct {
+	WantLinked  *bool                    `json:"want_linked,omitempty"`
+	Opts        sqltypes.DatalinkOptions `json:"opts"`
+	SyncContent bool                     `json:"sync_content,omitempty"`
+	Remove      bool                     `json:"remove,omitempty"`
+}
+
+// persistedState is the JSON image of the checkpoint file.
+type persistedState struct {
+	Dirty        map[string]persistedDirty `json:"dirty"`
+	RetryCommits map[uint64][]string       `json:"retry_commits,omitempty"`
+}
+
+// saveStateLocked checkpoints the repair state to Config.StatePath
+// (no-op when unset). rs.mu must be held.
+func (rs *ReplicaSet) saveStateLocked() {
+	if rs.cfg.StatePath == "" {
+		return
+	}
+	ps := persistedState{Dirty: make(map[string]persistedDirty, len(rs.dirty))}
+	for path, d := range rs.dirty {
+		ps.Dirty[path] = persistedDirty{
+			WantLinked:  d.wantLinked,
+			Opts:        d.opts,
+			SyncContent: d.syncContent,
+			Remove:      d.remove,
+		}
+	}
+	if len(rs.retryCommits) > 0 {
+		ps.RetryCommits = make(map[uint64][]string, len(rs.retryCommits))
+		for tx, members := range rs.retryCommits {
+			ps.RetryCommits[tx] = sortedKeys(members)
+		}
+	}
+	b, err := json.MarshalIndent(ps, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := rs.cfg.StatePath + ".tmp"
+	if os.WriteFile(tmp, b, 0o644) != nil {
+		return
+	}
+	os.Rename(tmp, rs.cfg.StatePath) //nolint:errcheck // best-effort checkpoint
+}
+
+// LoadState restores the repair state checkpointed at Config.StatePath.
+// Call it after registering members: queued commit retries are resolved
+// by member name, and entries naming members no longer registered are
+// dropped (the staged transaction died with the member). A missing file
+// is a clean start; an unreadable one is surfaced so an operator does
+// not silently lose tombstones.
+func (rs *ReplicaSet) LoadState() error {
+	if rs.cfg.StatePath == "" {
+		return nil
+	}
+	b, err := os.ReadFile(rs.cfg.StatePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var ps persistedState
+	if err := json.Unmarshal(b, &ps); err != nil {
+		return fmt.Errorf("cluster: corrupt repair-state file %s: %w", rs.cfg.StatePath, err)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for path, d := range ps.Dirty {
+		rs.markDirtyLocked(path, dirtyState{
+			wantLinked:  d.WantLinked,
+			opts:        d.Opts,
+			syncContent: d.SyncContent,
+			remove:      d.Remove,
+		})
+	}
+	for tx, names := range ps.RetryCommits {
+		for _, name := range names {
+			m, ok := rs.members[name]
+			if !ok {
+				continue
+			}
+			if rs.retryCommits[tx] == nil {
+				rs.retryCommits[tx] = make(map[string]*member)
+			}
+			rs.retryCommits[tx][name] = m
+		}
+	}
+	return nil
+}
