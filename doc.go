@@ -33,22 +33,63 @@
 //     exclusively. Query results are fully materialised copies, valid
 //     after the lock is released and concurrent with later writes.
 //
+//   - A compact value layout. sqltypes.Value is a 32-byte tagged union
+//     (kind + flags byte, one 64-bit scalar word shared by INTEGER/
+//     DOUBLE/BOOLEAN/TIMESTAMP, and a string header shared by text,
+//     DATALINK and BLOB payloads — timestamps encode as UTC unix
+//     nanoseconds, with instants outside 1678–2262 kept marshalled
+//     behind the far-time flag). Rows are copied by value throughout
+//     the SELECT path, so the shrink from the previous 112-byte struct
+//     (~27% of SELECT CPU in duffcopy) cuts both scan time and result
+//     materialisation B/op (BenchmarkAblation_ValueLayout; layout
+//     invariants documented in internal/sqltypes/value.go).
+//
 //   - Secondary indexes with an access-path planner. CREATE INDEX name
-//     ON table (col) USING {HASH|ORDERED} builds either an O(1)
+//     ON table (col, ...) USING {HASH|ORDERED} builds either an O(1)
 //     equality index or an ordered B+tree (the default) over a
-//     canonical total-order key encoding of sqltypes values. At plan
-//     time a small planner analyses the WHERE conjuncts and ORDER BY
-//     and picks equality→hash, range/BETWEEN/IS NULL→ordered scan, or
-//     an in-order index read that replaces the sort (and lets LIMIT
-//     stop the scan early); the choice is cached in the prepared plan
-//     and re-made when DDL moves the schema epoch. Index paths only
+//     canonical total-order key encoding of sqltypes values; composite
+//     indexes concatenate the per-column encodings, whose terminator
+//     scheme makes tuple order equal byte order. The planner matches
+//     WHERE conjuncts against each index's leading prefix: a hash
+//     index serves full-tuple equality, an ordered index serves any
+//     equality prefix plus one range/BETWEEN/IS [NOT] NULL predicate
+//     on the next column, and ORDER BY keys that walk the index
+//     columns after the (constant) equality prefix — all in one
+//     direction — are emitted in order with no sort (LIMIT stops the
+//     scan early). The choice is cached in the prepared plan and
+//     re-made when DDL moves the schema epoch. Index paths only
 //     narrow the candidate set — the residual predicate is always
 //     re-applied — so the returned row set is identical to a full
-//     scan's (property-tested in internal/sqldb/planner_test.go,
-//     ablated by BenchmarkAblation_OrderedIndex). One documented
-//     ordering caveat: integers beyond 2^53 that share a float64 key
-//     image (see key.go) sort in insertion order within the collision
-//     when ORDER BY is served by the index.
+//     scan's (property-tested in internal/sqldb/planner_test.go and
+//     composite_test.go; ablated by BenchmarkAblation_OrderedIndex and
+//     BenchmarkAblation_CompositeIndex). One documented ordering
+//     caveat: integers beyond 2^53 that share a float64 key image (see
+//     key.go) sort in insertion order within the collision when ORDER
+//     BY is served by the index. The B+tree merges emptied leaves away
+//     on delete (merge-at-empty, no further rebalancing), so
+//     delete-heavy tables do not accumulate hollow nodes.
+//
+//   - Index-only aggregates. When a single-table COUNT/MIN/MAX query's
+//     WHERE clause is consumed exactly by the chosen path (no residual
+//     conjuncts — tracked at plan time) and the probes are exact at
+//     execution time (no far-integer key collisions), COUNT is
+//     answered by summing row-ID list lengths under the exact key
+//     range — zero heap rows read, asserted via DB.HeapRowReads — and
+//     MIN/MAX materialise only the boundary key's rows. Inexact
+//     probes fall back to the ordinary residual-checked executor.
+//
+//   - Index nested-loop joins. Equality conjuncts of the form
+//     inner.col = expr(outer tables) in ON or WHERE are matched against
+//     the inner table's indexes; each accumulated outer row then probes
+//     the index instead of re-scanning the inner heap, with the ON
+//     condition still applied to every candidate and the WHERE applied
+//     after the join (identical results, property-tested against the
+//     cross-product path in join_test.go). For a two-table inner join
+//     the executor picks the probed side at run time — the indexed
+//     table, or the larger of two indexed tables — so the smaller side
+//     drives the outer loop. The join plan lives in the cached
+//     selectPlan under the same schema-epoch invalidation
+//     (BenchmarkAblation_JoinPlan: ≥100x on a 1k×1k equi-join).
 //
 //   - WAL group commit. Committers stage their redo frames under the
 //     writer lock (log order = commit order) and wait for durability
@@ -91,5 +132,11 @@
 // (internal/core/schema.go) picks index kinds per query shape: HASH on
 // the SIMULATION_KEY browse columns, ORDERED on TIMESTEP/CREATED range
 // columns and on the DATALINK columns, so the DLVALUE(?) equality probe
-// and Reconcile's IS NOT NULL scan are both index-served.
+// and Reconcile's IS NOT NULL scan are both index-served; the composite
+// (SIMULATION_KEY, TIMESTEP) index serves the compound "this run, this
+// timestep window" shape with one prefix+range scan, answers its
+// COUNT/MIN/MAX forms index-only, and gives SIMULATION_KEY equi-joins
+// an index nested-loop probe. The webui /status page surfaces the
+// replicated tier's health (replica-set members, open breakers, paths
+// awaiting re-replication) via core.Archive.HostStatuses.
 package repro

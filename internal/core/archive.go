@@ -149,6 +149,56 @@ func (a *Archive) Host(host string) (FileHost, bool) {
 	return h, ok
 }
 
+// HostStatus is the replication-health snapshot of one registered
+// file-server host, surfaced on the web UI's status page.
+type HostStatus struct {
+	Host       string
+	Replicated bool // backed by a replica set (the fields below apply)
+	// Members lists the replica-set members; Down the members whose
+	// health breaker is currently open; UnderReplicated the paths known
+	// to be missing a replica (pending anti-entropy repair).
+	Members         []string
+	Down            []string
+	UnderReplicated []string
+}
+
+// clusterStatus is the health surface a replicated host (e.g.
+// cluster.ReplicaSet) exposes; plain single-manager hosts don't.
+type clusterStatus interface {
+	Members() []string
+	Down() []string
+	UnderReplicated() []string
+}
+
+// HostStatuses reports every registered file-server host, sorted by
+// name, with replication health where the host exposes it.
+func (a *Archive) HostStatuses() []HostStatus {
+	a.mu.RLock()
+	names := make([]string, 0, len(a.hosts))
+	for name := range a.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hosts := make([]FileHost, len(names))
+	for i, name := range names {
+		hosts[i] = a.hosts[name]
+	}
+	a.mu.RUnlock()
+
+	out := make([]HostStatus, len(names))
+	for i, h := range hosts {
+		st := HostStatus{Host: names[i]}
+		if cs, ok := h.(clusterStatus); ok {
+			st.Replicated = true
+			st.Members = cs.Members()
+			st.Down = cs.Down()
+			st.UnderReplicated = cs.UnderReplicated()
+		}
+		out[i] = st
+	}
+	return out
+}
+
 // Spec returns the active XUIS (nil before generation/loading).
 func (a *Archive) Spec() *xuis.Spec {
 	a.mu.RLock()

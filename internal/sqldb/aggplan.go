@@ -1,0 +1,357 @@
+package sqldb
+
+import (
+	"repro/internal/sqltypes"
+)
+
+// Index-only aggregates.
+//
+// A single-table aggregate query whose WHERE clause is consumed exactly
+// by the access path (accessPath.residualFree) and whose projection is
+// made only of COUNT/MIN/MAX calls the path can serve is answered from
+// the index without materialising candidate rows:
+//
+//	COUNT(*) / COUNT(col)  — sum the row-ID list lengths under the
+//	                         path's exact key range: zero heap reads.
+//	MIN(col) / MAX(col)    — walk the key range in (reverse) order and
+//	                         materialise only the boundary key's rows.
+//
+// Because encoded keys can over-approximate value equality (the float64
+// image of integers beyond ±2^53), the executor re-verifies at each
+// execution that every probe is exact (exactProbe); when it is not, it
+// falls back to the ordinary row-materialising path, which re-applies
+// the residual predicate. Strict range bounds, which the ordinary path
+// widens to inclusive scans, are honoured exactly here for the same
+// reason.
+
+// aggItem is one projection item of an index-only aggregate plan.
+type aggItem struct {
+	fn     string // "COUNT", "MIN", "MAX"
+	colPos int    // schema position of the argument; -1 for COUNT(*)
+}
+
+// planIndexOnlyAgg decides whether the bound SELECT qualifies for
+// index-only aggregation and records the per-item plan. Called once per
+// plan build; the schema epoch invalidates it with the rest of the plan.
+func planIndexOnlyAgg(plan *selectPlan) {
+	s := plan.stmt
+	if plan.noFrom || len(plan.tables) != 1 || !plan.aggregated ||
+		len(s.GroupBy) > 0 || s.Having != nil || s.Distinct || len(s.OrderBy) > 0 {
+		return
+	}
+	path := plan.path
+	if path == nil {
+		if s.Where != nil {
+			return
+		}
+	} else if !path.residualFree {
+		return
+	}
+	items := make([]aggItem, 0, len(plan.proj))
+	for _, e := range plan.proj {
+		fc, ok := e.(*FuncCall)
+		if !ok || !isAggregate(fc.Name) {
+			return
+		}
+		if fc.Name == "COUNT" && fc.Star {
+			items = append(items, aggItem{fn: "COUNT", colPos: -1})
+			continue
+		}
+		if len(fc.Args) != 1 {
+			return
+		}
+		cr, ok := fc.Args[0].(*ColRef)
+		if !ok || cr.Index < 0 {
+			return
+		}
+		// Single-table plan: the bound index IS the schema position.
+		colPos := cr.Index
+		switch fc.Name {
+		case "COUNT":
+			// COUNT(col) counts non-NULL values; equal to the key count
+			// only when the path guarantees col is non-NULL in every
+			// match.
+			if !pathGuaranteesNotNull(path, colPos) {
+				return
+			}
+		case "MIN", "MAX":
+			if !pathServesMinMax(path, colPos) {
+				return
+			}
+		default:
+			return
+		}
+		items = append(items, aggItem{fn: fc.Name, colPos: colPos})
+	}
+	plan.aggItems = items
+}
+
+// pathGuaranteesNotNull reports whether every row the path emits has a
+// non-NULL value in colPos: equality columns (a NULL probe matches
+// nothing), and the scan column under a range bound or IS NOT NULL.
+func pathGuaranteesNotNull(path *accessPath, colPos int) bool {
+	if path == nil {
+		return false
+	}
+	for i := 0; i < path.nEq; i++ {
+		if path.colPos[i] == colPos {
+			return true
+		}
+	}
+	if path.nEq < len(path.cols) && path.colPos[path.nEq] == colPos {
+		switch path.kind {
+		case pathOrderedRange:
+			return path.lo != nil || path.hi != nil
+		case pathOrderedNull:
+			return path.notNull
+		}
+	}
+	return false
+}
+
+// pathServesMinMax reports whether the path can find MIN/MAX(colPos) at
+// a key-range boundary: equality columns are constant over every match,
+// and the ordered scan column is emitted in value order.
+func pathServesMinMax(path *accessPath, colPos int) bool {
+	if path == nil {
+		return false
+	}
+	for i := 0; i < path.nEq; i++ {
+		if path.colPos[i] == colPos {
+			return true
+		}
+	}
+	if path.nEq < len(path.cols) && path.colPos[path.nEq] == colPos {
+		switch path.kind {
+		case pathOrderedRange:
+			return true
+		case pathOrderedNull:
+			return path.notNull
+		}
+	}
+	return false
+}
+
+// exactRange is a resolved, exact key window over one index.
+type exactRange struct {
+	useLookup bool   // point lookup of lookup instead of a scan
+	lookup    string // full-tuple key (useLookup)
+	lo, hi    *keyBound
+	empty     bool // a probe was NULL: no rows match
+}
+
+// exactKeyRange resolves the path's probes into exact bounds, honouring
+// bound strictness. It shares the probe evaluation and key assembly
+// with scanAccessPath (eqPrefix/encodePathBound/prefixUpper in
+// planner.go), adding only the exactness requirement and the
+// strictness-correct bound shapes. ok=false means a probe failed to
+// evaluate, align or be exact, and the caller must use the ordinary
+// residual-checked path.
+func exactKeyRange(td *tableData, path *accessPath, ctx *evalCtx) (exactRange, bool) {
+	var er exactRange
+	prefix, nullProbe, ok := eqPrefix(td, path, ctx, true)
+	if !ok {
+		return er, false
+	}
+	if nullProbe {
+		er.empty = true
+		return er, true
+	}
+
+	switch path.kind {
+	case pathHashEq, pathOrderedEq:
+		er.useLookup = true
+		er.lookup = string(prefix)
+		return er, true
+
+	case pathOrderedRange:
+		switch {
+		case path.lo != nil:
+			enc, null, ok := encodePathBound(td, path, prefix, path.lo, ctx, true)
+			if !ok {
+				return er, false
+			}
+			if null {
+				er.empty = true
+				return er, true
+			}
+			if path.loIncl {
+				er.lo = &keyBound{key: enc, incl: true}
+			} else {
+				er.lo = &keyBound{key: enc + keyRangeHiSentinel, incl: false}
+			}
+		case path.hi != nil:
+			// Half range: exclude the NULL key and its continuations.
+			er.lo = &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: false}
+		default:
+			er.lo = &keyBound{key: string(prefix), incl: true}
+		}
+		if path.hi != nil {
+			enc, null, ok := encodePathBound(td, path, prefix, path.hi, ctx, true)
+			if !ok {
+				return er, false
+			}
+			if null {
+				er.empty = true
+				return er, true
+			}
+			if path.hiIncl {
+				er.hi = &keyBound{key: enc + keyRangeHiSentinel, incl: true}
+			} else {
+				er.hi = &keyBound{key: enc, incl: false}
+			}
+		} else {
+			er.hi = prefixUpper(prefix)
+		}
+		return er, true
+
+	case pathOrderedNull:
+		if path.notNull {
+			er.lo = &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: false}
+			er.hi = prefixUpper(prefix)
+		} else {
+			er.lo = &keyBound{key: string(prefix) + nullKey, incl: true}
+			er.hi = &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: true}
+		}
+		return er, true
+
+	case pathOrderedScan:
+		// residualFree ordered scans only exist for WHERE-less queries.
+		return er, true
+	}
+	return er, false
+}
+
+// runIndexOnlyAgg answers the planned aggregate items from the index.
+// handled=false falls back to the row-materialising executor (probe
+// misalignment or inexact keys). COUNT items read zero heap rows;
+// MIN/MAX materialise only the boundary key's rows.
+func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
+	s := plan.stmt
+	td := plan.tables[0].data
+	path := plan.path
+
+	var idx secondaryIndex
+	var er exactRange
+	if path == nil {
+		// COUNT(*) with no WHERE: the live-row counter is the answer.
+	} else {
+		idx = td.indexes[path.idx]
+		if idx == nil {
+			return nil, false
+		}
+		var ok bool
+		er, ok = exactKeyRange(td, path, ctx)
+		if !ok {
+			return nil, false
+		}
+	}
+
+	count := int64(-1)
+	countRows := func() int64 {
+		if count >= 0 {
+			return count
+		}
+		switch {
+		case path == nil:
+			count = int64(td.live)
+		case er.empty:
+			count = 0
+		case er.useLookup:
+			count = int64(len(idx.lookupKey(er.lookup)))
+		default:
+			count = 0
+			rix, ok := idx.(rangeIndex)
+			if !ok {
+				return 0
+			}
+			rix.scanRange(er.lo, er.hi, false, func(_ string, ids []rowID) bool {
+				count += int64(len(ids))
+				return true
+			})
+		}
+		return count
+	}
+
+	vals := make([]sqltypes.Value, len(plan.aggItems))
+	for i, it := range plan.aggItems {
+		switch it.fn {
+		case "COUNT":
+			vals[i] = sqltypes.NewInt(countRows())
+		case "MIN":
+			vals[i] = boundaryAgg(td, idx, er, it.colPos, false)
+		case "MAX":
+			vals[i] = boundaryAgg(td, idx, er, it.colPos, true)
+		}
+	}
+
+	// Assemble the single aggregate row exactly like runSelect would.
+	kinds := make([]sqltypes.Kind, len(plan.kinds))
+	copy(kinds, plan.kinds)
+	columns := make([]string, len(plan.labels))
+	copy(columns, plan.labels)
+	out := newRows(columns, kinds)
+	if s.Offset == 0 && s.Limit != 0 {
+		out.Data = [][]sqltypes.Value{vals}
+	}
+	for ci, k := range out.Kinds {
+		if k != sqltypes.KindNull {
+			continue
+		}
+		for _, r := range out.Data {
+			if !r[ci].IsNull() {
+				out.Kinds[ci] = r[ci].Kind()
+				break
+			}
+		}
+	}
+	return out, true
+}
+
+// boundaryAgg finds MIN (desc=false) or MAX (desc=true) of colPos by
+// walking the exact key range in order and materialising only the rows
+// of the first key that holds a non-NULL value. All rows of that key
+// are compared — distinct values can share a key in the far-integer
+// collision window, so the boundary key is a tiny candidate set, not
+// a single row.
+func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, desc bool) sqltypes.Value {
+	if idx == nil || er.empty {
+		return sqltypes.Null
+	}
+	best := sqltypes.Null
+	reads := int64(0)
+	defer func() { td.heapReads.Add(reads) }()
+	visit := func(ids []rowID) bool {
+		for _, id := range ids {
+			vals, live := td.fetch(id)
+			if !live {
+				continue
+			}
+			reads++
+			if vals[colPos].IsNull() {
+				continue
+			}
+			v := vals[colPos]
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			if c, ok := sqltypes.Compare(v, best); ok && ((desc && c > 0) || (!desc && c < 0)) {
+				best = v
+			}
+		}
+		return best.IsNull() // stop after the first key with a value
+	}
+	if er.useLookup {
+		visit(idx.lookupKey(er.lookup))
+		return best
+	}
+	rix, ok := idx.(rangeIndex)
+	if !ok {
+		return sqltypes.Null
+	}
+	rix.scanRange(er.lo, er.hi, desc, func(_ string, ids []rowID) bool {
+		return visit(ids)
+	})
+	return best
+}

@@ -20,26 +20,52 @@ import (
 //	TIMESTAMP             — 8-byte unix nanoseconds (UTC)
 //	VARCHAR/CLOB/DATALINK — uvarint length + UTF-8 bytes
 //	BLOB                  — uvarint length + raw bytes
+//
+// Timestamps outside the int64-nanosecond window (before 1678 or after
+// 2262, where UnixNano is undefined) and the zero time use the
+// farTimeTag kind byte with a 12-byte unix seconds + nanoseconds
+// payload, so every instant sqltypes.Value can hold survives the
+// WAL/snapshot round trip. The plain 8-byte form is kept for in-window
+// values so existing logs stay readable.
+
+// farTimeTag marks the extended TIMESTAMP encoding. It sits far above
+// the sqltypes.Kind range, so it can never collide with a kind byte.
+const farTimeTag = 0x80 | byte(sqltypes.KindTime)
 
 func writeValue(w *bufio.Writer, v sqltypes.Value) error {
-	if err := w.WriteByte(byte(v.Kind())); err != nil {
+	kindByte := byte(v.Kind())
+	farTime := false
+	if v.Kind() == sqltypes.KindTime {
+		t := v.Time()
+		if farTime = t.IsZero() || !sqltypes.InNanoRange(t); farTime {
+			kindByte = farTimeTag
+		}
+	}
+	if err := w.WriteByte(kindByte); err != nil {
 		return err
 	}
-	var buf [8]byte
+	var buf [12]byte
 	switch v.Kind() {
 	case sqltypes.KindNull:
 		return nil
 	case sqltypes.KindInt, sqltypes.KindBool:
-		binary.LittleEndian.PutUint64(buf[:], uint64(v.Int()))
-		_, err := w.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:8], uint64(v.Int()))
+		_, err := w.Write(buf[:8])
 		return err
 	case sqltypes.KindDouble:
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Double()))
-		_, err := w.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(v.Double()))
+		_, err := w.Write(buf[:8])
 		return err
 	case sqltypes.KindTime:
-		binary.LittleEndian.PutUint64(buf[:], uint64(v.Time().UnixNano()))
-		_, err := w.Write(buf[:])
+		t := v.Time()
+		if farTime {
+			binary.LittleEndian.PutUint64(buf[:8], uint64(t.Unix()))
+			binary.LittleEndian.PutUint32(buf[8:], uint32(t.Nanosecond()))
+			_, err := w.Write(buf[:12])
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[:8], uint64(t.UnixNano()))
+		_, err := w.Write(buf[:8])
 		return err
 	case sqltypes.KindString, sqltypes.KindClob, sqltypes.KindDatalink:
 		return writeBytes(w, []byte(v.Str()))
@@ -54,6 +80,15 @@ func readValue(r *bufio.Reader) (sqltypes.Value, error) {
 	kb, err := r.ReadByte()
 	if err != nil {
 		return sqltypes.Null, err
+	}
+	if kb == farTimeTag {
+		var buf [12]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return sqltypes.Null, err
+		}
+		sec := int64(binary.LittleEndian.Uint64(buf[:8]))
+		nsec := int64(binary.LittleEndian.Uint32(buf[8:]))
+		return sqltypes.NewTime(time.Unix(sec, nsec).UTC()), nil
 	}
 	kind := sqltypes.Kind(kb)
 	var buf [8]byte

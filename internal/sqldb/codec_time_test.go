@@ -1,0 +1,86 @@
+package sqldb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// TestTimestampDurabilityFullRange: every instant Value can hold —
+// in-window, far-past, far-future and the zero time — must survive the
+// WAL and snapshot round trips exactly. Regression: the codec used to
+// persist UnixNano unconditionally, which is undefined outside
+// 1678–2262 and corrupted far timestamps on replay.
+func TestTimestampDurabilityFullRange(t *testing.T) {
+	times := []time.Time{
+		time.Date(1999, 1, 10, 15, 9, 32, 123456789, time.UTC),
+		time.Date(1000, 6, 15, 12, 30, 45, 7, time.UTC),
+		time.Date(2500, 6, 1, 0, 0, 0, 999, time.UTC),
+		{},
+	}
+	check := func(db *DB, stage string) {
+		t.Helper()
+		rows, err := db.Query(`SELECT TS FROM T ORDER BY ID`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Data) != len(times) {
+			t.Fatalf("%s: %d rows, want %d", stage, len(rows.Data), len(times))
+		}
+		for i, want := range times {
+			got := rows.Data[i][0]
+			if want.IsZero() {
+				// The zero time is stored; it must come back as the
+				// same instant.
+				if !got.Time().IsZero() {
+					t.Fatalf("%s: row %d: zero time came back as %v", stage, i, got.Time())
+				}
+				continue
+			}
+			if !got.Time().Equal(want) {
+				t.Fatalf("%s: row %d: %v, want %v", stage, i, got.Time(), want)
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecScript(`CREATE TABLE T (ID INTEGER PRIMARY KEY, TS TIMESTAMP)`); err != nil {
+		t.Fatal(err)
+	}
+	for i, ts := range times {
+		if _, err := db.Exec(`INSERT INTO T VALUES (?, ?)`,
+			sqltypes.NewInt(int64(i)), sqltypes.NewTime(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(db, "live")
+
+	// WAL replay path.
+	if err := db.wal.close(); err != nil { // simulate crash: no checkpoint
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(db2, "wal-replay")
+
+	// Snapshot path.
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	check(db3, "snapshot")
+}

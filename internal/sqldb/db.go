@@ -93,10 +93,10 @@ func (r *Rows) Get(i int, col string) sqltypes.Value {
 
 // indexDef records a secondary index created with CREATE INDEX.
 type indexDef struct {
-	Name   string
-	Table  string
-	Column string
-	Kind   string // IndexKindHash or IndexKindOrdered
+	Name    string
+	Table   string
+	Columns []string // upper-cased, index order
+	Kind    string   // IndexKindHash or IndexKindOrdered
 }
 
 // DB is an embedded SQL database with single-writer / multi-reader
@@ -289,6 +289,21 @@ func (db *DB) SetFullScanOnly(on bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.fullScanOnly = on
+}
+
+// HeapRowReads reports how many rows have been materialised out of the
+// named table's heap since it was created (point gets plus scan
+// visits). Access-path introspection: the index-only aggregate tests
+// assert a COUNT over an indexed predicate leaves this counter
+// untouched, proving the answer came from the index alone.
+func (db *DB) HeapRowReads(table string) int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	td, ok := db.data[strings.ToUpper(table)]
+	if !ok {
+		return 0
+	}
+	return td.heapReads.Load()
 }
 
 // SetClock injects the NOW() clock (tests and simulation).

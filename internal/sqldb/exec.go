@@ -141,14 +141,24 @@ func (db *DB) execCreateIndexLocked(tx *txState, s *CreateIndexStmt) (Result, *R
 	if !ok {
 		return Result{}, nil, fmt.Errorf("sqldb: table %s does not exist", s.Table)
 	}
-	ci := schema.ColIndex(s.Column)
-	if ci < 0 {
-		return Result{}, nil, fmt.Errorf("sqldb: column %s not in table %s", s.Column, s.Table)
+	if len(s.Columns) == 0 {
+		return Result{}, nil, fmt.Errorf("sqldb: index %s has no columns", s.Name)
 	}
-	col := strings.ToUpper(s.Column)
+	cols := upperAll(s.Columns)
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if schema.ColIndex(col) < 0 {
+			return Result{}, nil, fmt.Errorf("sqldb: column %s not in table %s", col, s.Table)
+		}
+		if seen[col] {
+			return Result{}, nil, fmt.Errorf("sqldb: duplicate column %s in index %s", col, s.Name)
+		}
+		seen[col] = true
+	}
 	td := db.data[schema.Name]
-	if _, exists := td.indexes[col]; exists {
-		return Result{}, nil, fmt.Errorf("sqldb: column %s.%s is already indexed", s.Table, s.Column)
+	if _, exists := td.indexOnColumns(cols); exists {
+		return Result{}, nil, fmt.Errorf("sqldb: columns (%s) of %s are already indexed",
+			strings.Join(cols, ", "), s.Table)
 	}
 	kind := strings.ToUpper(s.Using)
 	if kind == "" {
@@ -157,19 +167,19 @@ func (db *DB) execCreateIndexLocked(tx *txState, s *CreateIndexStmt) (Result, *R
 	var idx secondaryIndex
 	switch kind {
 	case IndexKindHash:
-		idx = newHashIndex(name, col)
+		idx = newHashIndex(name, schema, cols)
 	case IndexKindOrdered:
-		idx = newOrderedIndex(name, col)
+		idx = newOrderedIndex(name, schema, cols)
 	default:
 		return Result{}, nil, fmt.Errorf("sqldb: unknown index kind %s (want HASH or ORDERED)", s.Using)
 	}
 	td.scan(func(id rowID, vals []sqltypes.Value) bool {
-		idx.add(vals[ci], id)
+		idx.addRow(vals, id)
 		return true
 	})
-	td.indexes[col] = idx
-	db.indexes[name] = indexDef{Name: name, Table: schema.Name, Column: col, Kind: kind}
-	ddl := fmt.Sprintf("CREATE INDEX %s ON %s (%s) USING %s", name, schema.Name, col, kind)
+	td.indexes[name] = idx
+	db.indexes[name] = indexDef{Name: name, Table: schema.Name, Columns: cols, Kind: kind}
+	ddl := fmt.Sprintf("CREATE INDEX %s ON %s (%s) USING %s", name, schema.Name, strings.Join(cols, ", "), kind)
 	db.ddlLog = append(db.ddlLog, ddl)
 	db.schemaEpoch++ // invalidate cached plans
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
@@ -184,7 +194,7 @@ func (db *DB) execDropIndexLocked(tx *txState, s *DropIndexStmt) (Result, *Rows,
 	}
 	delete(db.indexes, name)
 	if td, ok := db.data[def.Table]; ok {
-		delete(td.indexes, def.Column)
+		delete(td.indexes, name)
 	}
 	ddl := "DROP INDEX " + name
 	db.ddlLog = append(db.ddlLog, ddl)
@@ -543,11 +553,11 @@ func (db *DB) checkNoChildRefsLocked(schema *TableSchema, old, new []sqltypes.Va
 
 func (db *DB) childExistsLocked(child *TableSchema, cols []string, key []sqltypes.Value) bool {
 	ctd := db.data[child.Name]
-	// Single-column FK with an index: point lookup, when the probe
-	// aligns with the child column's type.
+	// Single-column FK with an exactly-matching index: point lookup,
+	// when the probe aligns with the child column's type.
 	if len(cols) == 1 && !key[0].IsNull() {
 		col := strings.ToUpper(cols[0])
-		if idx, ok := ctd.indexes[col]; ok {
+		if idx, ok := ctd.indexOnColumns([]string{col}); ok {
 			ci := child.ColIndex(col)
 			if pv, okp := probeValue(child.Cols[ci].Type.Kind, key[0]); okp {
 				return len(idx.lookupKey(encodeKey(pv))) > 0

@@ -17,18 +17,53 @@ const (
 	IndexKindOrdered = "ORDERED"
 )
 
+// indexedCols is the column tuple an index is declared over, shared by
+// the hash and ordered implementations. Keys are the concatenated
+// canonical encodings of the column values in declaration order (see
+// key.go); the escape/terminator scheme keeps concatenation unambiguous,
+// so a composite key's byte order equals the column-by-column tuple
+// order and every single-column prefix of a composite key is a byte
+// prefix of the full key — the property the planner's prefix scans rely
+// on.
+type indexedCols struct {
+	cols []string // upper-cased column names, index order
+	pos  []int    // schema positions, parallel to cols
+}
+
+func newIndexedCols(schema *TableSchema, cols []string) indexedCols {
+	ic := indexedCols{cols: make([]string, len(cols)), pos: make([]int, len(cols))}
+	for i, c := range cols {
+		ic.cols[i] = strings.ToUpper(c)
+		ic.pos[i] = schema.ColIndex(c)
+	}
+	return ic
+}
+
+func (ic indexedCols) columns() []string { return ic.cols }
+
+// rowKey encodes the index key of one stored row.
+func (ic indexedCols) rowKey(vals []sqltypes.Value) string {
+	b := make([]byte, 0, 16*len(ic.pos))
+	for _, p := range ic.pos {
+		b = appendKey(b, vals[p])
+	}
+	return string(b)
+}
+
 // secondaryIndex is the access interface shared by the hash and ordered
 // index implementations. Keys are canonical encodings (see encodeKey);
-// maintenance callers pass stored column values (already coerced to the
-// column type), while lookup callers must align probes via probeValue
-// before encoding.
+// maintenance callers pass the full stored row (values already coerced
+// to their column types), while lookup callers must align probes via
+// probeValue before encoding.
 type secondaryIndex interface {
 	kindName() string
-	add(v sqltypes.Value, id rowID)
-	remove(v sqltypes.Value, id rowID)
-	// lookupKey returns the row IDs stored under one encoded key. The
-	// returned slice aliases index storage; callers must not mutate it
-	// and must copy it if it outlives the engine lock.
+	columns() []string
+	addRow(vals []sqltypes.Value, id rowID)
+	removeRow(vals []sqltypes.Value, id rowID)
+	// lookupKey returns the row IDs stored under one encoded key (the
+	// full column tuple). The returned slice aliases index storage;
+	// callers must not mutate it and must copy it if it outlives the
+	// engine lock.
 	lookupKey(k string) []rowID
 }
 
@@ -51,25 +86,26 @@ type keyBound struct {
 // ---------- hash index ----------
 
 // hashIndex is a secondary equality index from canonical key → row IDs.
+// A composite hash index only serves equality on its full column tuple.
 type hashIndex struct {
-	name    string
-	column  string
+	name string
+	indexedCols
 	entries map[string][]rowID
 }
 
-func newHashIndex(name, column string) *hashIndex {
-	return &hashIndex{name: name, column: strings.ToUpper(column), entries: make(map[string][]rowID)}
+func newHashIndex(name string, schema *TableSchema, cols []string) *hashIndex {
+	return &hashIndex{name: name, indexedCols: newIndexedCols(schema, cols), entries: make(map[string][]rowID)}
 }
 
 func (h *hashIndex) kindName() string { return IndexKindHash }
 
-func (h *hashIndex) add(v sqltypes.Value, id rowID) {
-	k := encodeKey(v)
+func (h *hashIndex) addRow(vals []sqltypes.Value, id rowID) {
+	k := h.rowKey(vals)
 	h.entries[k] = append(h.entries[k], id)
 }
 
-func (h *hashIndex) remove(v sqltypes.Value, id rowID) {
-	k := encodeKey(v)
+func (h *hashIndex) removeRow(vals []sqltypes.Value, id rowID) {
+	k := h.rowKey(vals)
 	ids := h.entries[k]
 	for i, x := range ids {
 		if x == id {
@@ -96,14 +132,16 @@ const (
 // orderedIndex is a B+tree over canonical key encodings supporting
 // point, range and in-order scans. All keys live in leaves; inner nodes
 // hold separators with len(seps) == len(children)-1, child i spanning
-// [seps[i-1], seps[i]). Deleting the last row ID under a key removes
-// the leaf entry but never rebalances: hollow nodes cost a little scan
-// work until the index is rebuilt (CREATE INDEX, snapshot/WAL replay),
-// which is the right trade for the archive's insert-mostly workload.
+// [seps[i-1], seps[i]). Deleting the last row ID under a key removes the
+// leaf entry, and a leaf that empties out is merged away (its parent
+// drops the hollow child and the adjoining separator), so delete-heavy
+// tables do not accumulate dead nodes; within still-populated leaves no
+// rebalancing happens, which is the right trade for the archive's
+// insert-mostly workload.
 type orderedIndex struct {
-	name   string
-	column string
-	root   *btreeNode
+	name string
+	indexedCols
+	root *btreeNode
 }
 
 type btreeNode struct {
@@ -114,18 +152,18 @@ type btreeNode struct {
 	children []*btreeNode
 }
 
-func newOrderedIndex(name, column string) *orderedIndex {
+func newOrderedIndex(name string, schema *TableSchema, cols []string) *orderedIndex {
 	return &orderedIndex{
-		name:   name,
-		column: strings.ToUpper(column),
-		root:   &btreeNode{leaf: true},
+		name:        name,
+		indexedCols: newIndexedCols(schema, cols),
+		root:        &btreeNode{leaf: true},
 	}
 }
 
 func (ix *orderedIndex) kindName() string { return IndexKindOrdered }
 
-func (ix *orderedIndex) add(v sqltypes.Value, id rowID) {
-	right, sep := ix.root.insert(encodeKey(v), id)
+func (ix *orderedIndex) addRow(vals []sqltypes.Value, id rowID) {
+	right, sep := ix.root.insert(ix.rowKey(vals), id)
 	if right != nil {
 		ix.root = &btreeNode{
 			seps:     []string{sep},
@@ -134,8 +172,13 @@ func (ix *orderedIndex) add(v sqltypes.Value, id rowID) {
 	}
 }
 
-func (ix *orderedIndex) remove(v sqltypes.Value, id rowID) {
-	ix.root.remove(encodeKey(v), id)
+func (ix *orderedIndex) removeRow(vals []sqltypes.Value, id rowID) {
+	ix.root.remove(ix.rowKey(vals), id)
+	// Collapse single-child roots so the tree height tracks the live
+	// key count back down after bulk deletes.
+	for !ix.root.leaf && len(ix.root.children) == 1 {
+		ix.root = ix.root.children[0]
+	}
 }
 
 func (ix *orderedIndex) lookupKey(k string) []rowID {
@@ -156,6 +199,18 @@ func (ix *orderedIndex) scanRange(lo, hi *keyBound, desc bool, f func(k string, 
 	} else {
 		ix.root.ascend(lo, hi, f)
 	}
+}
+
+// nodeCount reports the number of tree nodes (diagnostics and the
+// delete-reclaim regression test).
+func (ix *orderedIndex) nodeCount() int { return ix.root.count() }
+
+func (n *btreeNode) count() int {
+	c := 1
+	for _, ch := range n.children {
+		c += ch.count()
+	}
+	return c
 }
 
 // childFor routes key k: entries equal to a separator live in the child
@@ -218,25 +273,55 @@ func (n *btreeNode) insert(k string, id rowID) (*btreeNode, string) {
 	return r, up
 }
 
-func (n *btreeNode) remove(k string, id rowID) {
-	for !n.leaf {
-		n = n.children[n.childFor(k)]
-	}
-	i := sort.SearchStrings(n.keys, k)
-	if i >= len(n.keys) || n.keys[i] != k {
-		return
-	}
-	ids := n.ids[i]
-	for j, x := range ids {
-		if x == id {
-			n.ids[i] = append(ids[:j], ids[j+1:]...)
-			break
+// remove deletes id from under key k and reports whether this node has
+// become empty (merge-at-empty reclamation: a parent drops an emptied
+// child together with one separator, so hollow leaves do not linger
+// after delete-heavy workloads; partially-filled nodes are never
+// rebalanced).
+func (n *btreeNode) remove(k string, id rowID) (empty bool) {
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, k)
+		if i >= len(n.keys) || n.keys[i] != k {
+			return len(n.keys) == 0
 		}
+		ids := n.ids[i]
+		for j, x := range ids {
+			if x == id {
+				n.ids[i] = append(ids[:j], ids[j+1:]...)
+				break
+			}
+		}
+		if len(n.ids[i]) == 0 {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.ids = append(n.ids[:i], n.ids[i+1:]...)
+		}
+		return len(n.keys) == 0
 	}
-	if len(n.ids[i]) == 0 {
-		n.keys = append(n.keys[:i], n.keys[i+1:]...)
-		n.ids = append(n.ids[:i], n.ids[i+1:]...)
+	ci := n.childFor(k)
+	if n.children[ci].remove(k, id) && len(n.children) > 1 {
+		// Drop the hollow child and the separator adjoining it.
+		n.children = append(n.children[:ci], n.children[ci+1:]...)
+		si := ci
+		if si > 0 {
+			si--
+		}
+		n.seps = append(n.seps[:si], n.seps[si+1:]...)
 	}
+	if len(n.children) > 1 {
+		return false
+	}
+	// A single remaining child: this node is as empty as that child
+	// (the root collapse in removeRow flattens the chain).
+	return n.children[0].emptyNode()
+}
+
+// emptyNode reports whether the subtree holds no keys. Only single-child
+// chains ever need the recursion, so this stays O(height).
+func (n *btreeNode) emptyNode() bool {
+	if n.leaf {
+		return len(n.keys) == 0
+	}
+	return len(n.children) == 1 && n.children[0].emptyNode()
 }
 
 // within reports whether key k satisfies the scan bounds.

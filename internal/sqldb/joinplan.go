@@ -1,0 +1,240 @@
+package sqldb
+
+import (
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Index nested-loop joins.
+//
+// The executor joins FROM items left to right, and historically scanned
+// the whole inner table once per accumulated outer row — a cross
+// product narrowed only afterwards by the ON/WHERE predicates. The join
+// planner recognises equality conjuncts of the form
+//
+//	inner.col = <expression over earlier tables (or constants)>
+//
+// in the joining ON condition and in the WHERE clause, matches them
+// against the inner table's indexes (longest leading prefix, hash needs
+// the full tuple), and records a joinProbe in the cached plan. At
+// execution each outer row evaluates the outer-side expressions and
+// probes the index instead of scanning — O(probe) per outer row instead
+// of O(|inner|). Probes only narrow the candidate set: the ON condition
+// is still evaluated on every candidate and the WHERE clause is applied
+// after the join, so results are identical to the scanning path (which
+// remains both the fallback when a probe cannot be aligned with the
+// indexed column's type and the SetFullScanOnly oracle).
+//
+// LEFT JOIN keeps its semantics: a probe that finds no candidates
+// produces the NULL-extended row, exactly as an exhaustive scan with no
+// ON match would. WHERE-derived probes are safe there too — an
+// equality conjunct on an inner column evaluates UNKNOWN on the
+// NULL-extended row, so the post-join WHERE drops exactly the rows the
+// scanning path would drop.
+//
+// For a two-table inner join the planner also prepares the reverse
+// probe (table 0 as the probed side). The executor picks the probed
+// side at run time: the indexed one, or — when both sides are indexed —
+// the larger one, so the smaller table drives the outer loop.
+type joinProbe struct {
+	idx    string   // index name on the probed (inner) table
+	cols   []string // index columns
+	colPos []int    // schema positions, parallel to cols
+	nEq    int      // leading columns with join-equality probes
+	eqs    []Expr   // outer-side expressions, len nEq
+}
+
+// planJoinProbes fills plan.joins (forward probes, one per FROM item)
+// and plan.revProbe (two-table swap candidate). Runs at plan build; the
+// schema epoch invalidates it with the rest of the plan.
+func planJoinProbes(plan *selectPlan) {
+	s := plan.stmt
+	if len(plan.tables) < 2 {
+		return
+	}
+	plan.joins = make([]*joinProbe, len(plan.tables))
+	width := len(plan.env.cols)
+	for i := 1; i < len(plan.tables); i++ {
+		t := plan.tables[i]
+		innerLo, innerHi := t.start, t.start+len(t.schema.Cols)
+		eqs := make(map[string]Expr)
+		outerOK := func(e Expr) bool { return exprRefsWithin(e, 0, innerLo) }
+		collectJoinEqs(s.From[i].JoinCond, t.schema, innerLo, innerHi, outerOK, eqs)
+		collectJoinEqs(s.Where, t.schema, innerLo, innerHi, outerOK, eqs)
+		plan.joins[i] = bestJoinProbe(t.data, eqs)
+	}
+	// Reverse probe: two-table inner join, table 0 as the probed side.
+	if len(plan.tables) == 2 && !s.From[1].LeftJoin {
+		t0, t1 := plan.tables[0], plan.tables[1]
+		eqs := make(map[string]Expr)
+		outerOK := func(e Expr) bool { return exprRefsWithin(e, t1.start, width) }
+		collectJoinEqs(s.From[1].JoinCond, t0.schema, 0, t1.start, outerOK, eqs)
+		collectJoinEqs(s.Where, t0.schema, 0, t1.start, outerOK, eqs)
+		plan.revProbe = bestJoinProbe(t0.data, eqs)
+	}
+}
+
+// exprRefsWithin reports whether every column reference in e falls in
+// [lo, hi) and no aggregate appears — i.e. e is evaluable against the
+// outer side alone.
+func exprRefsWithin(e Expr, lo, hi int) bool {
+	ok := true
+	walkExpr(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *ColRef:
+			if n.Index < lo || n.Index >= hi {
+				ok = false
+				return false
+			}
+		case *FuncCall:
+			if isAggregate(n.Name) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// collectJoinEqs walks the top-level AND conjuncts of e, recording
+// inner.col = outerExpr equalities (either operand order) into eqs.
+// The inner side must be a bare bound ColRef in [innerLo, innerHi);
+// first claim per column wins.
+func collectJoinEqs(e Expr, schema *TableSchema, innerLo, innerHi int, outerOK func(Expr) bool, eqs map[string]Expr) {
+	if e == nil {
+		return
+	}
+	b, ok := e.(*Binary)
+	if !ok {
+		return
+	}
+	if b.Op == "AND" {
+		collectJoinEqs(b.L, schema, innerLo, innerHi, outerOK, eqs)
+		collectJoinEqs(b.R, schema, innerLo, innerHi, outerOK, eqs)
+		return
+	}
+	if b.Op != "=" {
+		return
+	}
+	try := func(inner, outer Expr) {
+		cr, ok := inner.(*ColRef)
+		if !ok || cr.Index < innerLo || cr.Index >= innerHi {
+			return
+		}
+		if !outerOK(outer) {
+			return
+		}
+		col := strings.ToUpper(schema.Cols[cr.Index-innerLo].Name)
+		if _, dup := eqs[col]; !dup {
+			eqs[col] = outer
+		}
+	}
+	try(b.L, b.R)
+	try(b.R, b.L)
+}
+
+// bestJoinProbe matches the collected equalities against the table's
+// indexes: longest covered leading prefix wins, hash indexes need full
+// coverage, ordered indexes serve any non-empty prefix. Index names are
+// visited in sorted order so the choice is deterministic.
+func bestJoinProbe(td *tableData, eqs map[string]Expr) *joinProbe {
+	if len(eqs) == 0 {
+		return nil
+	}
+	var best *joinProbe
+	bestScore := 0
+	for _, name := range td.indexNames() {
+		idx := td.indexes[name]
+		cols := idx.columns()
+		_, ordered := idx.(rangeIndex)
+		nEq := 0
+		var probes []Expr
+		for nEq < len(cols) {
+			e := eqs[cols[nEq]]
+			if e == nil {
+				break
+			}
+			probes = append(probes, e)
+			nEq++
+		}
+		if nEq == 0 || (!ordered && nEq < len(cols)) {
+			continue
+		}
+		score := nEq * 10
+		if !ordered {
+			score += 5
+		} else {
+			score += 4
+		}
+		if score > bestScore {
+			jp := &joinProbe{idx: name, cols: cols, nEq: nEq, eqs: probes}
+			jp.colPos = make([]int, len(cols))
+			for i, c := range cols {
+				jp.colPos[i] = td.schema.ColIndex(c)
+			}
+			best = jp
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// String renders the probe for EXPLAIN-style introspection.
+func (p *joinProbe) String() string {
+	return strings.Join(p.cols[:p.nEq], "+")
+}
+
+// probeJoin returns the probed table's candidate rows for the outer row
+// currently in ctx.vals. handled=false means a probe value failed to
+// evaluate or align with the indexed column's type; the caller must
+// fall back to the exhaustive scan, which preserves exact semantics.
+// Candidate slices alias live storage: callers must copy values out
+// (the join row assembly does) and not hold them past the engine lock.
+func probeJoin(td *tableData, p *joinProbe, ctx *evalCtx) (cands [][]sqltypes.Value, handled bool) {
+	idx := td.indexes[p.idx]
+	if idx == nil {
+		return nil, false
+	}
+	var prefix []byte
+	for j := 0; j < p.nEq; j++ {
+		v, err := evalExpr(p.eqs[j], ctx)
+		if err != nil {
+			// Let the scanning path surface (or not surface) the
+			// evaluation error exactly as before.
+			return nil, false
+		}
+		if v.IsNull() {
+			return nil, true // inner.col = NULL is UNKNOWN: no matches
+		}
+		pv, ok := probeValue(td.schema.Cols[p.colPos[j]].Type.Kind, v)
+		if !ok {
+			return nil, false
+		}
+		prefix = appendKey(prefix, pv)
+	}
+	defer func() { td.heapReads.Add(int64(len(cands))) }()
+	collect := func(ids []rowID) bool {
+		for _, id := range ids {
+			if vals, live := td.fetch(id); live {
+				cands = append(cands, vals)
+			}
+		}
+		return true
+	}
+	if p.nEq == len(p.cols) {
+		collect(idx.lookupKey(string(prefix)))
+		return cands, true
+	}
+	rix, ok := idx.(rangeIndex)
+	if !ok {
+		return nil, false
+	}
+	lo := &keyBound{key: string(prefix), incl: true}
+	hi := &keyBound{key: string(prefix) + keyRangeHiSentinel, incl: true}
+	rix.scanRange(lo, hi, false, func(_ string, ids []rowID) bool {
+		return collect(ids)
+	})
+	return cands, true
+}

@@ -507,10 +507,7 @@ func (p *parser) parseCreateIndex() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(cols) != 1 {
-		return nil, p.errf("only single-column indexes are supported")
-	}
-	stmt := &CreateIndexStmt{Name: name, Table: table, Column: cols[0]}
+	stmt := &CreateIndexStmt{Name: name, Table: table, Columns: cols}
 	if p.acceptKeyword("USING") {
 		switch {
 		case p.acceptKeyword("HASH"):

@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/sqltypes"
@@ -11,14 +12,17 @@ import (
 //
 // planAccess inspects the WHERE conjuncts (and, for single-table
 // queries, the ORDER BY) of a bound SELECT and picks how the executor
-// reaches the first FROM table's rows:
+// reaches the first FROM table's rows. Indexes may be declared over one
+// column or a tuple (composite); matching is leading-prefix based:
 //
-//	equality on a hash-indexed column   → O(1) point lookup
-//	equality on an ordered column       → O(log n) point lookup
-//	range / BETWEEN on an ordered column→ ordered range scan
-//	IS [NOT] NULL on an ordered column  → scan of / past the NULL key
-//	ORDER BY an ordered column          → full in-order scan (no sort)
-//	otherwise                           → heap scan
+//	full-tuple equality on a hash index      → O(1) point lookup
+//	full-tuple equality on an ordered index  → O(log n) point lookup
+//	equality on a leading prefix, plus an
+//	optional range / IS [NOT] NULL predicate
+//	on the next column                       → ordered prefix/range scan
+//	ORDER BY a leading prefix of an ordered
+//	index (after any equality columns)       → in-order scan (no sort)
+//	otherwise                                → heap scan
 //
 // The chosen path is stored inside the cached selectPlan, so prepared
 // statements re-run it without re-analysis; the schema epoch invalidates
@@ -29,16 +33,23 @@ import (
 // time (parameters are unknown at plan time); when alignment fails the
 // executor transparently falls back to a heap scan with identical
 // semantics.
+//
+// The planner additionally records whether the path consumes the WHERE
+// clause exactly (residualFree): every conjunct claimed by exactly one
+// used predicate slot. Residual-free paths are what allow the index-only
+// aggregate executor (COUNT/MIN/MAX answered from index keys without
+// materialising table rows — see aggplan.go), after a per-execution
+// probe-exactness check.
 
 // accessPathKind enumerates the executor strategies.
 type accessPathKind uint8
 
 const (
-	pathHashEq      accessPathKind = iota // hash index point lookup
-	pathOrderedEq                         // ordered index point lookup
-	pathOrderedRange                      // ordered index range scan
-	pathOrderedNull                       // IS NULL / IS NOT NULL via ordered index
-	pathOrderedScan                       // full in-order scan (ORDER BY only)
+	pathHashEq       accessPathKind = iota // hash index point lookup (full tuple)
+	pathOrderedEq                          // ordered index point lookup (full tuple)
+	pathOrderedRange                       // ordered prefix + range scan
+	pathOrderedNull                        // prefix + IS NULL / IS NOT NULL via ordered index
+	pathOrderedScan                        // full in-order scan (ORDER BY only)
 )
 
 // accessPath is the planner's decision for one table. All expression
@@ -46,24 +57,48 @@ const (
 // calls) and are evaluated once per execution.
 type accessPath struct {
 	kind   accessPathKind
-	table  string // table name (diagnostics)
-	column string // upper-cased indexed column
-	colPos int    // column position in the schema
+	table  string   // table name (diagnostics)
+	idx    string   // index name (key into tableData.indexes)
+	cols   []string // index columns, upper-cased, index order
+	colPos []int    // schema positions, parallel to cols
 
-	eq      Expr // pathHashEq / pathOrderedEq probe
-	lo, hi  Expr // pathOrderedRange bounds; nil = open end
-	notNull bool // pathOrderedNull: true = IS NOT NULL
+	nEq int    // leading columns constrained by equality
+	eqs []Expr // equality probes, len nEq
+
+	lo, hi         Expr // range bounds on cols[nEq]; nil = open end
+	loIncl, hiIncl bool // bound strictness as written (exact-mode scans)
+	notNull        bool // pathOrderedNull: true = IS NOT NULL
 
 	desc             bool // scan direction (ordered paths)
 	satisfiesOrderBy bool // rows arrive in ORDER BY order; skip the sort
+
+	// residualFree records that the WHERE clause is entirely and exactly
+	// consumed by this path's predicate slots. The normal executor still
+	// re-applies the residual WHERE (encoded keys can over-approximate);
+	// only the index-only aggregate executor relies on residualFree, and
+	// it additionally verifies probe exactness per execution.
+	residualFree bool
 }
 
 // String renders the path for EXPLAIN-style introspection and tests.
+// Single-column paths keep the PR-2 format ("range(T.N)"); composite
+// paths join the used columns with '+' ("eq(T.A+B)").
 func (p *accessPath) String() string {
 	if p == nil {
 		return "full-scan"
 	}
-	target := p.table + "." + p.column
+	used := p.cols[:p.nEq]
+	switch p.kind {
+	case pathOrderedRange:
+		if p.lo != nil || p.hi != nil {
+			used = p.cols[:p.nEq+1]
+		}
+	case pathOrderedNull:
+		used = p.cols[:p.nEq+1]
+	case pathOrderedScan:
+		used = p.cols
+	}
+	target := p.table + "." + strings.Join(used, "+")
 	suffix := ""
 	if p.satisfiesOrderBy {
 		suffix = " order"
@@ -77,6 +112,9 @@ func (p *accessPath) String() string {
 	case pathOrderedEq:
 		return "eq(" + target + ")" + suffix
 	case pathOrderedRange:
+		if p.lo == nil && p.hi == nil {
+			return "prefix(" + target + ")" + suffix
+		}
 		return "range(" + target + ")" + suffix
 	case pathOrderedNull:
 		if p.notNull {
@@ -89,12 +127,36 @@ func (p *accessPath) String() string {
 	return "full-scan"
 }
 
-// colPred accumulates the indexable predicates on one column.
+// colPred accumulates the indexable predicates on one column, plus how
+// many conjuncts claimed each slot (first claim keeps the expression;
+// extra claims make the column residual-bearing).
 type colPred struct {
-	eq        Expr
-	lo, hi    Expr
+	eq  Expr
+	eqN int
+
+	lo     Expr
+	loIncl bool
+	loN    int
+
+	hi     Expr
+	hiIncl bool
+	hiN    int
+
 	isNull    bool
 	isNotNull bool
+	nullN     int
+
+	// betweenPair marks lo+hi as claimed together by one BETWEEN
+	// conjunct (they count as one conjunct in the residual-free sum).
+	betweenPair bool
+}
+
+// predSet is the WHERE analysis: per-column predicates plus conjunct
+// accounting for the residual-free decision.
+type predSet struct {
+	byCol     map[string]*colPred
+	conjuncts int // top-level AND conjuncts in WHERE
+	unclaimed int // conjuncts no colPred slot absorbed
 }
 
 // planAccess picks the access path for the first FROM table of a bound
@@ -104,84 +166,195 @@ type colPred struct {
 func planAccess(td *tableData, alias string, where Expr, orderBy []OrderItem, orderBound []bool, aggregated, single bool) *accessPath {
 	preds := collectColPreds(where, alias, td.schema)
 
-	// Score the candidate paths per indexed column, preferring the
-	// cheapest: hash equality, ordered equality, bounded range, half
-	// range, null tests. Columns are visited in declaration order so
-	// the choice is deterministic.
+	// Score the candidates per index, preferring the path that consumes
+	// the most leading equality columns, then the cheapest shape: hash
+	// equality, ordered equality, bounded range, half range, null test,
+	// bare prefix. Indexes are visited in name order so the choice is
+	// deterministic.
 	var best *accessPath
 	bestScore := 0
-	for pos, col := range td.schema.Cols {
-		idx, ok := td.indexes[col.Name]
-		if !ok {
-			continue
-		}
-		p, okp := preds[col.Name]
-		if !okp {
-			continue
-		}
+	for _, name := range td.indexNames() {
+		idx := td.indexes[name]
+		cols := idx.columns()
 		_, ordered := idx.(rangeIndex)
+
+		nEq := 0
+		var eqs []Expr
+		for nEq < len(cols) {
+			p := preds.byCol[cols[nEq]]
+			if p == nil || p.eq == nil {
+				break
+			}
+			eqs = append(eqs, p.eq)
+			nEq++
+		}
+
 		var cand *accessPath
 		score := 0
 		switch {
-		case p.eq != nil && !ordered:
-			cand = &accessPath{kind: pathHashEq, eq: p.eq}
-			score = 5
-		case p.eq != nil:
-			cand = &accessPath{kind: pathOrderedEq, eq: p.eq}
-			score = 4
-		case ordered && p.lo != nil && p.hi != nil:
-			cand = &accessPath{kind: pathOrderedRange, lo: p.lo, hi: p.hi}
-			score = 3
-		case ordered && (p.lo != nil || p.hi != nil):
-			cand = &accessPath{kind: pathOrderedRange, lo: p.lo, hi: p.hi}
-			score = 2
-		case ordered && (p.isNull || p.isNotNull):
-			cand = &accessPath{kind: pathOrderedNull, notNull: p.isNotNull}
-			score = 1
+		case !ordered:
+			// A hash index keys on the full tuple: usable only when
+			// every column has an equality probe.
+			if nEq == len(cols) {
+				cand = &accessPath{kind: pathHashEq, nEq: nEq, eqs: eqs}
+				score = nEq*10 + 5
+			}
+		case nEq == len(cols):
+			cand = &accessPath{kind: pathOrderedEq, nEq: nEq, eqs: eqs}
+			score = nEq*10 + 4
+		default:
+			p := preds.byCol[cols[nEq]]
+			switch {
+			case p != nil && p.lo != nil && p.hi != nil:
+				cand = &accessPath{kind: pathOrderedRange, nEq: nEq, eqs: eqs,
+					lo: p.lo, hi: p.hi, loIncl: p.loIncl, hiIncl: p.hiIncl}
+				score = nEq*10 + 3
+			case p != nil && (p.lo != nil || p.hi != nil):
+				cand = &accessPath{kind: pathOrderedRange, nEq: nEq, eqs: eqs,
+					lo: p.lo, hi: p.hi, loIncl: p.loIncl, hiIncl: p.hiIncl}
+				score = nEq*10 + 2
+			case p != nil && (p.isNull || p.isNotNull):
+				cand = &accessPath{kind: pathOrderedNull, nEq: nEq, eqs: eqs, notNull: p.isNotNull}
+				score = nEq*10 + 1
+			case nEq > 0:
+				// Bare prefix: equality on the leading columns only.
+				cand = &accessPath{kind: pathOrderedRange, nEq: nEq, eqs: eqs}
+				score = nEq * 10
+			}
 		}
 		if cand != nil && score > bestScore {
 			cand.table = td.schema.Name
-			cand.column = col.Name
-			cand.colPos = pos
+			cand.idx = name
+			cand.cols = cols
+			cand.colPos = make([]int, len(cols))
+			for i, c := range cols {
+				cand.colPos[i] = td.schema.ColIndex(c)
+			}
+			cand.residualFree = preds.residualFree(cand)
 			best = cand
 			bestScore = score
 		}
 	}
 
-	// ORDER BY satisfaction: a single-key ORDER BY on a column our
-	// ordered path already scans in key order, or — when no predicate
-	// path was found — a full in-order scan of that column's ordered
-	// index in place of scan+sort.
-	if single && !aggregated && len(orderBy) == 1 && len(orderBound) == 1 && orderBound[0] {
-		if obCol, ok := orderByColumn(orderBy[0].Expr, alias, td.schema); ok {
+	// ORDER BY satisfaction: the ordered paths emit rows sorted by the
+	// index columns after the equality prefix (the prefix is constant),
+	// so an ORDER BY whose keys — skipping equality-constant columns —
+	// walk the index columns in order, all in one direction, needs no
+	// sort. With no predicate path at all, a full in-order scan of an
+	// ordered index whose leading columns match the ORDER BY replaces
+	// scan+sort.
+	if single && !aggregated && len(orderBy) > 0 {
+		if ocols, odesc, ok := orderByColumns(orderBy, orderBound, alias, td.schema); ok {
 			switch {
-			case best != nil && best.column == obCol:
-				switch best.kind {
-				case pathOrderedEq, pathOrderedRange, pathOrderedNull:
-					best.desc = orderBy[0].Desc
-					best.satisfiesOrderBy = true
-				case pathHashEq:
-					// Every candidate shares one value in the ORDER BY
-					// column, so any emission order is sorted.
-					best.satisfiesOrderBy = true
+			case best != nil:
+				if pathSatisfiesOrder(best, ocols) {
+					if best.kind == pathHashEq || best.kind == pathOrderedEq {
+						// Every candidate shares the ORDER BY columns'
+						// values, so any emission order is sorted.
+						best.satisfiesOrderBy = true
+					} else {
+						best.desc = odesc
+						best.satisfiesOrderBy = true
+					}
 				}
 			case best == nil:
-				if idx, ok := td.indexes[obCol]; ok {
-					if _, ordered := idx.(rangeIndex); ordered {
-						best = &accessPath{
-							kind:             pathOrderedScan,
-							table:            td.schema.Name,
-							column:           obCol,
-							colPos:           td.schema.ColIndex(obCol),
-							desc:             orderBy[0].Desc,
-							satisfiesOrderBy: true,
-						}
+				for _, name := range td.indexNames() {
+					idx := td.indexes[name]
+					if _, ordered := idx.(rangeIndex); !ordered {
+						continue
 					}
+					cols := idx.columns()
+					if !isPrefix(ocols, cols) {
+						continue
+					}
+					best = &accessPath{
+						kind:             pathOrderedScan,
+						table:            td.schema.Name,
+						idx:              name,
+						cols:             cols,
+						desc:             odesc,
+						satisfiesOrderBy: true,
+						residualFree:     where == nil,
+					}
+					best.colPos = make([]int, len(cols))
+					for i, c := range cols {
+						best.colPos[i] = td.schema.ColIndex(c)
+					}
+					break
 				}
 			}
 		}
 	}
 	return best
+}
+
+// pathSatisfiesOrder reports whether the path's emission order sorts by
+// ocols: columns inside the equality prefix are constant and skippable,
+// the rest must walk the index columns in order starting at the scan
+// column.
+func pathSatisfiesOrder(p *accessPath, ocols []string) bool {
+	inEq := func(c string) bool {
+		for _, e := range p.cols[:p.nEq] {
+			if e == c {
+				return true
+			}
+		}
+		return false
+	}
+	if p.kind == pathHashEq || p.kind == pathOrderedEq {
+		for _, oc := range ocols {
+			if !inEq(oc) {
+				return false
+			}
+		}
+		return true
+	}
+	j := p.nEq
+	for _, oc := range ocols {
+		if inEq(oc) {
+			continue
+		}
+		if j < len(p.cols) && p.cols[j] == oc {
+			j++
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// isPrefix reports whether want is a leading prefix of cols.
+func isPrefix(want, cols []string) bool {
+	if len(want) > len(cols) {
+		return false
+	}
+	for i, w := range want {
+		if cols[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// orderByColumns recognises an ORDER BY list made of plain references to
+// this table's columns, all sorting in one direction.
+func orderByColumns(orderBy []OrderItem, orderBound []bool, alias string, schema *TableSchema) ([]string, bool, bool) {
+	if len(orderBound) != len(orderBy) {
+		return nil, false, false
+	}
+	cols := make([]string, len(orderBy))
+	desc := orderBy[0].Desc
+	for i, o := range orderBy {
+		if !orderBound[i] || o.Desc != desc {
+			return nil, false, false
+		}
+		col, ok := orderByColumn(o.Expr, alias, schema)
+		if !ok {
+			return nil, false, false
+		}
+		cols[i] = col
+	}
+	return cols, desc, true
 }
 
 // orderByColumn recognises an ORDER BY key that is a plain reference to
@@ -201,15 +374,71 @@ func orderByColumn(e Expr, alias string, schema *TableSchema) (string, bool) {
 	return col, true
 }
 
+// residualFree reports whether the path consumes the entire WHERE
+// clause exactly: no unclaimed conjuncts, every claimed predicate slot
+// used by the path, and no slot claimed more than once (first-claim-wins
+// keeps only one expression, so a second claim needs the residual).
+func (ps *predSet) residualFree(p *accessPath) bool {
+	if ps.unclaimed > 0 {
+		return false
+	}
+	used := 0
+	for col, cp := range ps.byCol {
+		claims := cp.eqN + cp.loN + cp.hiN + cp.nullN
+		if claims == 0 {
+			continue
+		}
+		slot := -1 // index-column position of col in the path, if any
+		for i, pc := range p.cols {
+			if pc == col {
+				slot = i
+				break
+			}
+		}
+		switch {
+		case slot >= 0 && slot < p.nEq:
+			// Equality column: only its eq slot is consumed.
+			if cp.eqN != 1 || cp.loN+cp.hiN+cp.nullN != 0 {
+				return false
+			}
+		case slot == p.nEq && p.kind == pathOrderedRange:
+			if cp.eqN != 0 || cp.nullN != 0 {
+				return false
+			}
+			if (cp.loN > 0) != (p.lo != nil) || (cp.hiN > 0) != (p.hi != nil) {
+				return false
+			}
+			if cp.loN > 1 || cp.hiN > 1 {
+				return false
+			}
+		case slot == p.nEq && p.kind == pathOrderedNull:
+			if cp.eqN+cp.loN+cp.hiN != 0 || cp.nullN != 1 {
+				return false
+			}
+		default:
+			return false // predicate on a column the path does not serve
+		}
+		used += cp.eqN + cp.loN + cp.hiN + cp.nullN
+	}
+	// A BETWEEN conjunct claims both range slots; count it once.
+	if p.kind == pathOrderedRange && p.nEq < len(p.cols) {
+		if cp := ps.byCol[p.cols[p.nEq]]; cp != nil && cp.betweenPair {
+			used--
+		}
+	}
+	return used == ps.conjuncts
+}
+
 // collectColPreds walks the top-level AND tree gathering indexable
-// predicates per column of the target table.
-func collectColPreds(where Expr, alias string, schema *TableSchema) map[string]*colPred {
-	preds := make(map[string]*colPred)
+// predicates per column of the target table, counting conjuncts for the
+// residual-free decision.
+func collectColPreds(where Expr, alias string, schema *TableSchema) *predSet {
+	ps := &predSet{byCol: make(map[string]*colPred)}
 	at := func(col string) *colPred {
-		p, ok := preds[col]
+		p, ok := ps.byCol[col]
 		if !ok {
 			p = &colPred{}
-			preds[col] = p
+			ps.byCol[col] = p
 		}
 		return p
 	}
@@ -236,6 +465,7 @@ func collectColPreds(where Expr, alias string, schema *TableSchema) map[string]*
 				walk(n.R)
 				return
 			}
+			ps.conjuncts++
 			col, l2r := colOf(n.L)
 			val := n.R
 			op := n.Op
@@ -243,6 +473,7 @@ func collectColPreds(where Expr, alias string, schema *TableSchema) map[string]*
 				var ok bool
 				col, ok = colOf(n.R)
 				if !ok {
+					ps.unclaimed++
 					return
 				}
 				val = n.L
@@ -259,6 +490,7 @@ func collectColPreds(where Expr, alias string, schema *TableSchema) map[string]*
 				}
 			}
 			if !isRowIndependent(val) {
+				ps.unclaimed++
 				return
 			}
 			p := at(col)
@@ -267,44 +499,69 @@ func collectColPreds(where Expr, alias string, schema *TableSchema) map[string]*
 				if p.eq == nil {
 					p.eq = val
 				}
+				p.eqN++
 			case ">", ">=":
 				if p.lo == nil {
 					p.lo = val
+					p.loIncl = op == ">="
 				}
+				p.loN++
 			case "<", "<=":
 				if p.hi == nil {
 					p.hi = val
+					p.hiIncl = op == "<="
 				}
+				p.hiN++
+			default:
+				ps.unclaimed++
 			}
 		case *BetweenExpr:
+			ps.conjuncts++
 			if n.Not {
+				ps.unclaimed++
 				return
 			}
 			col, ok := colOf(n.X)
 			if !ok || !isRowIndependent(n.Lo) || !isRowIndependent(n.Hi) {
+				ps.unclaimed++
 				return
 			}
 			p := at(col)
+			if p.lo == nil && p.hi == nil {
+				p.betweenPair = true
+			}
 			if p.lo == nil {
 				p.lo = n.Lo
+				p.loIncl = true
 			}
 			if p.hi == nil {
 				p.hi = n.Hi
+				p.hiIncl = true
 			}
+			p.loN++
+			p.hiN++
 		case *IsNullExpr:
+			ps.conjuncts++
 			if col, ok := colOf(n.X); ok {
+				p := at(col)
 				if n.Not {
-					at(col).isNotNull = true
+					p.isNotNull = true
 				} else {
-					at(col).isNull = true
+					p.isNull = true
 				}
+				p.nullN++
+			} else {
+				ps.unclaimed++
 			}
+		default:
+			ps.conjuncts++
+			ps.unclaimed++
 		}
 	}
 	if where != nil {
 		walk(where)
 	}
-	return preds
+	return ps
 }
 
 // isRowIndependent reports whether e can be evaluated without a row:
@@ -337,9 +594,68 @@ func evalProbe(e Expr, ctx *evalCtx) (sqltypes.Value, error) {
 	return v, err
 }
 
+// keyRangeHiSentinel is appended to a prefix to form the upper bound of
+// "every key extending this prefix": every canonical encoding starts
+// with a class tag in 0x01..0x07, so prefix+0xFF is greater than every
+// continuation of prefix and smaller than every key diverging above it.
+const keyRangeHiSentinel = "\xff"
+
+// eqPrefix evaluates and aligns the path's equality probes into a
+// concatenated key prefix. nullProbe means a probe was NULL (the path
+// matches no rows); ok=false means a probe failed to evaluate or align
+// — or, with requireExact, maps to a shareable key (exactProbe) — and
+// the caller must fall back to the ordinary heap-scan semantics.
+func eqPrefix(td *tableData, path *accessPath, ctx *evalCtx, requireExact bool) (prefix []byte, nullProbe, ok bool) {
+	for i := 0; i < path.nEq; i++ {
+		v, err := evalProbe(path.eqs[i], ctx)
+		if err != nil {
+			return nil, false, false
+		}
+		if v.IsNull() {
+			return nil, true, true // col = NULL is UNKNOWN: no rows
+		}
+		pv, okp := probeValue(td.schema.Cols[path.colPos[i]].Type.Kind, v)
+		if !okp || (requireExact && !exactProbe(pv)) {
+			return nil, false, false
+		}
+		prefix = appendKey(prefix, pv)
+	}
+	return prefix, false, true
+}
+
+// encodePathBound evaluates and aligns one range bound on the path's
+// scan column (cols[nEq]) and appends its encoding to a copy of
+// prefix. null means the bound evaluated to NULL (the range matches
+// nothing); ok=false forces the heap-scan fallback (evaluation or
+// alignment failure, or — with requireExact — a shareable key).
+func encodePathBound(td *tableData, path *accessPath, prefix []byte, e Expr, ctx *evalCtx, requireExact bool) (key string, null, ok bool) {
+	v, err := evalProbe(e, ctx)
+	if err != nil {
+		return "", false, false
+	}
+	if v.IsNull() {
+		return "", true, true
+	}
+	rangeKind := td.schema.Cols[path.colPos[path.nEq]].Type.Kind
+	pv, okp := probeValue(rangeKind, v)
+	if !okp || (requireExact && !exactProbe(pv)) {
+		return "", false, false
+	}
+	return string(appendKey(append([]byte(nil), prefix...), pv)), false, true
+}
+
+// prefixUpper bounds a scan to keys extending prefix; nil when the
+// prefix is empty (single-column ranges scan to the index end).
+func prefixUpper(prefix []byte) *keyBound {
+	if len(prefix) == 0 {
+		return nil
+	}
+	return &keyBound{key: string(prefix) + keyRangeHiSentinel, incl: true}
+}
+
 // scanAccessPath drives the chosen path against current table state,
 // emitting candidate rows (in key order for ordered paths). It returns
-// handled=false when the path cannot serve this execution — the probe
+// handled=false when the path cannot serve this execution — a probe
 // value does not align with the indexed column's type, or evaluating a
 // probe failed — and the caller must fall back to a heap scan, which
 // preserves exact comparison semantics. Candidates over-approximate the
@@ -351,18 +667,20 @@ func evalProbe(e Expr, ctx *evalCtx) (sqltypes.Value, error) {
 // where it is exact. The NULL boundary key is exact and is excluded
 // directly for IS NOT NULL.
 func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id rowID, vals []sqltypes.Value) bool) (bool, error) {
-	idx := td.indexes[path.column]
+	idx := td.indexes[path.idx]
 	if idx == nil {
 		return false, nil
 	}
-	colKind := td.schema.Cols[path.colPos].Type.Kind
 
+	reads := int64(0)
+	defer func() { td.heapReads.Add(reads) }()
 	emitIDs := func(ids []rowID) bool {
 		for _, id := range ids {
-			vals, live := td.get(id)
+			vals, live := td.fetch(id)
 			if !live {
 				continue
 			}
+			reads++
 			if !emit(id, vals) {
 				return false
 			}
@@ -370,42 +688,27 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 		return true
 	}
 
-	// encodeBound evaluates and aligns one range bound; key=="" with
-	// ok=true means the bound is absent (open end). Evaluation errors
+	prefix, nullProbe, ok := eqPrefix(td, path, ctx, false)
+	if !ok {
+		return false, nil
+	}
+	if nullProbe {
+		return true, nil
+	}
+
+	// Absent bounds report ok with an empty key; evaluation errors
 	// force the scan fallback, where the residual predicate surfaces
 	// them with full-scan semantics.
 	encodeBound := func(e Expr) (key string, null, ok bool) {
 		if e == nil {
 			return "", false, true
 		}
-		v, err := evalProbe(e, ctx)
-		if err != nil {
-			return "", false, false
-		}
-		if v.IsNull() {
-			return "", true, true
-		}
-		pv, okp := probeValue(colKind, v)
-		if !okp {
-			return "", false, false
-		}
-		return encodeKey(pv), false, true
+		return encodePathBound(td, path, prefix, e, ctx, false)
 	}
 
 	switch path.kind {
 	case pathHashEq, pathOrderedEq:
-		v, err := evalProbe(path.eq, ctx)
-		if err != nil {
-			return false, nil
-		}
-		if v.IsNull() {
-			return true, nil // col = NULL is UNKNOWN: no rows
-		}
-		pv, ok := probeValue(colKind, v)
-		if !ok {
-			return false, nil
-		}
-		emitIDs(idx.lookupKey(encodeKey(pv)))
+		emitIDs(idx.lookupKey(string(prefix)))
 		return true, nil
 
 	case pathOrderedRange:
@@ -422,15 +725,24 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 			return true, nil // comparison with NULL matches nothing
 		}
 		var lo, hi *keyBound
-		if path.lo != nil {
+		switch {
+		case path.lo != nil:
 			lo = &keyBound{key: loKey, incl: true}
-		} else {
-			// Open low end still excludes NULLs: col < x is UNKNOWN
-			// for NULL, and the residual filter would drop them anyway.
-			lo = &keyBound{key: nullKey, incl: false}
+		case path.hi != nil:
+			// Half range open below still excludes NULLs in the scan
+			// column: col < x is UNKNOWN for NULL, and the residual
+			// filter would drop them anyway. The sentinel also skips
+			// composite continuations of the NULL key.
+			lo = &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: false}
+		default:
+			// Bare prefix: everything extending the equality columns,
+			// NULLs in trailing columns included.
+			lo = &keyBound{key: string(prefix), incl: true}
 		}
 		if path.hi != nil {
-			hi = &keyBound{key: hiKey, incl: true}
+			hi = &keyBound{key: hiKey + keyRangeHiSentinel, incl: true}
+		} else {
+			hi = prefixUpper(prefix)
 		}
 		rix.scanRange(lo, hi, path.desc, func(_ string, ids []rowID) bool {
 			return emitIDs(ids)
@@ -443,12 +755,20 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 			return false, nil
 		}
 		if path.notNull {
-			rix.scanRange(&keyBound{key: nullKey, incl: false}, nil, path.desc, func(_ string, ids []rowID) bool {
+			lo := &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: false}
+			rix.scanRange(lo, prefixUpper(prefix), path.desc, func(_ string, ids []rowID) bool {
 				return emitIDs(ids)
 			})
 		} else {
-			// All NULLs share one key; scan direction is immaterial.
-			emitIDs(idx.lookupKey(nullKey))
+			// All NULLs in the scan column share the prefix+NULL key;
+			// trailing index columns extend it, so scan the NULL-key
+			// continuation range (degenerates to the exact key when the
+			// index ends at the scan column).
+			lo := &keyBound{key: string(prefix) + nullKey, incl: true}
+			hi := &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: true}
+			rix.scanRange(lo, hi, path.desc, func(_ string, ids []rowID) bool {
+				return emitIDs(ids)
+			})
 		}
 		return true, nil
 
@@ -463,4 +783,17 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 		return true, nil
 	}
 	return false, fmt.Errorf("sqldb: unknown access path kind %d", path.kind)
+}
+
+// exactProbe reports whether the aligned probe value pv maps to an
+// index key that exactly one comparison class of stored values shares:
+// equality and range bounds on such keys are exact, never
+// over-approximations. The only inexact case is the numeric class
+// beyond ±2^53, where distinct integers share a float64 image.
+func exactProbe(pv sqltypes.Value) bool {
+	if !pv.IsNumeric() {
+		return true
+	}
+	f, _ := pv.AsDouble()
+	return math.IsNaN(f) || math.Abs(f) < 1<<53
 }

@@ -37,6 +37,18 @@ type selectPlan struct {
 	// table (nil = heap scan); see planner.go. It is immutable after
 	// planning and shared by concurrent executions.
 	path *accessPath
+
+	// aggItems, when non-nil, plans the whole query as index-only
+	// aggregation (see aggplan.go): the projection is COUNT/MIN/MAX
+	// answered from path's exact key range without materialising rows.
+	aggItems []aggItem
+
+	// joins holds the index nested-loop probe per FROM item (nil =
+	// exhaustive scan); revProbe is the two-table swap candidate that
+	// probes the FIRST table instead. See joinplan.go. Both immutable
+	// after planning.
+	joins    []*joinProbe
+	revProbe *joinProbe
 }
 
 // execSelectLocked plans and runs a SELECT in one step (the uncached
@@ -174,6 +186,8 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 	// and ORDER BY satisfaction remains valid under it.
 	plan.path = planAccess(tables[0].data, tables[0].alias, s.Where,
 		s.OrderBy, orderBound, aggregated, len(tables) == 1)
+	planIndexOnlyAgg(plan)
+	planJoinProbes(plan)
 	return plan, nil
 }
 
@@ -191,6 +205,14 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 	orderBound := plan.orderBound
 
 	ctx := &evalCtx{params: params, now: db.nowFn()}
+
+	// Index-only aggregation: COUNT/MIN/MAX over a residual-free path
+	// answered from the index without materialising candidate rows.
+	if plan.aggItems != nil && !db.fullScanOnly {
+		if out, handled := db.runIndexOnlyAgg(plan, ctx); handled {
+			return out, nil
+		}
+	}
 
 	var rows [][]sqltypes.Value
 	whereApplied := false
@@ -394,13 +416,17 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 			}
 			keys[ri] = ks
 		}
+		// Coerce sort keys once per row: mixed time-vs-text and
+		// numeric-vs-text comparisons would otherwise re-parse the
+		// textual operand on every SortCompare call inside the sort.
+		cells := annotateSortKeys(keys, len(s.OrderBy))
 		idx := make([]int, len(outRows))
 		for i := range idx {
 			idx[i] = i
 		}
 		sort.SliceStable(idx, func(a, b int) bool {
 			for oi, o := range s.OrderBy {
-				c := sqltypes.SortCompare(keys[idx[a]][oi], keys[idx[b]][oi])
+				c := cmpSortCells(&cells[idx[a]][oi], &cells[idx[b]][oi])
 				if c == 0 {
 					continue
 				}
@@ -451,15 +477,25 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 
 // joinRows materialises the nested-loop join for multi-table SELECTs,
 // building joined rows incrementally in FROM order with pushed ON
-// predicates. Read-only on the plan.
+// predicates. Inner tables whose join key is indexed are probed per
+// outer row (index nested-loop) instead of re-scanned; for a two-table
+// inner join the probed side is chosen at run time (see chooseSwap).
+// Read-only on the plan.
 func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, error) {
 	s := plan.stmt
+	if rev := db.chooseSwap(plan); rev != nil {
+		return db.joinRowsSwapped(plan, ctx, rev)
+	}
 	width := len(plan.env.cols)
 	rows := make([][]sqltypes.Value, 1)
 	rows[0] = make([]sqltypes.Value, 0, width)
 	for i, ft := range plan.tables {
 		cond := s.From[i].JoinCond
 		left := s.From[i].LeftJoin
+		var probe *joinProbe
+		if plan.joins != nil && !db.fullScanOnly {
+			probe = plan.joins[i]
+		}
 		var next [][]sqltypes.Value
 
 		// Access-path fast path for the first table: the planner's
@@ -498,13 +534,30 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 				return nil
 			}
 			var scanErr error
-			if haveCandidates {
+			probed := false
+			switch {
+			case haveCandidates:
+				probed = true
 				for _, vals := range candidates {
 					if scanErr = appendRow(vals); scanErr != nil {
 						break
 					}
 				}
-			} else {
+			case probe != nil:
+				// Index nested-loop: evaluate the outer-side probe
+				// expressions against the accumulated row and look the
+				// candidates up instead of scanning.
+				ctx.vals = base
+				if cands, handled := probeJoin(ft.data, probe, ctx); handled {
+					probed = true
+					for _, vals := range cands {
+						if scanErr = appendRow(vals); scanErr != nil {
+							break
+						}
+					}
+				}
+			}
+			if !probed && scanErr == nil {
 				ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
 					scanErr = appendRow(vals)
 					return scanErr == nil
@@ -531,6 +584,193 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		rows = next
 	}
 	return rows, nil
+}
+
+// chooseSwap decides whether a two-table inner join should run with the
+// second table as the outer loop probing the first: when only the first
+// table's join key is indexed, or when both are and the first table is
+// larger (the smaller table should drive the outer loop).
+func (db *DB) chooseSwap(plan *selectPlan) *joinProbe {
+	if db.fullScanOnly || plan.revProbe == nil || len(plan.tables) != 2 {
+		return nil
+	}
+	if fwd := plan.joins[1]; fwd != nil && plan.tables[0].data.live <= plan.tables[1].data.live {
+		return nil
+	}
+	return plan.revProbe
+}
+
+// joinRowsSwapped is the reversed two-table index nested-loop: scan
+// table 1 as the outer side and probe table 0's index, assembling each
+// combined row in declared column order so every bound expression keeps
+// its slot. Only inner joins reach here (LEFT JOIN is direction-bound).
+func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probe *joinProbe) ([][]sqltypes.Value, error) {
+	s := plan.stmt
+	t0, t1 := plan.tables[0], plan.tables[1]
+	width := len(plan.env.cols)
+	start1 := t1.start
+	cond := s.From[1].JoinCond
+	var rows [][]sqltypes.Value
+	var outerErr error
+	// Scratch row for probe evaluation: the probe's expressions only
+	// reference table 1 slots, so the table 0 prefix can stay stale.
+	scratch := make([]sqltypes.Value, width)
+	t1.data.scan(func(_ rowID, v1 []sqltypes.Value) bool {
+		copy(scratch[start1:], v1)
+		ctx.vals = scratch
+		cands, handled := probeJoin(t0.data, probe, ctx)
+		emit := func(v0 []sqltypes.Value) bool {
+			combined := make([]sqltypes.Value, width)
+			copy(combined, v0)
+			copy(combined[start1:], v1)
+			if cond != nil {
+				ctx.vals = combined
+				cv, err := evalExpr(cond, ctx)
+				if err != nil {
+					outerErr = err
+					return false
+				}
+				if cv.IsNull() || !truthy(cv) {
+					return true
+				}
+			}
+			rows = append(rows, combined)
+			return true
+		}
+		if handled {
+			for _, v0 := range cands {
+				if !emit(v0) {
+					return false
+				}
+			}
+			return true
+		}
+		keep := true
+		t0.data.scan(func(_ rowID, v0 []sqltypes.Value) bool {
+			keep = emit(v0)
+			return keep
+		})
+		return keep
+	})
+	return rows, outerErr
+}
+
+// sortKeyCell is one ORDER BY key with its cross-kind coercions
+// precomputed. SortCompare parses a textual operand every time it meets
+// a TIMESTAMP or numeric on the other side; annotateSortKeys performs
+// that coercion once per row so the O(n log n) comparisons are parse
+// free, with ordering semantics identical to SortCompare's.
+type sortKeyCell struct {
+	v       sqltypes.Value
+	timeVal sqltypes.Value // parsed-timestamp twin of a textual v
+	timeOK  bool
+	numVal  sqltypes.Value // numeric twin of a textual v
+	numOK   bool
+}
+
+// annotateSortKeys builds the coerced cells column by column: twins are
+// only computed when the column actually mixes kinds, so homogeneous
+// sorts (the common case) pay one kind sweep and nothing else.
+func annotateSortKeys(keys [][]sqltypes.Value, ncols int) [][]sortKeyCell {
+	cells := make([][]sortKeyCell, len(keys))
+	for ri, ks := range keys {
+		row := make([]sortKeyCell, ncols)
+		for oi := 0; oi < ncols; oi++ {
+			row[oi].v = ks[oi]
+		}
+		cells[ri] = row
+	}
+	for oi := 0; oi < ncols; oi++ {
+		hasTime, hasNum, hasText := false, false, false
+		for _, ks := range keys {
+			switch ks[oi].Kind() {
+			case sqltypes.KindTime:
+				hasTime = true
+			case sqltypes.KindInt, sqltypes.KindDouble:
+				hasNum = true
+			case sqltypes.KindString, sqltypes.KindClob:
+				hasText = true
+			}
+		}
+		if !hasText || (!hasTime && !hasNum) {
+			continue
+		}
+		for ri := range cells {
+			c := &cells[ri][oi]
+			if !c.v.IsTextual() {
+				continue
+			}
+			if hasTime {
+				if t, err := sqltypes.ParseTimestamp(c.v.Str()); err == nil {
+					c.timeVal = sqltypes.NewTime(t)
+					c.timeOK = true
+				}
+			}
+			if hasNum {
+				if f, ok := c.v.AsDouble(); ok {
+					c.numVal = sqltypes.NewDouble(f)
+					c.numOK = true
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// cmpSortCells mirrors sqltypes.SortCompare exactly, substituting the
+// precomputed twins wherever SortCompare would coerce a textual operand.
+func cmpSortCells(a, b *sortKeyCell) int {
+	an, bn := a.v.IsNull(), b.v.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	kindOrder := func() int {
+		ak, bk := int64(a.v.Kind()), int64(b.v.Kind())
+		switch {
+		case ak < bk:
+			return -1
+		case ak > bk:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a.v.Kind() == sqltypes.KindTime && b.v.IsTextual():
+		if b.timeOK {
+			if c, ok := sqltypes.Compare(a.v, b.timeVal); ok {
+				return c
+			}
+		}
+		return kindOrder()
+	case a.v.IsTextual() && b.v.Kind() == sqltypes.KindTime:
+		if a.timeOK {
+			if c, ok := sqltypes.Compare(a.timeVal, b.v); ok {
+				return c
+			}
+		}
+		return kindOrder()
+	case a.v.IsTextual() && b.v.IsNumeric():
+		if a.numOK {
+			if c, ok := sqltypes.Compare(a.numVal, b.v); ok {
+				return c
+			}
+		}
+		return kindOrder()
+	case a.v.IsNumeric() && b.v.IsTextual():
+		if b.numOK {
+			if c, ok := sqltypes.Compare(a.v, b.numVal); ok {
+				return c
+			}
+		}
+		return kindOrder()
+	}
+	return sqltypes.SortCompare(a.v, b.v)
 }
 
 // runSelectNoFrom evaluates a FROM-less SELECT once against an empty

@@ -49,6 +49,11 @@ func (s *Stmt) Text() string { return s.text }
 // first FROM table — "hash-eq(T.C)", "eq(T.C)", "range(T.C)",
 // "not-null(T.C)", "ordered-scan(T.C)" (with an " order"/" order-desc"
 // suffix when the index scan also satisfies ORDER BY) or "full-scan".
+// Composite paths join the used index columns with '+' ("eq(T.A+B)");
+// an " index-only" suffix marks plans whose aggregates are answered
+// from the index without materialising rows, and joined tables probed
+// by an index nested-loop append " inl(ALIAS.COLS)" (or " inl-rev(...)"
+// for the two-table swap candidate that probes the first table).
 // EXPLAIN-style introspection for tests and diagnostics; building the
 // plan on demand, it reflects the live schema epoch, so it shows the
 // re-planned path after CREATE INDEX / DROP INDEX.
@@ -66,7 +71,19 @@ func (s *Stmt) AccessPath() (string, error) {
 	if plan.noFrom {
 		return "no-from", nil
 	}
-	return plan.path.String(), nil
+	out := plan.path.String()
+	if plan.aggItems != nil {
+		out += " index-only"
+	}
+	for i, jp := range plan.joins {
+		if jp != nil {
+			out += " inl(" + plan.tables[i].alias + "." + jp.String() + ")"
+		}
+	}
+	if plan.revProbe != nil {
+		out += " inl-rev(" + plan.tables[0].alias + "." + plan.revProbe.String() + ")"
+	}
+	return out, nil
 }
 
 // Exec runs the prepared statement in autocommit mode under the

@@ -2,7 +2,9 @@ package sqldb
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sqltypes"
 )
@@ -26,11 +28,17 @@ type tableData struct {
 	byID   map[rowID]int // rowID → position in rows
 	live   int           // number of non-deleted rows
 
-	// indexes maps upper-cased column name → secondary index (hash or
-	// ordered; see index.go). The PK and UNIQUE constraints get implicit
-	// composite indexes in uniqueIdx.
+	// indexes maps upper-cased index name → secondary index (hash or
+	// ordered, single- or multi-column; see index.go). The PK and UNIQUE
+	// constraints get implicit composite indexes in uniqueIdx.
 	indexes   map[string]secondaryIndex
 	uniqueIdx []*uniqueIndex // parallel to schema constraint list (PK first if present)
+
+	// heapReads counts row materialisations out of the heap (get hits
+	// and scan visits). It is the access-path introspection the
+	// index-only aggregate tests assert "reads zero table rows" with;
+	// atomic because SELECTs run concurrently under the read lock.
+	heapReads atomic.Int64
 }
 
 func newTableData(schema *TableSchema) *tableData {
@@ -62,9 +70,8 @@ func (td *tableData) insert(id rowID, vals []sqltypes.Value) error {
 	for _, ui := range td.uniqueIdx {
 		ui.add(vals, id)
 	}
-	for col, idx := range td.indexes {
-		ci := td.schema.ColIndex(col)
-		idx.add(vals[ci], id)
+	for _, idx := range td.indexes {
+		idx.addRow(vals, id)
 	}
 	return nil
 }
@@ -81,9 +88,8 @@ func (td *tableData) delete(id rowID) ([]sqltypes.Value, error) {
 	for _, ui := range td.uniqueIdx {
 		ui.remove(vals, id)
 	}
-	for col, idx := range td.indexes {
-		ci := td.schema.ColIndex(col)
-		idx.remove(vals[ci], id)
+	for _, idx := range td.indexes {
+		idx.removeRow(vals, id)
 	}
 	return vals, nil
 }
@@ -105,17 +111,19 @@ func (td *tableData) update(id rowID, newVals []sqltypes.Value) ([]sqltypes.Valu
 		ui.remove(old, id)
 		ui.add(newVals, id)
 	}
-	for col, idx := range td.indexes {
-		ci := td.schema.ColIndex(col)
-		idx.remove(old[ci], id)
-		idx.add(newVals[ci], id)
+	for _, idx := range td.indexes {
+		idx.removeRow(old, id)
+		idx.addRow(newVals, id)
 	}
 	td.rows[pos].vals = newVals
 	return old, nil
 }
 
-// get returns the live row values for id.
-func (td *tableData) get(id rowID) ([]sqltypes.Value, bool) {
+// fetch returns the live row values for id without touching the read
+// counter. Reader loops (index scans, join probes, boundary fetches)
+// use it with one batched heapReads.Add per call site, so the hot path
+// avoids a shared atomic RMW per row.
+func (td *tableData) fetch(id rowID) ([]sqltypes.Value, bool) {
 	pos, ok := td.byID[id]
 	if !ok || td.rows[pos].deleted {
 		return nil, false
@@ -123,17 +131,53 @@ func (td *tableData) get(id rowID) ([]sqltypes.Value, bool) {
 	return td.rows[pos].vals, true
 }
 
+// get returns the live row values for id, counting the read. Used by
+// the low-frequency point paths (DML row collection under the writer
+// lock); reader loops use fetch + a batched count instead.
+func (td *tableData) get(id rowID) ([]sqltypes.Value, bool) {
+	vals, ok := td.fetch(id)
+	if ok {
+		td.heapReads.Add(1)
+	}
+	return vals, ok
+}
+
 // scan calls f for each live row in insertion order; f returns false to stop.
 func (td *tableData) scan(f func(id rowID, vals []sqltypes.Value) bool) {
+	visited := int64(0)
 	for i := range td.rows {
 		r := &td.rows[i]
 		if r.deleted {
 			continue
 		}
+		visited++
 		if !f(r.id, r.vals) {
-			return
+			break
 		}
 	}
+	td.heapReads.Add(visited)
+}
+
+// indexOnColumns returns the secondary index declared over exactly the
+// given column tuple, if any.
+func (td *tableData) indexOnColumns(cols []string) (secondaryIndex, bool) {
+	for _, idx := range td.indexes {
+		if sameCols(idx.columns(), cols) {
+			return idx, true
+		}
+	}
+	return nil, false
+}
+
+// indexNames returns the table's secondary index names, sorted, so the
+// planner's candidate walk is deterministic.
+func (td *tableData) indexNames() []string {
+	names := make([]string, 0, len(td.indexes))
+	for name := range td.indexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // compact rewrites the heap dropping tombstones; called at checkpoint.

@@ -1,7 +1,6 @@
 package sqltypes
 
 import (
-	"bytes"
 	"math"
 	"strings"
 )
@@ -18,7 +17,7 @@ func Compare(a, b Value) (int, bool) {
 	// Numeric cross-kind promotion.
 	if a.IsNumeric() && b.IsNumeric() {
 		if a.kind == KindInt && b.kind == KindInt {
-			return cmpInt(a.i, b.i), true
+			return cmpInt(int64(a.x), int64(b.x)), true
 		}
 		af, _ := a.AsDouble()
 		bf, _ := b.AsDouble()
@@ -28,18 +27,24 @@ func Compare(a, b Value) (int, bool) {
 	case a.IsTextual() && b.IsTextual():
 		return strings.Compare(a.s, b.s), true
 	case a.kind == KindBool && b.kind == KindBool:
-		return cmpInt(a.i, b.i), true
+		return cmpInt(int64(a.x), int64(b.x)), true
 	case a.kind == KindTime && b.kind == KindTime:
+		an, afar := a.timeOrd()
+		bn, bfar := b.timeOrd()
+		if !afar && !bfar {
+			return cmpInt(an, bn), true
+		}
+		at, bt := a.Time(), b.Time()
 		switch {
-		case a.t.Before(b.t):
+		case at.Before(bt):
 			return -1, true
-		case a.t.After(b.t):
+		case at.After(bt):
 			return 1, true
 		default:
 			return 0, true
 		}
 	case a.kind == KindBytes && b.kind == KindBytes:
-		return bytes.Compare(a.b, b.b), true
+		return strings.Compare(a.s, b.s), true
 	case a.kind == KindDatalink && b.kind == KindDatalink:
 		return strings.Compare(a.s, b.s), true
 	// Mixed string/number: SQL engines typically attempt numeric coercion

@@ -79,7 +79,7 @@ func CoerceFor(t TypeInfo, v Value) (Value, error) {
 		case KindBool:
 			return v, nil
 		case KindInt:
-			return NewBool(v.i != 0), nil
+			return NewBool(v.x != 0), nil
 		case KindString:
 			switch strings.ToUpper(strings.TrimSpace(v.s)) {
 			case "TRUE", "T", "1", "YES":
@@ -109,7 +109,7 @@ func CoerceFor(t TypeInfo, v Value) (Value, error) {
 			return NewClob(v.AsString()), nil
 		}
 		if v.kind == KindBytes {
-			return NewClob(string(v.b)), nil
+			return NewClob(v.s), nil
 		}
 	case KindDatalink:
 		switch v.kind {

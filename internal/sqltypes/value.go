@@ -6,6 +6,32 @@
 // archive needs: NULL, INTEGER, DOUBLE, VARCHAR, BOOLEAN, TIMESTAMP, BLOB,
 // CLOB and DATALINK (SQL/MED, ISO/IEC 9075-9). Values are immutable by
 // convention: once stored in the engine they must not be mutated in place.
+//
+// # Layout
+//
+// Value is 32 bytes — a kind byte, a flags byte, one 64-bit scalar word
+// and a string header — so SELECT scans copy rows in a handful of MOVs
+// instead of the duffcopy loop the previous 112-byte struct (separate
+// int64, float64, string, []byte and time.Time fields) required:
+//
+//	kind  Kind   — runtime type tag
+//	flags uint8  — layout flags (flagFarTime)
+//	x     uint64 — INTEGER payload, BOOLEAN (0/1), DOUBLE as IEEE-754
+//	               bits, or TIMESTAMP as UTC unix nanoseconds
+//	s     string — VARCHAR/CLOB/DATALINK text; BLOB bytes aliased as a
+//	               string (values are immutable, so the no-copy view is
+//	               safe); far-timestamp gob payload
+//
+// Invariants:
+//
+//   - The zero Value is SQL NULL.
+//   - TIMESTAMP values are stored in UTC. Instants representable as
+//     int64 nanoseconds (years 1678–2262, plus the zero time.Time) live
+//     in x; anything outside that window sets flagFarTime and keeps the
+//     time.Time marshalled in s, so no instant is silently truncated.
+//   - BLOB payloads alias the []byte passed to NewBytes; neither the
+//     caller (after construction) nor the receiver of Bytes() may
+//     mutate them.
 package sqltypes
 
 import (
@@ -14,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unsafe"
 )
 
 // Kind enumerates the runtime type of a Value.
@@ -58,43 +85,85 @@ func (k Kind) String() string {
 	}
 }
 
+// flagFarTime marks a TIMESTAMP whose instant lies outside the int64
+// unix-nanosecond window; its payload is marshalled in s instead of x.
+const flagFarTime = 1 << 0
+
+// zeroTimeBits is the x sentinel (the bit pattern of math.MinInt64) for
+// the zero time.Time, which predates the nanosecond window but must
+// round-trip exactly (it is the "absent" timestamp throughout the
+// archive).
+const zeroTimeBits uint64 = 1 << 63
+
+// The int64-nanosecond window NewTime can encode inline.
+var (
+	minNanoTime = time.Unix(0, math.MinInt64).Add(time.Nanosecond).UTC()
+	maxNanoTime = time.Unix(0, math.MaxInt64).UTC()
+)
+
+// InNanoRange reports whether t lies in the window representable as
+// int64 unix nanoseconds — the instants Value stores inline and
+// UnixNano is defined for. Callers persisting timestamps (the sqldb
+// codec) must use a wider encoding outside it.
+func InNanoRange(t time.Time) bool {
+	return !t.Before(minNanoTime) && !t.After(maxNanoTime)
+}
+
 // Value is a single SQL value. The zero Value is SQL NULL.
+// See the package comment for the layout and its invariants.
 type Value struct {
-	kind Kind
-	i    int64     // KindInt, KindBool (0/1)
-	f    float64   // KindDouble
-	s    string    // KindString, KindClob, KindDatalink (URL form)
-	b    []byte    // KindBytes
-	t    time.Time // KindTime
+	kind  Kind
+	flags uint8
+	x     uint64
+	s     string
 }
 
 // Null is the SQL NULL value.
 var Null = Value{}
 
 // NewInt returns an INTEGER value.
-func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+func NewInt(v int64) Value { return Value{kind: KindInt, x: uint64(v)} }
 
 // NewDouble returns a DOUBLE value.
-func NewDouble(v float64) Value { return Value{kind: KindDouble, f: v} }
+func NewDouble(v float64) Value { return Value{kind: KindDouble, x: math.Float64bits(v)} }
 
 // NewString returns a VARCHAR value.
 func NewString(v string) Value { return Value{kind: KindString, s: v} }
 
 // NewBool returns a BOOLEAN value.
 func NewBool(v bool) Value {
-	var i int64
+	var x uint64
 	if v {
-		i = 1
+		x = 1
 	}
-	return Value{kind: KindBool, i: i}
+	return Value{kind: KindBool, x: x}
 }
 
 // NewTime returns a TIMESTAMP value (stored in UTC).
-func NewTime(v time.Time) Value { return Value{kind: KindTime, t: v.UTC()} }
+func NewTime(v time.Time) Value {
+	t := v.UTC()
+	if t.IsZero() {
+		return Value{kind: KindTime, x: zeroTimeBits}
+	}
+	if t.Before(minNanoTime) || t.After(maxNanoTime) {
+		// Outside the inline window (before 1678 or after 2262): keep
+		// the full instant marshalled rather than truncating it.
+		b, err := t.MarshalBinary()
+		if err != nil {
+			// MarshalBinary only fails on malformed zone offsets, which
+			// UTC() has already normalised away; keep NULL-safe anyway.
+			return Value{kind: KindTime, x: zeroTimeBits}
+		}
+		return Value{kind: KindTime, flags: flagFarTime, s: string(b)}
+	}
+	return Value{kind: KindTime, x: uint64(t.UnixNano())}
+}
 
 // NewBytes returns a BLOB value. The slice is used directly; callers must
 // not mutate it afterwards.
-func NewBytes(v []byte) Value { return Value{kind: KindBytes, b: v} }
+func NewBytes(v []byte) Value {
+	return Value{kind: KindBytes, s: unsafe.String(unsafe.SliceData(v), len(v))}
+}
 
 // NewClob returns a CLOB value.
 func NewClob(v string) Value { return Value{kind: KindClob, s: v} }
@@ -110,32 +179,60 @@ func (v Value) Kind() Kind { return v.kind }
 func (v Value) IsNull() bool { return v.kind == KindNull }
 
 // Int returns the INTEGER payload; valid only when Kind()==KindInt or KindBool.
-func (v Value) Int() int64 { return v.i }
+func (v Value) Int() int64 { return int64(v.x) }
 
 // Double returns the DOUBLE payload.
-func (v Value) Double() float64 { return v.f }
+func (v Value) Double() float64 { return math.Float64frombits(v.x) }
 
 // Str returns the string payload of VARCHAR, CLOB or DATALINK values.
 func (v Value) Str() string { return v.s }
 
 // Bool returns the BOOLEAN payload.
-func (v Value) Bool() bool { return v.i != 0 }
+func (v Value) Bool() bool { return v.x != 0 }
 
 // Time returns the TIMESTAMP payload.
-func (v Value) Time() time.Time { return v.t }
+func (v Value) Time() time.Time {
+	if v.flags&flagFarTime != 0 {
+		var t time.Time
+		if err := t.UnmarshalBinary([]byte(v.s)); err != nil {
+			return time.Time{}
+		}
+		return t
+	}
+	if v.x == zeroTimeBits {
+		return time.Time{}
+	}
+	return time.Unix(0, int64(v.x)).UTC()
+}
+
+// timeOrd returns an ordering key for TIMESTAMP values: far times order
+// by their reconstructed instant, inline times by their nanosecond word.
+// Comparing two inline timestamps never allocates.
+func (v Value) timeOrd() (nanos int64, far bool) {
+	if v.flags&flagFarTime != 0 {
+		return 0, true
+	}
+	return int64(v.x), false
+}
 
 // Bytes returns the BLOB payload. Callers must not mutate the result.
-func (v Value) Bytes() []byte { return v.b }
+func (v Value) Bytes() []byte {
+	if len(v.s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(v.s), len(v.s))
+}
 
 // AsInt coerces the value to int64 where a lossless or conventional SQL
 // conversion exists.
 func (v Value) AsInt() (int64, bool) {
 	switch v.kind {
 	case KindInt, KindBool:
-		return v.i, true
+		return int64(v.x), true
 	case KindDouble:
-		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
-			return int64(v.f), true
+		f := v.Double()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) {
+			return int64(f), true
 		}
 		return 0, false
 	case KindString:
@@ -153,9 +250,9 @@ func (v Value) AsInt() (int64, bool) {
 func (v Value) AsDouble() (float64, bool) {
 	switch v.kind {
 	case KindInt, KindBool:
-		return float64(v.i), true
+		return float64(int64(v.x)), true
 	case KindDouble:
-		return v.f, true
+		return v.Double(), true
 	case KindString:
 		f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
 		if err != nil {
@@ -173,20 +270,18 @@ func (v Value) AsString() string {
 	case KindNull:
 		return ""
 	case KindInt:
-		return strconv.FormatInt(v.i, 10)
+		return strconv.FormatInt(int64(v.x), 10)
 	case KindDouble:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
-	case KindString, KindClob, KindDatalink:
+		return strconv.FormatFloat(v.Double(), 'g', -1, 64)
+	case KindString, KindClob, KindDatalink, KindBytes:
 		return v.s
 	case KindBool:
-		if v.i != 0 {
+		if v.x != 0 {
 			return "TRUE"
 		}
 		return "FALSE"
 	case KindTime:
-		return v.t.Format("2006-01-02 15:04:05")
-	case KindBytes:
-		return string(v.b)
+		return v.Time().Format("2006-01-02 15:04:05")
 	default:
 		return ""
 	}
@@ -208,10 +303,8 @@ func (v Value) IsTextual() bool {
 // DATALINK hyperlinks, as in the paper's result-table figure.
 func (v Value) Size() int {
 	switch v.kind {
-	case KindString, KindClob, KindDatalink:
+	case KindString, KindClob, KindDatalink, KindBytes:
 		return len(v.s)
-	case KindBytes:
-		return len(v.b)
 	case KindNull:
 		return 0
 	default:
@@ -230,7 +323,7 @@ func (v Value) String() string {
 	case KindClob:
 		return fmt.Sprintf("CLOB(%d)", len(v.s))
 	case KindBytes:
-		return fmt.Sprintf("BLOB(%d)", len(v.b))
+		return fmt.Sprintf("BLOB(%d)", len(v.s))
 	case KindDatalink:
 		return fmt.Sprintf("DLVALUE('%s')", v.s)
 	default:

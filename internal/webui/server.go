@@ -49,6 +49,7 @@ func NewServer(a *core.Archive) *Server {
 	s.mux.HandleFunc("/uploadform", s.withUser(s.handleUploadForm))
 	s.mux.HandleFunc("/upload", s.withUser(s.handleUpload))
 	s.mux.HandleFunc("/xuis", s.withUser(s.handleXUIS))
+	s.mux.HandleFunc("/status", s.withUser(s.handleStatus))
 	return s
 }
 
@@ -500,6 +501,19 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, u core.Use
 		return
 	}
 	s.renderOpResult(w, res, u)
+}
+
+// handleStatus surfaces the file-server tier's replication health: per
+// registered host, the replica-set members, the members whose breaker
+// is open (Down) and the paths awaiting re-replication
+// (UnderReplicated) — the PR-3 cluster state, now visible to operators.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, u core.User) {
+	_ = statusTmpl.Execute(w, struct {
+		Title string
+		User  core.User
+		Error string
+		Hosts []core.HostStatus
+	}{Title: "File-server status", User: u, Hosts: s.archive.HostStatuses()})
 }
 
 // handleXUIS serves the active specification as XML — the document that

@@ -1,0 +1,65 @@
+package webui
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeCluster wraps a plain FileHost with the replica-set health
+// surface core.HostStatuses looks for.
+type fakeCluster struct {
+	core.FileHost
+	host  string
+	down  []string
+	under []string
+}
+
+func (f fakeCluster) Host() string              { return f.host }
+func (f fakeCluster) Members() []string         { return []string{"r0.sim:80", "r1.sim:80", "r2.sim:80"} }
+func (f fakeCluster) Down() []string            { return f.down }
+func (f fakeCluster) UnderReplicated() []string { return f.under }
+
+// TestStatusPage: /status surfaces the cluster's Down() and
+// UnderReplicated() state per registered host (ROADMAP item from the
+// replicated-tier PR) and is login-gated like every other page.
+func TestStatusPage(t *testing.T) {
+	ts := newSite(t)
+
+	// Unauthenticated requests bounce to login.
+	code, _ := ts.get(t, "/status")
+	if code != 200 { // redirect to "/" renders the login page
+		t.Fatalf("status (anon) code %d", code)
+	}
+
+	ts.login(t, "guest", "guest")
+	code, body := ts.get(t, "/status")
+	if code != 200 {
+		t.Fatalf("status code %d", code)
+	}
+	// The plain single-manager host shows up without replica info.
+	if !strings.Contains(body, "fs1.sim:80") || !strings.Contains(body, "single manager") {
+		t.Fatalf("single-manager host missing from status page:\n%s", body)
+	}
+
+	// Attach a degraded replicated host and check its health renders.
+	base, _ := ts.archive.Host("fs1.sim:80")
+	ts.archive.AttachFileServer(fakeCluster{
+		FileHost: base,
+		host:     "cluster.sim:80",
+		down:     []string{"r1.sim:80"},
+		under:    []string{"/vol0/run1/ts4.tsf"},
+	})
+	_, body = ts.get(t, "/status")
+	for _, want := range []string{
+		"cluster.sim:80",
+		"r0.sim:80, r1.sim:80, r2.sim:80", // members
+		"r1.sim:80",                       // down
+		"/vol0/run1/ts4.tsf",              // under-replicated path
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("status page missing %q:\n%s", want, body)
+		}
+	}
+}

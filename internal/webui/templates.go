@@ -162,6 +162,30 @@ var opResultTmpl = mustDefine("opresult", `
 <p><a href="/">Home</a></p>
 `)
 
+var statusTmpl = mustDefine("status", `
+<p class="meta">Replication health of the registered file-server hosts
+(the DATALINK tier behind the archive's download links).</p>
+{{if not .Hosts}}<p>No file servers registered.</p>{{end}}
+{{range .Hosts}}
+<h2>{{.Host}}</h2>
+{{if .Replicated}}
+<table class="results">
+<tr><th>Members</th><td>{{range $i, $m := .Members}}{{if $i}}, {{end}}{{$m}}{{end}}</td></tr>
+<tr><th>Down</th><td>
+ {{if .Down}}<span class="err">{{range $i, $m := .Down}}{{if $i}}, {{end}}{{$m}}{{end}}</span>
+ {{else}}none{{end}}</td></tr>
+<tr><th>Under-replicated paths</th><td>
+ {{if .UnderReplicated}}<span class="err">{{len .UnderReplicated}}</span>:
+  {{range $i, $p := .UnderReplicated}}{{if $i}}, {{end}}<code>{{$p}}</code>{{end}}
+ {{else}}none{{end}}</td></tr>
+</table>
+{{else}}
+<p class="meta">single manager (no replica set)</p>
+{{end}}
+{{end}}
+<p><a href="/">Home</a></p>
+`)
+
 var uploadFormTmpl = mustDefine("uploadform", `
 <p>Upload post-processing code for secure server-side execution against
 <b>{{.File}}</b>. The code must accept the dataset filename in the

@@ -2,35 +2,54 @@
 # Run the benchmark suite and record the results as BENCH_<date>.json in
 # the repo root, so the perf trajectory accumulates across PRs.
 #
-# Usage: scripts/bench.sh [go-test-bench-regexp]
+# Usage: scripts/bench.sh [-pkg <go-package>] [go-test-bench-regexp]
 #   BENCHTIME=2s scripts/bench.sh 'BenchmarkAblation.*'
+#   scripts/bench.sh -pkg . 'BenchmarkAblation_(ValueLayout|CompositeIndex|JoinPlan)'
+#
+# -pkg restricts the run to one Go package (default "."): the query-
+# engine ablations live in the root package and run in seconds, while
+# the full default pattern also exercises the slower cluster benches —
+# the filter lets CI (and a laptop) track the query engine without
+# paying for the replication tier. OUT=<file> overrides the output
+# filename (useful when recording more than one slice per day).
 #
 # The default pattern runs every benchmark, including the ablations
 # that track the engine's perf levers across PRs:
-#   BenchmarkAblation_PlanCache    — prepared-statement plan cache
-#   BenchmarkAblation_OrderedIndex — ordered index vs full scan on a
-#                                    selective 100k-row range predicate
-#   BenchmarkAblation_GroupCommit  — WAL group commit vs serial fsyncs
-#                                    (parallel vs serial committers)
-#   BenchmarkAblation_Failover     — token-checked read latency through
-#                                    the replicated tier, 0 vs 1
-#                                    replicas down
-#   BenchmarkReplicatedPut         — archival write throughput at RF=1
-#                                    vs RF=2 fan-out
+#   BenchmarkAblation_PlanCache      — prepared-statement plan cache
+#   BenchmarkAblation_OrderedIndex   — ordered index vs full scan on a
+#                                      selective 100k-row range predicate
+#   BenchmarkAblation_ValueLayout    — compact 32-byte Value: full-scan
+#                                      aggregate + projection B/op
+#   BenchmarkAblation_CompositeIndex — composite (2-col) index + index-
+#                                      only COUNT vs full scan, 100k rows
+#   BenchmarkAblation_JoinPlan       — index nested-loop vs cross-product
+#                                      join on 1k×1k
+#   BenchmarkAblation_GroupCommit    — WAL group commit vs serial fsyncs
+#                                      (parallel vs serial committers)
+#   BenchmarkAblation_Failover       — token-checked read latency through
+#                                      the replicated tier, 0 vs 1
+#                                      replicas down
+#   BenchmarkReplicatedPut           — archival write throughput at RF=1
+#                                      vs RF=2 fan-out
 set -eu
 
 cd "$(dirname "$0")/.."
 
+PKG="."
+if [ "${1:-}" = "-pkg" ]; then
+    PKG="$2"
+    shift 2
+fi
 PATTERN="${1:-.}"
 BENCHTIME="${BENCHTIME:-0.5s}"
 DATE="$(date -u +%Y%m%d)"
-OUT="BENCH_${DATE}.json"
+OUT="${OUT:-BENCH_${DATE}.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 # No pipeline here: under plain sh `go test | tee` would exit with
 # tee's status and a failed bench run would still record a green JSON.
-go test -run 'xxx' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . > "$RAW" 2>&1 || {
+go test -run 'xxx' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem "$PKG" > "$RAW" 2>&1 || {
     cat "$RAW"
     echo "bench run failed" >&2
     exit 1
