@@ -14,7 +14,15 @@ import (
 //	COUNT(*) / COUNT(col)  — sum the row-ID list lengths under the
 //	                         path's exact key range: zero heap reads.
 //	MIN(col) / MAX(col)    — walk the key range in (reverse) order and
-//	                         materialise only the boundary key's rows.
+//	                         decode the answer straight off the boundary
+//	                         KEY (key.go decode support): zero heap
+//	                         reads for every kind whose encoding
+//	                         round-trips. Components that do not
+//	                         round-trip — integers in the ±2^53 float
+//	                         collision window, a DOUBLE zero key (±0.0
+//	                         share it) — fall back to materialising the
+//	                         boundary key's rows, as every key did
+//	                         before decode support existed.
 //
 // Because encoded keys can over-approximate value equality (the float64
 // image of integers beyond ±2^53), the executor re-verifies at each
@@ -130,6 +138,302 @@ func pathServesMinMax(path *accessPath, colPos int) bool {
 		}
 	}
 	return false
+}
+
+// ---------- per-group index-only folding ----------
+//
+// The grouped counterpart of the single-row index-only aggregates: when
+// a residual-free path's index clusters the GROUP BY columns AND every
+// aggregate argument is itself an index column, whole groups fold from
+// the index KEYS — each key names its full column tuple, so COUNT adds
+// the row-ID list length, SUM folds the decoded value once per row the
+// key stands for (see foldValue), MIN/MAX compare the decoded component
+// once per key — and no heap row is ever fetched.
+// Keys whose needed components do not round-trip (the far-integer
+// collision window, a DOUBLE zero) fold that one key's rows through the
+// ordinary row fetch, keeping results exact. Scalar (non-aggregate)
+// expression parts are restricted at plan time to index columns and
+// evaluate against a synthetic row decoded from the group's first key.
+
+// idxFoldSlot is the per-aggregate-call decode recipe, parallel to
+// selectPlan.aggCalls.
+type idxFoldSlot struct {
+	star      bool
+	tupleSlot int // index tuple position of the argument column; -1 for *
+	kind      sqltypes.Kind
+	fn        string
+}
+
+// groupIdxFoldPlan is the plan for answering a grouped aggregate from
+// index keys alone (see planGroupIndexFold).
+type groupIdxFoldPlan struct {
+	prefixComponents int // leading key components that identify a group
+	slots            []idxFoldSlot
+	synth            []int // tuple slots decoded into the synthetic first row
+
+	// Single-pass decode recipe: the executor walks each key's
+	// components once, decoding tuple slot j when needed[j]. walkLen
+	// covers both the group prefix and the deepest needed slot.
+	needed  []bool
+	kinds   []sqltypes.Kind // parallel to needed
+	walkLen int
+}
+
+// planGroupIndexFold decides whether the grouped fold can run off the
+// index keys and records the decode recipe. Requires the streaming
+// qualification (plan.streamGroups: the path clusters the group
+// columns) plus a residual-free path, aggregate arguments that are bare
+// index-column references, and scalar parts confined to index columns.
+// Runs once per plan build.
+func planGroupIndexFold(plan *selectPlan) {
+	s := plan.stmt
+	path := plan.path
+	if !plan.streamGroups || plan.groupCols == nil || path == nil || !path.residualFree {
+		return
+	}
+	td := plan.tables[0].data
+	slotOf := func(pos int) int {
+		for j, p := range path.colPos {
+			if p == pos {
+				return j
+			}
+		}
+		return -1
+	}
+	slots := make([]idxFoldSlot, len(plan.aggCalls))
+	for i := range plan.aggCalls {
+		c := &plan.aggCalls[i]
+		if c.star {
+			slots[i] = idxFoldSlot{star: true, tupleSlot: -1}
+			continue
+		}
+		cr, ok := c.arg.(*ColRef) // nil arg (arity error) fails here too
+		if !ok || cr.Index < 0 {
+			return
+		}
+		j := slotOf(cr.Index)
+		if j < 0 {
+			return
+		}
+		slots[i] = idxFoldSlot{tupleSlot: j, kind: td.schema.Cols[cr.Index].Type.Kind, fn: c.fn}
+	}
+	// Scalar parts evaluate against a synthetic row holding only the
+	// decoded index columns, so they may reference nothing else.
+	// Aggregate subtrees are pruned (their arguments were vetted above).
+	synthSet := make(map[int]bool)
+	ok := true
+	checkScalars := func(e Expr) {
+		walkExpr(e, func(x Expr) bool {
+			if !ok {
+				return false
+			}
+			if fc, isFunc := x.(*FuncCall); isFunc && isAggregate(fc.Name) {
+				return false
+			}
+			if cr, isCol := x.(*ColRef); isCol {
+				j := -1
+				if cr.Index >= 0 {
+					j = slotOf(cr.Index)
+				}
+				if j < 0 {
+					ok = false
+					return false
+				}
+				synthSet[j] = true
+			}
+			return true
+		})
+	}
+	for _, e := range plan.proj {
+		checkScalars(e)
+	}
+	if s.Having != nil {
+		checkScalars(s.Having)
+	}
+	for i, o := range s.OrderBy {
+		if plan.orderBound[i] {
+			checkScalars(o.Expr)
+		}
+	}
+	if !ok {
+		return
+	}
+	// Group identity: the equality prefix (constant) plus the leading
+	// run of distinct non-equality group columns — the same count the
+	// streaming qualification proved sits right after it
+	// (pathNonEqGroupCols, shared with pathClustersGroups).
+	gp := &groupIdxFoldPlan{
+		prefixComponents: path.nEq + pathNonEqGroupCols(path, plan.groupCols),
+		slots:            slots,
+	}
+	for j := range path.cols {
+		if synthSet[j] {
+			gp.synth = append(gp.synth, j)
+		}
+	}
+	// Per-key decode walk: every aggregate-argument slot, plus enough
+	// components to delimit the group prefix.
+	gp.needed = make([]bool, len(path.cols))
+	gp.kinds = make([]sqltypes.Kind, len(path.cols))
+	gp.walkLen = gp.prefixComponents
+	for i := range slots {
+		sl := &slots[i]
+		if sl.star {
+			continue
+		}
+		gp.needed[sl.tupleSlot] = true
+		gp.kinds[sl.tupleSlot] = sl.kind
+		if sl.tupleSlot+1 > gp.walkLen {
+			gp.walkLen = sl.tupleSlot + 1
+		}
+	}
+	plan.groupIdxFold = gp
+}
+
+// runGroupIndexFold folds the grouped aggregate from index keys.
+// handled=false (probe misalignment or inexact keys) sends the caller
+// to the ordinary scan-and-fold executor. Evaluation errors defer into
+// the accumulators and surface at finalize, exactly like the row-wise
+// fold (same messages, same HAVING-aware timing).
+func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*groupState, handled bool) {
+	gp := plan.groupIdxFold
+	path := plan.path
+	td := plan.tables[0].data
+	idx := td.indexes[path.idx]
+	if idx == nil {
+		return nil, false
+	}
+	er, ok := exactKeyRange(td, path, ctx)
+	if !ok {
+		return nil, false
+	}
+	if er.empty {
+		return nil, true
+	}
+
+	reads := int64(0)
+	defer func() { td.heapReads.Add(reads) }()
+
+	var (
+		cur       *groupState
+		curPrefix string
+		decoded   = make([]sqltypes.Value, gp.walkLen) // per-slot scratch, reused per key
+	)
+	// foldRowsFallback folds one key's rows through the heap fetch (the
+	// decode refused); nothing of this key has been folded yet.
+	foldRowsFallback := func(ids []rowID) bool {
+		for _, id := range ids {
+			vals, live := td.fetch(id)
+			if !live {
+				continue
+			}
+			reads++
+			plan.foldRow(cur, vals, ctx)
+		}
+		return true
+	}
+	// startGroup opens the group identified by prefix, building the
+	// synthetic first row for the scalar parts from the group's first
+	// key; a non-round-tripping component falls back to one real row.
+	startGroup := func(k, prefix string, ids []rowID) {
+		cur = plan.newGroupState()
+		groups = append(groups, cur)
+		curPrefix = prefix
+		row := make([]sqltypes.Value, len(td.schema.Cols))
+		okSynth := true
+		for _, j := range gp.synth {
+			v, okd := decodeKeyColumn(k, j, td.schema.Cols[path.colPos[j]].Type.Kind)
+			if !okd {
+				okSynth = false
+				break
+			}
+			row[path.colPos[j]] = v
+		}
+		if okSynth {
+			cur.firstRow = row
+		} else {
+			for _, id := range ids {
+				if vals, live := td.fetch(id); live {
+					reads++
+					cur.firstRow = vals
+					break
+				}
+			}
+		}
+	}
+	visit := func(k string, ids []rowID) bool {
+		// One forward walk per key: delimit the group prefix and decode
+		// the aggregate-argument components. Any refusal (malformed key,
+		// non-round-tripping component) folds this key's rows through
+		// the heap fetch instead — nothing has been folded yet.
+		rest := k
+		prefix := k
+		decodeOK := true
+		for j := 0; j < gp.walkLen; j++ {
+			if decodeOK && gp.needed[j] {
+				v, okd := decodeKeyValue(rest, gp.kinds[j])
+				if okd {
+					decoded[j] = v
+				} else {
+					decodeOK = false
+				}
+			}
+			var okc bool
+			rest, okc = skipKeyComponent(rest)
+			if !okc {
+				// Malformed key (cannot happen for keys the engine
+				// built); the row fetch below still folds it exactly.
+				decodeOK = false
+				break
+			}
+			if j == gp.prefixComponents-1 {
+				prefix = k[:len(k)-len(rest)]
+				if !decodeOK {
+					break // prefix delimited; nothing left to decode
+				}
+			}
+		}
+		if cur == nil || prefix != curPrefix {
+			startGroup(k, prefix, ids)
+		}
+		if !decodeOK {
+			return foldRowsFallback(ids)
+		}
+		n := int64(len(ids))
+		for i := range gp.slots {
+			sl := &gp.slots[i]
+			acc := &cur.accs[i]
+			if sl.star {
+				acc.count += n
+				continue
+			}
+			v := decoded[sl.tupleSlot]
+			if v.IsNull() {
+				continue
+			}
+			// One key stands for n identical rows; foldValue (shared
+			// with the row fold) keeps the per-value semantics — and
+			// double SUM rounding — bit-identical to folding each row.
+			// Errors defer into the accumulator and surface at finalize,
+			// matching the legacy executor's HAVING-aware timing.
+			foldValue(acc, sl.fn, v, n)
+		}
+		return true
+	}
+
+	if er.useLookup {
+		ids := idx.lookupKey(er.lookup)
+		if len(ids) > 0 {
+			visit(er.lookup, ids)
+		}
+	} else {
+		rix, okr := idx.(rangeIndex)
+		if !okr {
+			return nil, false
+		}
+		rix.scanRange(er.lo, er.hi, false, visit)
+	}
+	return groups, true
 }
 
 // exactRange is a resolved, exact key window over one index.
@@ -309,15 +613,27 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 }
 
 // boundaryAgg finds MIN (desc=false) or MAX (desc=true) of colPos by
-// walking the exact key range in order and materialising only the rows
-// of the first key that holds a non-NULL value. All rows of that key
-// are compared — distinct values can share a key in the far-integer
-// collision window, so the boundary key is a tiny candidate set, not
-// a single row.
+// walking the exact key range in order. Whenever the column's component
+// of the boundary key round-trips (decodeKeyColumn), the answer is read
+// straight off the key — zero heap rows. Otherwise the boundary key's
+// rows are materialised and compared: distinct values can share a key
+// in the far-integer collision window, so that key is a tiny candidate
+// set, not a single row, and the fetch resolves the exact extremum.
 func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, desc bool) sqltypes.Value {
 	if idx == nil || er.empty {
 		return sqltypes.Null
 	}
+	// Locate colPos inside the index tuple so the key component can be
+	// decoded; colKind materialises the decoded value in the column's
+	// declared kind (stored values were coerced to it).
+	slot := -1
+	for i, c := range idx.columns() {
+		if td.schema.ColIndex(c) == colPos {
+			slot = i
+			break
+		}
+	}
+	colKind := td.schema.Cols[colPos].Type.Kind
 	best := sqltypes.Null
 	reads := int64(0)
 	defer func() { td.heapReads.Add(reads) }()
@@ -342,16 +658,30 @@ func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, d
 		}
 		return best.IsNull() // stop after the first key with a value
 	}
+	// visitKey serves one key: decoded when possible, fetched when not.
+	visitKey := func(k string, ids []rowID) bool {
+		if slot >= 0 {
+			if v, ok := decodeKeyColumn(k, slot, colKind); ok {
+				if v.IsNull() {
+					return true // keep scanning past the NULL key
+				}
+				best = v
+				return false
+			}
+		}
+		return visit(ids)
+	}
 	if er.useLookup {
-		visit(idx.lookupKey(er.lookup))
+		ids := idx.lookupKey(er.lookup)
+		if len(ids) > 0 {
+			visitKey(er.lookup, ids)
+		}
 		return best
 	}
 	rix, ok := idx.(rangeIndex)
 	if !ok {
 		return sqltypes.Null
 	}
-	rix.scanRange(er.lo, er.hi, desc, func(_ string, ids []rowID) bool {
-		return visit(ids)
-	})
+	rix.scanRange(er.lo, er.hi, desc, visitKey)
 	return best
 }

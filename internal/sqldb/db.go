@@ -161,6 +161,11 @@ type DB struct {
 	replaying bool
 	closed    bool
 
+	// legacyAggregation routes aggregated SELECTs through the
+	// materialise-then-group executor instead of the fold pipeline —
+	// the ablation baseline and property oracle. See SetLegacyAggregation.
+	legacyAggregation bool
+
 	// fullScanOnly disables index access paths at execution time (the
 	// planner still runs; its choice is ignored). Ablation and
 	// property-testing knob — see SetFullScanOnly.
@@ -289,6 +294,19 @@ func (db *DB) SetFullScanOnly(on bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.fullScanOnly = on
+}
+
+// SetLegacyAggregation routes (on=true) aggregated SELECTs through the
+// legacy executor — materialise every source row, partition into groups
+// via a map of row slices, then walk each group per aggregate call —
+// instead of the fold-based pipeline (agg.go) that streams rows into
+// per-group accumulators. Results are identical (the aggregation
+// property tests compare the two); this is the ablation baseline for
+// BenchmarkAblation_GroupPushdown and the oracle those tests use.
+func (db *DB) SetLegacyAggregation(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.legacyAggregation = on
 }
 
 // HeapRowReads reports how many rows have been materialised out of the

@@ -153,6 +153,144 @@ func TestJoinINLPropertyVsNaive(t *testing.T) {
 	}
 }
 
+// TestJoinHashPlan: with no usable index, equi-join conjuncts plan the
+// hash-join fallback (and its two-table reverse candidate) instead of
+// the cross product; non-equi joins still get nothing.
+func TestJoinHashPlan(t *testing.T) {
+	db := buildJoinDB(t, 50, 200, false, false)
+	defer db.Close()
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`SELECT PID, CID FROM PAR JOIN CHI ON CHI.K = PAR.K`,
+			"full-scan hash-join(CHI.K) hash-join-rev(PAR.K)"},
+		{`SELECT PID, CID FROM PAR, CHI WHERE PAR.K = CHI.K`,
+			"full-scan hash-join(CHI.K) hash-join-rev(PAR.K)"},
+		{`SELECT PID, CID FROM PAR LEFT JOIN CHI ON CHI.K = PAR.K`,
+			"full-scan hash-join(CHI.K)"},
+		// Every equi-conjunct joins the hash key, in both directions.
+		{`SELECT PID, CID FROM PAR JOIN CHI ON CHI.K = PAR.K AND CHI.V = PAR.PID`,
+			"full-scan hash-join(CHI.K+V) hash-join-rev(PAR.K+PID)"},
+		// Inequality joins have no hash fallback.
+		{`SELECT PID, CID FROM PAR JOIN CHI ON CHI.K > PAR.K`,
+			"full-scan"},
+	}
+	for _, tc := range cases {
+		st, err := db.Prepare(tc.sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.AccessPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: path %q, want %q", tc.sql, got, tc.want)
+		}
+	}
+	// An index on the join key displaces the hash fallback.
+	if _, err := db.Exec(`CREATE INDEX CHI_K ON CHI (K)`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Prepare(`SELECT PID, CID FROM PAR JOIN CHI ON CHI.K = PAR.K`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := st.AccessPath(); p != "full-scan inl(CHI.K) hash-join-rev(PAR.K)" {
+		t.Fatalf("post-index path = %q", p)
+	}
+}
+
+// TestJoinHashPropertyVsNaive: hash-join results must equal the
+// exhaustive cross-product path for inner, comma and LEFT joins,
+// including NULL join keys (never matching), WHERE-derived keys and a
+// three-table chain of hash probes.
+func TestJoinHashPropertyVsNaive(t *testing.T) {
+	db := buildJoinDB(t, 40, 150, false, false)
+	defer db.Close()
+	queries := []struct {
+		sql  string
+		args []sqltypes.Value
+	}{
+		{`SELECT PID, CID, V FROM PAR JOIN CHI ON CHI.K = PAR.K`, nil},
+		{`SELECT PID, CID FROM PAR, CHI WHERE PAR.K = CHI.K`, nil},
+		{`SELECT PID, CID FROM PAR LEFT JOIN CHI ON CHI.K = PAR.K`, nil},
+		{`SELECT PID, CID FROM PAR LEFT JOIN CHI ON CHI.K = PAR.K AND CHI.V > ?`,
+			[]sqltypes.Value{sqltypes.NewInt(50)}},
+		{`SELECT PID, CID FROM PAR JOIN CHI ON CHI.K = PAR.K WHERE CHI.V BETWEEN ? AND ?`,
+			[]sqltypes.Value{sqltypes.NewInt(10), sqltypes.NewInt(60)}},
+		{`SELECT PID, CID FROM PAR, CHI WHERE PAR.K = CHI.K AND PAR.NAME = ?`,
+			[]sqltypes.Value{sqltypes.NewString("p3")}},
+		{`SELECT COUNT(*) FROM PAR JOIN CHI ON CHI.K = PAR.K`, nil},
+		{`SELECT PID, CID FROM PAR JOIN CHI ON CHI.K = PAR.K ORDER BY PID, CID`, nil},
+		{`SELECT PID, CID FROM PAR, CHI WHERE CHI.K = ? AND PAR.K = CHI.K`,
+			[]sqltypes.Value{sqltypes.NewInt(7)}},
+		// Composite hash key.
+		{`SELECT PID, CID FROM PAR JOIN CHI ON CHI.K = PAR.K AND CHI.V = PAR.PID`, nil},
+		// Three tables: two chained hash probes.
+		{`SELECT COUNT(*) FROM PAR P, CHI A, CHI B WHERE A.K = P.K AND B.K = A.K AND B.V < ?`,
+			[]sqltypes.Value{sqltypes.NewInt(40)}},
+		// Grouped aggregate over a hash join.
+		{`SELECT NAME, COUNT(*) FROM PAR JOIN CHI ON CHI.K = PAR.K GROUP BY NAME`, nil},
+	}
+	for _, q := range queries {
+		hashed, herr := db.Query(q.sql, q.args...)
+		db.SetFullScanOnly(true)
+		naive, nerr := db.Query(q.sql, q.args...)
+		db.SetFullScanOnly(false)
+		if (herr == nil) != (nerr == nil) {
+			t.Fatalf("%s: error mismatch %v vs %v", q.sql, herr, nerr)
+		}
+		if herr != nil {
+			continue
+		}
+		ordered := strings.Contains(q.sql, "ORDER BY")
+		if rowsKey(hashed, ordered) != rowsKey(naive, ordered) {
+			t.Fatalf("%s: hash-join %d rows != naive %d rows",
+				q.sql, len(hashed.Data), len(naive.Data))
+		}
+	}
+}
+
+// TestJoinHashBuildsOnSmallerSide: a fully-unindexed two-table inner
+// join hashes the smaller table and lets the larger one drive the outer
+// loop, so neither side is scanned more than once — heap reads stay
+// near |PAR| + |CHI| instead of |PAR|·|CHI|.
+func TestJoinHashBuildsOnSmallerSide(t *testing.T) {
+	db := buildJoinDB(t, 12, 900, false, false)
+	defer db.Close()
+	const q = `SELECT PID, CID FROM PAR JOIN CHI ON CHI.K = PAR.K`
+	st, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeP, beforeC := db.HeapRowReads("PAR"), db.HeapRowReads("CHI")
+	hashed, err := st.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parReads := db.HeapRowReads("PAR") - beforeP
+	chiReads := db.HeapRowReads("CHI") - beforeC
+	// PAR (12 live) is hashed once; CHI (900) drives the outer loop
+	// once. The cross product would read 12×900 = 10800 PAR rows.
+	if parReads > 50 {
+		t.Fatalf("hash join read %d PAR heap rows (cross product reads 10800)", parReads)
+	}
+	if chiReads > 1000 {
+		t.Fatalf("hash join read %d CHI heap rows", chiReads)
+	}
+	db.SetFullScanOnly(true)
+	naive, err := st.Query()
+	db.SetFullScanOnly(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsKey(hashed, false) != rowsKey(naive, false) {
+		t.Fatalf("hash-join %d rows != naive %d rows", len(hashed.Data), len(naive.Data))
+	}
+}
+
 // TestJoinSwapPicksSmallerOuter: with both sides indexed and the first
 // table much larger, the executor probes the first table so the smaller
 // second table drives the outer loop; results stay identical.

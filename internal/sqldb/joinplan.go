@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"sort"
 	"strings"
 
 	"repro/internal/sqltypes"
@@ -37,6 +38,13 @@ import (
 // probe (table 0 as the probed side). The executor picks the probed
 // side at run time: the indexed one, or — when both sides are indexed —
 // the larger one, so the smaller table drives the outer loop.
+//
+// When equi-join conjuncts exist but NO index covers them, the planner
+// records a hash-join fallback instead (hashJoinPlan below): the
+// executor hashes the probed table once on the canonical join-key
+// encoding and probes the map per outer row, replacing the cross
+// product. The same run-time side choice applies — for a two-table
+// inner join the hash table is built on the smaller side.
 type joinProbe struct {
 	idx    string   // index name on the probed (inner) table
 	cols   []string // index columns
@@ -45,15 +53,36 @@ type joinProbe struct {
 	eqs    []Expr   // outer-side expressions, len nEq
 }
 
+// hashJoinPlan is the hash-join fallback for a probed table whose
+// equi-join conjuncts no index serves: at execution the table's rows
+// are hashed once on the canonical encoding of the join columns
+// (buildJoinHash) and each outer row probes the map (probeJoinHash) —
+// O(|inner| + |outer|·probe) instead of the cross product's
+// O(|inner|·|outer|). Candidate sets over-approximate exactly like
+// index probes do (the far-integer key-collision window), and the ON
+// condition is still evaluated on every candidate with the WHERE
+// applied after the join, so results are identical to the scanning
+// path — including LEFT JOIN NULL extension and the WHERE-derived
+// probe argument spelled out above for index probes.
+type hashJoinPlan struct {
+	cols   []string         // join columns on the probed table, sorted
+	colPos []int            // schema positions, parallel to cols
+	kinds  []sqltypes.Kind  // declared column kinds, for probe alignment
+	eqs    []Expr           // outer-side expressions, parallel to cols
+}
+
 // planJoinProbes fills plan.joins (forward probes, one per FROM item)
-// and plan.revProbe (two-table swap candidate). Runs at plan build; the
-// schema epoch invalidates it with the rest of the plan.
+// and plan.revProbe (two-table swap candidate), plus the hash-join
+// fallbacks (plan.hashJoins / plan.revHash) wherever equi-conjuncts
+// exist but no index covers them. Runs at plan build; the schema epoch
+// invalidates it with the rest of the plan.
 func planJoinProbes(plan *selectPlan) {
 	s := plan.stmt
 	if len(plan.tables) < 2 {
 		return
 	}
 	plan.joins = make([]*joinProbe, len(plan.tables))
+	plan.hashJoins = make([]*hashJoinPlan, len(plan.tables))
 	width := len(plan.env.cols)
 	for i := 1; i < len(plan.tables); i++ {
 		t := plan.tables[i]
@@ -63,6 +92,9 @@ func planJoinProbes(plan *selectPlan) {
 		collectJoinEqs(s.From[i].JoinCond, t.schema, innerLo, innerHi, outerOK, eqs)
 		collectJoinEqs(s.Where, t.schema, innerLo, innerHi, outerOK, eqs)
 		plan.joins[i] = bestJoinProbe(t.data, eqs)
+		if plan.joins[i] == nil {
+			plan.hashJoins[i] = newHashJoinPlan(t.schema, eqs)
+		}
 	}
 	// Reverse probe: two-table inner join, table 0 as the probed side.
 	if len(plan.tables) == 2 && !s.From[1].LeftJoin {
@@ -72,7 +104,96 @@ func planJoinProbes(plan *selectPlan) {
 		collectJoinEqs(s.From[1].JoinCond, t0.schema, 0, t1.start, outerOK, eqs)
 		collectJoinEqs(s.Where, t0.schema, 0, t1.start, outerOK, eqs)
 		plan.revProbe = bestJoinProbe(t0.data, eqs)
+		if plan.revProbe == nil {
+			plan.revHash = newHashJoinPlan(t0.schema, eqs)
+		}
 	}
+}
+
+// newHashJoinPlan builds the hash-join fallback over every collected
+// equi-conjunct (more columns mean a more selective key). Columns are
+// sorted so the plan — and its AccessPath rendering — is deterministic.
+func newHashJoinPlan(schema *TableSchema, eqs map[string]Expr) *hashJoinPlan {
+	if len(eqs) == 0 {
+		return nil
+	}
+	cols := make([]string, 0, len(eqs))
+	for c := range eqs {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	hp := &hashJoinPlan{cols: cols}
+	for _, c := range cols {
+		ci := schema.ColIndex(c)
+		hp.colPos = append(hp.colPos, ci)
+		hp.kinds = append(hp.kinds, schema.Cols[ci].Type.Kind)
+		hp.eqs = append(hp.eqs, eqs[c])
+	}
+	return hp
+}
+
+// String renders the hash-join key for EXPLAIN-style introspection.
+func (hp *hashJoinPlan) String() string {
+	return strings.Join(hp.cols, "+")
+}
+
+// buildJoinHash hashes the probed table's live rows by the canonical
+// encoding of the join columns. Rows with a NULL join column never
+// match any probe (the equality is UNKNOWN) and are left out. The
+// stored row slices are referenced, not copied — the join row assembly
+// copies values out under the engine lock, like every probe path.
+func buildJoinHash(td *tableData, hp *hashJoinPlan) map[string][][]sqltypes.Value {
+	m := make(map[string][][]sqltypes.Value)
+	var buf []byte
+	td.scan(func(_ rowID, vals []sqltypes.Value) bool {
+		buf = buf[:0]
+		for _, p := range hp.colPos {
+			if vals[p].IsNull() {
+				return true // skip the row
+			}
+			buf = appendKey(buf, vals[p])
+		}
+		k := string(buf)
+		m[k] = append(m[k], vals)
+		return true
+	})
+	return m
+}
+
+// hashProber probes one prebuilt join hash table, reusing its key
+// buffer across outer rows (one prober per executing join side — never
+// shared between concurrent executions).
+type hashProber struct {
+	table map[string][][]sqltypes.Value
+	hp    *hashJoinPlan
+	buf   []byte
+}
+
+func newHashProber(td *tableData, hp *hashJoinPlan) *hashProber {
+	return &hashProber{table: buildJoinHash(td, hp), hp: hp}
+}
+
+// probe returns the candidate rows for the outer row currently in
+// ctx.vals. Semantics mirror probeJoin: handled=false (evaluation or
+// alignment failure) sends the caller to the exhaustive scan for this
+// outer row; a NULL probe matches nothing.
+func (p *hashProber) probe(ctx *evalCtx) (cands [][]sqltypes.Value, handled bool) {
+	p.buf = p.buf[:0]
+	for j, e := range p.hp.eqs {
+		v, err := evalExpr(e, ctx)
+		if err != nil {
+			return nil, false
+		}
+		if v.IsNull() {
+			return nil, true // inner.col = NULL is UNKNOWN: no matches
+		}
+		pv, ok := probeValue(p.hp.kinds[j], v)
+		if !ok {
+			return nil, false
+		}
+		p.buf = appendKey(p.buf, pv)
+	}
+	return p.table[string(p.buf)], true
 }
 
 // exprRefsWithin reports whether every column reference in e falls in

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"encoding/binary"
 	"math"
+	"time"
 
 	"repro/internal/sqltypes"
 )
@@ -128,6 +129,184 @@ func appendEscaped(b []byte, s string) []byte {
 // nullKey is the canonical encoding of a single NULL, the boundary the
 // ordered index uses for IS NULL / IS NOT NULL scans.
 var nullKey = encodeKey(sqltypes.Null)
+
+// ---------- decoding ----------
+//
+// The encoding is also (partially) decodable: the index-only MIN/MAX
+// executor reads the aggregate's answer straight off the boundary KEY
+// instead of fetching the boundary rows, but only for components that
+// round-trip exactly to the stored value. The non-round-tripping cases
+// — where one key image is shared by more than one storable value —
+// make decodeKeyValue report ok=false and the caller falls back to the
+// row fetch:
+//
+//	numeric, INTEGER column — beyond ±2^53 distinct integers share a
+//	    float64 image; inside the window the integer is exact.
+//	numeric, DOUBLE column  — -0.0 and +0.0 share one key (Compare
+//	    treats them as equal), so a zero key cannot name its sign.
+//	    All NaN payloads were canonicalised to one key, but every NaN
+//	    is observably identical to the engine, so NaN round-trips.
+//
+// Text, BLOB and DATALINK escape encodings invert exactly; BOOLEAN is
+// one byte; TIMESTAMP keys carry the full (seconds, nanoseconds) pair.
+// The decoded value is materialised in the COLUMN's declared kind —
+// stored values were coerced to it on write, so the class tag alone
+// (numeric, text) would not distinguish INTEGER from DOUBLE or VARCHAR
+// from CLOB.
+
+// skipKeyComponent returns the remainder of k after one encoded value,
+// or ok=false on a truncated or unrecognised component.
+func skipKeyComponent(k string) (rest string, ok bool) {
+	if len(k) == 0 {
+		return "", false
+	}
+	switch k[0] {
+	case keyTagNull:
+		return k[1:], true
+	case keyTagNumeric:
+		if len(k) < 9 {
+			return "", false
+		}
+		return k[9:], true
+	case keyTagBool:
+		if len(k) < 2 {
+			return "", false
+		}
+		return k[2:], true
+	case keyTagTime:
+		if len(k) < 13 {
+			return "", false
+		}
+		return k[13:], true
+	case keyTagText, keyTagBytes, keyTagLink:
+		for i := 1; i < len(k); i++ {
+			if k[i] != 0x00 {
+				continue
+			}
+			if i+1 >= len(k) {
+				return "", false
+			}
+			if k[i+1] == 0x01 {
+				return k[i+2:], true
+			}
+			i++ // skip the escaped byte
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// unescapeKey inverts appendEscaped on the leading component of k.
+func unescapeKey(k string) (s string, ok bool) {
+	var b []byte
+	for i := 0; i < len(k); i++ {
+		if k[i] != 0x00 {
+			b = append(b, k[i])
+			continue
+		}
+		if i+1 >= len(k) {
+			return "", false
+		}
+		switch k[i+1] {
+		case 0x01:
+			return string(b), true
+		case 0xFF:
+			b = append(b, 0x00)
+			i++
+		default:
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// decodeKeyValue decodes the leading component of k into the domain of
+// a column of kind colKind. ok=false means the component does not
+// round-trip (see the decoding notes above) or its class does not match
+// the column's kind; the caller must fall back to fetching rows.
+func decodeKeyValue(k string, colKind sqltypes.Kind) (sqltypes.Value, bool) {
+	if len(k) == 0 {
+		return sqltypes.Null, false
+	}
+	switch k[0] {
+	case keyTagNull:
+		return sqltypes.Null, true
+	case keyTagNumeric:
+		if len(k) < 9 {
+			return sqltypes.Null, false
+		}
+		bits := binary.BigEndian.Uint64([]byte(k[1:9]))
+		if bits&(1<<63) != 0 {
+			bits &^= 1 << 63 // non-negative: clear the set sign bit
+		} else {
+			bits = ^bits // negative: unflip everything
+		}
+		f := math.Float64frombits(bits)
+		switch colKind {
+		case sqltypes.KindInt:
+			if math.IsNaN(f) || math.IsInf(f, 0) || f != math.Trunc(f) || math.Abs(f) >= 1<<53 {
+				return sqltypes.Null, false
+			}
+			return sqltypes.NewInt(int64(f)), true
+		case sqltypes.KindDouble:
+			if f == 0 {
+				return sqltypes.Null, false // cannot reconstruct the sign of ±0.0
+			}
+			return sqltypes.NewDouble(f), true
+		}
+		return sqltypes.Null, false
+	case keyTagText:
+		s, ok := unescapeKey(k[1:])
+		if !ok {
+			return sqltypes.Null, false
+		}
+		switch colKind {
+		case sqltypes.KindString:
+			return sqltypes.NewString(s), true
+		case sqltypes.KindClob:
+			return sqltypes.NewClob(s), true
+		}
+		return sqltypes.Null, false
+	case keyTagBool:
+		if len(k) < 2 || colKind != sqltypes.KindBool {
+			return sqltypes.Null, false
+		}
+		return sqltypes.NewBool(k[1] != 0), true
+	case keyTagTime:
+		if len(k) < 13 || colKind != sqltypes.KindTime {
+			return sqltypes.Null, false
+		}
+		sec := int64(binary.BigEndian.Uint64([]byte(k[1:9])) ^ (1 << 63))
+		nsec := int64(binary.BigEndian.Uint32([]byte(k[9:13])))
+		return sqltypes.NewTime(time.Unix(sec, nsec).UTC()), true
+	case keyTagBytes:
+		s, ok := unescapeKey(k[1:])
+		if !ok || colKind != sqltypes.KindBytes {
+			return sqltypes.Null, false
+		}
+		return sqltypes.NewBytes([]byte(s)), true
+	case keyTagLink:
+		s, ok := unescapeKey(k[1:])
+		if !ok || colKind != sqltypes.KindDatalink {
+			return sqltypes.Null, false
+		}
+		return sqltypes.NewDatalink(s), true
+	}
+	return sqltypes.Null, false
+}
+
+// decodeKeyColumn decodes the slot-th component of a concatenated index
+// key as a value of the column's kind (the boundary-key MIN/MAX read).
+func decodeKeyColumn(k string, slot int, colKind sqltypes.Kind) (sqltypes.Value, bool) {
+	for i := 0; i < slot; i++ {
+		rest, ok := skipKeyComponent(k)
+		if !ok {
+			return sqltypes.Null, false
+		}
+		k = rest
+	}
+	return decodeKeyValue(k, colKind)
+}
 
 // probeValue maps a lookup value into the key domain of a column of
 // kind colKind. Stored values are coerced to their column's type on

@@ -48,6 +48,134 @@ func TestEncodeKeyCrossKindCollisions(t *testing.T) {
 	}
 }
 
+// TestDecodeKeyRoundTrip: for every kind whose encoding round-trips,
+// decodeKeyValue(appendKey(v)) must reproduce a value equal to v in the
+// column's declared kind — the contract the boundary-key MIN/MAX read
+// relies on.
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	ts := time.Date(1999, 1, 10, 15, 9, 32, 123456789, time.UTC)
+	far := time.Date(3999, 6, 1, 0, 0, 0, 42, time.UTC) // outside the inline unix-ns window
+	cases := []struct {
+		v    sqltypes.Value
+		kind sqltypes.Kind
+	}{
+		{sqltypes.Null, sqltypes.KindInt},
+		{sqltypes.NewInt(0), sqltypes.KindInt},
+		{sqltypes.NewInt(-12345), sqltypes.KindInt},
+		{sqltypes.NewInt(1<<53 - 1), sqltypes.KindInt},
+		{sqltypes.NewInt(-(1<<53 - 1)), sqltypes.KindInt},
+		{sqltypes.NewDouble(3.25), sqltypes.KindDouble},
+		{sqltypes.NewDouble(-1e300), sqltypes.KindDouble},
+		{sqltypes.NewDouble(math.NaN()), sqltypes.KindDouble},
+		{sqltypes.NewString(""), sqltypes.KindString},
+		{sqltypes.NewString("hello"), sqltypes.KindString},
+		{sqltypes.NewString("nul\x00byte"), sqltypes.KindString},
+		{sqltypes.NewClob("clob body"), sqltypes.KindClob},
+		{sqltypes.NewBool(true), sqltypes.KindBool},
+		{sqltypes.NewBool(false), sqltypes.KindBool},
+		{sqltypes.NewTime(ts), sqltypes.KindTime},
+		{sqltypes.NewTime(far), sqltypes.KindTime},
+		{sqltypes.NewBytes([]byte{0, 1, 2, 0xFF}), sqltypes.KindBytes},
+		{sqltypes.NewDatalink("http://fs1.sim:80/a/b"), sqltypes.KindDatalink},
+	}
+	for _, tc := range cases {
+		k := encodeKey(tc.v)
+		got, ok := decodeKeyValue(k, tc.kind)
+		if !ok {
+			t.Errorf("decodeKeyValue(%v as %v): not decodable", tc.v, tc.kind)
+			continue
+		}
+		if tc.v.IsNull() {
+			if !got.IsNull() {
+				t.Errorf("decode(NULL) = %v", got)
+			}
+			continue
+		}
+		if got.Kind() != tc.v.Kind() {
+			t.Errorf("decode(%v): kind %v, want %v", tc.v, got.Kind(), tc.v.Kind())
+		}
+		// NaN compares unordered; its identity is the shared key image.
+		if f, isNum := got.AsDouble(); isNum && math.IsNaN(f) {
+			if g, _ := tc.v.AsDouble(); !math.IsNaN(g) {
+				t.Errorf("decode(%v) = NaN", tc.v)
+			}
+			continue
+		}
+		if c, ok := sqltypes.Compare(got, tc.v); !ok || c != 0 {
+			t.Errorf("decode(%v) = %v (cmp ok=%v c=%d)", tc.v, got, ok, c)
+		}
+		// The decoded value must re-encode to the identical key.
+		if encodeKey(got) != k {
+			t.Errorf("decode(%v) does not re-encode to the same key", tc.v)
+		}
+	}
+}
+
+// TestDecodeKeyRejectsAmbiguous: components that do not round-trip —
+// far integers sharing a float64 image, a DOUBLE zero key (±0.0), and
+// class/kind mismatches — must refuse to decode rather than guess.
+func TestDecodeKeyRejectsAmbiguous(t *testing.T) {
+	reject := []struct {
+		v    sqltypes.Value
+		kind sqltypes.Kind
+	}{
+		{sqltypes.NewInt(1 << 53), sqltypes.KindInt},
+		{sqltypes.NewInt(-(1 << 53)), sqltypes.KindInt},
+		{sqltypes.NewDouble(0), sqltypes.KindDouble},
+		{sqltypes.NewDouble(math.Copysign(0, -1)), sqltypes.KindDouble},
+		{sqltypes.NewDouble(1.5), sqltypes.KindInt}, // non-integral image
+		{sqltypes.NewString("x"), sqltypes.KindInt}, // class mismatch
+		{sqltypes.NewInt(1), sqltypes.KindString},
+		{sqltypes.NewBool(true), sqltypes.KindTime},
+	}
+	for _, tc := range reject {
+		if got, ok := decodeKeyValue(encodeKey(tc.v), tc.kind); ok {
+			t.Errorf("decodeKeyValue(%v as %v) = %v, want refusal", tc.v, tc.kind, got)
+		}
+	}
+	if _, ok := decodeKeyValue("", sqltypes.KindInt); ok {
+		t.Error("empty key decoded")
+	}
+	if _, ok := decodeKeyValue(string([]byte{keyTagNumeric, 1, 2}), sqltypes.KindInt); ok {
+		t.Error("truncated numeric key decoded")
+	}
+}
+
+// TestDecodeKeyColumnSkipsComponents: decodeKeyColumn must step over
+// earlier tuple components of every class to reach its target.
+func TestDecodeKeyColumnSkipsComponents(t *testing.T) {
+	ts := time.Date(2001, 2, 3, 4, 5, 6, 0, time.UTC)
+	tuple := []sqltypes.Value{
+		sqltypes.NewString("pre\x00fix"),
+		sqltypes.Null,
+		sqltypes.NewInt(77),
+		sqltypes.NewBool(true),
+		sqltypes.NewTime(ts),
+		sqltypes.NewString("target"),
+	}
+	k := encodeKey(tuple...)
+	kinds := []sqltypes.Kind{sqltypes.KindString, sqltypes.KindInt, sqltypes.KindInt,
+		sqltypes.KindBool, sqltypes.KindTime, sqltypes.KindString}
+	for slot, want := range tuple {
+		got, ok := decodeKeyColumn(k, slot, kinds[slot])
+		if !ok {
+			t.Fatalf("slot %d not decodable", slot)
+		}
+		if want.IsNull() {
+			if !got.IsNull() {
+				t.Fatalf("slot %d: got %v, want NULL", slot, got)
+			}
+			continue
+		}
+		if c, ok := sqltypes.Compare(got, want); !ok || c != 0 {
+			t.Fatalf("slot %d: got %v, want %v", slot, got, want)
+		}
+	}
+	if _, ok := decodeKeyColumn(k, len(tuple), sqltypes.KindInt); ok {
+		t.Fatal("out-of-range slot decoded")
+	}
+}
+
 // TestEncodeKeyTupleUnambiguous: composite keys must not collide across
 // different splits of the same concatenated text.
 func TestEncodeKeyTupleUnambiguous(t *testing.T) {

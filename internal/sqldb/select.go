@@ -49,6 +49,38 @@ type selectPlan struct {
 	// after planning.
 	joins    []*joinProbe
 	revProbe *joinProbe
+
+	// hashJoins holds the hash-join fallback per FROM item (only where
+	// equi-join conjuncts exist but no index serves them); revHash is
+	// the two-table candidate that builds the hash table on the FIRST
+	// table instead. See joinplan.go. Immutable after planning.
+	hashJoins []*hashJoinPlan
+	revHash   *hashJoinPlan
+
+	// Fold-based aggregation state (see agg.go): every aggregate call
+	// in the projection/HAVING/ORDER BY gets an accumulator slot, keyed
+	// by AST node identity. groupCols names the GROUP BY columns when
+	// they are plain single-table column references; streamGroups marks
+	// that path emits rows clustered by them (planner.go), so the
+	// executor folds one group at a time instead of hashing.
+	aggCalls     []aggCall
+	aggSlots     map[*FuncCall]int
+	groupCols    []string
+	streamGroups bool
+
+	// groupIdxFold, when non-nil, answers the grouped aggregate from
+	// index keys alone — zero heap fetches (see aggplan.go).
+	groupIdxFold *groupIdxFoldPlan
+}
+
+// outRow is one projected output row awaiting DISTINCT/ORDER BY/LIMIT.
+// Exactly one of group (legacy aggregated), gs (fold aggregated) or src
+// (non-aggregated) carries the source context ORDER BY may still need.
+type outRow struct {
+	vals  []sqltypes.Value
+	group [][]sqltypes.Value
+	gs    *groupState
+	src   []sqltypes.Value
 }
 
 // execSelectLocked plans and runs a SELECT in one step (the uncached
@@ -187,6 +219,9 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 	plan.path = planAccess(tables[0].data, tables[0].alias, s.Where,
 		s.OrderBy, orderBound, aggregated, len(tables) == 1)
 	planIndexOnlyAgg(plan)
+	collectAggCalls(plan)
+	planGroupAgg(plan)
+	planGroupIndexFold(plan)
 	planJoinProbes(plan)
 	return plan, nil
 }
@@ -200,7 +235,6 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 		return db.runSelectNoFrom(plan, params)
 	}
 	s := plan.stmt
-	tables := plan.tables
 	aggregated := plan.aggregated
 	orderBound := plan.orderBound
 
@@ -214,96 +248,6 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 		}
 	}
 
-	var rows [][]sqltypes.Value
-	whereApplied := false
-	orderApplied := false
-	if len(tables) == 1 {
-		// Single-table fast path: no joined row to assemble, so reference
-		// the stored row slices directly and fuse the WHERE filter into
-		// the scan. Aliasing storage is safe — the engine never mutates a
-		// row slice in place (updates swap in a fresh slice, deletes only
-		// tombstone) and the projection below copies values out, so
-		// nothing mutable escapes into the result.
-		whereApplied = true
-		ft := tables[0]
-		var scanErr error
-		keep := func(vals []sqltypes.Value) (bool, error) {
-			if s.Where == nil {
-				return true, nil
-			}
-			ctx.vals = vals
-			v, err := evalExpr(s.Where, ctx)
-			if err != nil {
-				return false, err
-			}
-			return !v.IsNull() && truthy(v), nil
-		}
-		// When the access path delivers rows already in ORDER BY order
-		// and no DISTINCT reshapes the set, the scan can stop as soon
-		// as OFFSET+LIMIT kept rows are collected.
-		stopAt := -1
-		if plan.path != nil && plan.path.satisfiesOrderBy && !s.Distinct && !aggregated && s.Limit >= 0 {
-			stopAt = s.Offset + s.Limit
-		}
-		handled := false
-		if plan.path != nil && !db.fullScanOnly {
-			var err error
-			handled, err = scanAccessPath(ft.data, plan.path, ctx, func(_ rowID, vals []sqltypes.Value) bool {
-				ok, err := keep(vals)
-				if err != nil {
-					scanErr = err
-					return false
-				}
-				if ok {
-					rows = append(rows, vals)
-				}
-				return stopAt < 0 || len(rows) < stopAt
-			})
-			if err != nil {
-				return nil, err
-			}
-			orderApplied = handled && plan.path.satisfiesOrderBy
-		}
-		if !handled {
-			ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
-				ok, err := keep(vals)
-				if err != nil {
-					scanErr = err
-					return false
-				}
-				if ok {
-					rows = append(rows, vals)
-				}
-				return true
-			})
-		}
-		if scanErr != nil {
-			return nil, scanErr
-		}
-	} else {
-		var err error
-		rows, err = db.joinRows(plan, ctx)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// WHERE (already fused into the single-table scan above).
-	if s.Where != nil && !whereApplied {
-		filtered := rows[:0]
-		for _, r := range rows {
-			ctx.vals = r
-			v, err := evalExpr(s.Where, ctx)
-			if err != nil {
-				return nil, err
-			}
-			if !v.IsNull() && truthy(v) {
-				filtered = append(filtered, r)
-			}
-		}
-		rows = filtered
-	}
-
 	proj, labels := plan.proj, plan.labels
 	// The result owns its Columns and Kinds slices: the kind backfill
 	// below writes to Kinds, Columns is an exported field callers may
@@ -313,52 +257,80 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 	copy(kinds, plan.kinds)
 	columns := make([]string, len(labels))
 	copy(columns, labels)
-
 	out := newRows(columns, kinds)
-	type outRow struct {
-		vals  []sqltypes.Value
-		group [][]sqltypes.Value // aggregated queries: the source group
-		src   []sqltypes.Value   // non-aggregated: the source row
-	}
-	var outRows []outRow
 
-	if aggregated {
-		groups, err := groupRows(rows, s.GroupBy, ctx)
+	var outRows []outRow
+	orderApplied := false
+
+	// Aggregated queries fold rows into per-group accumulators as they
+	// stream out of the scan (agg.go) — no row set is retained. The
+	// legacy materialise-then-group executor below survives behind
+	// SetLegacyAggregation as the ablation baseline and property oracle.
+	if aggregated && !db.legacyAggregation {
+		var err error
+		outRows, err = db.runFoldAggregate(plan, ctx)
 		if err != nil {
 			return nil, err
 		}
-		for _, g := range groups {
-			if s.Having != nil {
-				v, err := evalAgg(s.Having, g, ctx)
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() || !truthy(v) {
-					continue
-				}
-			}
-			vals := make([]sqltypes.Value, len(proj))
-			for i, e := range proj {
-				v, err := evalAgg(e, g, ctx)
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = v
-			}
-			outRows = append(outRows, outRow{vals: vals, group: g})
-		}
+	} else if rows, whereApplied, oa, err := db.materialiseRows(plan, ctx); err != nil {
+		return nil, err
 	} else {
-		for _, r := range rows {
-			ctx.vals = r
-			vals := make([]sqltypes.Value, len(proj))
-			for i, e := range proj {
-				v, err := evalExpr(e, ctx)
+		orderApplied = oa
+
+		// WHERE (already fused into the single-table scan).
+		if s.Where != nil && !whereApplied {
+			filtered := rows[:0]
+			for _, r := range rows {
+				ctx.vals = r
+				v, err := evalExpr(s.Where, ctx)
 				if err != nil {
 					return nil, err
 				}
-				vals[i] = v
+				if !v.IsNull() && truthy(v) {
+					filtered = append(filtered, r)
+				}
 			}
-			outRows = append(outRows, outRow{vals: vals, src: r})
+			rows = filtered
+		}
+
+		if aggregated {
+			groups, err := groupRows(rows, s.GroupBy, ctx)
+			if err != nil {
+				return nil, err
+			}
+			for _, g := range groups {
+				if s.Having != nil {
+					v, err := evalAgg(s.Having, g, ctx)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() || !truthy(v) {
+						continue
+					}
+				}
+				vals := make([]sqltypes.Value, len(proj))
+				for i, e := range proj {
+					v, err := evalAgg(e, g, ctx)
+					if err != nil {
+						return nil, err
+					}
+					vals[i] = v
+				}
+				outRows = append(outRows, outRow{vals: vals, group: g})
+			}
+		} else {
+			for _, r := range rows {
+				ctx.vals = r
+				vals := make([]sqltypes.Value, len(proj))
+				for i, e := range proj {
+					v, err := evalExpr(e, ctx)
+					if err != nil {
+						return nil, err
+					}
+					vals[i] = v
+				}
+				outRows = append(outRows, outRow{vals: vals, src: r})
+			}
 		}
 	}
 
@@ -386,6 +358,8 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 				var v sqltypes.Value
 				var err error
 				switch {
+				case orderBound[oi] && aggregated && r.gs != nil:
+					v, err = evalAggFold(o.Expr, plan, r.gs, ctx)
 				case orderBound[oi] && aggregated:
 					v, err = evalAgg(o.Expr, r.group, ctx)
 				case orderBound[oi]:
@@ -475,16 +449,107 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 	return out, nil
 }
 
+// materialiseRows collects the candidate row set for the non-folding
+// executor paths (non-aggregated queries and the legacy aggregation
+// oracle): the single-table fast path with the WHERE fused into the
+// scan, or the nested-loop join. whereApplied reports whether the WHERE
+// clause has already been enforced; orderApplied whether rows arrived
+// in ORDER BY order. Read-only on the plan.
+func (db *DB) materialiseRows(plan *selectPlan, ctx *evalCtx) (rows [][]sqltypes.Value, whereApplied, orderApplied bool, err error) {
+	s := plan.stmt
+	tables := plan.tables
+	if len(tables) == 1 {
+		// Single-table fast path: no joined row to assemble, so reference
+		// the stored row slices directly and fuse the WHERE filter into
+		// the scan. Aliasing storage is safe — the engine never mutates a
+		// row slice in place (updates swap in a fresh slice, deletes only
+		// tombstone) and the projection copies values out, so nothing
+		// mutable escapes into the result.
+		whereApplied = true
+		ft := tables[0]
+		var scanErr error
+		keep := func(vals []sqltypes.Value) (bool, error) {
+			if s.Where == nil {
+				return true, nil
+			}
+			ctx.vals = vals
+			v, err := evalExpr(s.Where, ctx)
+			if err != nil {
+				return false, err
+			}
+			return !v.IsNull() && truthy(v), nil
+		}
+		// When the access path delivers rows already in ORDER BY order
+		// and no DISTINCT reshapes the set, the scan can stop as soon
+		// as OFFSET+LIMIT kept rows are collected.
+		stopAt := -1
+		if plan.path != nil && plan.path.satisfiesOrderBy && !s.Distinct && !plan.aggregated && s.Limit >= 0 {
+			stopAt = s.Offset + s.Limit
+		}
+		handled := false
+		if plan.path != nil && !db.fullScanOnly {
+			var scanHandledErr error
+			handled, scanHandledErr = scanAccessPath(ft.data, plan.path, ctx, func(_ rowID, vals []sqltypes.Value) bool {
+				ok, err := keep(vals)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if ok {
+					rows = append(rows, vals)
+				}
+				return stopAt < 0 || len(rows) < stopAt
+			})
+			if scanHandledErr != nil {
+				return nil, false, false, scanHandledErr
+			}
+			orderApplied = handled && plan.path.satisfiesOrderBy
+		}
+		if !handled {
+			ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
+				ok, err := keep(vals)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if ok {
+					rows = append(rows, vals)
+				}
+				return true
+			})
+		}
+		if scanErr != nil {
+			return nil, false, false, scanErr
+		}
+	} else {
+		var joinErr error
+		rows, joinErr = db.joinRows(plan, ctx)
+		if joinErr != nil {
+			return nil, false, false, joinErr
+		}
+	}
+
+	return rows, whereApplied, orderApplied, nil
+}
+
 // joinRows materialises the nested-loop join for multi-table SELECTs,
 // building joined rows incrementally in FROM order with pushed ON
 // predicates. Inner tables whose join key is indexed are probed per
-// outer row (index nested-loop) instead of re-scanned; for a two-table
-// inner join the probed side is chosen at run time (see chooseSwap).
-// Read-only on the plan.
+// outer row (index nested-loop) instead of re-scanned; unindexed
+// equi-joins build a hash table over the inner table once and probe it
+// per outer row (hash join) instead of degrading to the cross product.
+// For a two-table inner join the probed side is chosen at run time
+// (see chooseSwap / chooseHashSwap). Read-only on the plan.
 func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, error) {
 	s := plan.stmt
 	if rev := db.chooseSwap(plan); rev != nil {
-		return db.joinRowsSwapped(plan, ctx, rev)
+		t0 := plan.tables[0]
+		return db.joinRowsSwapped(plan, ctx, func(c *evalCtx) ([][]sqltypes.Value, bool) {
+			return probeJoin(t0.data, rev, c)
+		})
+	}
+	if hj := db.chooseHashSwap(plan); hj != nil {
+		return db.joinRowsSwapped(plan, ctx, newHashProber(plan.tables[0].data, hj).probe)
 	}
 	width := len(plan.env.cols)
 	rows := make([][]sqltypes.Value, 1)
@@ -495,6 +560,15 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		var probe *joinProbe
 		if plan.joins != nil && !db.fullScanOnly {
 			probe = plan.joins[i]
+		}
+		// Hash-join fallback: equi-join conjuncts exist but no index
+		// serves them. The table is built once per FROM item — O(|inner|)
+		// — then probed per outer row, replacing the per-outer-row scan.
+		var hashP *hashProber
+		if plan.hashJoins != nil && probe == nil && !db.fullScanOnly {
+			if hj := plan.hashJoins[i]; hj != nil && len(rows) > 0 {
+				hashP = newHashProber(ft.data, hj)
+			}
 		}
 		var next [][]sqltypes.Value
 
@@ -556,6 +630,17 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 						}
 					}
 				}
+			case hashP != nil:
+				// Hash join: look the candidates up in the prebuilt table.
+				ctx.vals = base
+				if cands, handled := hashP.probe(ctx); handled {
+					probed = true
+					for _, vals := range cands {
+						if scanErr = appendRow(vals); scanErr != nil {
+							break
+						}
+					}
+				}
 			}
 			if !probed && scanErr == nil {
 				ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
@@ -600,11 +685,31 @@ func (db *DB) chooseSwap(plan *selectPlan) *joinProbe {
 	return plan.revProbe
 }
 
-// joinRowsSwapped is the reversed two-table index nested-loop: scan
-// table 1 as the outer side and probe table 0's index, assembling each
+// chooseHashSwap decides whether a fully-unindexed two-table inner
+// equi-join should build its hash table on the FIRST table: when only
+// that side has usable equi-conjuncts, or when both do and the first
+// table is smaller (the hash table belongs on the smaller side, the
+// larger one drives the outer loop). Index probes, when any exist,
+// already won in chooseSwap / the forward loop.
+func (db *DB) chooseHashSwap(plan *selectPlan) *hashJoinPlan {
+	if db.fullScanOnly || plan.revHash == nil || len(plan.tables) != 2 {
+		return nil
+	}
+	if plan.joins[1] != nil || plan.revProbe != nil {
+		return nil // an index serves this join
+	}
+	if fwd := plan.hashJoins[1]; fwd != nil && plan.tables[1].data.live <= plan.tables[0].data.live {
+		return nil // forward hash already builds on the smaller (inner) side
+	}
+	return plan.revHash
+}
+
+// joinRowsSwapped is the reversed two-table nested loop: scan table 1
+// as the outer side and probe table 0 (via an index probe or a prebuilt
+// hash table — probeFn encapsulates the lookup), assembling each
 // combined row in declared column order so every bound expression keeps
 // its slot. Only inner joins reach here (LEFT JOIN is direction-bound).
-func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probe *joinProbe) ([][]sqltypes.Value, error) {
+func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probeFn func(*evalCtx) ([][]sqltypes.Value, bool)) ([][]sqltypes.Value, error) {
 	s := plan.stmt
 	t0, t1 := plan.tables[0], plan.tables[1]
 	width := len(plan.env.cols)
@@ -618,7 +723,7 @@ func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probe *joinProbe) 
 	t1.data.scan(func(_ rowID, v1 []sqltypes.Value) bool {
 		copy(scratch[start1:], v1)
 		ctx.vals = scratch
-		cands, handled := probeJoin(t0.data, probe, ctx)
+		cands, handled := probeFn(ctx)
 		emit := func(v0 []sqltypes.Value) bool {
 			combined := make([]sqltypes.Value, width)
 			copy(combined, v0)

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/sqltypes"
@@ -49,11 +50,18 @@ func (s *Stmt) Text() string { return s.text }
 // first FROM table — "hash-eq(T.C)", "eq(T.C)", "range(T.C)",
 // "not-null(T.C)", "ordered-scan(T.C)" (with an " order"/" order-desc"
 // suffix when the index scan also satisfies ORDER BY) or "full-scan".
-// Composite paths join the used index columns with '+' ("eq(T.A+B)");
-// an " index-only" suffix marks plans whose aggregates are answered
-// from the index without materialising rows, and joined tables probed
-// by an index nested-loop append " inl(ALIAS.COLS)" (or " inl-rev(...)"
-// for the two-table swap candidate that probes the first table).
+// Composite paths join the used index columns with '+' ("eq(T.A+B)").
+//
+// Aggregated plans append their strategy: " index-only" (answered from
+// the index without materialising rows), " group-ordered(COLS)" (the
+// scan emits rows clustered by the GROUP BY columns and groups are
+// folded one at a time), " hash-agg" (grouped fold through a hash
+// table) or " agg-fold" (a single-group fold, no GROUP BY). Joined
+// tables probed by an index nested-loop append " inl(ALIAS.COLS)" (or
+// " inl-rev(...)" for the two-table swap candidate that probes the
+// first table); unindexed equi-joins append " hash-join(ALIAS.COLS)"
+// (or " hash-join-rev(...)").
+//
 // EXPLAIN-style introspection for tests and diagnostics; building the
 // plan on demand, it reflects the live schema epoch, so it shows the
 // re-planned path after CREATE INDEX / DROP INDEX.
@@ -72,8 +80,18 @@ func (s *Stmt) AccessPath() (string, error) {
 		return "no-from", nil
 	}
 	out := plan.path.String()
-	if plan.aggItems != nil {
+	switch {
+	case plan.aggItems != nil:
 		out += " index-only"
+	case plan.streamGroups:
+		out += " group-ordered(" + strings.Join(plan.groupCols, "+") + ")"
+		if plan.groupIdxFold != nil {
+			out += " index-only"
+		}
+	case plan.aggregated && len(sel.GroupBy) > 0:
+		out += " hash-agg"
+	case plan.aggregated:
+		out += " agg-fold"
 	}
 	for i, jp := range plan.joins {
 		if jp != nil {
@@ -82,6 +100,14 @@ func (s *Stmt) AccessPath() (string, error) {
 	}
 	if plan.revProbe != nil {
 		out += " inl-rev(" + plan.tables[0].alias + "." + plan.revProbe.String() + ")"
+	}
+	for i, hj := range plan.hashJoins {
+		if hj != nil {
+			out += " hash-join(" + plan.tables[i].alias + "." + hj.String() + ")"
+		}
+	}
+	if plan.revHash != nil {
+		out += " hash-join-rev(" + plan.tables[0].alias + "." + plan.revHash.String() + ")"
 	}
 	return out, nil
 }

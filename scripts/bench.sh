@@ -24,6 +24,12 @@
 #                                      only COUNT vs full scan, 100k rows
 #   BenchmarkAblation_JoinPlan       — index nested-loop vs cross-product
 #                                      join on 1k×1k
+#   BenchmarkAblation_GroupPushdown  — grouped-aggregate strategies on a
+#                                      100k-row rollup: legacy materialise
+#                                      vs hash-agg fold vs group-ordered
+#                                      index-only fold
+#   BenchmarkAblation_HashJoin       — hash join vs cross product on an
+#                                      unindexed 1k×1k equi-join
 #   BenchmarkAblation_GroupCommit    — WAL group commit vs serial fsyncs
 #                                      (parallel vs serial committers)
 #   BenchmarkAblation_Failover       — token-checked read latency through
