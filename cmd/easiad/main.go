@@ -57,6 +57,7 @@ func main() {
 		localDir = flag.String("local-fs-root", "easia-files", "built-in file server root")
 		seedDemo = flag.Bool("seed-demo", false, "load the turbulence demo simulation")
 		adminPw  = flag.String("admin-password", "", "provision an 'admin' account with this password")
+		salvage  = flag.Bool("salvage", false, "accept committed-data loss on a corrupt WAL: recover the intact prefix instead of refusing to open")
 	)
 	remotes := fsFlags{}
 	flag.Var(remotes, "fs", "remote file server as host=baseURL (repeatable)")
@@ -70,11 +71,16 @@ func main() {
 		Secret:   []byte(*secret),
 		TokenTTL: *ttl,
 		WorkRoot: *workRoot,
+		Salvage:  *salvage,
 	})
 	if err != nil {
 		log.Fatalf("easiad: %v", err)
 	}
 	defer a.Close()
+	if rec := a.DB.Recovery(); rec.Salvaged || rec.TruncatedBytes > 0 || rec.StaleWAL {
+		log.Printf("easiad: crash recovery: tail=%s truncated=%dB staleWAL=%v salvaged=%v replayed=%d tx",
+			rec.Tail, rec.TruncatedBytes, rec.StaleWAL, rec.Salvaged, rec.ReplayedTx)
+	}
 
 	var localMgr *dlfs.Manager
 	if *localFS != "" {

@@ -135,7 +135,50 @@
 //     after releasing it; the first waiter flushes the whole pending
 //     batch with one fsync. Concurrent commit load therefore pays ~one
 //     fsync per flush window instead of one per transaction
-//     (BenchmarkAblation_GroupCommit).
+//     (BenchmarkAblation_GroupCommit). A transaction that stages
+//     nothing still acknowledges only after the state it could have
+//     observed in the group-commit visibility window is durable.
+//
+// # Durability and recovery contract
+//
+// All storage-tier I/O goes through internal/iofault: an FS abstraction
+// whose production implementation is the real disk and whose test
+// implementation scripts faults in the netsim style — per-path fsync
+// failures, short writes, and crash points after which every operation
+// fails and only a configurable torn prefix of the in-flight write
+// persists. The contract it enforces, verified by a randomized
+// crash-recovery soak (TestCrashRecoverySoak: seeded crash schedules
+// against a committed-transaction oracle) plus a corruption corpus:
+//
+//   - An acknowledged commit survives any crash. Acknowledgement means
+//     the WAL frames passed fsync; replay applies exactly the committed
+//     transactions, in commit order.
+//   - A failed fsync poisons the database (ErrPoisoned). After
+//     fsyncgate, a retry that "succeeds" proves nothing — the kernel
+//     may have dropped the dirty pages. Every in-flight and subsequent
+//     commit fails, the failed batch is unwound from memory in reverse
+//     commit order, and the log is truncated back to its last-synced
+//     length so a transaction reported as rolled back cannot resurrect
+//     on replay. Close skips the checkpoint; reopening recovers from
+//     the last durable state.
+//   - Recovery classifies the log tail instead of trusting it. An
+//     incomplete or garbage final region (crash mid-append) is truncated
+//     and reported (RecoveryInfo); a bad frame with intact frames after
+//     it is mid-log corruption of once-durable data, and Open refuses
+//     with ErrWALCorrupt rather than silently dropping committed
+//     transactions (Options.Salvage opens with the intact prefix,
+//     explicitly). Snapshots carry a whole-file checksum verified
+//     before any field is trusted (ErrSnapshotCorrupt on mismatch) and
+//     rotate by tmp + fsync + rename + parent-dir fsync.
+//   - Checkpoints are crash-safe at every step. Each snapshot carries a
+//     generation and each log an epoch frame; a crash between snapshot
+//     rename and log rotation leaves a stale log that replay discards
+//     by the epoch check, and any failure after the rename poisons the
+//     database so no commit lands in a log that a restart would skip.
+//
+// The same WriteFileAtomic discipline covers the dlfs link registry
+// (with unlink tombstones, below) and the cluster's repair-state
+// checkpoint, whose failures are counted in Stats rather than dropped.
 //
 // # The replicated DATALINK file-server tier
 //
@@ -152,10 +195,12 @@
 // recorded and an anti-entropy pass (Repair — run by the background
 // loop, by core's Reconcile, and on demand) re-replicates files, link
 // state and staged commits once the member rejoins, last writer
-// winning: a write that reaches every placed replica supersedes any
-// stale repair verdict for its path, and with Config.StatePath (dlfsd
-// -state) the repair queue — removal tombstones included — survives a
-// gateway restart. Abort failures are no longer dropped anywhere in the stack:
+// winning by event time: unlinks leave TTL-bounded tombstones in the
+// registry itself, so a member that slept through an unlink cannot
+// resurrect the stale link via the registry union. A write that
+// reaches every placed replica supersedes any stale repair verdict for
+// its path, and with Config.StatePath (dlfsd -state) the repair queue
+// — removal tombstones included — survives a gateway restart. Abort failures are no longer dropped anywhere in the stack:
 // they surface through Coordinator.Abort/Tx.Rollback and are queued
 // for retry so a rolled-back prepare cannot leak reserved files on a
 // server that missed the abort. See internal/dlfs/README.md for the

@@ -76,6 +76,10 @@ type Config struct {
 	ScriptLimits script.Limits
 	// Clock is injectable for tests; nil = time.Now.
 	Clock func() time.Time
+	// Salvage accepts committed-data loss when the WAL shows mid-log
+	// corruption: recovery keeps the intact prefix instead of refusing
+	// to open. Operator opt-in only (cmd/easiad -salvage).
+	Salvage bool
 }
 
 // Archive is a running EASIA instance.
@@ -100,7 +104,7 @@ func Open(cfg Config) (*Archive, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	db, err := sqldb.Open(cfg.DBDir)
+	db, err := sqldb.OpenWith(cfg.DBDir, sqldb.Options{Salvage: cfg.Salvage})
 	if err != nil {
 		return nil, err
 	}

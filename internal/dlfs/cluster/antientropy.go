@@ -15,12 +15,14 @@ import (
 //
 //   - the dirty set: desired states the tier witnessed itself (a link
 //     commit, ensure or put that missed a replica). These are
-//     authoritative, including desired UNLINKED state — the one case a
-//     registry union cannot express;
-//   - the union of all reachable members' link registries, newest
-//     LinkedAt winning per path (last-writer-wins). This is what pulls
-//     a rejoining or freshly-registered replacement member up to date
-//     even when the coordinator that witnessed the divergence is gone.
+//     authoritative and override the union;
+//   - the union of all reachable members' link registries — live links
+//     AND unlink tombstones — with the newest event winning per path
+//     (last-writer-wins). This is what pulls a rejoining or
+//     freshly-registered replacement member up to date even when the
+//     coordinator that witnessed the divergence is gone; tombstones are
+//     what stop that union from resurrecting a link the member missed
+//     the unlink of (bounded retention: dlfs.DefaultTombstoneTTL).
 //
 // For each desired-linked path, every healthy placed replica must hold
 // the file (copied from any member that has it, through the normal
@@ -122,6 +124,13 @@ func (rs *ReplicaSet) Repair() (RepairStats, error) {
 	}
 	desired := make(map[string]want, len(union))
 	for path, ls := range union {
+		if ls.Tombstone() {
+			// The newest event for this path is an unlink: members that
+			// missed it (partition, crash) must drop their stale link
+			// instead of the union resurrecting it onto everyone.
+			desired[path] = want{dirtyState: dirtyState{wantLinked: boolPtr(false), opts: ls.Opts}}
+			continue
+		}
 		desired[path] = want{dirtyState: dirtyState{wantLinked: boolPtr(true), opts: ls.Opts}}
 	}
 	rs.mu.Lock()

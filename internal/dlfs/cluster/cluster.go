@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/dlfs"
+	"repro/internal/iofault"
 	"repro/internal/med"
 	"repro/internal/sqltypes"
 )
@@ -74,6 +75,9 @@ type Config struct {
 	// which on many Linux hosts is RAM-backed tmpfs, so gateways moving
 	// multi-GB datasets should point this at a real disk.
 	SpoolDir string
+	// FS is the filesystem the repair-state checkpoint goes through;
+	// nil selects the real disk. Tests inject an iofault controller.
+	FS iofault.FS
 }
 
 // DefaultReplicationFactor is used when Config leaves it zero.
@@ -118,6 +122,12 @@ type Stats struct {
 	Failovers      int // reads served by a non-first replica
 	PartialCommits int // commits that missed at least one replica
 	PartialWrites  int // puts/links that missed at least one replica
+	// StateCheckpointFailures counts repair-state checkpoints that did
+	// not reach disk. The in-memory state stays correct and the next
+	// mutation retries, but each count is a window where a gateway
+	// restart would forget tombstones and pending repairs — worth an
+	// operator's attention, not a silent discard.
+	StateCheckpointFailures int
 }
 
 // ReplicaSet is the replicated tier for one logical DATALINK host.
@@ -152,6 +162,9 @@ func New(cfg Config) *ReplicaSet {
 	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.FS == nil {
+		cfg.FS = iofault.Disk{}
 	}
 	return &ReplicaSet{
 		cfg:          cfg,
@@ -919,21 +932,29 @@ func (rs *ReplicaSet) Remove(path string) error {
 	return errors.Join(errs...)
 }
 
-// LinkStates merges the link registries of all reachable members:
-// one entry per path, the newest LinkedAt winning (the tier's
-// last-writer-wins rule). Implements dlfs.Backend.
+// LinkStates merges the link registries of all reachable members: one
+// entry per path, the newest event winning (the tier's last-writer-wins
+// rule). Unlink tombstones participate in the merge — an unlink newer
+// than every link suppresses the path — but are not returned: the
+// Backend contract reports live links. Implements dlfs.Backend.
 func (rs *ReplicaSet) LinkStates() []dlfs.LinkState {
 	union, _ := rs.linkUnion()
 	out := make([]dlfs.LinkState, 0, len(union))
 	for _, ls := range union {
+		if ls.Tombstone() {
+			continue
+		}
 		out = append(out, ls)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out
 }
 
-// linkUnion gathers every reachable member's registry, keeping the
-// newest entry per path.
+// linkUnion gathers every reachable member's registry — live links and
+// unlink tombstones — keeping the newest event per path. A tombstone
+// that outranks every link is the record that stops a healed partition
+// from resurrecting an unlinked file; a link newer than the tombstone
+// (an explicit re-link) wins back.
 func (rs *ReplicaSet) linkUnion() (map[string]dlfs.LinkState, error) {
 	ms := rs.upMembers()
 	union := make(map[string]dlfs.LinkState)
@@ -947,7 +968,7 @@ func (rs *ReplicaSet) linkUnion() (map[string]dlfs.LinkState, error) {
 		}
 		rs.noteSuccess(m)
 		for _, ls := range states {
-			if cur, ok := union[ls.Path]; !ok || ls.LinkedAt.After(cur.LinkedAt) {
+			if cur, ok := union[ls.Path]; !ok || ls.EventTime().After(cur.EventTime()) {
 				union[ls.Path] = ls
 			}
 		}

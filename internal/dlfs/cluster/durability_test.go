@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dlfs"
+	"repro/internal/iofault"
+	"repro/internal/med"
+	"repro/internal/sqltypes"
+)
+
+// newSharedSet builds n managers once and a constructor that assembles a
+// fresh ReplicaSet over those same managers — simulating a gateway
+// restart that keeps the file servers but loses all in-memory state.
+func newSharedSet(t *testing.T, n int, cfg Config) (func() *ReplicaSet, map[string]*dlfs.Manager) {
+	t.Helper()
+	auth := newAuth(t)
+	cfg.Host = "fs.sim:80"
+	cfg.Tokens = auth
+	mgrs := make(map[string]*dlfs.Manager, n)
+	for i := 0; i < n; i++ {
+		host := string(rune('a'+i)) + ".replica.sim:80"
+		store, err := dlfs.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs[host] = dlfs.NewManager(host, store, auth)
+	}
+	build := func() *ReplicaSet {
+		rs := New(cfg)
+		for _, m := range mgrs {
+			if err := rs.Add(NewManagerNode(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rs
+	}
+	return build, mgrs
+}
+
+// The LWW registry union used to resurrect a stale link when the member
+// that missed the unlink rejoined after the gateway lost its dirty set
+// (the documented caveat). Unlink tombstones close it: the tombstone
+// rides the registry wire with the newer event time, wins the union, and
+// Repair drops the stale link — no repair state needed.
+func TestTombstoneBlocksResurrectionWithoutRepairState(t *testing.T) {
+	build, mgrs := newSharedSet(t, 3, Config{ReplicationFactor: 2})
+	path := "/runs/s1/tomb.tsf"
+	opts := sqltypes.DefaultEASIA()
+
+	rs1 := build()
+	if _, err := rs1.Put(path, strings.NewReader("data")); err != nil {
+		t.Fatal(err)
+	}
+	linkVia(t, rs1, 1, path, opts)
+	placed := rankMembers(rs1.Members(), path)[:2]
+
+	// One placed replica misses the unlink.
+	if err := rs1.MarkDown(placed[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs1.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: path, Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs1.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := linkedOn(mgrs, path); len(got) != 1 {
+		t.Fatalf("stale link expected on exactly the down member, got %v", got)
+	}
+
+	// Gateway "restarts" with no StatePath: dirty set and retry queue are
+	// gone, every member is up again. Only the stores' registries remain.
+	rs2 := build()
+	stats, err := rs2.Repair()
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if got := linkedOn(mgrs, path); len(got) != 0 {
+		t.Fatalf("stale link resurrected/survived on %v; tombstone should have dropped it (repair stats %+v)", got, stats)
+	}
+	if stats.Unlinked == 0 {
+		t.Fatalf("repair did not report the stale-link drop: %+v", stats)
+	}
+}
+
+// Repair-state checkpointing is best-effort but counted: a state file
+// that cannot be written durably increments StateCheckpointFailures
+// instead of being silently discarded, and the next mutation retries.
+func TestStateCheckpointFailuresCounted(t *testing.T) {
+	faults := iofault.New(nil)
+	statePath := filepath.Join(t.TempDir(), "repair-state.json")
+	build, _ := newSharedSet(t, 3, Config{
+		ReplicationFactor: 2,
+		StatePath:         statePath,
+		FS:                faults,
+	})
+	rs := build()
+	path := "/runs/s1/ckpt.tsf"
+	if _, err := rs.Put(path, strings.NewReader("data")); err != nil {
+		t.Fatal(err)
+	}
+	placed := rankMembers(rs.Members(), path)[:2]
+	if err := rs.MarkDown(placed[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.FailSync("repair-state")
+	linkVia(t, rs, 1, path, sqltypes.DefaultEASIA()) // partial → dirty → checkpoint fails
+	if got := rs.Stats().StateCheckpointFailures; got == 0 {
+		t.Fatal("failed state checkpoint not counted")
+	}
+
+	// Fault clears: the next mutation checkpoints successfully and a new
+	// gateway can load the dirty set it recorded.
+	faults.HealSync("repair-state")
+	if err := rs.MarkUp(placed[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	rs2 := build()
+	if err := rs2.LoadState(); err != nil {
+		t.Fatalf("LoadState after healed checkpoint: %v", err)
+	}
+}

@@ -132,6 +132,15 @@ func (rs *ReplicaSet) Start() {
 	rs.wg.Add(1)
 	go func() {
 		defer rs.wg.Done()
+		// One unconditional pass at startup: a freshly (re)started
+		// gateway has an empty dirty set and sees no member flip, yet
+		// the replicas may have diverged while it was away (an unlink
+		// tombstone one member slept through, a partial Put). The
+		// steady-state loop below is event-driven; this pass converges
+		// pre-existing divergence without waiting for the next flap or
+		// database Reconcile.
+		rs.Probe()
+		rs.Repair() //nolint:errcheck // next tick retries; Repair keeps its own stats
 		ticker := time.NewTicker(rs.cfg.ProbeInterval)
 		defer ticker.Stop()
 		for {

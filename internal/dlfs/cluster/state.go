@@ -2,10 +2,9 @@ package cluster
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
-	"os"
 
+	"repro/internal/iofault"
 	"repro/internal/sqltypes"
 )
 
@@ -20,7 +19,13 @@ import (
 //
 // Checkpointing is best-effort by design: a failed write must not fail
 // the link or file operation that triggered it — the in-memory state
-// is still correct, and the next mutation retries the checkpoint.
+// is still correct, and the next mutation retries the checkpoint. But
+// best-effort is not silent: every failed checkpoint (including a
+// failed rename, which used to be discarded outright) is counted in
+// Stats.StateCheckpointFailures, because each one is a window where a
+// gateway restart forgets tombstones and pending repairs. The write
+// itself is fully durable when it succeeds: tmp + fsync + rename +
+// parent-dir fsync, like the store's link registry.
 
 // persistedDirty is the JSON image of one dirty entry.
 type persistedDirty struct {
@@ -59,13 +64,12 @@ func (rs *ReplicaSet) saveStateLocked() {
 	}
 	b, err := json.MarshalIndent(ps, "", "  ")
 	if err != nil {
+		rs.stats.StateCheckpointFailures++
 		return
 	}
-	tmp := rs.cfg.StatePath + ".tmp"
-	if os.WriteFile(tmp, b, 0o644) != nil {
-		return
+	if err := iofault.WriteFileAtomic(rs.cfg.FS, rs.cfg.StatePath, b, 0o644); err != nil {
+		rs.stats.StateCheckpointFailures++
 	}
-	os.Rename(tmp, rs.cfg.StatePath) //nolint:errcheck // best-effort checkpoint
 }
 
 // LoadState restores the repair state checkpointed at Config.StatePath.
@@ -78,8 +82,8 @@ func (rs *ReplicaSet) LoadState() error {
 	if rs.cfg.StatePath == "" {
 		return nil
 	}
-	b, err := os.ReadFile(rs.cfg.StatePath)
-	if errors.Is(err, os.ErrNotExist) {
+	b, err := iofault.ReadFile(rs.cfg.FS, rs.cfg.StatePath)
+	if iofault.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {

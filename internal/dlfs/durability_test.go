@@ -1,0 +1,186 @@
+package dlfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/iofault"
+	"repro/internal/med"
+	"repro/internal/sqltypes"
+)
+
+func writePayload(t *testing.T, root, rel string) {
+	t.Helper()
+	p := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A link Commit whose registry write cannot be made durable must say so:
+// the in-memory link exists, but a crash before the next successful save
+// would forget it, and the caller (the 2PC coordinator) is the one who
+// can retry or reconcile.
+func TestRegistryCommitSurfacesSyncFailure(t *testing.T) {
+	faults := iofault.New(nil)
+	s, err := NewStoreFS(t.TempDir(), faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePayload(t, s.Root(), "f.dat")
+	faults.FailSync(".dlfm-links")
+	if err := s.Prepare(1, med.LinkOp{Kind: med.OpLink, Path: "/f.dat", Opts: sqltypes.DefaultEASIA()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1); !errors.Is(err, iofault.ErrInjected) {
+		t.Fatalf("Commit with unsyncable registry: %v, want ErrInjected surfaced", err)
+	}
+	// After the fault clears, the next registry mutation persists
+	// everything, including the link the failed save could not.
+	faults.HealSync(".dlfm-links")
+	writePayload(t, s.Root(), "g.dat")
+	if err := s.EnsureLinked("/g.dat", sqltypes.DefaultEASIA()); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := NewStore(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.LinkedCount(); got != 2 {
+		t.Fatalf("links after reload = %d, want 2", got)
+	}
+}
+
+// Unlinking leaves a tombstone that rides the LinkStates wire, and a
+// fresh link supersedes it.
+func TestUnlinkLeavesTombstone(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writePayload(t, s.Root(), "f.dat")
+	opts := sqltypes.DefaultEASIA()
+	if err := s.EnsureLinked("/f.dat", opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prepare(2, med.LinkOp{Kind: med.OpUnlink, Path: "/f.dat", Opts: opts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	states := s.LinkStates()
+	var tomb *LinkState
+	for i := range states {
+		if states[i].Path == "/f.dat" && states[i].Tombstone() {
+			tomb = &states[i]
+		}
+	}
+	if tomb == nil {
+		t.Fatalf("no tombstone in LinkStates: %+v", states)
+	}
+	if !tomb.EventTime().Equal(tomb.UnlinkedAt) {
+		t.Fatal("tombstone EventTime should be its UnlinkedAt")
+	}
+	// The tombstone survives a restart (it is part of the registry).
+	reloaded, err := NewStore(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ls := range reloaded.LinkStates() {
+		if ls.Path == "/f.dat" && ls.Tombstone() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("tombstone lost across restart")
+	}
+	// Relinking supersedes it.
+	if err := reloaded.EnsureLinked("/f.dat", opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range reloaded.LinkStates() {
+		if ls.Path == "/f.dat" && ls.Tombstone() {
+			t.Fatal("tombstone survived a fresh link")
+		}
+	}
+}
+
+// Tombstones are garbage-collected after their TTL, at save time and
+// when reporting LinkStates.
+func TestTombstoneTTLGC(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTombstoneTTL(time.Minute)
+	// An unlink from two minutes ago: already expired.
+	if err := s.EnsureUnlinked("/old.dat", time.Now().Add(-2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh unlink: retained.
+	if err := s.EnsureUnlinked("/new.dat", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, ls := range s.LinkStates() {
+		if ls.Tombstone() {
+			paths = append(paths, ls.Path)
+		}
+	}
+	if len(paths) != 1 || paths[0] != "/new.dat" {
+		t.Fatalf("tombstones visible = %v, want only /new.dat", paths)
+	}
+	reloaded, err := NewStore(s.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range reloaded.LinkStates() {
+		if ls.Path == "/old.dat" {
+			t.Fatal("expired tombstone persisted across save")
+		}
+	}
+}
+
+// A v1 registry (bare JSON array of links) loads transparently and is
+// rewritten as v2 on the next save.
+func TestRegistryLegacyV1Upgrade(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `[{"path":"/a.dat","opts":{},"linked_at":"2024-01-02T03:04:05Z"}]`
+	if err := os.WriteFile(filepath.Join(dir, ".dlfm-links.json"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LinkedCount(); got != 1 {
+		t.Fatalf("legacy registry loaded %d links, want 1", got)
+	}
+	writePayload(t, dir, "b.dat")
+	if err := s.EnsureLinked("/b.dat", sqltypes.DefaultEASIA()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, ".dlfm-links.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"version": 2`) {
+		t.Fatalf("registry not upgraded to v2:\n%s", b)
+	}
+	reloaded, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reloaded.LinkedCount(); got != 2 {
+		t.Fatalf("links after upgrade round-trip = %d, want 2", got)
+	}
+}

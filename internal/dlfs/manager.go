@@ -2,6 +2,7 @@ package dlfs
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/med"
 	"repro/internal/sqltypes"
@@ -43,6 +44,13 @@ func (m *Manager) Abort(txID uint64) error { m.store.Abort(txID); return nil }
 // EnsureLinked implements med.FileServer.
 func (m *Manager) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
 	return m.store.EnsureLinked(path, opts)
+}
+
+// EnsureUnlinked forces path out of the linked state, tombstoning the
+// unlink at the given event time (reconciliation counterpart of
+// EnsureLinked).
+func (m *Manager) EnsureUnlinked(path string, at time.Time) error {
+	return m.store.EnsureUnlinked(path, at)
 }
 
 // BackupLinked implements med.BackupParticipant.

@@ -226,6 +226,9 @@ func (s *Server) handleLinked(w http.ResponseWriter, r *http.Request) {
 	states := s.mgr.LinkStates()
 	paths := make([]string, 0, len(states))
 	for _, ls := range states {
+		if ls.Tombstone() {
+			continue // unlink tombstones are registry metadata, not links
+		}
 		paths = append(paths, ls.Path)
 	}
 	json.NewEncoder(w).Encode(paths)

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/med"
 	"repro/internal/sqltypes"
 )
@@ -43,12 +44,39 @@ var (
 	ErrBadPath       = errors.New("dlfs: invalid path")
 )
 
-// LinkState records one linked file in the manager's registry.
+// LinkState records one linked file in the manager's registry — or,
+// when UnlinkedAt is set, a tombstone for a file that was unlinked.
+// Tombstones ride the same wire format as links (the anti-entropy scan
+// consumes both), so a healed partition learns "this was unlinked at T"
+// instead of resurrecting the stale link by last-writer-wins union.
 type LinkState struct {
 	Path     string                   `json:"path"`
 	Opts     sqltypes.DatalinkOptions `json:"opts"`
 	LinkedAt time.Time                `json:"linked_at"`
+	// UnlinkedAt, when non-zero, marks this entry as an unlink
+	// tombstone: the path is NOT linked here, and the unlink event at
+	// this time outranks any older link elsewhere in the replica set.
+	UnlinkedAt time.Time `json:"unlinked_at,omitempty"`
 }
+
+// Tombstone reports whether this entry records an unlink rather than a
+// live link.
+func (ls LinkState) Tombstone() bool { return !ls.UnlinkedAt.IsZero() }
+
+// EventTime is the instant of the entry's most recent state change —
+// the timestamp last-writer-wins reconciliation compares.
+func (ls LinkState) EventTime() time.Time {
+	if ls.UnlinkedAt.After(ls.LinkedAt) {
+		return ls.UnlinkedAt
+	}
+	return ls.LinkedAt
+}
+
+// DefaultTombstoneTTL bounds how long unlink tombstones are retained.
+// It must exceed the longest partition the tier is expected to heal
+// from; after GC a rejoining replica's stale link can win the union
+// again, which is the documented residual risk of bounded tombstones.
+const DefaultTombstoneTTL = 24 * time.Hour
 
 // FileInfo describes a stored file for the UI layer (the paper's result
 // tables display object sizes beside each hyperlink).
@@ -66,8 +94,12 @@ type FileInfo struct {
 type Store struct {
 	mu      sync.Mutex
 	root    string
+	fs      iofault.FS
 	links   map[string]LinkState
-	pending map[uint64][]med.LinkOp
+	// unlinked holds unlink tombstones by path, GC'd after tombstoneTTL.
+	unlinked     map[string]LinkState
+	tombstoneTTL time.Duration
+	pending      map[uint64][]med.LinkOp
 	// reserved tracks paths claimed by in-flight transactions so two
 	// concurrent transactions cannot prepare conflicting work.
 	reserved map[string]uint64
@@ -75,15 +107,25 @@ type Store struct {
 
 // NewStore opens (creating if needed) a store rooted at dir, loading any
 // persisted link registry.
-func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func NewStore(dir string) (*Store, error) { return NewStoreFS(dir, nil) }
+
+// NewStoreFS opens a store whose durability I/O goes through fs (nil
+// selects the real disk); tests inject an iofault controller here.
+func NewStoreFS(dir string, fsys iofault.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = iofault.Disk{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	s := &Store{
-		root:     dir,
-		links:    make(map[string]LinkState),
-		pending:  make(map[uint64][]med.LinkOp),
-		reserved: make(map[string]uint64),
+		root:         dir,
+		fs:           fsys,
+		links:        make(map[string]LinkState),
+		unlinked:     make(map[string]LinkState),
+		tombstoneTTL: DefaultTombstoneTTL,
+		pending:      make(map[uint64][]med.LinkOp),
+		reserved:     make(map[string]uint64),
 	}
 	if err := s.loadRegistry(); err != nil {
 		return nil, err
@@ -91,45 +133,86 @@ func NewStore(dir string) (*Store, error) {
 	return s, nil
 }
 
+// SetTombstoneTTL bounds unlink-tombstone retention (tests shrink it to
+// exercise GC; production keeps DefaultTombstoneTTL).
+func (s *Store) SetTombstoneTTL(ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tombstoneTTL = ttl
+}
+
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
 func (s *Store) registryPath() string { return filepath.Join(s.root, ".dlfm-links.json") }
 
+// registryFile is the persisted v2 registry: live links plus unlink
+// tombstones. The v1 format was a bare JSON array of links; loadRegistry
+// still reads it (first byte '[') so existing stores upgrade in place on
+// their next save.
+type registryFile struct {
+	Version    int         `json:"version"`
+	Links      []LinkState `json:"links"`
+	Tombstones []LinkState `json:"tombstones,omitempty"`
+}
+
 func (s *Store) loadRegistry() error {
-	b, err := os.ReadFile(s.registryPath())
-	if errors.Is(err, os.ErrNotExist) {
+	b, err := iofault.ReadFile(s.fs, s.registryPath())
+	if iofault.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	var list []LinkState
-	if err := json.Unmarshal(b, &list); err != nil {
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, "[") { // legacy v1: bare link array
+		var list []LinkState
+		if err := json.Unmarshal(b, &list); err != nil {
+			return fmt.Errorf("dlfs: corrupt link registry: %w", err)
+		}
+		for _, ls := range list {
+			s.links[ls.Path] = ls
+		}
+		return nil
+	}
+	var reg registryFile
+	if err := json.Unmarshal(b, &reg); err != nil {
 		return fmt.Errorf("dlfs: corrupt link registry: %w", err)
 	}
-	for _, ls := range list {
+	for _, ls := range reg.Links {
 		s.links[ls.Path] = ls
+	}
+	for _, ls := range reg.Tombstones {
+		s.unlinked[ls.Path] = ls
 	}
 	return nil
 }
 
-// saveRegistryLocked persists the link registry (atomic rename).
+// saveRegistryLocked persists the link registry durably: tmp file +
+// fsync + rename + parent-dir fsync, so a crash at any point leaves the
+// complete old or complete new registry — never a torn file, and never
+// a rename that evaporates with the page cache. Expired tombstones are
+// GC'd on the way out.
 func (s *Store) saveRegistryLocked() error {
-	list := make([]LinkState, 0, len(s.links))
+	reg := registryFile{Version: 2, Links: make([]LinkState, 0, len(s.links))}
 	for _, ls := range s.links {
-		list = append(list, ls)
+		reg.Links = append(reg.Links, ls)
 	}
-	sort.Slice(list, func(i, j int) bool { return list[i].Path < list[j].Path })
-	b, err := json.MarshalIndent(list, "", "  ")
+	cutoff := time.Now().UTC().Add(-s.tombstoneTTL)
+	for path, ls := range s.unlinked {
+		if ls.UnlinkedAt.Before(cutoff) {
+			delete(s.unlinked, path)
+			continue
+		}
+		reg.Tombstones = append(reg.Tombstones, ls)
+	}
+	sort.Slice(reg.Links, func(i, j int) bool { return reg.Links[i].Path < reg.Links[j].Path })
+	sort.Slice(reg.Tombstones, func(i, j int) bool { return reg.Tombstones[i].Path < reg.Tombstones[j].Path })
+	b, err := json.MarshalIndent(reg, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := s.registryPath() + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.registryPath())
+	return iofault.WriteFileAtomic(s.fs, s.registryPath(), b, 0o644)
 }
 
 // resolve maps a server-local path ("/dir/file") to a filesystem path,
@@ -203,12 +286,16 @@ func (s *Store) Commit(txID uint64) error {
 		switch op.Kind {
 		case med.OpLink:
 			s.links[op.Path] = LinkState{Path: op.Path, Opts: op.Opts, LinkedAt: time.Now().UTC()}
+			delete(s.unlinked, op.Path) // a fresh link supersedes any tombstone
 		case med.OpUnlink:
 			st, linked := s.links[op.Path]
 			delete(s.links, op.Path)
+			// Tombstone the unlink so a replica that missed it (partition,
+			// crash) cannot resurrect the link via the registry union.
+			s.unlinked[op.Path] = LinkState{Path: op.Path, Opts: st.Opts, LinkedAt: st.LinkedAt, UnlinkedAt: time.Now().UTC()}
 			if linked && st.Opts.OnUnlink == sqltypes.UnlinkDelete {
 				if fsPath, err := s.resolve(op.Path); err == nil {
-					if err := os.Remove(fsPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+					if err := s.fs.Remove(fsPath); err != nil && !iofault.IsNotExist(err) {
 						errs = append(errs, err)
 					}
 				}
@@ -248,9 +335,28 @@ func (s *Store) EnsureLinked(path string, opts sqltypes.DatalinkOptions) error {
 	}
 	if _, linked := s.links[path]; !linked {
 		s.links[path] = LinkState{Path: path, Opts: opts, LinkedAt: time.Now().UTC()}
+		delete(s.unlinked, path)
 		return s.saveRegistryLocked()
 	}
 	return nil
+}
+
+// EnsureUnlinked forces path out of the linked state, recording the
+// tombstone at the given event time (anti-entropy repair: the time is
+// the original unlink's, not the repair's, so reconciliation ordering
+// is preserved). A no-op when the path is not linked and a tombstone at
+// least as new already exists.
+func (s *Store) EnsureUnlinked(path string, at time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, linked := s.links[path]
+	if cur, ok := s.unlinked[path]; !linked && ok && !cur.UnlinkedAt.Before(at) {
+		return nil
+	}
+	st := s.links[path]
+	delete(s.links, path)
+	s.unlinked[path] = LinkState{Path: path, Opts: st.Opts, LinkedAt: st.LinkedAt, UnlinkedAt: at.UTC()}
+	return s.saveRegistryLocked()
 }
 
 // LinkedCount reports how many files are currently linked.
@@ -272,14 +378,23 @@ func (s *Store) LinkedPaths() []string {
 	return out
 }
 
-// LinkStates returns the full link registry, sorted by path. The
-// cluster's anti-entropy loop uses it to learn which options (and
-// link time, for last-writer-wins ordering) each replica holds.
+// LinkStates returns the full link registry — live links AND unlink
+// tombstones (distinguish with Tombstone()) — sorted by path. The
+// cluster's anti-entropy loop uses it to learn which state (and event
+// time, for last-writer-wins ordering) each replica holds; tombstones
+// are what stop a healed partition from resurrecting an unlinked file.
 func (s *Store) LinkStates() []LinkState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]LinkState, 0, len(s.links))
+	out := make([]LinkState, 0, len(s.links)+len(s.unlinked))
 	for _, ls := range s.links {
+		out = append(out, ls)
+	}
+	cutoff := time.Now().UTC().Add(-s.tombstoneTTL)
+	for _, ls := range s.unlinked {
+		if ls.UnlinkedAt.Before(cutoff) {
+			continue // expired; the next save GCs it
+		}
 		out = append(out, ls)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
@@ -305,14 +420,19 @@ func (s *Store) Put(path string, r io.Reader) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := os.MkdirAll(filepath.Dir(fsPath), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(fsPath), 0o755); err != nil {
 		return 0, err
 	}
-	f, err := os.Create(fsPath)
+	f, err := iofault.Create(s.fs, fsPath)
 	if err != nil {
 		return 0, err
 	}
 	n, err := io.Copy(f, r)
+	if err == nil {
+		// A Put that returns success must survive a host crash: the
+		// archive acknowledges ingested simulation output upstream.
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -341,10 +461,10 @@ func (s *Store) Rename(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(newFS), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(newFS), 0o755); err != nil {
 		return err
 	}
-	return os.Rename(oldFS, newFS)
+	return s.fs.Rename(oldFS, newFS)
 }
 
 // Remove deletes a file; refused while linked.
@@ -359,8 +479,8 @@ func (s *Store) Remove(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(fsPath); err != nil {
-		if errors.Is(err, os.ErrNotExist) {
+	if err := s.fs.Remove(fsPath); err != nil {
+		if iofault.IsNotExist(err) {
 			return fmt.Errorf("%w: %s", ErrNotFound, path)
 		}
 		return err
@@ -471,6 +591,7 @@ func (s *Store) RestoreLinked(src string) (int, error) {
 		s.mu.Lock()
 		if _, linked := s.links[local]; !linked {
 			s.links[local] = LinkState{Path: local, Opts: sqltypes.DefaultEASIA(), LinkedAt: time.Now().UTC()}
+			delete(s.unlinked, local) // an explicit restore overrides any tombstone
 		}
 		s.mu.Unlock()
 		n++

@@ -1,0 +1,161 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicDurableReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	fs := Disk{}
+	if err := WriteFileAtomic(fs, path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(fs, path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "v2" {
+		t.Fatalf("read %q, %v; want v2", b, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}
+
+func TestFailSyncIsStickyUntilHealed(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil)
+	fl, err := Create(f, filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	f.FailSync("wal.log")
+	if err := fl.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync with FailSync rule: %v, want ErrInjected", err)
+	}
+	if err := fl.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync: %v, want sticky ErrInjected", err)
+	}
+	f.HealSync("wal.log")
+	if err := fl.Sync(); err != nil {
+		t.Fatalf("sync after heal: %v", err)
+	}
+}
+
+func TestShortWriteNextIsOneShot(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil)
+	path := filepath.Join(dir, "data")
+	fl, err := Create(f, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	f.ShortWriteNext("data", 3)
+	n, err := fl.Write([]byte("hello world"))
+	if n != 3 || !errors.Is(err, ErrInjected) || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if n, err := fl.Write([]byte("!!")); n != 2 || err != nil {
+		t.Fatalf("write after one-shot rule: n=%d err=%v", n, err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "hel!!" {
+		t.Fatalf("on disk %q, want only the torn prefix plus the clean write", b)
+	}
+}
+
+func TestCrashAfterOpsTornWriteAndDeadness(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil)
+	path := filepath.Join(dir, "wal.log")
+	fl, err := Create(f, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Creating the file was mutating op 1; arm the crash on the second
+	// write from now, tearing it after 4 bytes.
+	f.CrashAfterOps("wal.log", 2, 4)
+	if _, err := fl.Write([]byte("first-")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fl.Write([]byte("second"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point write: %v, want ErrCrashed", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write persisted %d bytes, want 4", n)
+	}
+	if !f.Crashed() {
+		t.Fatal("controller not dead after crash point")
+	}
+	// Everything after the crash fails — including new opens and syncs.
+	if err := fl.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := Create(f, filepath.Join(dir, "other")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := f.Rename(path, path+"x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	// Close still releases the descriptor without reporting an error.
+	if err := fl.Close(); err != nil {
+		t.Fatalf("post-crash close: %v", err)
+	}
+	// The torn prefix is what the "next process" sees.
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "first-seco" {
+		t.Fatalf("on disk %q, %v; want torn prefix", b, err)
+	}
+}
+
+func TestCrashSuppressesNonWriteMutations(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil)
+	a := filepath.Join(dir, "a")
+	if err := WriteFile(f, a, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f.CrashNow()
+	if err := f.Remove(a); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove: %v", err)
+	}
+	if _, err := os.Stat(a); err != nil {
+		t.Fatal("suppressed remove still deleted the file")
+	}
+}
+
+func TestMutators(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte{0, 0, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, -1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if b[3] == 0 {
+		t.Fatal("FlipBit changed nothing")
+	}
+	if err := AppendGarbage(path, rand.New(rand.NewSource(1)), 16); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 20 {
+		t.Fatalf("size %d after AppendGarbage, want 20", fi.Size())
+	}
+	if err := TruncateTail(path, 18); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 2 {
+		t.Fatalf("size %d after TruncateTail, want 2", fi.Size())
+	}
+}

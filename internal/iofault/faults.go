@@ -1,0 +1,320 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Fault-injection controller, shaped like netsim.Faults: production code
+// is handed a Faults as its FS and the test scripts failures against it.
+//
+//   - FailSync(substr): every fsync of a file whose path contains substr
+//     fails (sticky until HealSync) — the fsyncgate shape: the kernel may
+//     have dropped the dirty pages, so a later retry succeeding proves
+//     nothing. The storage layers must treat the first failure as fatal.
+//   - ShortWriteNext(substr, keep): the next write to a matching file
+//     persists only the first keep bytes and reports a short write.
+//   - CrashAfterOps(substr, n, torn): the nth subsequent mutating
+//     operation touching a matching path is the crash point — a write
+//     persists only torn bytes, any other operation (sync, rename,
+//     truncate, remove) does not happen at all — and every operation
+//     after it fails with ErrCrashed, exactly what a process death looks
+//     like to the next process that opens the directory.
+//
+// Close remains allowed after a crash (it releases the real descriptor
+// so crash-loop tests do not leak fds) but syncs nothing.
+
+// Errors surfaced by injected faults.
+var (
+	// ErrCrashed is returned by every operation after a scripted crash
+	// point has fired.
+	ErrCrashed = errors.New("iofault: simulated crash")
+	// ErrInjected wraps non-crash injected failures (fsync errors, short
+	// writes) so tests can assert the failure came from the script.
+	ErrInjected = errors.New("iofault: injected I/O failure")
+)
+
+type crashRule struct {
+	substr    string
+	remaining int
+	torn      int
+}
+
+type shortRule struct {
+	substr string
+	keep   int
+}
+
+// Faults wraps a base FS with scripted failures.
+type Faults struct {
+	mu        sync.Mutex
+	base      FS
+	ops       int // mutating operations observed
+	crashed   bool
+	crash     *crashRule
+	short     *shortRule
+	failSyncs map[string]bool
+}
+
+// New wraps base (nil selects Disk) with a controller holding no
+// scripted failures.
+func New(base FS) *Faults {
+	if base == nil {
+		base = Disk{}
+	}
+	return &Faults{base: base, failSyncs: make(map[string]bool)}
+}
+
+// FailSync makes every Sync of files whose path contains substr fail
+// until HealSync. Matching "" fails every sync.
+func (f *Faults) FailSync(substr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncs[substr] = true
+}
+
+// HealSync removes a FailSync rule. Durable state must NOT become
+// writable again just because the fault cleared — that is exactly the
+// retry-after-failed-fsync hole the storage layers guard against.
+func (f *Faults) HealSync(substr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.failSyncs, substr)
+}
+
+// ShortWriteNext arms a one-shot short write: the next write to a file
+// whose path contains substr persists only keep bytes.
+func (f *Faults) ShortWriteNext(substr string, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.short = &shortRule{substr: substr, keep: keep}
+}
+
+// CrashAfterOps arms the crash point: the nth (1-based) subsequent
+// mutating operation on a path containing substr fires it. If that
+// operation is a write, its first torn bytes persist (a torn tail);
+// any other mutating operation is suppressed entirely. "" matches every
+// path.
+func (f *Faults) CrashAfterOps(substr string, n, torn int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.crash = &crashRule{substr: substr, remaining: n, torn: torn}
+}
+
+// CrashNow fires the crash point immediately.
+func (f *Faults) CrashNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	f.crash = nil
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *Faults) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Ops reports how many mutating operations the controller has observed
+// (schedule calibration for the soak tests).
+func (f *Faults) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// gate records one mutating op against path and reports what the script
+// says should happen: crashed (operation must fail), and for writes the
+// torn byte count (-1 = write everything).
+func (f *Faults) gate(path string, isWrite bool) (dead bool, torn int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return true, 0
+	}
+	f.ops++
+	if f.crash != nil && strings.Contains(path, f.crash.substr) {
+		f.crash.remaining--
+		if f.crash.remaining <= 0 {
+			f.crashed = true
+			t := f.crash.torn
+			f.crash = nil
+			if isWrite {
+				return false, t // this write tears, then the world ends
+			}
+			return true, 0
+		}
+	}
+	return false, -1
+}
+
+// dead reports whether the crash point has fired (read-path check).
+func (f *Faults) dead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// OpenFile implements FS.
+func (f *Faults) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	mutates := flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0
+	if mutates {
+		if dead, _ := f.gate(name, false); dead {
+			return nil, fmt.Errorf("%w: open %s", ErrCrashed, name)
+		}
+	} else if f.dead() {
+		return nil, fmt.Errorf("%w: open %s", ErrCrashed, name)
+	}
+	fl, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: fl, ctl: f}, nil
+}
+
+// Rename implements FS.
+func (f *Faults) Rename(oldpath, newpath string) error {
+	if dead, _ := f.gate(newpath, false); dead {
+		return fmt.Errorf("%w: rename %s", ErrCrashed, newpath)
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Faults) Remove(name string) error {
+	if dead, _ := f.gate(name, false); dead {
+		return fmt.Errorf("%w: remove %s", ErrCrashed, name)
+	}
+	return f.base.Remove(name)
+}
+
+// Truncate implements FS.
+func (f *Faults) Truncate(name string, size int64) error {
+	if dead, _ := f.gate(name, false); dead {
+		return fmt.Errorf("%w: truncate %s", ErrCrashed, name)
+	}
+	return f.base.Truncate(name, size)
+}
+
+// MkdirAll implements FS.
+func (f *Faults) MkdirAll(path string, perm os.FileMode) error {
+	if dead, _ := f.gate(path, false); dead {
+		return fmt.Errorf("%w: mkdir %s", ErrCrashed, path)
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+// Stat implements FS.
+func (f *Faults) Stat(name string) (os.FileInfo, error) {
+	if f.dead() {
+		return nil, fmt.Errorf("%w: stat %s", ErrCrashed, name)
+	}
+	return f.base.Stat(name)
+}
+
+// SyncDir implements FS.
+func (f *Faults) SyncDir(dir string) error {
+	if dead, _ := f.gate(dir, false); dead {
+		return fmt.Errorf("%w: syncdir %s", ErrCrashed, dir)
+	}
+	f.mu.Lock()
+	for substr := range f.failSyncs {
+		if strings.Contains(dir, substr) {
+			f.mu.Unlock()
+			return fmt.Errorf("%w: fsync dir %s", ErrInjected, dir)
+		}
+	}
+	f.mu.Unlock()
+	return f.base.SyncDir(dir)
+}
+
+type faultFile struct {
+	f   File
+	ctl *Faults
+}
+
+func (ff *faultFile) Name() string { return ff.f.Name() }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if ff.ctl.dead() {
+		return 0, fmt.Errorf("%w: read %s", ErrCrashed, ff.f.Name())
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	name := ff.f.Name()
+	dead, torn := ff.ctl.gate(name, true)
+	if dead {
+		return 0, fmt.Errorf("%w: write %s", ErrCrashed, name)
+	}
+	if torn >= 0 { // crash point: persist the torn prefix, then die
+		if torn > len(p) {
+			torn = len(p)
+		}
+		if torn > 0 {
+			ff.f.Write(p[:torn]) //nolint:errcheck // the caller sees the crash either way
+		}
+		return torn, fmt.Errorf("%w: write %s torn after %d bytes", ErrCrashed, name, torn)
+	}
+	ff.ctl.mu.Lock()
+	if s := ff.ctl.short; s != nil && strings.Contains(name, s.substr) {
+		keep := s.keep
+		ff.ctl.short = nil
+		ff.ctl.mu.Unlock()
+		if keep > len(p) {
+			keep = len(p)
+		}
+		if keep > 0 {
+			if _, err := ff.f.Write(p[:keep]); err != nil {
+				return 0, err
+			}
+		}
+		return keep, fmt.Errorf("%w: %w", ErrInjected, io.ErrShortWrite)
+	}
+	ff.ctl.mu.Unlock()
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	name := ff.f.Name()
+	dead, _ := ff.ctl.gate(name, false)
+	if dead {
+		return fmt.Errorf("%w: fsync %s", ErrCrashed, name)
+	}
+	ff.ctl.mu.Lock()
+	for substr := range ff.ctl.failSyncs {
+		if strings.Contains(name, substr) {
+			ff.ctl.mu.Unlock()
+			return fmt.Errorf("%w: fsync %s", ErrInjected, name)
+		}
+	}
+	ff.ctl.mu.Unlock()
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Stat() (os.FileInfo, error) {
+	if ff.ctl.dead() {
+		return nil, fmt.Errorf("%w: stat %s", ErrCrashed, ff.f.Name())
+	}
+	return ff.f.Stat()
+}
+
+// Close always releases the real descriptor — crash-loop tests reopen
+// hundreds of databases and must not leak fds — but reports the crash
+// so no caller mistakes it for a durable close.
+func (ff *faultFile) Close() error {
+	err := ff.f.Close()
+	if ff.ctl.dead() {
+		return nil // the data's fate was already reported by write/sync
+	}
+	return err
+}
+
+var _ FS = (*Faults)(nil)

@@ -1,0 +1,67 @@
+package iofault
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// Post-crash tail mutations for corruption corpora: these edit a file
+// in place the way a dying disk or a buggy tool would, so recovery code
+// can be pinned against torn frames, bit flips and garbage tails. They
+// operate on the real filesystem — corruption is injected between
+// "process death" and "restart", when no FS handle exists.
+
+// FlipBit flips one bit of the byte at off (negative off counts back
+// from the end of the file).
+func FlipBit(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if off < 0 {
+		off += fi.Size()
+	}
+	if off < 0 || off >= fi.Size() {
+		return fmt.Errorf("iofault: FlipBit offset %d outside file of %d bytes", off, fi.Size())
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 0x10
+	_, err = f.WriteAt(b[:], off)
+	return err
+}
+
+// AppendGarbage appends n pseudo-random bytes (a torn, never-synced
+// tail of foreign data).
+func AppendGarbage(path string, rng *rand.Rand, n int) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := make([]byte, n)
+	rng.Read(b) //nolint:errcheck // rand.Read never fails
+	_, err = f.Write(b)
+	return err
+}
+
+// TruncateTail cuts the last n bytes off the file (a torn final write).
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}

@@ -1,0 +1,83 @@
+package sqldb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/iofault"
+	"repro/internal/sqltypes"
+)
+
+// A transaction that stages nothing in the WAL (e.g. a DELETE that
+// matched zero rows) may still have based that emptiness on the
+// not-yet-durable effects of a concurrent transaction — the
+// group-commit visibility window. Its acknowledgement must wait for
+// that state to become durable: if the flush it depended on fails and
+// the earlier transaction unwinds, acknowledging the empty commit means
+// telling the client "the row is gone" about a row that recovery will
+// bring back. The crash-recovery soak found this as an "acknowledged
+// delete resurrected" violation; this is the deterministic distillation.
+func TestEmptyCommitDependsOnObservedState(t *testing.T) {
+	dir := t.TempDir()
+	faults := iofault.New(nil)
+	db, err := OpenWith(dir, Options{FS: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE K (ID INTEGER PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO K VALUES (?)`, sqltypes.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage a DELETE but do not run its finish: the row is gone from
+	// memory, while the frames sit unflushed in the WAL buffer.
+	stmts, err := ParseScript(`DELETE FROM K WHERE ID = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.mu.Lock()
+	txA := db.newTxLocked()
+	if _, _, err := db.execStmtLocked(txA, stmts[0], nil); err != nil {
+		db.mu.Unlock()
+		t.Fatal(err)
+	}
+	finishA, err := db.commitLocked(txA)
+	db.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flush that would make the staged delete durable will fail.
+	faults.FailSync("wal.log")
+
+	// A second DELETE of the same row sees the undurable delete, matches
+	// nothing, and stages nothing. Its commit still depends on that
+	// observed state, so it must not be acknowledged.
+	if _, err := db.Exec(`DELETE FROM K WHERE ID = 1`); err == nil {
+		t.Fatal("empty commit acknowledged despite depending on a flush that failed")
+	} else if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("dependent empty commit failed with %v, want ErrPoisoned in the chain", err)
+	}
+
+	// The staged delete itself was rolled back by the same failure.
+	if err := finishA(); err == nil {
+		t.Fatal("staged delete reported durable despite failed fsync")
+	}
+	db.Close() //nolint:errcheck // poisoned
+
+	// Recovery proves the point: the row is back.
+	clean, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	rows, err := clean.Query(`SELECT COUNT(*) N FROM K`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rows.Data[0][0].Int(); n != 1 {
+		t.Fatalf("row count after recovery = %d, want 1 (delete was never durable)", n)
+	}
+}

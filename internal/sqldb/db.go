@@ -3,13 +3,34 @@ package sqldb
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/sqltypes"
+)
+
+// Typed durability errors. Callers distinguish them with errors.Is.
+var (
+	// ErrPoisoned marks a database whose durability can no longer be
+	// trusted: an fsync failed (the kernel may have dropped the dirty
+	// pages it covered, so retrying proves nothing), or a checkpoint
+	// died after the new snapshot became visible but before the log was
+	// rotated onto it. Every subsequent commit and checkpoint fails with
+	// this error; reopening the directory recovers to the last state
+	// that verifiably reached disk.
+	ErrPoisoned = errors.New("sqldb: database poisoned by durability failure, reopen to recover")
+	// ErrWALCorrupt refuses an open whose log shows mid-log corruption:
+	// a bad frame with intact frames after it, i.e. damage to data that
+	// was once durably written, not a torn crash tail. Opening with
+	// Options.Salvage accepts the loss explicitly and recovers the
+	// prefix before the damage.
+	ErrWALCorrupt = errors.New("sqldb: WAL corrupt")
+	// ErrSnapshotCorrupt refuses an open whose snapshot fails its
+	// whole-file checksum (or predates it).
+	ErrSnapshotCorrupt = errors.New("sqldb: snapshot corrupt")
 )
 
 // LinkController receives SQL/MED link-control callbacks from the engine
@@ -155,11 +176,21 @@ type DB struct {
 	plans *planCache
 
 	dir       string
+	fs        iofault.FS // filesystem all durability I/O goes through
+	gen       uint64     // checkpoint generation of the live snapshot+log
 	wal       *walFile
 	linkCtl   LinkController
 	ddlLog    []string
 	replaying bool
 	closed    bool
+
+	// poisonErr is the sticky database-level durability failure (wraps
+	// ErrPoisoned). Set when a WAL flush fails or a checkpoint dies in
+	// its non-atomic window; checked at every commit and checkpoint.
+	poisonErr error
+
+	// recovery describes what the Open that produced this DB found.
+	recovery RecoveryInfo
 
 	// legacyAggregation routes aggregated SELECTs through the
 	// materialise-then-group executor instead of the fold pipeline —
@@ -183,48 +214,144 @@ type DB struct {
 	CheckpointEvery int
 }
 
+// Options tunes OpenWith.
+type Options struct {
+	// FS is the filesystem durability I/O goes through; nil selects the
+	// real disk. Tests inject an iofault.Faults controller here.
+	FS iofault.FS
+	// Salvage accepts data loss on mid-log WAL corruption: instead of
+	// refusing with ErrWALCorrupt, recovery keeps the intact prefix
+	// before the damage and truncates the rest. RecoveryInfo.Salvaged
+	// reports that it happened.
+	Salvage bool
+}
+
+// RecoveryInfo describes what crash recovery found and did during Open.
+type RecoveryInfo struct {
+	SnapshotGen    uint64 // checkpoint generation of the loaded snapshot
+	WALEpoch       uint64 // epoch declared by the log's header frame
+	StaleWAL       bool   // log predated the snapshot and was discarded
+	ReplayedTx     int    // committed transactions re-applied from the log
+	Tail           string // tail classification: clean / torn-tail / ...
+	TruncatedBytes int64  // torn-tail bytes removed from the log
+	Salvaged       bool   // mid-log corruption was truncated under Salvage
+}
+
 // Open opens (creating if necessary) a database in dir. An empty dir
 // yields an in-memory database with no durability.
-func Open(dir string) (*DB, error) {
+func Open(dir string) (*DB, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens a database with explicit recovery options.
+//
+// Recovery proceeds: load + checksum-verify the snapshot, parse the
+// log, classify its tail. A clean or torn tail recovers normally (the
+// torn region — a crash mid-append, never acknowledged — is truncated
+// away). Mid-log corruption refuses with ErrWALCorrupt unless
+// opts.Salvage. A log whose epoch predates the snapshot's generation
+// is a checkpoint that crashed between snapshot rename and log
+// rotation; its contents are already folded into the snapshot, so it
+// is discarded, not replayed.
+func OpenWith(dir string, opts Options) (*DB, error) {
 	db := &DB{
 		cat:             NewCatalog(),
 		data:            make(map[string]*tableData),
 		indexes:         make(map[string]indexDef),
 		plans:           newPlanCache(DefaultPlanCacheCapacity),
 		dir:             dir,
+		fs:              opts.FS,
 		nowFn:           time.Now,
 		nextTx:          1,
 		nextRow:         1,
 		CheckpointEvery: 1024,
 	}
+	if db.fs == nil {
+		db.fs = iofault.Disk{}
+	}
 	if dir == "" {
 		return db, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := db.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	db.replaying = true
 	if err := db.loadSnapshotLocked(); err != nil {
 		return nil, err
 	}
-	committed, err := readWAL(filepath.Join(dir, "wal.log"))
+	db.recovery.SnapshotGen = db.gen
+	walPath := filepath.Join(dir, "wal.log")
+	rep, err := replayWAL(db.fs, walPath)
 	if err != nil {
 		return nil, err
 	}
-	for _, tx := range committed {
+	db.recovery.WALEpoch = rep.epoch
+	db.recovery.Tail = rep.tail.String()
+	switch {
+	case rep.total == 0:
+		// No log (first boot, or clean checkpoint): nothing to decide.
+	case rep.hasEpoch && rep.epoch < db.gen:
+		// Stale log from before the snapshot's checkpoint: the crash hit
+		// between snapshot rename and log rotation. Everything in it is
+		// in the snapshot already; replaying would double-apply.
+		db.recovery.StaleWAL = true
+		if err := db.fs.Truncate(walPath, 0); err != nil {
+			return nil, err
+		}
+		rep = walReplay{tail: tailClean}
+	case rep.hasEpoch && rep.epoch > db.gen:
+		// A log from the future of our snapshot: the snapshot rename
+		// reached disk but a previous snapshot is what we read, or the
+		// directory was hand-assembled. Either way replaying records
+		// that assume a newer base would corrupt silently — refuse.
+		return nil, fmt.Errorf("%w: log epoch %d is newer than snapshot generation %d", ErrWALCorrupt, rep.epoch, db.gen)
+	case !rep.hasEpoch && rep.goodLen > 0:
+		// Pre-epoch log format (or a first frame lost to corruption with
+		// the rest intact — replayWAL reports the latter as tailCorrupt
+		// only via frame damage, so this arm is the legacy-format one).
+		// Replay it against generation 0 snapshots only.
+		if db.gen != 0 {
+			return nil, fmt.Errorf("%w: log carries no epoch but snapshot is generation %d", ErrWALCorrupt, db.gen)
+		}
+	}
+	if rep.tail == tailCorrupt {
+		if !opts.Salvage {
+			return nil, fmt.Errorf("%w: %s in %s (%d of %d bytes recoverable; reopen with the salvage option to accept losing the rest)",
+				ErrWALCorrupt, rep.detail, walPath, rep.goodLen, rep.total)
+		}
+		db.recovery.Salvaged = true
+	}
+	if rep.goodLen < rep.total {
+		// Torn tail (or salvage): drop the bytes past the last intact
+		// frame BEFORE reopening for append, so new commits land on the
+		// frame boundary. Appending after garbage would strand every
+		// later commit behind an unparseable region — silent loss on the
+		// next replay.
+		db.recovery.TruncatedBytes = rep.total - rep.goodLen
+		if err := db.fs.Truncate(walPath, rep.goodLen); err != nil {
+			return nil, err
+		}
+	}
+	for _, tx := range rep.committed {
 		for _, rec := range tx {
 			if err := db.applyWALRecord(rec); err != nil {
 				return nil, fmt.Errorf("sqldb: WAL replay: %w", err)
 			}
 		}
 	}
+	db.recovery.ReplayedTx = len(rep.committed)
 	db.replaying = false
-	wal, err := openWAL(filepath.Join(dir, "wal.log"))
+	wal, err := openWAL(db.fs, walPath, db.gen)
 	if err != nil {
 		return nil, err
 	}
 	db.wal = wal
 	return db, nil
+}
+
+// Recovery reports what crash recovery found when this DB was opened.
+func (db *DB) Recovery() RecoveryInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recovery
 }
 
 func (db *DB) applyWALRecord(rec walRecord) error {
@@ -258,7 +385,10 @@ func (db *DB) applyWALRecord(rec walRecord) error {
 	return nil
 }
 
-// Close flushes a final checkpoint and releases the WAL.
+// Close flushes a final checkpoint and releases the WAL. A poisoned
+// database skips the checkpoint (its durability is already suspect; the
+// on-disk state from the last successful fsync is what recovery will
+// use) but still releases the log's descriptor.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -266,12 +396,13 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	if db.dir != "" {
-		if err := db.checkpointLocked(); err != nil {
-			return err
-		}
+	var cpErr error
+	if db.dir != "" && db.poisonErr == nil {
+		cpErr = db.checkpointLocked()
 	}
-	return db.wal.close()
+	// Always release the descriptor, even when the checkpoint failed —
+	// leaking it would hold the old log open across a reopen.
+	return errors.Join(cpErr, db.wal.close())
 }
 
 // SetLinkController installs the SQL/MED coordinator. It must be set
@@ -346,9 +477,31 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
+// poisonLocked records a database-level durability failure. Sticky:
+// the first cause wins; every later commit and checkpoint reports it.
+func (db *DB) poisonLocked(cause error) {
+	if db.poisonErr == nil {
+		db.poisonErr = fmt.Errorf("%w: %v", ErrPoisoned, cause)
+	}
+}
+
+// checkpointLocked folds the log into a fresh snapshot at generation
+// gen+1, then rotates the log onto the new generation.
+//
+// Failure handling is zoned by the snapshot rename. Before it, the old
+// snapshot+log pair is untouched and the error is plainly retryable.
+// From the rename on, the directory may hold the NEW snapshot while the
+// live log still declares the OLD epoch — any commit appended to that
+// log would be skipped by replay (stale epoch) if the new snapshot is
+// what a restart reads. No further commit may be acknowledged, so every
+// failure in that window poisons the database; reopening recovers
+// cleanly (the epoch check resolves which side of the rename won).
 func (db *DB) checkpointLocked() error {
 	if db.dir == "" {
 		return nil
+	}
+	if db.poisonErr != nil {
+		return db.poisonErr
 	}
 	// Fence the WAL before snapshotting: staged-but-unflushed
 	// transactions are visible in memory, and if their flush failed
@@ -357,24 +510,39 @@ func (db *DB) checkpointLocked() error {
 	// failure therefore aborts the checkpoint.
 	if db.wal != nil {
 		if err := db.wal.barrier(); err != nil {
+			db.poisonLocked(err)
 			return fmt.Errorf("sqldb: checkpoint aborted, WAL flush failed: %w", err)
 		}
 	}
 	for _, td := range db.data {
 		td.compact()
 	}
-	if err := db.saveSnapshotLocked(); err != nil {
-		return err
-	}
-	if err := db.wal.close(); err != nil {
-		return err
-	}
-	if err := os.Truncate(filepath.Join(db.dir, "wal.log"), 0); err != nil && !os.IsNotExist(err) {
-		return err
-	}
-	wal, err := openWAL(filepath.Join(db.dir, "wal.log"))
+	renamed, err := db.saveSnapshotLocked(db.gen + 1)
 	if err != nil {
+		if renamed {
+			db.poisonLocked(fmt.Errorf("checkpoint failed after snapshot rename: %v", err))
+			return db.poisonErr
+		}
 		return err
+	}
+	db.gen++
+	// The snapshot for db.gen is durable; rotate the log onto it. The
+	// old log is now entirely redundant (its epoch is db.gen-1).
+	walPath := filepath.Join(db.dir, "wal.log")
+	oldErr := db.wal.close()
+	db.wal = nil
+	if oldErr != nil {
+		db.poisonLocked(fmt.Errorf("closing pre-checkpoint WAL: %v", oldErr))
+		return db.poisonErr
+	}
+	if err := db.fs.Truncate(walPath, 0); err != nil && !iofault.IsNotExist(err) {
+		db.poisonLocked(fmt.Errorf("truncating pre-checkpoint WAL: %v", err))
+		return db.poisonErr
+	}
+	wal, err := openWAL(db.fs, walPath, db.gen)
+	if err != nil {
+		db.poisonLocked(fmt.Errorf("rotating WAL onto generation %d: %v", db.gen, err))
+		return db.poisonErr
 	}
 	db.wal = wal
 	db.txSinceCheckpoint = 0
@@ -492,18 +660,34 @@ func (db *DB) newTxLocked() *txState {
 // observe the transaction's committed-but-not-yet-durable effects —
 // the standard group-commit visibility window.
 func (db *DB) commitLocked(tx *txState) (func() error, error) {
+	if db.poisonErr != nil {
+		rbErr := db.rollbackLocked(tx)
+		return nil, errors.Join(db.poisonErr, rbErr)
+	}
 	staged := false
-	if db.wal != nil && len(tx.redo) > 0 {
-		seq, err := db.wal.stageTx(tx.id, tx.redo)
-		if err != nil {
-			// Durability failed: the in-memory effects must not survive.
-			rbErr := db.rollbackLocked(tx)
-			return nil, errors.Join(fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err), rbErr)
+	var observedSeq uint64
+	if db.wal != nil {
+		if len(tx.redo) > 0 {
+			seq, err := db.wal.stageTx(tx.id, tx.redo)
+			if err != nil {
+				// Durability failed: the in-memory effects must not survive.
+				rbErr := db.rollbackLocked(tx)
+				return nil, errors.Join(fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err), rbErr)
+			}
+			tx.seq = seq
+			tx.wal = db.wal
+			db.inflight = append(db.inflight, tx)
+			staged = true
+		} else {
+			// Nothing to log, but the transaction's reads may have seen
+			// effects of transactions staged ahead of it that are not yet
+			// durable (the group-commit visibility window). Its commit
+			// depends on that state: a DELETE that matched zero rows
+			// because a concurrent not-yet-durable DELETE got there first
+			// must not be acknowledged if that earlier flush fails and
+			// unwinds. Record the dependency frontier; finish waits on it.
+			observedSeq = db.wal.currentSeq()
 		}
-		tx.seq = seq
-		tx.wal = db.wal
-		db.inflight = append(db.inflight, tx)
-		staged = true
 	}
 	db.txSinceCheckpoint++
 	checkpointDue := db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery
@@ -514,12 +698,22 @@ func (db *DB) commitLocked(tx *txState) (func() error, error) {
 			werr := wal.waitDurable(tx.seq)
 			db.mu.Lock()
 			if werr != nil {
+				// The fsync failed. The kernel may already have dropped
+				// the dirty pages it covered, so no retry can be trusted:
+				// poison the database and unwind the undurable suffix.
+				db.poisonLocked(werr)
 				abortErr := db.unwindFailedLocked()
 				db.mu.Unlock()
 				return errors.Join(fmt.Errorf("sqldb: WAL flush failed, transaction rolled back: %w", werr), abortErr)
 			}
 			db.dropInflightLocked(tx)
 			db.mu.Unlock()
+		} else if wal != nil && observedSeq > 0 {
+			// Empty-redo commit: acknowledge only once the state it could
+			// have observed is durable (no-op if nothing is in flight).
+			if werr := wal.waitDurable(observedSeq); werr != nil {
+				return fmt.Errorf("sqldb: commit depends on a WAL flush that failed: %w", werr)
+			}
 		}
 		if tx.usedLink && linkCtl != nil {
 			if err := linkCtl.Commit(tx.id); err != nil {

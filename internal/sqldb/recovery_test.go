@@ -1,0 +1,434 @@
+package sqldb
+
+import (
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/iofault"
+	"repro/internal/sqltypes"
+)
+
+// seedDB creates a database with committed rows and returns its
+// directory. The WAL holds the DDL plus n single-row transactions; no
+// checkpoint runs, so everything committed is in the log.
+func seedDB(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CheckpointEvery = 0
+	if _, err := db.Exec(`CREATE TABLE T (ID INTEGER PRIMARY KEY)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := db.Exec(`INSERT INTO T VALUES (?)`, sqltypes.NewInt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Release the descriptor without checkpointing (Close would fold the
+	// WAL into the snapshot and truncate it).
+	db.mu.Lock()
+	db.closed = true
+	wal := db.wal
+	db.mu.Unlock()
+	if err := wal.close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func countRows(t *testing.T, db *DB) int64 {
+	t.Helper()
+	rows, err := db.Query(`SELECT COUNT(*) FROM T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows.Data[0][0].Int()
+}
+
+// lastFrameOffsets parses the log and returns the byte offset and
+// length of every frame, in order.
+func frameOffsets(t *testing.T, path string) (offs, lens []int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for off < int64(len(data)) {
+		length := int64(getUint32(data[off : off+4]))
+		offs = append(offs, off)
+		lens = append(lens, 8+length)
+		off += 8 + length
+	}
+	return offs, lens
+}
+
+// TestWALTailCorpus pins the truncate-vs-refuse decision for every tail
+// shape the crash injector can produce.
+func TestWALTailCorpus(t *testing.T) {
+	const rowsSeeded = 8
+
+	t.Run("clean tail", func(t *testing.T) {
+		dir := seedDB(t, rowsSeeded)
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if got := countRows(t, db); got != rowsSeeded {
+			t.Fatalf("recovered %d rows, want %d", got, rowsSeeded)
+		}
+		if rec := db.Recovery(); rec.Tail != "clean" || rec.TruncatedBytes != 0 {
+			t.Fatalf("recovery info %+v, want clean/0", rec)
+		}
+	})
+
+	t.Run("empty file", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal.log"), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if rec := db.Recovery(); rec.Tail != "clean" || rec.ReplayedTx != 0 {
+			t.Fatalf("empty log recovery %+v, want clean/0", rec)
+		}
+	})
+
+	t.Run("torn header", func(t *testing.T) {
+		dir := seedDB(t, rowsSeeded)
+		wal := filepath.Join(dir, "wal.log")
+		// Leave 3 bytes of a new frame header dangling.
+		if err := iofault.AppendGarbage(wal, rand.New(rand.NewSource(7)), 3); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if got := countRows(t, db); got != rowsSeeded {
+			t.Fatalf("recovered %d rows, want %d", got, rowsSeeded)
+		}
+		if rec := db.Recovery(); rec.Tail != "torn-tail" || rec.TruncatedBytes != 3 {
+			t.Fatalf("recovery info %+v, want torn-tail/3", rec)
+		}
+	})
+
+	t.Run("torn payload", func(t *testing.T) {
+		dir := seedDB(t, rowsSeeded)
+		wal := filepath.Join(dir, "wal.log")
+		offs, lens := frameOffsets(t, wal)
+		last := len(offs) - 1
+		// Cut the final frame mid-payload: a crash during the append.
+		if err := iofault.TruncateTail(wal, lens[last]-9); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		// The torn frame was the last transaction's COMMIT: that
+		// transaction is (correctly) gone, everything before survives.
+		if got := countRows(t, db); got != rowsSeeded-1 {
+			t.Fatalf("recovered %d rows, want %d", got, rowsSeeded-1)
+		}
+	})
+
+	t.Run("garbage tail", func(t *testing.T) {
+		dir := seedDB(t, rowsSeeded)
+		wal := filepath.Join(dir, "wal.log")
+		if err := iofault.AppendGarbage(wal, rand.New(rand.NewSource(3)), 200); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if got := countRows(t, db); got != rowsSeeded {
+			t.Fatalf("recovered %d rows, want %d", got, rowsSeeded)
+		}
+		if rec := db.Recovery(); rec.TruncatedBytes != 200 {
+			t.Fatalf("truncated %d bytes, want 200", rec.TruncatedBytes)
+		}
+		// The garbage must be gone from disk: new commits append at the
+		// frame boundary, not after the junk.
+		db2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("second reopen after garbage truncation: %v", err)
+		}
+		defer db2.Close()
+		if rec := db2.Recovery(); rec.Tail != "clean" {
+			t.Fatalf("second reopen tail %q, want clean", rec.Tail)
+		}
+	})
+
+	t.Run("final frame CRC flip truncates", func(t *testing.T) {
+		dir := seedDB(t, rowsSeeded)
+		wal := filepath.Join(dir, "wal.log")
+		// Flip a payload bit of the FINAL frame: structurally complete,
+		// CRC fails, nothing valid after it → torn, truncate, continue.
+		if err := iofault.FlipBit(wal, -2); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		if got := countRows(t, db); got != rowsSeeded-1 {
+			t.Fatalf("recovered %d rows, want %d", got, rowsSeeded-1)
+		}
+	})
+
+	t.Run("mid-log CRC flip refuses", func(t *testing.T) {
+		dir := seedDB(t, rowsSeeded)
+		wal := filepath.Join(dir, "wal.log")
+		offs, _ := frameOffsets(t, wal)
+		// Corrupt a payload byte in the middle of the log: intact frames
+		// after it prove this was once-durable data. Refuse.
+		mid := offs[len(offs)/2] + 9
+		if err := iofault.FlipBit(wal, mid); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(dir)
+		if !errors.Is(err, ErrWALCorrupt) {
+			t.Fatalf("open on mid-log corruption: %v, want ErrWALCorrupt", err)
+		}
+
+		// Salvage opt-in recovers the prefix before the damage.
+		db, err := OpenWith(dir, Options{Salvage: true})
+		if err != nil {
+			t.Fatalf("salvage open: %v", err)
+		}
+		defer db.Close()
+		rec := db.Recovery()
+		if !rec.Salvaged {
+			t.Fatalf("recovery info %+v, want Salvaged", rec)
+		}
+		if got := countRows(t, db); got >= rowsSeeded || got < 1 {
+			t.Fatalf("salvaged %d rows, want a strict prefix of %d", got, rowsSeeded)
+		}
+	})
+
+	t.Run("mid-log frame header corruption refuses", func(t *testing.T) {
+		dir := seedDB(t, rowsSeeded)
+		wal := filepath.Join(dir, "wal.log")
+		offs, _ := frameOffsets(t, wal)
+		// Smash a mid-log LENGTH field to an absurd value. The parser
+		// cannot skip the frame, but the byte-scan finds intact frames
+		// beyond it → mid-log corruption, refuse.
+		f, err := os.OpenFile(wal, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0x7f}, offs[len(offs)/2]); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if _, err := Open(dir); !errors.Is(err, ErrWALCorrupt) {
+			t.Fatalf("open: %v, want ErrWALCorrupt", err)
+		}
+	})
+}
+
+// TestSnapshotChecksum pins snapshot load behaviour: a bit flip anywhere
+// refuses the open with the typed error; clean snapshots round-trip.
+func TestSnapshotChecksum(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ExecScript(`CREATE TABLE T (ID INTEGER PRIMARY KEY, NAME VARCHAR(20));
+		INSERT INTO T VALUES (1, 'alpha'); INSERT INTO T VALUES (2, 'beta')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // checkpoints into snapshot.db
+		t.Fatal(err)
+	}
+
+	// Clean round-trip first.
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(t, db2); got != 2 {
+		t.Fatalf("round-trip lost rows: %d", got)
+	}
+	if db2.Recovery().SnapshotGen == 0 {
+		t.Fatal("checkpointed snapshot still at generation 0")
+	}
+	db2.Close()
+
+	snap := filepath.Join(dir, "snapshot.db")
+	// Corrupt one byte mid-file.
+	if err := iofault.FlipBit(snap, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("open on flipped snapshot byte: %v, want ErrSnapshotCorrupt", err)
+	}
+	// Salvage does NOT override snapshot corruption — there is no safe
+	// prefix of a snapshot.
+	if _, err := OpenWith(dir, Options{Salvage: true}); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("salvage open on corrupt snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestSnapshotLegacyFormatRefused: a pre-checksum EASIADB1 snapshot must
+// refuse with the typed error, not parse garbage.
+func TestSnapshotLegacyFormatRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.db"), []byte("EASIADB1junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("open on legacy snapshot: %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestFsyncPoisonsDB: after a failed WAL fsync no later commit may be
+// acknowledged, even once the fault clears — fsyncgate semantics. A
+// fresh reopen of the directory recovers everything acknowledged before
+// the failure.
+func TestFsyncPoisonsDB(t *testing.T) {
+	dir := t.TempDir()
+	faults := iofault.New(nil)
+	db, err := OpenWith(dir, Options{FS: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.CheckpointEvery = 0
+	if err := db.ExecScript(`CREATE TABLE T (ID INTEGER PRIMARY KEY);
+		INSERT INTO T VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.FailSync("wal.log")
+	if _, err := db.Exec(`INSERT INTO T VALUES (2)`); err == nil {
+		t.Fatal("commit acknowledged through a failing fsync")
+	}
+	// The failed transaction's effects must be rolled back in memory.
+	if got := countRows(t, db); got != 1 {
+		t.Fatalf("failed commit left %d rows visible, want 1", got)
+	}
+
+	// The fault clears — but the DB must stay poisoned: the kernel may
+	// have dropped the dirty pages the failed fsync covered.
+	faults.HealSync("wal.log")
+	if _, err := db.Exec(`INSERT INTO T VALUES (3)`); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit after heal: %v, want ErrPoisoned", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("checkpoint on poisoned DB: %v, want ErrPoisoned", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("closing a poisoned DB must still release it: %v", err)
+	}
+
+	// Reopen on a clean disk: everything acknowledged pre-failure is
+	// there, nothing after it.
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := countRows(t, db2); got != 1 {
+		t.Fatalf("recovered %d rows, want 1", got)
+	}
+}
+
+// TestCheckpointCrashWindows drives a crash into every phase of the
+// checkpoint (snapshot tmp write, rename, dir sync, WAL rotation) and
+// asserts the reopened database always holds exactly the committed
+// rows — the epoch mechanism resolves which side of the rename won.
+func TestCheckpointCrashWindows(t *testing.T) {
+	const rows = 6
+	// Probe how many mutating ops a checkpoint performs, then crash at
+	// each op index in turn.
+	for crashAt := 1; crashAt <= 24; crashAt++ {
+		dir := t.TempDir()
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.CheckpointEvery = 0
+		if _, err := db.Exec(`CREATE TABLE T (ID INTEGER PRIMARY KEY)`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if _, err := db.Exec(`INSERT INTO T VALUES (?)`, sqltypes.NewInt(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Checkpoint(); err != nil { // gen 0 → 1, rows in snapshot
+			t.Fatal(err)
+		}
+		// More rows into the gen-1 WAL.
+		for i := rows; i < rows+2; i++ {
+			if _, err := db.Exec(`INSERT INTO T VALUES (?)`, sqltypes.NewInt(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Close(); err != nil { // clean close: snapshot gen 2
+			t.Fatal(err)
+		}
+
+		// Reopen under the injector and crash mid-checkpoint.
+		faults := iofault.New(nil)
+		db, err = OpenWith(dir, Options{FS: faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.CheckpointEvery = 0
+		if _, err := db.Exec(`INSERT INTO T VALUES (?)`, sqltypes.NewInt(100)); err != nil {
+			t.Fatal(err)
+		}
+		faults.CrashAfterOps("", crashAt, 0)
+		cpErr := db.Checkpoint()
+		crashed := faults.Crashed()
+		db.Close() //nolint:errcheck // post-crash close releases fds only
+		if !crashed && cpErr == nil {
+			// Crash point beyond the checkpoint's op count: nothing to test
+			// at larger indices either, but keep looping — later indices
+			// stay cheap no-ops and the loop bound documents the budget.
+			continue
+		}
+
+		db2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("crashAt=%d: reopen after checkpoint crash: %v", crashAt, err)
+		}
+		if got := countRows(t, db2); got != rows+3 {
+			t.Fatalf("crashAt=%d: recovered %d rows, want %d (recovery=%+v)", crashAt, got, rows+3, db2.Recovery())
+		}
+		db2.Close()
+	}
+}
+
+// TestEpochFrameFormat sanity-checks the log header frame so on-disk
+// compatibility breaks loudly, not silently.
+func TestEpochFrameFormat(t *testing.T) {
+	payload := encodeWALRecord(walRecord{op: walOpEpoch}, 42)
+	rec, epoch, err := decodeWALRecord(payload)
+	if err != nil || rec.op != walOpEpoch || epoch != 42 {
+		t.Fatalf("epoch frame round-trip: rec=%+v epoch=%d err=%v", rec, epoch, err)
+	}
+	frame := frameBytes(payload)
+	if getUint32(frame[4:8]) != crc32.ChecksumIEEE(payload) {
+		t.Fatal("frame CRC mismatch")
+	}
+}

@@ -6,12 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/sqltypes"
 )
 
@@ -19,7 +19,9 @@ import (
 //
 // On-disk layout inside the database directory:
 //
-//	snapshot.db — full image: DDL log + heaps + counters
+//	snapshot.db — full image: header + DDL log + heaps + counters,
+//	              whole-file CRC32 trailer, rotated by
+//	              tmp + fsync + rename + dir-fsync
 //	wal.log     — redo records for transactions committed since the
 //	              last checkpoint
 //
@@ -27,9 +29,18 @@ import (
 //
 //	uint32 length | uint32 crc32(payload) | payload
 //
-// and replay stops cleanly at the first torn or corrupt frame, which is
-// exactly what a crash mid-write produces. Only transactions whose
-// records are followed by a commit frame are applied.
+// The first frame of every log is an epoch frame naming the checkpoint
+// generation the log applies on top of; replay ignores a log whose
+// epoch does not match the snapshot's generation (a crash between the
+// snapshot rename and the log rotation leaves exactly that stale log
+// behind, already folded into the snapshot).
+//
+// Replay classifies the log tail instead of silently stopping at the
+// first bad frame (see replayWAL): an incomplete final frame is the
+// signature of a crash mid-append and is truncated away, while a bad
+// frame with intact frames AFTER it proves mid-log corruption of data
+// that was once durable — that refuses to open rather than silently
+// dropping committed transactions.
 
 const (
 	walOpBegin  = byte(1)
@@ -38,7 +49,14 @@ const (
 	walOpDelete = byte(4)
 	walOpUpdate = byte(5)
 	walOpDDL    = byte(6)
+	// walOpEpoch is the log-header frame; its txID slot carries the
+	// checkpoint generation this log applies on top of.
+	walOpEpoch = byte(7)
 )
+
+// maxWALFrame bounds a frame's payload; a length field beyond it is
+// treated as corruption, not allocation advice.
+const maxWALFrame = 64 << 20
 
 // walRecord is one redo record, buffered per transaction and written at
 // commit.
@@ -69,45 +87,95 @@ const (
 // Under concurrent commit load this turns N fsyncs into roughly one per
 // fsync latency window.
 //
-// A write or sync failure is sticky: the log is considered poisoned,
-// every in-flight and subsequent commit fails, and callers roll their
-// in-memory effects back, so acknowledged state never diverges further
-// from disk.
+// A write or sync failure is sticky and wraps ErrPoisoned: once an
+// fsync has failed, the kernel may already have dropped the dirty pages
+// it covered, so a retry that "succeeds" proves nothing — the log is
+// poisoned, every in-flight and subsequent commit fails, and callers
+// roll their in-memory effects back, so acknowledged state never
+// diverges further from disk.
 type walFile struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	f        *os.File
+	f        iofault.File
+	fs       iofault.FS
+	path     string
 	pending  bytes.Buffer // staged frames not yet written
 	nPending int          // staged transactions in pending
 	seq      uint64       // last staged commit sequence
 	durable  uint64       // highest sequence known fsynced
-	flushing bool         // a leader is draining/syncing
-	waiters  int          // committers inside waitDurable
-	flushes  int          // completed flush batches (observability/tests)
-	err      error        // sticky write/sync failure
+	// durableBytes is the log length at the last successful fsync. On a
+	// flush failure the file is truncated back to it: the failed batch's
+	// transactions are rolled back and reported failed, so their frames
+	// must not sit in the log where a later replay would resurrect them.
+	durableBytes int64
+	flushing     bool // a leader is draining/syncing
+	waiters      int  // committers inside waitDurable
+	flushes      int  // completed flush batches (observability/tests)
+	err          error // sticky write/sync failure (wraps ErrPoisoned)
 }
 
-func openWAL(path string) (*walFile, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// frameBytes wraps payload in the length|crc frame header.
+func frameBytes(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	putUint32(out[0:4], uint32(len(payload)))
+	putUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// openWAL opens the log for appending, stamping a fresh (empty) log
+// with an epoch frame for the given checkpoint generation — synced
+// before any commit can stage, so a log on disk always declares what
+// snapshot it applies to.
+func openWAL(fs iofault.FS, path string, epoch uint64) (*walFile, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	w := &walFile{f: f}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		frame := frameBytes(encodeWALRecord(walRecord{op: walOpEpoch}, epoch))
+		if _, err := f.Write(frame); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		size = int64(len(frame))
+	}
+	w := &walFile{f: f, fs: fs, path: path, durableBytes: size}
 	w.cond = sync.NewCond(&w.mu)
 	return w, nil
 }
 
-// close flushes everything staged, then closes the file.
+// close flushes everything staged, then closes the file. The file is
+// closed even when the flush fails (callers in crash tests must not
+// leak descriptors). A sticky poison error is NOT re-reported here: it
+// already failed every commit it affected, and close's remaining job is
+// only to release the descriptor.
 func (w *walFile) close() error {
 	if w == nil || w.f == nil {
 		return nil
 	}
 	err := w.barrier()
 	cerr := w.f.Close()
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrPoisoned) {
 		return err
 	}
 	return cerr
+}
+
+// poisoned reports the sticky failure, if any.
+func (w *walFile) poisoned() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // stageTx appends BEGIN, the records and COMMIT to the pending buffer
@@ -159,6 +227,16 @@ func (w *walFile) waitDurable(seq uint64) error {
 	}
 }
 
+// currentSeq reports the latest staged commit sequence. A transaction
+// that stages nothing itself still commits "after" everything staged so
+// far — waiting on this sequence before acknowledging makes its commit
+// dependency on that state explicit.
+func (w *walFile) currentSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
 // isDurable reports whether the given commit sequence has been fsynced.
 func (w *walFile) isDurable(seq uint64) bool {
 	w.mu.Lock()
@@ -205,10 +283,19 @@ func (w *walFile) flushLocked() {
 
 	w.mu.Lock()
 	if err != nil && w.err == nil {
-		w.err = err
+		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
+		// The batch's transactions will be rolled back and reported
+		// failed, but their frames may have physically reached the file
+		// (a write that stuck with only the fsync failing). Cut the log
+		// back to its last-synced length so a later replay cannot
+		// resurrect transactions the application was told failed.
+		// Best-effort: if this fails too the log is at worst torn past
+		// durableBytes, which replay already handles.
+		w.fs.Truncate(w.path, w.durableBytes) //nolint:errcheck
 	}
 	if err == nil && target > w.durable {
 		w.durable = target
+		w.durableBytes += int64(len(data))
 	}
 	w.flushes++
 	w.flushing = false
@@ -283,82 +370,220 @@ func decodeWALRecord(payload []byte) (walRecord, uint64, error) {
 		if r.ddl, err = readString(br); err != nil {
 			return r, 0, err
 		}
-	case walOpBegin, walOpCommit:
+	case walOpBegin, walOpCommit, walOpEpoch:
 	default:
 		return r, 0, fmt.Errorf("sqldb: corrupt WAL op %d", op)
 	}
 	return r, txID, nil
 }
 
-// readWAL parses the log and returns the records of committed
-// transactions, in commit order. Torn trailing frames are tolerated.
-func readWAL(path string) ([][]walRecord, error) {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+// ---------- replay with tail classification ----------
+
+// tailClass is what the end of the log looked like at replay.
+type tailClass int
+
+const (
+	// tailClean: the log ends exactly on a frame boundary.
+	tailClean tailClass = iota
+	// tailTorn: the final region is an incomplete or garbage frame with
+	// nothing valid after it — the signature of a crash mid-append.
+	// Truncating it loses nothing that was ever acknowledged.
+	tailTorn
+	// tailCorrupt: a bad frame has INTACT frames after it. The bad frame
+	// once passed through a successful fsync (later appends prove it),
+	// so committed transactions live in or after the damage. Opening
+	// must refuse rather than silently truncate them away.
+	tailCorrupt
+)
+
+func (c tailClass) String() string {
+	switch c {
+	case tailClean:
+		return "clean"
+	case tailTorn:
+		return "torn-tail"
+	case tailCorrupt:
+		return "mid-log-corruption"
+	}
+	return "unknown"
+}
+
+// walReplay is the parsed state of one log file.
+type walReplay struct {
+	committed [][]walRecord // committed transactions, commit order
+	epoch     uint64        // checkpoint generation from the epoch frame
+	hasEpoch  bool
+	goodLen   int64 // byte offset past the last intact frame
+	total     int64 // file length
+	tail      tailClass
+	detail    string // human-readable corruption description
+}
+
+// parseWALFrame reads one frame at off. ok=false with torn=true means
+// the bytes from off to EOF cannot hold a complete frame; torn=false
+// means a structurally complete frame failed its CRC or decode.
+func parseWALFrame(data []byte, off int64) (rec walRecord, txID uint64, next int64, ok, torn bool, why string) {
+	rest := int64(len(data)) - off
+	if rest < 8 {
+		return rec, 0, off, false, true, "incomplete frame header"
+	}
+	length := int64(getUint32(data[off : off+4]))
+	if length > maxWALFrame {
+		// An absurd length field: either a torn header or foreign bytes.
+		// There is no payload to skip, so the distinction is made by
+		// whether anything after parses (see classify below).
+		return rec, 0, off, false, false, fmt.Sprintf("implausible frame length %d", length)
+	}
+	if rest < 8+length {
+		return rec, 0, off, false, true, "incomplete frame payload"
+	}
+	payload := data[off+8 : off+8+length]
+	if crc32.ChecksumIEEE(payload) != getUint32(data[off+4:off+8]) {
+		return rec, 0, off + 8 + length, false, false, "frame CRC mismatch"
+	}
+	rec, txID, err := decodeWALRecord(payload)
+	if err != nil {
+		return rec, 0, off + 8 + length, false, false, fmt.Sprintf("undecodable frame: %v", err)
+	}
+	return rec, txID, off + 8 + length, true, false, ""
+}
+
+// anyValidFrameAfter scans for any intact frame starting at or past
+// from. Used to distinguish a torn tail (garbage to EOF — safe to
+// truncate) from mid-log corruption (valid frames beyond the damage —
+// durable data at risk). The scan tries every byte offset: corruption
+// recovery is rare enough that O(n·m) honesty beats a fast guess.
+func anyValidFrameAfter(data []byte, from int64) bool {
+	for off := from; off+8 <= int64(len(data)); off++ {
+		if _, _, _, ok, _, _ := parseWALFrame(data, off); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// replayWAL parses the log, returning the committed transactions in
+// commit order, the epoch, and the tail classification. It never
+// mutates the file; the caller decides whether to truncate (torn) or
+// refuse (corrupt, unless salvaging).
+func replayWAL(fs iofault.FS, path string) (walReplay, error) {
+	rep := walReplay{}
+	data, err := iofault.ReadFile(fs, path)
+	if iofault.IsNotExist(err) {
+		return rep, nil
 	}
 	if err != nil {
-		return nil, err
+		return rep, err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-
-	var committed [][]walRecord
+	rep.total = int64(len(data))
 	pending := map[uint64][]walRecord{}
-	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			break // clean EOF or torn header: stop
+	var off int64
+	first := true
+	for off < rep.total {
+		rec, txID, next, ok, torn, why := parseWALFrame(data, off)
+		if !ok {
+			if torn {
+				rep.tail = tailTorn
+				rep.detail = why
+			} else if anyValidFrameAfter(data, off+1) {
+				rep.tail = tailCorrupt
+				rep.detail = fmt.Sprintf("%s at offset %d with intact frames after it", why, off)
+			} else {
+				// A structurally complete but bad frame with nothing
+				// valid behind it: indistinguishable from a torn append
+				// of garbage — truncate, like any torn tail.
+				rep.tail = tailTorn
+				rep.detail = why
+			}
+			rep.goodLen = off
+			return rep, nil
 		}
-		length := getUint32(hdr[0:4])
-		sum := getUint32(hdr[4:8])
-		if length > 64<<20 {
-			break
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			break // torn payload
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			break // corrupt frame
-		}
-		rec, txID, err := decodeWALRecord(payload)
-		if err != nil {
-			break
+		if first {
+			first = false
+			if rec.op == walOpEpoch {
+				rep.epoch = txID
+				rep.hasEpoch = true
+				off = next
+				rep.goodLen = off
+				continue
+			}
 		}
 		switch rec.op {
 		case walOpBegin:
 			pending[txID] = nil
 		case walOpCommit:
-			committed = append(committed, pending[txID])
+			rep.committed = append(rep.committed, pending[txID])
 			delete(pending, txID)
+		case walOpEpoch:
+			// A stray epoch frame mid-log (never written by this engine)
+			// is ignored; the frame itself was intact.
 		default:
 			pending[txID] = append(pending[txID], rec)
 		}
+		off = next
+		rep.goodLen = off
 	}
-	return committed, nil
+	rep.tail = tailClean
+	return rep, nil
 }
 
 // ---------- snapshot ----------
 
-const snapshotMagic = "EASIADB1"
+// snapshotMagic identifies the checksummed v2 snapshot format:
+//
+//	"EASIADB2" | gen | nextTx | nextRow | DDL log | heaps | crc32
+//
+// where the trailing CRC32 (IEEE) covers every preceding byte. Loading
+// verifies the checksum before trusting a single field; a mismatch
+// refuses the open with ErrSnapshotCorrupt — a half-written or
+// bit-rotted snapshot must never be silently half-applied.
+const (
+	snapshotMagic       = "EASIADB2"
+	snapshotMagicLegacy = "EASIADB1"
+)
 
-// saveSnapshot writes the complete database image atomically
-// (tmp + rename).
-func (db *DB) saveSnapshotLocked() error {
+// crcWriter updates a running CRC32 with everything written through it.
+type crcWriter struct {
+	w   iofault.File
+	sum uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.sum = crc32.Update(cw.sum, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+// saveSnapshotLocked writes the complete database image for checkpoint
+// generation gen, durably: tmp file + whole-file checksum + fsync +
+// rename + parent-dir fsync.
+//
+// The returned renamed flag reports whether the rename was issued: a
+// failure before it leaves the old snapshot fully intact (the
+// checkpoint can simply be retried), while a failure after it means the
+// directory now holds a snapshot newer than the live WAL's epoch — the
+// caller must poison the database, because committing into the old log
+// after that point would strand acknowledged transactions in a log
+// replay will rightly skip.
+func (db *DB) saveSnapshotLocked(gen uint64) (renamed bool, err error) {
 	if db.dir == "" {
-		return nil
+		return false, nil
 	}
 	tmp := filepath.Join(db.dir, "snapshot.tmp")
-	f, err := os.Create(tmp)
+	f, err := iofault.Create(db.fs, tmp)
 	if err != nil {
-		return err
+		return false, err
 	}
-	bw := bufio.NewWriterSize(f, 1<<16)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	cleanup := func(werr error) (bool, error) {
 		f.Close()
-		return err
+		db.fs.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return false, werr
 	}
+	cw := &crcWriter{w: f}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return cleanup(err)
+	}
+	writeUint64(bw, gen)
 	writeUint64(bw, db.nextTx)
 	writeUint64(bw, uint64(db.nextRow))
 	// DDL log: replaying it rebuilds catalogue + indexes.
@@ -384,56 +609,85 @@ func (db *DB) saveSnapshotLocked() error {
 			return true
 		})
 		if werr != nil {
-			f.Close()
-			return werr
+			return cleanup(werr)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
+		return cleanup(err)
+	}
+	var tail [4]byte
+	putUint32(tail[:], cw.sum)
+	if _, err := f.Write(tail[:]); err != nil {
+		return cleanup(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		return err
+		db.fs.Remove(tmp) //nolint:errcheck
+		return false, err
 	}
-	return os.Rename(tmp, filepath.Join(db.dir, "snapshot.db"))
+	if err := db.fs.Rename(tmp, filepath.Join(db.dir, "snapshot.db")); err != nil {
+		db.fs.Remove(tmp) //nolint:errcheck
+		return false, err
+	}
+	// Make the rename durable. Past this point (including on failure)
+	// the new snapshot may be what a restart sees.
+	if err := db.fs.SyncDir(db.dir); err != nil {
+		return true, err
+	}
+	return true, nil
 }
 
-// loadSnapshot restores the database image; missing snapshot is fine.
+// loadSnapshotLocked restores the database image; a missing snapshot is
+// a clean first boot. The whole-file checksum is verified before any
+// field is trusted; failure refuses the open with ErrSnapshotCorrupt.
 func (db *DB) loadSnapshotLocked() error {
 	path := filepath.Join(db.dir, "snapshot.db")
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+	data, err := iofault.ReadFile(db.fs, path)
+	if iofault.IsNotExist(err) {
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapshotMagic {
-		return fmt.Errorf("sqldb: %s is not a database snapshot", path)
+	if len(data) >= len(snapshotMagicLegacy) && string(data[:len(snapshotMagicLegacy)]) == snapshotMagicLegacy {
+		return fmt.Errorf("%w: %s is a legacy pre-checksum snapshot (re-create the archive or checkpoint with the old binary first)", ErrSnapshotCorrupt, path)
 	}
+	if len(data) < len(snapshotMagic)+4 || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("%w: %s is not a database snapshot", ErrSnapshotCorrupt, path)
+	}
+	body := data[:len(data)-4]
+	if crc32.ChecksumIEEE(body) != getUint32(data[len(data)-4:]) {
+		return fmt.Errorf("%w: %s fails its whole-file checksum", ErrSnapshotCorrupt, path)
+	}
+	br := bufio.NewReaderSize(bytes.NewReader(body[len(snapshotMagic):]), 1<<16)
+	corrupt := func(err error) error {
+		// The checksum passed, so a parse failure means a writer bug or
+		// memory corruption — still refuse, still typed.
+		return fmt.Errorf("%w: %s: %v", ErrSnapshotCorrupt, path, err)
+	}
+	gen, err := readUint64(br)
+	if err != nil {
+		return corrupt(err)
+	}
+	db.gen = gen
 	if db.nextTx, err = readUint64(br); err != nil {
-		return err
+		return corrupt(err)
 	}
 	nr, err := readUint64(br)
 	if err != nil {
-		return err
+		return corrupt(err)
 	}
 	db.nextRow = rowID(nr)
 	nDDL, err := readUint64(br)
 	if err != nil {
-		return err
+		return corrupt(err)
 	}
 	for i := uint64(0); i < nDDL; i++ {
 		ddl, err := readString(br)
 		if err != nil {
-			return err
+			return corrupt(err)
 		}
 		if err := db.applyDDLText(ddl); err != nil {
 			return fmt.Errorf("sqldb: snapshot DDL replay: %w", err)
@@ -441,12 +695,12 @@ func (db *DB) loadSnapshotLocked() error {
 	}
 	nTables, err := readUint64(br)
 	if err != nil {
-		return err
+		return corrupt(err)
 	}
 	for i := uint64(0); i < nTables; i++ {
 		name, err := readString(br)
 		if err != nil {
-			return err
+			return corrupt(err)
 		}
 		td, ok := db.data[name]
 		if !ok {
@@ -454,16 +708,16 @@ func (db *DB) loadSnapshotLocked() error {
 		}
 		nRows, err := readUint64(br)
 		if err != nil {
-			return err
+			return corrupt(err)
 		}
 		for j := uint64(0); j < nRows; j++ {
 			id, err := readUint64(br)
 			if err != nil {
-				return err
+				return corrupt(err)
 			}
 			vals, err := readRow(br)
 			if err != nil {
-				return err
+				return corrupt(err)
 			}
 			if err := td.insert(rowID(id), vals); err != nil {
 				return fmt.Errorf("sqldb: snapshot row replay: %w", err)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/iofault"
 	"repro/internal/sqltypes"
 )
 
@@ -103,6 +104,7 @@ func TestGroupCommitDurabilityOrdering(t *testing.T) {
 			}
 			delete(open, id)
 			commits = append(commits, id)
+		case walOpEpoch: // log header, not part of any transaction
 		default:
 			// Frames of one transaction are staged contiguously: a
 			// record must belong to the most recently begun transaction.
@@ -178,15 +180,18 @@ func TestGroupCommitExplicitTx(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	committed, err := readWAL(filepath.Join(dir, "wal.log"))
+	rep, err := replayWAL(iofault.Disk{}, filepath.Join(dir, "wal.log"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(committed) != 2 { // DDL + the 10-row transaction
-		t.Fatalf("%d committed txns in WAL, want 2", len(committed))
+	if rep.tail != tailClean {
+		t.Fatalf("synced WAL classified %v, want clean", rep.tail)
 	}
-	if len(committed[1]) != 10 {
-		t.Fatalf("committed tx has %d records, want 10", len(committed[1]))
+	if len(rep.committed) != 2 { // DDL + the 10-row transaction
+		t.Fatalf("%d committed txns in WAL, want 2", len(rep.committed))
+	}
+	if len(rep.committed[1]) != 10 {
+		t.Fatalf("committed tx has %d records, want 10", len(rep.committed[1]))
 	}
 
 	tx2, err := db.Begin()
