@@ -27,11 +27,12 @@
 //     plans record the epoch they were bound at and transparently
 //     re-bind when it moves, so a stale plan is never served.
 //
-//   - A concurrent read path. The engine lock is an RWMutex: SELECTs
-//     (Query, Stmt.Query) share a read lock and run in parallel, while
-//     DML, DDL, explicit transactions and checkpoints take it
-//     exclusively. Query results are fully materialised copies, valid
-//     after the lock is released and concurrent with later writes.
+//   - A concurrent read path. SELECTs (Query, Stmt.Query) share the
+//     engine's read lock and run in parallel — against each other and,
+//     through MVCC snapshot reads, against sharded single-table DML
+//     (see "Concurrency model" below). Query results are fully
+//     materialised copies, valid after the lock is released and
+//     concurrent with later writes.
 //
 //   - A compact value layout. sqltypes.Value is a 32-byte tagged union
 //     (kind + flags byte, one 64-bit scalar word shared by INTEGER/
@@ -138,6 +139,53 @@
 //     (BenchmarkAblation_GroupCommit). A transaction that stages
 //     nothing still acknowledges only after the state it could have
 //     observed in the group-commit visibility window is durable.
+//
+// # Concurrency model
+//
+// The engine is multi-version: every heap row is a chain of versions
+// stamped with the commit timestamps that created and (when
+// overwritten or deleted) ended them, and secondary-index postings
+// carry the same stamps. The rules:
+//
+//   - Visibility. A statement run under the shared read lock pins a
+//     snapshot — the highest published commit stamp — at statement
+//     start, and sees exactly the versions whose begin stamp is
+//     committed and ≤ the snapshot and whose end stamp is absent,
+//     uncommitted, or > the snapshot. Writers install new versions and
+//     stamp old ones without ever blocking readers: an open scan keeps
+//     answering from its snapshot while later transactions commit.
+//     Statements inside an explicit transaction (Tx, ExecScript) run
+//     under the exclusive lock in latest-state mode, so they see their
+//     own uncommitted writes — explicit transactions remain
+//     serialisable. Commit stamps are allocated in WAL-stage order
+//     under one commit mutex, so on-disk order, stamp order and
+//     visibility order always agree, and crash replay reassigns stamps
+//     transaction-by-transaction in the same order.
+//
+//   - Sharded writes. Autocommit single-table DML whose table has no
+//     foreign keys in either direction and no DATALINK columns commits
+//     under the shared engine lock plus a per-table write latch:
+//     writers on different tables proceed concurrently through the
+//     same WAL group-commit path, and readers are never blocked by
+//     either. Everything else — DDL, FK-bearing DML, link-control
+//     writes, explicit transactions — takes the engine lock
+//     exclusively (the DDL/global barrier), which also guarantees no
+//     statement snapshot is open while the catalogue changes.
+//
+//   - Vacuum. Dead versions (and their index postings) accumulate
+//     until reclaimed: DB.Vacuum on demand, or the background vacuum
+//     once the dead-version debt crosses DB.AutoVacuumDeadRows
+//     (default 16384; 0 disables). Vacuum runs under the global
+//     barrier with the WAL fenced, so every stamp is resolved and no
+//     snapshot is live; because readers hold the read lock for the
+//     whole statement, "older than the oldest live snapshot" reduces
+//     to "not the current committed version", and each table folds to
+//     exactly one version per live row, with hash and B+tree indexes
+//     swept of dead postings (emptied leaves merge away). Checkpoints
+//     vacuum as a side effect, since the snapshot they write keeps
+//     only current rows. TestMVCCSnapshotIsolation, TestVacuumReclaim
+//     and TestAutoVacuum pin these contracts down; BenchmarkParallelQuery
+//     tracks read scaling and the 90/10 mixed workload.
 //
 // # Durability and recovery contract
 //

@@ -331,11 +331,21 @@ type groupFolder struct {
 	cur       *groupState
 	byKey     map[string]*groupState
 	groups    []*groupState // first-seen (streaming: scan) order
+
+	// maxGroups > 0 (streaming only) stops the fold once that many
+	// groups have closed: with a group-ordered scan, LIMIT k and no
+	// HAVING/ORDER BY/DISTINCT reshaping the group list, rows beyond the
+	// (k+1)th group key can never appear in the result, so the index
+	// walk halts there (grouped-fold early-stop).
+	maxGroups int
+	stopped   bool
 }
 
 func newGroupFolder(plan *selectPlan, streaming bool) *groupFolder {
 	f := &groupFolder{plan: plan, streaming: streaming}
-	if !streaming {
+	if streaming {
+		f.maxGroups = plan.groupStop
+	} else {
 		f.byKey = make(map[string]*groupState)
 	}
 	return f
@@ -367,6 +377,12 @@ func (f *groupFolder) add(row []sqltypes.Value, ctx *evalCtx) error {
 		if f.cur != nil && bytes.Equal(f.keyBuf, f.curKey) {
 			gs = f.cur
 		} else {
+			if f.maxGroups > 0 && len(f.groups) >= f.maxGroups {
+				// The limit-th group just closed; ignore this row and
+				// tell the scan to stop.
+				f.stopped = true
+				return nil
+			}
 			gs = plan.newGroupState()
 			f.groups = append(f.groups, gs)
 			f.cur = gs
@@ -482,7 +498,7 @@ func (db *DB) foldSingleTable(plan *selectPlan, ctx *evalCtx) ([]*groupState, er
 				foldErr = err
 				return false
 			}
-			return true
+			return !f.stopped
 		}
 	}
 	// Index-only grouped fold: whole groups answered from index keys,
@@ -508,7 +524,7 @@ func (db *DB) foldSingleTable(plan *selectPlan, ctx *evalCtx) ([]*groupState, er
 		// handled=false emits nothing: fall through with a fresh folder.
 	}
 	folder := newGroupFolder(plan, false)
-	ft.data.scan(emit(folder))
+	ft.data.scan(ctx.snap, emit(folder))
 	if foldErr != nil {
 		return nil, foldErr
 	}

@@ -323,7 +323,7 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 	// decode refused); nothing of this key has been folded yet.
 	foldRowsFallback := func(ids []rowID) bool {
 		for _, id := range ids {
-			vals, live := td.fetch(id)
+			vals, live := td.fetch(id, ctx.snap)
 			if !live {
 				continue
 			}
@@ -353,7 +353,7 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 			cur.firstRow = row
 		} else {
 			for _, id := range ids {
-				if vals, live := td.fetch(id); live {
+				if vals, live := td.fetch(id, ctx.snap); live {
 					reads++
 					cur.firstRow = vals
 					break
@@ -394,6 +394,11 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 			}
 		}
 		if cur == nil || prefix != curPrefix {
+			if plan.groupStop > 0 && len(groups) >= plan.groupStop {
+				// Grouped-fold early-stop: the LIMIT-th group just
+				// closed, so the rest of the key walk cannot contribute.
+				return false
+			}
 			startGroup(k, prefix, ids)
 		}
 		if !decodeOK {
@@ -422,7 +427,7 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 	}
 
 	if er.useLookup {
-		ids := idx.lookupKey(er.lookup)
+		ids := lookupVisible(td, idx, er.lookup, ctx.snap)
 		if len(ids) > 0 {
 			visit(er.lookup, ids)
 		}
@@ -431,7 +436,7 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 		if !okr {
 			return nil, false
 		}
-		rix.scanRange(er.lo, er.hi, false, visit)
+		scanVisibleRange(td, rix, er.lo, er.hi, false, ctx.snap, visit)
 	}
 	return groups, true
 }
@@ -558,18 +563,21 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 		}
 		switch {
 		case path == nil:
-			count = int64(td.live)
+			// COUNT(*) with no WHERE: the committed live-count history
+			// answers exactly for this statement's snapshot even while
+			// writers keep committing.
+			count = td.liveAt(ctx.snap)
 		case er.empty:
 			count = 0
 		case er.useLookup:
-			count = int64(len(idx.lookupKey(er.lookup)))
+			count = int64(len(lookupVisible(td, idx, er.lookup, ctx.snap)))
 		default:
 			count = 0
 			rix, ok := idx.(rangeIndex)
 			if !ok {
 				return 0
 			}
-			rix.scanRange(er.lo, er.hi, false, func(_ string, ids []rowID) bool {
+			scanVisibleRange(td, rix, er.lo, er.hi, false, ctx.snap, func(_ string, ids []rowID) bool {
 				count += int64(len(ids))
 				return true
 			})
@@ -583,9 +591,9 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 		case "COUNT":
 			vals[i] = sqltypes.NewInt(countRows())
 		case "MIN":
-			vals[i] = boundaryAgg(td, idx, er, it.colPos, false)
+			vals[i] = boundaryAgg(td, idx, er, it.colPos, false, ctx.snap)
 		case "MAX":
-			vals[i] = boundaryAgg(td, idx, er, it.colPos, true)
+			vals[i] = boundaryAgg(td, idx, er, it.colPos, true, ctx.snap)
 		}
 	}
 
@@ -619,7 +627,7 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 // rows are materialised and compared: distinct values can share a key
 // in the far-integer collision window, so that key is a tiny candidate
 // set, not a single row, and the fetch resolves the exact extremum.
-func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, desc bool) sqltypes.Value {
+func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, desc bool, snap uint64) sqltypes.Value {
 	if idx == nil || er.empty {
 		return sqltypes.Null
 	}
@@ -639,7 +647,7 @@ func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, d
 	defer func() { td.heapReads.Add(reads) }()
 	visit := func(ids []rowID) bool {
 		for _, id := range ids {
-			vals, live := td.fetch(id)
+			vals, live := td.fetch(id, snap)
 			if !live {
 				continue
 			}
@@ -672,7 +680,7 @@ func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, d
 		return visit(ids)
 	}
 	if er.useLookup {
-		ids := idx.lookupKey(er.lookup)
+		ids := lookupVisible(td, idx, er.lookup, snap)
 		if len(ids) > 0 {
 			visitKey(er.lookup, ids)
 		}
@@ -682,6 +690,6 @@ func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, d
 	if !ok {
 		return sqltypes.Null
 	}
-	rix.scanRange(er.lo, er.hi, desc, visitKey)
+	scanVisibleRange(td, rix, er.lo, er.hi, desc, snap, visitKey)
 	return best
 }

@@ -38,12 +38,12 @@ func TestEmptyCommitDependsOnObservedState(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.mu.Lock()
-	txA := db.newTxLocked()
+	txA := db.newTx()
 	if _, _, err := db.execStmtLocked(txA, stmts[0], nil); err != nil {
 		db.mu.Unlock()
 		t.Fatal(err)
 	}
-	finishA, err := db.commitLocked(txA)
+	finishA, err := db.commitTx(txA)
 	db.mu.Unlock()
 	if err != nil {
 		t.Fatal(err)

@@ -390,7 +390,7 @@ func TestOrderedIndexDeleteReclaim(t *testing.T) {
 	const n = 20000
 	row := func(k int64) []sqltypes.Value { return []sqltypes.Value{sqltypes.NewInt(k)} }
 	for i := int64(0); i < n; i++ {
-		ix.addRow(row(i), rowID(i))
+		ix.addRow(row(i), liveEntry(rowID(i)))
 	}
 	full := ix.nodeCount()
 	if full < n/btreeLeafMax {
@@ -404,9 +404,9 @@ func TestOrderedIndexDeleteReclaim(t *testing.T) {
 		t.Fatalf("after deleting all keys: %d nodes, want 1 (was %d)", got, full)
 	}
 	// And it must still be a working index.
-	ix.addRow(row(42), rowID(1))
-	if ids := ix.lookupKey(encodeKey(sqltypes.NewInt(42))); len(ids) != 1 || ids[0] != 1 {
-		t.Fatalf("lookup after reclaim: %v", ids)
+	ix.addRow(row(42), liveEntry(rowID(1)))
+	if es := ix.lookupKey(encodeKey(sqltypes.NewInt(42))); len(es) != 1 || es[0].id != 1 {
+		t.Fatalf("lookup after reclaim: %v", es)
 	}
 
 	// Interleaved random inserts/deletes against a map oracle.
@@ -417,7 +417,7 @@ func TestOrderedIndexDeleteReclaim(t *testing.T) {
 	for op := 0; op < 30000; op++ {
 		k := int64(rng.Intn(500))
 		if rng.Intn(3) > 0 && len(oracle[k]) == 0 || rng.Intn(2) == 0 {
-			ix2.addRow(row(k), nextID)
+			ix2.addRow(row(k), liveEntry(nextID))
 			oracle[k] = append(oracle[k], nextID)
 			nextID++
 		} else if ids := oracle[k]; len(ids) > 0 {
@@ -440,8 +440,8 @@ func TestOrderedIndexDeleteReclaim(t *testing.T) {
 	// In-order scan yields sorted, live keys only.
 	prev := ""
 	keys := 0
-	ix2.scanRange(nil, nil, false, func(k string, ids []rowID) bool {
-		if len(ids) == 0 {
+	ix2.scanRange(nil, nil, false, func(k string, es []*idxEntry) bool {
+		if len(es) == 0 {
 			t.Fatalf("empty id list under key %q", k)
 		}
 		if k <= prev && prev != "" {

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/iofault"
@@ -120,14 +121,19 @@ type indexDef struct {
 	Kind    string   // IndexKindHash or IndexKindOrdered
 }
 
-// DB is an embedded SQL database with single-writer / multi-reader
-// locking: SELECTs (Query, Stmt.Query) take mu as a read lock and run
-// concurrently; DML, DDL, transactions and maintenance take it
-// exclusively. The archive workload is metadata-scale (the bulk data
-// lives on the file servers), so single-writer serialisable semantics
-// with a concurrent read path is the honest, simple choice. A DB with an
-// empty directory is purely in-memory; otherwise snapshot.db and wal.log
-// in the directory provide durability with crash recovery.
+// DB is an embedded SQL database with MVCC snapshot reads and a sharded
+// write path. SELECTs (Query, Stmt.Query) take mu as a read lock, pin a
+// commit-stamp snapshot at statement start and run concurrently — with
+// each other AND with writers, which install new row versions without
+// disturbing what an open reader's snapshot sees. Single-table DML with
+// no foreign keys in either direction and no DATALINK columns commits
+// through a per-table writer latch (tableData.wmu), so non-conflicting
+// writes to different tables proceed concurrently through the shared
+// WAL group-commit path. DDL, explicit transactions, FK-involved DML
+// and maintenance (checkpoint, vacuum) take mu exclusively — the global
+// barrier. A DB with an empty directory is purely in-memory; otherwise
+// snapshot.db and wal.log in the directory provide durability with
+// crash recovery.
 //
 // Secondary indexes: CREATE INDEX name ON table (col) USING {HASH|
 // ORDERED} (ORDERED when USING is omitted) builds an equality hash
@@ -140,26 +146,52 @@ type indexDef struct {
 // epoch, so cached plans transparently re-plan.
 //
 // Locking rules (for maintainers):
-//   - Everything reachable from cat, data, indexes, nowFn, fullScanOnly
-//     and schemaEpoch is written only under mu.Lock and may be read
-//     under mu.RLock.
+//   - Catalogue/topology state — cat, data (the map itself), each
+//     table's indexes map, indexes, nowFn, fullScanOnly, schemaEpoch,
+//     closed — is written only under mu.Lock and may be read under
+//     mu.RLock.
+//   - Row and index CONTENT is MVCC-stamped: readers traverse versions
+//     lock-free (or under short tableData.latch read sections) at the
+//     snapshot pinned by readSnapshot; writers serialise per table on
+//     tableData.wmu while holding mu.RLock, or skip wmu under mu.Lock.
+//     Lock order: mu (any mode) → wmu → latch/commitMu. Never acquire
+//     mu while holding commitMu or a wmu.
+//   - Commit-path state — wal, inflight, poisonErr, txSinceCheckpoint,
+//     lastTS advancement — is guarded by commitMu, so sharded writers
+//     holding only mu.RLock commit safely. Exclusive paths (checkpoint,
+//     unwind, Close) take commitMu too.
 //   - Query results are fully materialised copies, never views into
 //     storage, so they outlive the read lock.
 //   - The plan cache (plans) and per-statement plan builds (Stmt.mu)
 //     have their own locks, never held while acquiring mu.
-//   - Commit durability happens OUTSIDE mu: commitLocked stages WAL
-//     frames under the writer lock and returns a finish closure that
-//     waits for the group-commit flush after the lock is released, so
-//     readers and other writers overlap with the fsync. The walFile has
-//     its own mutex and must never be touched under mu except through
-//     stageTx/checkpointLocked.
+//   - Commit durability happens OUTSIDE mu: commitTx stages WAL frames
+//     and stamps versions under commitMu, then returns a finish closure
+//     that waits for the group-commit flush after every engine lock is
+//     released, so readers and other writers overlap with the fsync.
+//     The walFile has its own mutex and must never be touched under mu
+//     except through stageTx/checkpointLocked/vacuumLocked.
 type DB struct {
 	mu      sync.RWMutex
 	cat     *Catalog
 	data    map[string]*tableData
 	indexes map[string]indexDef // index name (upper) → definition
-	nextRow rowID
-	nextTx  uint64
+	nextRow atomic.Uint64       // row-id allocator (sharded writers race)
+	nextTx  atomic.Uint64       // transaction-id allocator
+
+	// commitMu serialises the commit point: WAL staging, commit-stamp
+	// allocation and lastTS publication happen under it, so on-disk
+	// order, stamp order and visibility order all agree. See the
+	// locking rules above for what else it guards.
+	commitMu sync.Mutex
+	// lastTS is the newest published commit stamp; readSnapshot loads it
+	// to pin a statement's snapshot. Starts at baseStamp so snapshot-
+	// loaded rows are visible to every reader.
+	lastTS atomic.Uint64
+
+	// Background vacuum coordination: vacRunning admits one auto-vacuum
+	// at a time, vacWG lets Close wait the goroutine out.
+	vacRunning atomic.Bool
+	vacWG      sync.WaitGroup
 
 	// schemaEpoch counts DDL statements. Prepared plans record the epoch
 	// they were bound at and re-bind when it moves, so no cached plan
@@ -212,6 +244,11 @@ type DB struct {
 	// committed transactions the engine folds the WAL into a fresh
 	// snapshot. Zero disables automatic checkpoints.
 	CheckpointEvery int
+	// AutoVacuumDeadRows triggers a background vacuum once the total
+	// count of dead row versions and dead index entries across all
+	// tables exceeds it. Zero disables auto-vacuum (DB.Vacuum and
+	// checkpoints still reclaim).
+	AutoVacuumDeadRows int64
 }
 
 // Options tunes OpenWith.
@@ -253,17 +290,19 @@ func Open(dir string) (*DB, error) { return OpenWith(dir, Options{}) }
 // is discarded, not replayed.
 func OpenWith(dir string, opts Options) (*DB, error) {
 	db := &DB{
-		cat:             NewCatalog(),
-		data:            make(map[string]*tableData),
-		indexes:         make(map[string]indexDef),
-		plans:           newPlanCache(DefaultPlanCacheCapacity),
-		dir:             dir,
-		fs:              opts.FS,
-		nowFn:           time.Now,
-		nextTx:          1,
-		nextRow:         1,
-		CheckpointEvery: 1024,
+		cat:                NewCatalog(),
+		data:               make(map[string]*tableData),
+		indexes:            make(map[string]indexDef),
+		plans:              newPlanCache(DefaultPlanCacheCapacity),
+		dir:                dir,
+		fs:                 opts.FS,
+		nowFn:              time.Now,
+		CheckpointEvery:    1024,
+		AutoVacuumDeadRows: 16384,
 	}
+	db.nextTx.Store(1)
+	db.nextRow.Store(1)
+	db.lastTS.Store(baseStamp)
 	if db.fs == nil {
 		db.fs = iofault.Disk{}
 	}
@@ -331,10 +370,19 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 		}
 	}
 	for _, tx := range rep.committed {
+		// Each replayed transaction gets its own commit stamp, in log
+		// order — the same order the stamps were allocated before the
+		// crash — so post-replay visibility matches pre-crash visibility.
+		var refs mvccRefs
 		for _, rec := range tx {
-			if err := db.applyWALRecord(rec); err != nil {
+			if err := db.applyWALRecord(rec, &refs); err != nil {
 				return nil, fmt.Errorf("sqldb: WAL replay: %w", err)
 			}
+		}
+		if !refs.empty() {
+			ts := db.lastTS.Load() + 1
+			refs.commit(ts)
+			db.lastTS.Store(ts)
 		}
 	}
 	db.recovery.ReplayedTx = len(rep.committed)
@@ -354,7 +402,7 @@ func (db *DB) Recovery() RecoveryInfo {
 	return db.recovery
 }
 
-func (db *DB) applyWALRecord(rec walRecord) error {
+func (db *DB) applyWALRecord(rec walRecord, refs *mvccRefs) error {
 	switch rec.op {
 	case walOpDDL:
 		return db.applyDDLText(rec.ddl)
@@ -363,23 +411,23 @@ func (db *DB) applyWALRecord(rec walRecord) error {
 		if !ok {
 			return fmt.Errorf("insert into unknown table %s", rec.table)
 		}
-		if rec.row >= db.nextRow {
-			db.nextRow = rec.row + 1
+		if uint64(rec.row) >= db.nextRow.Load() {
+			db.nextRow.Store(uint64(rec.row) + 1)
 		}
-		return td.insert(rec.row, rec.vals)
+		return td.insert(rec.row, rec.vals, refs)
 	case walOpDelete:
 		td, ok := db.data[rec.table]
 		if !ok {
 			return fmt.Errorf("delete from unknown table %s", rec.table)
 		}
-		_, err := td.delete(rec.row)
+		_, err := td.delete(rec.row, refs)
 		return err
 	case walOpUpdate:
 		td, ok := db.data[rec.table]
 		if !ok {
 			return fmt.Errorf("update of unknown table %s", rec.table)
 		}
-		_, err := td.update(rec.row, rec.vals)
+		_, err := td.update(rec.row, rec.vals, refs)
 		return err
 	}
 	return nil
@@ -388,11 +436,12 @@ func (db *DB) applyWALRecord(rec walRecord) error {
 // Close flushes a final checkpoint and releases the WAL. A poisoned
 // database skips the checkpoint (its durability is already suspect; the
 // on-disk state from the last successful fsync is what recovery will
-// use) but still releases the log's descriptor.
+// use) but still releases the log's descriptor. Any background vacuum
+// is waited out before Close returns.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
@@ -402,7 +451,13 @@ func (db *DB) Close() error {
 	}
 	// Always release the descriptor, even when the checkpoint failed —
 	// leaking it would hold the old log open across a reopen.
-	return errors.Join(cpErr, db.wal.close())
+	db.commitMu.Lock()
+	err := errors.Join(cpErr, db.wal.close())
+	db.commitMu.Unlock()
+	db.mu.Unlock()
+	// A pending auto-vacuum observes closed under mu.Lock and bails.
+	db.vacWG.Wait()
+	return err
 }
 
 // SetLinkController installs the SQL/MED coordinator. It must be set
@@ -479,6 +534,7 @@ func (db *DB) Checkpoint() error {
 
 // poisonLocked records a database-level durability failure. Sticky:
 // the first cause wins; every later commit and checkpoint reports it.
+// Caller holds commitMu.
 func (db *DB) poisonLocked(cause error) {
 	if db.poisonErr == nil {
 		db.poisonErr = fmt.Errorf("%w: %v", ErrPoisoned, cause)
@@ -497,6 +553,8 @@ func (db *DB) poisonLocked(cause error) {
 // failure in that window poisons the database; reopening recovers
 // cleanly (the epoch check resolves which side of the rename won).
 func (db *DB) checkpointLocked() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	if db.dir == "" {
 		return nil
 	}
@@ -514,8 +572,12 @@ func (db *DB) checkpointLocked() error {
 			return fmt.Errorf("sqldb: checkpoint aborted, WAL flush failed: %w", err)
 		}
 	}
+	// Post-barrier every stamp is resolved and (holding mu exclusively)
+	// no snapshot is open, so vacuum can fold version chains down to the
+	// single current version each — the image the snapshot writer saves.
+	ts := db.lastTS.Load()
 	for _, td := range db.data {
-		td.compact()
+		td.vacuum(ts)
 	}
 	renamed, err := db.saveSnapshotLocked(db.gen + 1)
 	if err != nil {
@@ -573,14 +635,14 @@ func (db *DB) ExecScript(sql string) error {
 			return fmt.Errorf("sqldb: transaction control not allowed in scripts")
 		}
 		db.mu.Lock()
-		tx := db.newTxLocked()
+		tx := db.newTx()
 		_, _, err := db.execStmtLocked(tx, stmt, nil)
 		if err != nil {
-			rbErr := db.rollbackLocked(tx)
+			rbErr := db.rollbackTx(tx)
 			db.mu.Unlock()
 			return errors.Join(err, rbErr)
 		}
-		finish, err := db.commitLocked(tx)
+		finish, err := db.commitTx(tx)
 		db.mu.Unlock()
 		if err != nil {
 			return err
@@ -609,7 +671,7 @@ func (db *DB) Query(sql string, args ...sqltypes.Value) (*Rows, error) {
 // txState is the in-flight transaction bookkeeping.
 type txState struct {
 	id       uint64
-	undo     []undoOp
+	refs     mvccRefs // everything this transaction stamped (see storage.go)
 	redo     []walRecord
 	usedLink bool
 
@@ -620,49 +682,46 @@ type txState struct {
 	wal *walFile
 }
 
-type undoKind uint8
-
-const (
-	undoInsert undoKind = iota // inverse: delete
-	undoDelete                 // inverse: re-insert
-	undoUpdate                 // inverse: restore old values
-)
-
-type undoOp struct {
-	kind  undoKind
-	table string
-	row   rowID
-	vals  []sqltypes.Value // old values for delete/update
+// newTx allocates a transaction. Safe under any mu mode — sharded
+// writers holding only the read lock race on the atomic allocator.
+func (db *DB) newTx() *txState {
+	return &txState{id: db.nextTx.Add(1) - 1}
 }
 
-func (db *DB) newTxLocked() *txState {
-	tx := &txState{id: db.nextTx}
-	db.nextTx++
-	return tx
-}
+// readSnapshot pins a statement-level snapshot: every transaction whose
+// commit stamp was published before the call is visible, everything
+// later (and everything in flight) is not.
+func (db *DB) readSnapshot() uint64 { return db.lastTS.Load() }
 
-// commitLocked stages the transaction's redo records into the WAL's
-// pending buffer (pure memory work — on-disk order therefore matches
-// commit order) and returns a finish function the caller MUST invoke
-// after releasing db.mu. finish blocks until the records are durable:
+// commitTx stages the transaction's redo records into the WAL's pending
+// buffer, allocates its commit stamp and publishes it — all under
+// commitMu, so on-disk order, stamp order and visibility order agree —
+// and returns a finish function the caller MUST invoke after releasing
+// the engine locks. finish blocks until the records are durable:
 // concurrent committers batch behind one fsync there (group commit),
-// which is why it runs outside the writer lock. It then runs the
-// link-control commit (only after durability, per the LinkController
-// contract) and any due checkpoint.
+// which is why it runs outside the locks. It then runs the link-control
+// commit (only after durability, per the LinkController contract), any
+// due auto-vacuum and any due checkpoint.
 //
-// A staging failure rolls the transaction back immediately and returns
-// a nil finish. A flush failure inside finish unwinds the WHOLE
+// The caller holds mu (read mode for the sharded path, plus the table's
+// wmu; write mode for the global paths) across execution AND this call,
+// so the stamp is installed before another writer can touch the same
+// rows. A staging failure rolls the transaction back immediately and
+// returns a nil finish. A flush failure inside finish unwinds the WHOLE
 // undurable suffix of staged transactions in reverse commit order under
-// a re-acquired writer lock (overlapping transactions on the same rows
-// must unwind LIFO to restore cleanly); the WAL error is sticky, so
-// every transaction in and after the failed batch fails the same way
+// a re-acquired exclusive lock (overlapping transactions on the same
+// rows must unwind LIFO to restore cleanly); the WAL error is sticky,
+// so every transaction in and after the failed batch fails the same way
 // rather than diverging from disk. Until finish returns, readers can
 // observe the transaction's committed-but-not-yet-durable effects —
 // the standard group-commit visibility window.
-func (db *DB) commitLocked(tx *txState) (func() error, error) {
+func (db *DB) commitTx(tx *txState) (func() error, error) {
+	db.commitMu.Lock()
 	if db.poisonErr != nil {
-		rbErr := db.rollbackLocked(tx)
-		return nil, errors.Join(db.poisonErr, rbErr)
+		perr := db.poisonErr
+		db.commitMu.Unlock()
+		rbErr := db.rollbackTx(tx)
+		return nil, errors.Join(perr, rbErr)
 	}
 	staged := false
 	var observedSeq uint64
@@ -671,7 +730,8 @@ func (db *DB) commitLocked(tx *txState) (func() error, error) {
 			seq, err := db.wal.stageTx(tx.id, tx.redo)
 			if err != nil {
 				// Durability failed: the in-memory effects must not survive.
-				rbErr := db.rollbackLocked(tx)
+				db.commitMu.Unlock()
+				rbErr := db.rollbackTx(tx)
 				return nil, errors.Join(fmt.Errorf("sqldb: WAL append failed, transaction rolled back: %w", err), rbErr)
 			}
 			tx.seq = seq
@@ -689,25 +749,37 @@ func (db *DB) commitLocked(tx *txState) (func() error, error) {
 			observedSeq = db.wal.currentSeq()
 		}
 	}
+	// Resolve this transaction's in-flight stamps to a fresh commit
+	// stamp, then publish it. Readers pinning a snapshot after the
+	// lastTS store see the new versions; open snapshots never do.
+	if !tx.refs.empty() {
+		ts := db.lastTS.Load() + 1
+		tx.refs.commit(ts)
+		db.lastTS.Store(ts)
+	}
 	db.txSinceCheckpoint++
 	checkpointDue := db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery
 	wal := db.wal
+	db.commitMu.Unlock()
 	linkCtl := db.linkCtl
 	finish := func() error {
 		if staged {
 			werr := wal.waitDurable(tx.seq)
-			db.mu.Lock()
 			if werr != nil {
 				// The fsync failed. The kernel may already have dropped
 				// the dirty pages it covered, so no retry can be trusted:
 				// poison the database and unwind the undurable suffix.
+				db.mu.Lock()
+				db.commitMu.Lock()
 				db.poisonLocked(werr)
 				abortErr := db.unwindFailedLocked()
+				db.commitMu.Unlock()
 				db.mu.Unlock()
 				return errors.Join(fmt.Errorf("sqldb: WAL flush failed, transaction rolled back: %w", werr), abortErr)
 			}
+			db.commitMu.Lock()
 			db.dropInflightLocked(tx)
-			db.mu.Unlock()
+			db.commitMu.Unlock()
 		} else if wal != nil && observedSeq > 0 {
 			// Empty-redo commit: acknowledge only once the state it could
 			// have observed is durable (no-op if nothing is in flight).
@@ -723,11 +795,18 @@ func (db *DB) commitLocked(tx *txState) (func() error, error) {
 				return fmt.Errorf("sqldb: transaction committed but link control failed: %w", err)
 			}
 		}
+		db.maybeAutoVacuum()
 		if checkpointDue {
 			db.mu.Lock()
 			defer db.mu.Unlock()
+			if db.closed {
+				return nil
+			}
 			// Re-check: a concurrent finisher may have checkpointed first.
-			if db.closed || db.CheckpointEvery <= 0 || db.txSinceCheckpoint < db.CheckpointEvery {
+			db.commitMu.Lock()
+			due := db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery
+			db.commitMu.Unlock()
+			if !due {
 				return nil
 			}
 			return db.checkpointLocked()
@@ -739,7 +818,7 @@ func (db *DB) commitLocked(tx *txState) (func() error, error) {
 
 // dropInflightLocked removes a now-durable transaction from the staged
 // list. The list is short (bounded by concurrent committers), so a
-// linear scan is fine.
+// linear scan is fine. Caller holds commitMu.
 func (db *DB) dropInflightLocked(tx *txState) {
 	for i, t := range db.inflight {
 		if t == tx {
@@ -758,7 +837,9 @@ func (db *DB) dropInflightLocked(tx *txState) {
 // Idempotent: the first finisher to observe the sticky error unwinds
 // the batch; later ones find their transaction already gone. The
 // returned error aggregates link-control abort failures from the
-// unwound transactions.
+// unwound transactions. Caller holds mu exclusively (the stamp flips
+// and structural undo must not interleave with sharded writers) plus
+// commitMu (inflight).
 func (db *DB) unwindFailedLocked() error {
 	var durable []*txState
 	var abortErrs []error
@@ -768,7 +849,7 @@ func (db *DB) unwindFailedLocked() error {
 			durable = append(durable, tx)
 			continue
 		}
-		if err := db.rollbackLocked(tx); err != nil {
+		if err := db.rollbackTx(tx); err != nil {
 			abortErrs = append(abortErrs, err)
 		}
 	}
@@ -780,34 +861,90 @@ func (db *DB) unwindFailedLocked() error {
 	return errors.Join(abortErrs...)
 }
 
-// rollbackLocked undoes the transaction's in-memory effects and releases
-// its link-control reservations. The returned error never means the
-// database rollback failed (undo cannot fail); it reports a link-control
+// rollbackTx undoes the transaction's in-memory effects — flipping its
+// MVCC stamps to the aborted state and reversing structural side
+// effects, see mvccRefs.abort — and releases its link-control
+// reservations. The caller must own the touched tables' writer slots
+// (wmu, or mu exclusively). The returned error never means the database
+// rollback failed (stamp flips cannot fail); it reports a link-control
 // abort that could not reach a file server, so a staged prepare may
 // survive there until the coordinator retries the abort or reconciles.
-func (db *DB) rollbackLocked(tx *txState) error {
-	// Apply undo in reverse order.
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		u := tx.undo[i]
-		td := db.data[u.table]
-		if td == nil {
-			continue
-		}
-		switch u.kind {
-		case undoInsert:
-			td.delete(u.row) //nolint:errcheck // undo of our own insert cannot fail
-		case undoDelete:
-			td.insert(u.row, u.vals) //nolint:errcheck // restoring a row we removed
-		case undoUpdate:
-			td.update(u.row, u.vals) //nolint:errcheck // restoring prior values
-		}
-	}
+func (db *DB) rollbackTx(tx *txState) error {
+	tx.refs.abort()
 	if tx.usedLink && db.linkCtl != nil {
 		if err := db.linkCtl.Abort(tx.id); err != nil {
 			return fmt.Errorf("sqldb: link-control abort of tx %d failed (file-side reservations may leak until retry/reconcile): %w", tx.id, err)
 		}
 	}
 	return nil
+}
+
+// ---------- vacuum ----------
+
+// Vacuum reclaims every dead row version and dead index entry across
+// all tables: version chains fold down to the single current committed
+// version, index entries ended by committed deletes/updates are removed
+// (B+tree nodes merge as they empty), and the per-table live-count
+// history collapses. It takes the global barrier — no statement is in
+// flight while it runs — and fences the WAL first, so no stamp it
+// reclaims can later be unwound.
+func (db *DB) Vacuum() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("sqldb: database is closed")
+	}
+	return db.vacuumLocked()
+}
+
+// vacuumLocked is Vacuum under an already-held exclusive mu.
+func (db *DB) vacuumLocked() error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.wal != nil {
+		if err := db.wal.barrier(); err != nil {
+			// Same contract as the checkpoint fence: an fsync failed, the
+			// staged suffix will be unwound — reclaiming now would treat
+			// soon-to-be-aborted versions as committed.
+			db.poisonLocked(err)
+			return fmt.Errorf("sqldb: vacuum aborted, WAL flush failed: %w", err)
+		}
+	}
+	ts := db.lastTS.Load()
+	for _, td := range db.data {
+		td.vacuum(ts)
+	}
+	return nil
+}
+
+// maybeAutoVacuum starts a background vacuum when the dead-version debt
+// crosses the configured threshold. At most one runs at a time; it
+// serialises with everything else on mu like any maintenance op.
+func (db *DB) maybeAutoVacuum() {
+	threshold := db.AutoVacuumDeadRows
+	if threshold <= 0 || db.vacRunning.Load() {
+		return
+	}
+	var dead int64
+	db.mu.RLock()
+	for _, td := range db.data {
+		dead += td.dead.Load()
+	}
+	db.mu.RUnlock()
+	if dead < threshold || !db.vacRunning.CompareAndSwap(false, true) {
+		return
+	}
+	db.vacWG.Add(1)
+	go func() {
+		defer db.vacWG.Done()
+		defer db.vacRunning.Store(false)
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if db.closed {
+			return
+		}
+		db.vacuumLocked() //nolint:errcheck // best-effort; sticky errors resurface at commit
+	}()
 }
 
 // Tx is an explicit transaction. It holds the database lock for its whole
@@ -827,7 +964,7 @@ func (db *DB) Begin() (*Tx, error) {
 		db.mu.Unlock()
 		return nil, fmt.Errorf("sqldb: database is closed")
 	}
-	return &Tx{db: db, state: db.newTxLocked()}, nil
+	return &Tx{db: db, state: db.newTx()}, nil
 }
 
 // Exec runs a DML statement inside the transaction. DDL is rejected:
@@ -874,7 +1011,7 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("sqldb: transaction already finished")
 	}
 	tx.done = true
-	finish, err := tx.db.commitLocked(tx.state)
+	finish, err := tx.db.commitTx(tx.state)
 	tx.db.mu.Unlock()
 	if err != nil {
 		return err
@@ -890,7 +1027,7 @@ func (tx *Tx) Rollback() error {
 		return nil
 	}
 	tx.done = true
-	err := tx.db.rollbackLocked(tx.state)
+	err := tx.db.rollbackTx(tx.state)
 	tx.db.mu.Unlock()
 	return err
 }

@@ -97,12 +97,12 @@ func (db *DB) execDropTableLocked(tx *txState, s *DropTableStmt) (Result, *Rows,
 		return Result{}, nil, fmt.Errorf("sqldb: table %s does not exist", s.Table)
 	}
 	td := db.data[schema.Name]
-	if td != nil && td.live > 0 {
+	if td != nil && td.live.Load() > 0 {
 		// Unlink every controlled DATALINK before the table vanishes.
 		dlCols := schema.DatalinkColumns()
 		if len(dlCols) > 0 {
 			var err error
-			td.scan(func(id rowID, vals []sqltypes.Value) bool {
+			td.scan(snapLatest, func(id rowID, vals []sqltypes.Value) bool {
 				for _, ci := range dlCols {
 					if e := db.unlinkValueLocked(tx, schema, ci, vals[ci]); e != nil {
 						err = e
@@ -173,8 +173,11 @@ func (db *DB) execCreateIndexLocked(tx *txState, s *CreateIndexStmt) (Result, *R
 	default:
 		return Result{}, nil, fmt.Errorf("sqldb: unknown index kind %s (want HASH or ORDERED)", s.Using)
 	}
-	td.scan(func(id rowID, vals []sqltypes.Value) bool {
-		idx.addRow(vals, id)
+	// Backfill under the DDL barrier: every row is committed and no
+	// snapshot that predates the index can be open, so entries carry the
+	// always-visible base stamp.
+	td.scan(snapLatest, func(id rowID, vals []sqltypes.Value) bool {
+		idx.addRow(vals, liveEntry(id))
 		return true
 	})
 	td.indexes[name] = idx
@@ -230,7 +233,7 @@ func (db *DB) execInsertLocked(tx *txState, s *InsertStmt, params []sqltypes.Val
 		}
 	}
 
-	ctx := &evalCtx{params: params, now: db.nowFn()}
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest}
 	inserted := 0
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(colPos) {
@@ -270,12 +273,10 @@ func (db *DB) execInsertLocked(tx *txState, s *InsertStmt, params []sqltypes.Val
 				return Result{}, err
 			}
 		}
-		id := db.nextRow
-		db.nextRow++
-		if err := td.insert(id, vals); err != nil {
+		id := rowID(db.nextRow.Add(1) - 1)
+		if err := td.insert(id, vals, &tx.refs); err != nil {
 			return Result{}, err
 		}
-		tx.undo = append(tx.undo, undoOp{kind: undoInsert, table: schema.Name, row: id})
 		tx.redo = append(tx.redo, walRecord{op: walOpInsert, table: schema.Name, row: id, vals: vals})
 		inserted++
 	}
@@ -309,10 +310,10 @@ func (db *DB) execUpdateLocked(tx *txState, s *UpdateStmt, params []sqltypes.Val
 		return Result{}, err
 	}
 
-	ctx := &evalCtx{params: params, now: db.nowFn()}
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest}
 	updated := 0
 	for _, id := range ids {
-		old, ok := td.get(id)
+		old, ok := td.get(id, snapLatest)
 		if !ok {
 			continue
 		}
@@ -351,11 +352,9 @@ func (db *DB) execUpdateLocked(tx *txState, s *UpdateStmt, params []sqltypes.Val
 				return Result{}, err
 			}
 		}
-		prev, err := td.update(id, newVals)
-		if err != nil {
+		if _, err := td.update(id, newVals, &tx.refs); err != nil {
 			return Result{}, err
 		}
-		tx.undo = append(tx.undo, undoOp{kind: undoUpdate, table: schema.Name, row: id, vals: prev})
 		tx.redo = append(tx.redo, walRecord{op: walOpUpdate, table: schema.Name, row: id, vals: newVals})
 		updated++
 	}
@@ -379,7 +378,7 @@ func (db *DB) execDeleteLocked(tx *txState, s *DeleteStmt, params []sqltypes.Val
 	}
 	deleted := 0
 	for _, id := range ids {
-		old, ok := td.get(id)
+		old, ok := td.get(id, snapLatest)
 		if !ok {
 			continue
 		}
@@ -391,11 +390,9 @@ func (db *DB) execDeleteLocked(tx *txState, s *DeleteStmt, params []sqltypes.Val
 				return Result{}, err
 			}
 		}
-		prev, err := td.delete(id)
-		if err != nil {
+		if _, err := td.delete(id, &tx.refs); err != nil {
 			return Result{}, err
 		}
-		tx.undo = append(tx.undo, undoOp{kind: undoDelete, table: schema.Name, row: id, vals: prev})
 		tx.redo = append(tx.redo, walRecord{op: walOpDelete, table: schema.Name, row: id})
 		deleted++
 	}
@@ -409,7 +406,10 @@ func (db *DB) execDeleteLocked(tx *txState, s *DeleteStmt, params []sqltypes.Val
 // are identical (the old equality fast path skipped that residual check,
 // which let encoded-key over-approximations reach UPDATE/DELETE).
 func (db *DB) matchRowsLocked(td *tableData, schema *TableSchema, where Expr, params []sqltypes.Value) ([]rowID, error) {
-	ctx := &evalCtx{params: params, now: db.nowFn()}
+	// Latest-mode visibility: DML must see the current state, including
+	// this transaction's own earlier writes (the owning writer slot —
+	// wmu or the global lock — guarantees no foreign in-flight stamps).
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest}
 	var ids []rowID
 	var evalErr error
 	visit := func(id rowID, vals []sqltypes.Value) bool {
@@ -439,7 +439,7 @@ func (db *DB) matchRowsLocked(td *tableData, schema *TableSchema, where Expr, pa
 		}
 	}
 	if !handled {
-		td.scan(visit)
+		td.scan(snapLatest, visit)
 	}
 	return ids, evalErr
 }
@@ -497,7 +497,7 @@ func (db *DB) parentExistsLocked(parent *TableSchema, refCols []string, tuple []
 	for i, c := range refCols {
 		idx[i] = parent.ColIndex(c)
 	}
-	ptd.scan(func(id rowID, vals []sqltypes.Value) bool {
+	ptd.scan(snapLatest, func(id rowID, vals []sqltypes.Value) bool {
 		for i, ci := range idx {
 			if c, ok := sqltypes.Compare(vals[ci], tuple[i]); !ok || c != 0 {
 				return true
@@ -560,7 +560,12 @@ func (db *DB) childExistsLocked(child *TableSchema, cols []string, key []sqltype
 		if idx, ok := ctd.indexOnColumns([]string{col}); ok {
 			ci := child.ColIndex(col)
 			if pv, okp := probeValue(child.Cols[ci].Type.Kind, key[0]); okp {
-				return len(idx.lookupKey(encodeKey(pv))) > 0
+				for _, e := range idx.lookupKey(encodeKey(pv)) {
+					if entryCurrent(e) {
+						return true
+					}
+				}
+				return false
 			}
 		}
 	}
@@ -569,7 +574,7 @@ func (db *DB) childExistsLocked(child *TableSchema, cols []string, key []sqltype
 		idx[i] = child.ColIndex(c)
 	}
 	found := false
-	ctd.scan(func(id rowID, vals []sqltypes.Value) bool {
+	ctd.scan(snapLatest, func(id rowID, vals []sqltypes.Value) bool {
 		for i, ci := range idx {
 			if c, ok := sqltypes.Compare(vals[ci], key[i]); !ok || c != 0 {
 				return true

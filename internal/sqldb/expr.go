@@ -89,11 +89,15 @@ func exprHasAggregate(e Expr) bool {
 	return found
 }
 
-// evalCtx carries the runtime row and parameters during evaluation.
+// evalCtx carries the runtime row and parameters during evaluation,
+// plus the MVCC snapshot the statement reads at: a commit stamp pinned
+// at statement start for queries, or snapLatest for DML row matching
+// and constraint checks (which must see the newest non-aborted state).
 type evalCtx struct {
 	vals   []sqltypes.Value
 	params []sqltypes.Value
 	now    time.Time
+	snap   uint64
 }
 
 // evalExpr computes e over the context. SQL three-valued logic is

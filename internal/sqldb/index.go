@@ -3,6 +3,7 @@ package sqldb
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sqltypes"
 )
@@ -16,6 +17,51 @@ const (
 	IndexKindHash    = "HASH"
 	IndexKindOrdered = "ORDERED"
 )
+
+// idxEntry is one stamped index posting: row id plus the MVCC begin/end
+// stamps of the key↔row association. An entry is visible at a snapshot
+// iff a version of the row visible at that snapshot has this key, which
+// is what lets index-only aggregates (COUNT from posting counts, MIN/MAX
+// from boundary keys) stay exact while dead postings linger until
+// vacuum. Updates that keep a key untouched leave its entry alone;
+// key-changing updates end the old entry and add a new one.
+type idxEntry struct {
+	id    rowID
+	begin atomic.Uint64
+	end   atomic.Uint64
+}
+
+func (e *idxEntry) visibleAt(snap uint64) bool {
+	return visibleStamp(e.begin.Load(), e.end.Load(), snap)
+}
+
+// entryCurrent reports whether the posting is the latest live one
+// (latest-mode visibility; also the vacuum keep-predicate, since vacuum
+// runs under the barrier with every stamp resolved).
+func entryCurrent(e *idxEntry) bool {
+	return e.begin.Load() != abortedStamp && e.end.Load() == 0
+}
+
+// liveEntry returns a posting stamped as committed from the start —
+// index backfill (CREATE INDEX over existing rows, snapshot load) and
+// the direct index unit tests use it.
+func liveEntry(id rowID) *idxEntry {
+	e := &idxEntry{id: id}
+	e.begin.Store(baseStamp)
+	return e
+}
+
+// findCurrentEntry locates the live posting for (row id, key-of-vals),
+// the one a delete or key-changing update must end. Caller holds the
+// table latch at least shared plus the table's writer slot.
+func findCurrentEntry(idx secondaryIndex, vals []sqltypes.Value, id rowID) *idxEntry {
+	for _, e := range idx.lookupKey(idx.rowKeyOf(vals)) {
+		if e.id == id && entryCurrent(e) {
+			return e
+		}
+	}
+	return nil
+}
 
 // indexedCols is the column tuple an index is declared over, shared by
 // the hash and ordered implementations. Keys are the concatenated
@@ -41,8 +87,8 @@ func newIndexedCols(schema *TableSchema, cols []string) indexedCols {
 
 func (ic indexedCols) columns() []string { return ic.cols }
 
-// rowKey encodes the index key of one stored row.
-func (ic indexedCols) rowKey(vals []sqltypes.Value) string {
+// rowKeyOf encodes the index key of one stored row.
+func (ic indexedCols) rowKeyOf(vals []sqltypes.Value) string {
 	b := make([]byte, 0, 16*len(ic.pos))
 	for _, p := range ic.pos {
 		b = appendKey(b, vals[p])
@@ -54,17 +100,27 @@ func (ic indexedCols) rowKey(vals []sqltypes.Value) string {
 // index implementations. Keys are canonical encodings (see encodeKey);
 // maintenance callers pass the full stored row (values already coerced
 // to their column types), while lookup callers must align probes via
-// probeValue before encoding.
+// probeValue before encoding. Structural mutation (addRow, removeRow,
+// sweepDead) requires the table latch exclusively; lookups require it
+// shared (postings' stamps are atomics and may be read lock-free once
+// located).
 type secondaryIndex interface {
 	kindName() string
 	columns() []string
-	addRow(vals []sqltypes.Value, id rowID)
+	rowKeyOf(vals []sqltypes.Value) string
+	addRow(vals []sqltypes.Value, e *idxEntry)
+	// removeRow structurally removes the current posting for id under
+	// the key of vals (vacuum, backfill undo and unit tests; DML ends
+	// postings by stamp instead).
 	removeRow(vals []sqltypes.Value, id rowID)
-	// lookupKey returns the row IDs stored under one encoded key (the
+	// lookupKey returns the postings stored under one encoded key (the
 	// full column tuple). The returned slice aliases index storage;
-	// callers must not mutate it and must copy it if it outlives the
-	// engine lock.
-	lookupKey(k string) []rowID
+	// callers must not mutate it and must copy what they keep past the
+	// table latch.
+	lookupKey(k string) []*idxEntry
+	// sweepDead structurally removes every non-current posting (vacuum,
+	// under the global barrier).
+	sweepDead()
 }
 
 // rangeIndex is the extra surface of indexes that keep keys in order.
@@ -74,7 +130,7 @@ type rangeIndex interface {
 	// (reversed when desc); nil bounds are open ends. An exclusive
 	// bound skips entries equal to the bound key. The visitor returns
 	// false to stop.
-	scanRange(lo, hi *keyBound, desc bool, f func(k string, ids []rowID) bool)
+	scanRange(lo, hi *keyBound, desc bool, f func(k string, es []*idxEntry) bool)
 }
 
 // keyBound is one end of an ordered-index scan.
@@ -83,33 +139,107 @@ type keyBound struct {
 	incl bool
 }
 
+// ---------- snapshot-filtered access helpers ----------
+//
+// Readers go through these: they hold the table latch shared only for
+// bounded stretches (one point lookup, or one batch of keys), filter
+// postings down to plain row ids visible at the snapshot, and hand the
+// caller latch-free data. Because a reader never holds two table
+// latches at once (join probes re-enter per probe, after the outer
+// batch is released), reader/writer latch cycles cannot form.
+
+// idxScanBatch is how many keys a range scan gathers per latch hold.
+const idxScanBatch = 128
+
+// lookupVisible returns the row ids visible at snap under one key.
+func lookupVisible(td *tableData, idx secondaryIndex, k string, snap uint64) []rowID {
+	td.latch.RLock()
+	es := idx.lookupKey(k)
+	var ids []rowID
+	for _, e := range es {
+		if e.visibleAt(snap) {
+			ids = append(ids, e.id)
+		}
+	}
+	td.latch.RUnlock()
+	return ids
+}
+
+// scanVisibleRange drives a resumable, batched range scan: up to
+// idxScanBatch keys are collected per latch hold, then f runs
+// latch-free over each key's visible ids (keys with no visible posting
+// are skipped). Between batches the scan resumes strictly after the
+// last delivered key; committed-after-snapshot writers only add
+// postings invisible at snap, and structural removal happens only under
+// the global barrier, so the resumed walk observes exactly the
+// snapshot's key set.
+func scanVisibleRange(td *tableData, rix rangeIndex, lo, hi *keyBound, desc bool, snap uint64, f func(k string, ids []rowID) bool) {
+	type keyIDs struct {
+		k   string
+		ids []rowID
+	}
+	batch := make([]keyIDs, 0, idxScanBatch)
+	flat := make([]rowID, 0, 4*idxScanBatch)
+	for {
+		batch, flat = batch[:0], flat[:0]
+		td.latch.RLock()
+		rix.scanRange(lo, hi, desc, func(k string, es []*idxEntry) bool {
+			start := len(flat)
+			for _, e := range es {
+				if e.visibleAt(snap) {
+					flat = append(flat, e.id)
+				}
+			}
+			if len(flat) > start {
+				batch = append(batch, keyIDs{k: k, ids: flat[start:len(flat):len(flat)]})
+			}
+			return len(batch) < idxScanBatch
+		})
+		td.latch.RUnlock()
+		for _, kv := range batch {
+			if !f(kv.k, kv.ids) {
+				return
+			}
+		}
+		if len(batch) < idxScanBatch {
+			return
+		}
+		resume := &keyBound{key: batch[len(batch)-1].k, incl: false}
+		if desc {
+			hi = resume
+		} else {
+			lo = resume
+		}
+	}
+}
+
 // ---------- hash index ----------
 
-// hashIndex is a secondary equality index from canonical key → row IDs.
+// hashIndex is a secondary equality index from canonical key → postings.
 // A composite hash index only serves equality on its full column tuple.
 type hashIndex struct {
 	name string
 	indexedCols
-	entries map[string][]rowID
+	entries map[string][]*idxEntry
 }
 
 func newHashIndex(name string, schema *TableSchema, cols []string) *hashIndex {
-	return &hashIndex{name: name, indexedCols: newIndexedCols(schema, cols), entries: make(map[string][]rowID)}
+	return &hashIndex{name: name, indexedCols: newIndexedCols(schema, cols), entries: make(map[string][]*idxEntry)}
 }
 
 func (h *hashIndex) kindName() string { return IndexKindHash }
 
-func (h *hashIndex) addRow(vals []sqltypes.Value, id rowID) {
-	k := h.rowKey(vals)
-	h.entries[k] = append(h.entries[k], id)
+func (h *hashIndex) addRow(vals []sqltypes.Value, e *idxEntry) {
+	k := h.rowKeyOf(vals)
+	h.entries[k] = append(h.entries[k], e)
 }
 
 func (h *hashIndex) removeRow(vals []sqltypes.Value, id rowID) {
-	k := h.rowKey(vals)
-	ids := h.entries[k]
-	for i, x := range ids {
-		if x == id {
-			h.entries[k] = append(ids[:i], ids[i+1:]...)
+	k := h.rowKeyOf(vals)
+	es := h.entries[k]
+	for i, e := range es {
+		if e.id == id && entryCurrent(e) {
+			h.entries[k] = append(es[:i], es[i+1:]...)
 			break
 		}
 	}
@@ -118,12 +248,29 @@ func (h *hashIndex) removeRow(vals []sqltypes.Value, id rowID) {
 	}
 }
 
-func (h *hashIndex) lookupKey(k string) []rowID { return h.entries[k] }
+func (h *hashIndex) lookupKey(k string) []*idxEntry { return h.entries[k] }
+
+func (h *hashIndex) sweepDead() {
+	for k, es := range h.entries {
+		kept := es[:0]
+		for _, e := range es {
+			if entryCurrent(e) {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(h.entries, k)
+		} else {
+			h.entries[k] = kept
+		}
+	}
+}
 
 // ---------- ordered index (B+tree) ----------
 
-// Node fan-out. Leaves hold up to btreeLeafMax key/id entries, inner
-// nodes up to btreeInnerMax children; splits happen one past the cap.
+// Node fan-out. Leaves hold up to btreeLeafMax key/posting entries,
+// inner nodes up to btreeInnerMax children; splits happen one past the
+// cap.
 const (
 	btreeLeafMax  = 64
 	btreeInnerMax = 64
@@ -132,12 +279,13 @@ const (
 // orderedIndex is a B+tree over canonical key encodings supporting
 // point, range and in-order scans. All keys live in leaves; inner nodes
 // hold separators with len(seps) == len(children)-1, child i spanning
-// [seps[i-1], seps[i]). Deleting the last row ID under a key removes the
-// leaf entry, and a leaf that empties out is merged away (its parent
-// drops the hollow child and the adjoining separator), so delete-heavy
-// tables do not accumulate dead nodes; within still-populated leaves no
-// rebalancing happens, which is the right trade for the archive's
-// insert-mostly workload.
+// [seps[i-1], seps[i]). Structurally removing the last posting under a
+// key removes the leaf entry, and a leaf that empties out is merged away
+// (its parent drops the hollow child and the adjoining separator), so
+// delete-heavy tables do not accumulate dead nodes once vacuum sweeps
+// the dead postings; within still-populated leaves no rebalancing
+// happens, which is the right trade for the archive's insert-mostly
+// workload.
 type orderedIndex struct {
 	name string
 	indexedCols
@@ -146,9 +294,9 @@ type orderedIndex struct {
 
 type btreeNode struct {
 	leaf     bool
-	keys     []string  // leaf entries
-	ids      [][]rowID // parallel to keys
-	seps     []string  // inner separators
+	keys     []string      // leaf entries
+	ents     [][]*idxEntry // parallel to keys
+	seps     []string      // inner separators
 	children []*btreeNode
 }
 
@@ -162,8 +310,8 @@ func newOrderedIndex(name string, schema *TableSchema, cols []string) *orderedIn
 
 func (ix *orderedIndex) kindName() string { return IndexKindOrdered }
 
-func (ix *orderedIndex) addRow(vals []sqltypes.Value, id rowID) {
-	right, sep := ix.root.insert(ix.rowKey(vals), id)
+func (ix *orderedIndex) addRow(vals []sqltypes.Value, e *idxEntry) {
+	right, sep := ix.root.insert(ix.rowKeyOf(vals), e)
 	if right != nil {
 		ix.root = &btreeNode{
 			seps:     []string{sep},
@@ -173,31 +321,58 @@ func (ix *orderedIndex) addRow(vals []sqltypes.Value, id rowID) {
 }
 
 func (ix *orderedIndex) removeRow(vals []sqltypes.Value, id rowID) {
-	ix.root.remove(ix.rowKey(vals), id)
-	// Collapse single-child roots so the tree height tracks the live
-	// key count back down after bulk deletes.
+	ix.removeEntry(ix.rowKeyOf(vals), func(e *idxEntry) bool {
+		return e.id == id && entryCurrent(e)
+	})
+}
+
+// removeEntry structurally removes the first posting under k matching
+// the predicate and collapses single-child roots so the tree height
+// tracks the live key count back down after bulk removal.
+func (ix *orderedIndex) removeEntry(k string, match func(*idxEntry) bool) {
+	ix.root.remove(k, match)
 	for !ix.root.leaf && len(ix.root.children) == 1 {
 		ix.root = ix.root.children[0]
 	}
 }
 
-func (ix *orderedIndex) lookupKey(k string) []rowID {
+func (ix *orderedIndex) lookupKey(k string) []*idxEntry {
 	n := ix.root
 	for !n.leaf {
 		n = n.children[n.childFor(k)]
 	}
 	i := sort.SearchStrings(n.keys, k)
 	if i < len(n.keys) && n.keys[i] == k {
-		return n.ids[i]
+		return n.ents[i]
 	}
 	return nil
 }
 
-func (ix *orderedIndex) scanRange(lo, hi *keyBound, desc bool, f func(k string, ids []rowID) bool) {
+func (ix *orderedIndex) scanRange(lo, hi *keyBound, desc bool, f func(k string, es []*idxEntry) bool) {
 	if desc {
 		ix.root.descend(lo, hi, f)
 	} else {
 		ix.root.ascend(lo, hi, f)
+	}
+}
+
+func (ix *orderedIndex) sweepDead() {
+	type deadPosting struct {
+		k string
+		e *idxEntry
+	}
+	var dead []deadPosting
+	ix.root.ascend(nil, nil, func(k string, es []*idxEntry) bool {
+		for _, e := range es {
+			if !entryCurrent(e) {
+				dead = append(dead, deadPosting{k: k, e: e})
+			}
+		}
+		return true
+	})
+	for _, d := range dead {
+		victim := d.e
+		ix.removeEntry(d.k, func(e *idxEntry) bool { return e == victim })
 	}
 }
 
@@ -220,21 +395,21 @@ func (n *btreeNode) childFor(k string) int {
 	return sort.Search(len(n.seps), func(i int) bool { return n.seps[i] > k })
 }
 
-// insert adds id under key k, returning a new right sibling and its
-// separator when the node split.
-func (n *btreeNode) insert(k string, id rowID) (*btreeNode, string) {
+// insert adds a posting under key k, returning a new right sibling and
+// its separator when the node split.
+func (n *btreeNode) insert(k string, e *idxEntry) (*btreeNode, string) {
 	if n.leaf {
 		i := sort.SearchStrings(n.keys, k)
 		if i < len(n.keys) && n.keys[i] == k {
-			n.ids[i] = append(n.ids[i], id)
+			n.ents[i] = append(n.ents[i], e)
 			return nil, ""
 		}
 		n.keys = append(n.keys, "")
 		copy(n.keys[i+1:], n.keys[i:])
 		n.keys[i] = k
-		n.ids = append(n.ids, nil)
-		copy(n.ids[i+1:], n.ids[i:])
-		n.ids[i] = []rowID{id}
+		n.ents = append(n.ents, nil)
+		copy(n.ents[i+1:], n.ents[i:])
+		n.ents[i] = []*idxEntry{e}
 		if len(n.keys) <= btreeLeafMax {
 			return nil, ""
 		}
@@ -242,14 +417,14 @@ func (n *btreeNode) insert(k string, id rowID) (*btreeNode, string) {
 		right := &btreeNode{
 			leaf: true,
 			keys: append([]string(nil), n.keys[mid:]...),
-			ids:  append([][]rowID(nil), n.ids[mid:]...),
+			ents: append([][]*idxEntry(nil), n.ents[mid:]...),
 		}
 		n.keys = n.keys[:mid:mid]
-		n.ids = n.ids[:mid:mid]
+		n.ents = n.ents[:mid:mid]
 		return right, right.keys[0]
 	}
 	ci := n.childFor(k)
-	right, sep := n.children[ci].insert(k, id)
+	right, sep := n.children[ci].insert(k, e)
 	if right == nil {
 		return nil, ""
 	}
@@ -273,32 +448,32 @@ func (n *btreeNode) insert(k string, id rowID) (*btreeNode, string) {
 	return r, up
 }
 
-// remove deletes id from under key k and reports whether this node has
-// become empty (merge-at-empty reclamation: a parent drops an emptied
-// child together with one separator, so hollow leaves do not linger
-// after delete-heavy workloads; partially-filled nodes are never
-// rebalanced).
-func (n *btreeNode) remove(k string, id rowID) (empty bool) {
+// remove deletes the first posting under key k matching the predicate
+// and reports whether this node has become empty (merge-at-empty
+// reclamation: a parent drops an emptied child together with one
+// separator, so hollow leaves do not linger after delete-heavy
+// workloads; partially-filled nodes are never rebalanced).
+func (n *btreeNode) remove(k string, match func(*idxEntry) bool) (empty bool) {
 	if n.leaf {
 		i := sort.SearchStrings(n.keys, k)
 		if i >= len(n.keys) || n.keys[i] != k {
 			return len(n.keys) == 0
 		}
-		ids := n.ids[i]
-		for j, x := range ids {
-			if x == id {
-				n.ids[i] = append(ids[:j], ids[j+1:]...)
+		es := n.ents[i]
+		for j, e := range es {
+			if match(e) {
+				n.ents[i] = append(es[:j], es[j+1:]...)
 				break
 			}
 		}
-		if len(n.ids[i]) == 0 {
+		if len(n.ents[i]) == 0 {
 			n.keys = append(n.keys[:i], n.keys[i+1:]...)
-			n.ids = append(n.ids[:i], n.ids[i+1:]...)
+			n.ents = append(n.ents[:i], n.ents[i+1:]...)
 		}
 		return len(n.keys) == 0
 	}
 	ci := n.childFor(k)
-	if n.children[ci].remove(k, id) && len(n.children) > 1 {
+	if n.children[ci].remove(k, match) && len(n.children) > 1 {
 		// Drop the hollow child and the separator adjoining it.
 		n.children = append(n.children[:ci], n.children[ci+1:]...)
 		si := ci
@@ -311,7 +486,7 @@ func (n *btreeNode) remove(k string, id rowID) (empty bool) {
 		return false
 	}
 	// A single remaining child: this node is as empty as that child
-	// (the root collapse in removeRow flattens the chain).
+	// (the root collapse in removeEntry flattens the chain).
 	return n.children[0].emptyNode()
 }
 
@@ -335,7 +510,7 @@ func within(k string, lo, hi *keyBound) bool {
 	return true
 }
 
-func (n *btreeNode) ascend(lo, hi *keyBound, f func(k string, ids []rowID) bool) bool {
+func (n *btreeNode) ascend(lo, hi *keyBound, f func(k string, es []*idxEntry) bool) bool {
 	if n.leaf {
 		start := 0
 		if lo != nil {
@@ -348,7 +523,7 @@ func (n *btreeNode) ascend(lo, hi *keyBound, f func(k string, ids []rowID) bool)
 				}
 				continue
 			}
-			if !f(n.keys[i], n.ids[i]) {
+			if !f(n.keys[i], n.ents[i]) {
 				return false
 			}
 		}
@@ -369,7 +544,7 @@ func (n *btreeNode) ascend(lo, hi *keyBound, f func(k string, ids []rowID) bool)
 	return true
 }
 
-func (n *btreeNode) descend(lo, hi *keyBound, f func(k string, ids []rowID) bool) bool {
+func (n *btreeNode) descend(lo, hi *keyBound, f func(k string, es []*idxEntry) bool) bool {
 	if n.leaf {
 		for i := len(n.keys) - 1; i >= 0; i-- {
 			if !within(n.keys[i], lo, hi) {
@@ -378,7 +553,7 @@ func (n *btreeNode) descend(lo, hi *keyBound, f func(k string, ids []rowID) bool
 				}
 				continue
 			}
-			if !f(n.keys[i], n.ids[i]) {
+			if !f(n.keys[i], n.ents[i]) {
 				return false
 			}
 		}

@@ -142,10 +142,10 @@ func (hp *hashJoinPlan) String() string {
 // match any probe (the equality is UNKNOWN) and are left out. The
 // stored row slices are referenced, not copied — the join row assembly
 // copies values out under the engine lock, like every probe path.
-func buildJoinHash(td *tableData, hp *hashJoinPlan) map[string][][]sqltypes.Value {
+func buildJoinHash(td *tableData, hp *hashJoinPlan, snap uint64) map[string][][]sqltypes.Value {
 	m := make(map[string][][]sqltypes.Value)
 	var buf []byte
-	td.scan(func(_ rowID, vals []sqltypes.Value) bool {
+	td.scan(snap, func(_ rowID, vals []sqltypes.Value) bool {
 		buf = buf[:0]
 		for _, p := range hp.colPos {
 			if vals[p].IsNull() {
@@ -169,8 +169,8 @@ type hashProber struct {
 	buf   []byte
 }
 
-func newHashProber(td *tableData, hp *hashJoinPlan) *hashProber {
-	return &hashProber{table: buildJoinHash(td, hp), hp: hp}
+func newHashProber(td *tableData, hp *hashJoinPlan, snap uint64) *hashProber {
+	return &hashProber{table: buildJoinHash(td, hp, snap), hp: hp}
 }
 
 // probe returns the candidate rows for the outer row currently in
@@ -338,14 +338,14 @@ func probeJoin(td *tableData, p *joinProbe, ctx *evalCtx) (cands [][]sqltypes.Va
 	defer func() { td.heapReads.Add(int64(len(cands))) }()
 	collect := func(ids []rowID) bool {
 		for _, id := range ids {
-			if vals, live := td.fetch(id); live {
+			if vals, live := td.fetch(id, ctx.snap); live {
 				cands = append(cands, vals)
 			}
 		}
 		return true
 	}
 	if p.nEq == len(p.cols) {
-		collect(idx.lookupKey(string(prefix)))
+		collect(lookupVisible(td, idx, string(prefix), ctx.snap))
 		return cands, true
 	}
 	rix, ok := idx.(rangeIndex)
@@ -354,7 +354,7 @@ func probeJoin(td *tableData, p *joinProbe, ctx *evalCtx) (cands [][]sqltypes.Va
 	}
 	lo := &keyBound{key: string(prefix), incl: true}
 	hi := &keyBound{key: string(prefix) + keyRangeHiSentinel, incl: true}
-	rix.scanRange(lo, hi, false, func(_ string, ids []rowID) bool {
+	scanVisibleRange(td, rix, lo, hi, false, ctx.snap, func(_ string, ids []rowID) bool {
 		return collect(ids)
 	})
 	return cands, true

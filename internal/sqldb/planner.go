@@ -878,7 +878,7 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 	defer func() { td.heapReads.Add(reads) }()
 	emitIDs := func(ids []rowID) bool {
 		for _, id := range ids {
-			vals, live := td.fetch(id)
+			vals, live := td.fetch(id, ctx.snap)
 			if !live {
 				continue
 			}
@@ -910,7 +910,7 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 
 	switch path.kind {
 	case pathHashEq, pathOrderedEq:
-		emitIDs(idx.lookupKey(string(prefix)))
+		emitIDs(lookupVisible(td, idx, string(prefix), ctx.snap))
 		return true, nil
 
 	case pathOrderedRange:
@@ -946,7 +946,7 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 		} else {
 			hi = prefixUpper(prefix)
 		}
-		rix.scanRange(lo, hi, path.desc, func(_ string, ids []rowID) bool {
+		scanVisibleRange(td, rix, lo, hi, path.desc, ctx.snap, func(_ string, ids []rowID) bool {
 			return emitIDs(ids)
 		})
 		return true, nil
@@ -958,7 +958,7 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 		}
 		if path.notNull {
 			lo := &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: false}
-			rix.scanRange(lo, prefixUpper(prefix), path.desc, func(_ string, ids []rowID) bool {
+			scanVisibleRange(td, rix, lo, prefixUpper(prefix), path.desc, ctx.snap, func(_ string, ids []rowID) bool {
 				return emitIDs(ids)
 			})
 		} else {
@@ -968,7 +968,7 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 			// index ends at the scan column).
 			lo := &keyBound{key: string(prefix) + nullKey, incl: true}
 			hi := &keyBound{key: string(prefix) + nullKey + keyRangeHiSentinel, incl: true}
-			rix.scanRange(lo, hi, path.desc, func(_ string, ids []rowID) bool {
+			scanVisibleRange(td, rix, lo, hi, path.desc, ctx.snap, func(_ string, ids []rowID) bool {
 				return emitIDs(ids)
 			})
 		}
@@ -979,7 +979,7 @@ func scanAccessPath(td *tableData, path *accessPath, ctx *evalCtx, emit func(id 
 		if !ok {
 			return false, nil
 		}
-		rix.scanRange(nil, nil, path.desc, func(_ string, ids []rowID) bool {
+		scanVisibleRange(td, rix, nil, nil, path.desc, ctx.snap, func(_ string, ids []rowID) bool {
 			return emitIDs(ids)
 		})
 		return true, nil

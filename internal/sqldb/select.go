@@ -71,6 +71,19 @@ type selectPlan struct {
 	// groupIdxFold, when non-nil, answers the grouped aggregate from
 	// index keys alone — zero heap fetches (see aggplan.go).
 	groupIdxFold *groupIdxFoldPlan
+
+	// groupStop, when positive, bounds a streaming (group-ordered)
+	// grouped fold at OFFSET+LIMIT groups: with no HAVING to drop
+	// groups, no ORDER BY to reorder them and no DISTINCT to reshape
+	// the rows, groups past the limit cannot reach the result, so the
+	// scan stops as soon as the last wanted group closes.
+	groupStop int
+
+	// topK marks ORDER BY ... LIMIT plans whose sort runs as a bounded
+	// heap selection — O(n log k) over the OFFSET+LIMIT best rows —
+	// instead of a full sort. Advisory (the executor re-checks row
+	// counts at run time); AccessPath renders it as " top-k".
+	topK bool
 }
 
 // outRow is one projected output row awaiting DISTINCT/ORDER BY/LIMIT.
@@ -84,14 +97,16 @@ type outRow struct {
 }
 
 // execSelectLocked plans and runs a SELECT in one step (the uncached
-// path). The caller must hold db.mu (read or write); the statement must
-// not be shared with concurrent executions.
+// path). The caller holds db.mu exclusively — this is the explicit-Tx /
+// script path — so the query runs in latest-mode visibility: it must
+// see the enclosing transaction's own uncommitted writes, and no other
+// writer can be in flight under the exclusive lock.
 func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, error) {
 	plan, err := db.planSelect(s)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelect(plan, params)
+	return db.runSelectAt(plan, params, snapLatest)
 }
 
 // planSelect resolves FROM items against the catalogue, binds every
@@ -223,6 +238,12 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 	planGroupAgg(plan)
 	planGroupIndexFold(plan)
 	planJoinProbes(plan)
+	if plan.streamGroups && s.Limit >= 0 && s.Having == nil &&
+		len(s.OrderBy) == 0 && !s.Distinct {
+		plan.groupStop = s.Offset + s.Limit
+	}
+	plan.topK = len(s.OrderBy) > 0 && s.Limit >= 0 &&
+		(plan.path == nil || !plan.path.satisfiesOrderBy)
 	return plan, nil
 }
 
@@ -231,6 +252,15 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 // engine). It must not mutate the plan or its AST: concurrent readers
 // share both. Caller holds db.mu (read suffices).
 func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error) {
+	// Pin the statement's snapshot: every scan, probe and index-only
+	// aggregate below answers as of this commit stamp, no matter what
+	// commits concurrently.
+	return db.runSelectAt(plan, params, db.readSnapshot())
+}
+
+// runSelectAt is runSelect at an explicit snapshot (snapLatest for the
+// exclusive-lock transaction path).
+func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64) (*Rows, error) {
 	if plan.noFrom {
 		return db.runSelectNoFrom(plan, params)
 	}
@@ -238,7 +268,7 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 	aggregated := plan.aggregated
 	orderBound := plan.orderBound
 
-	ctx := &evalCtx{params: params, now: db.nowFn()}
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snap}
 
 	// Index-only aggregation: COUNT/MIN/MAX over a residual-free path
 	// answered from the index without materialising candidate rows.
@@ -394,13 +424,9 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 		// numeric-vs-text comparisons would otherwise re-parse the
 		// textual operand on every SortCompare call inside the sort.
 		cells := annotateSortKeys(keys, len(s.OrderBy))
-		idx := make([]int, len(outRows))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
+		less := func(a, b int) bool {
 			for oi, o := range s.OrderBy {
-				c := cmpSortCells(&cells[idx[a]][oi], &cells[idx[b]][oi])
+				c := cmpSortCells(&cells[a][oi], &cells[b][oi])
 				if c == 0 {
 					continue
 				}
@@ -409,9 +435,25 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 				}
 				return c < 0
 			}
-			return false
-		})
-		sorted := make([]outRow, len(outRows))
+			// Equal keys order by original position, which both makes
+			// the comparator total (sort.Slice == stable sort) and lets
+			// the top-K heap preserve first-appearance order on ties.
+			return a < b
+		}
+		var idx []int
+		if k := s.Offset + s.Limit; s.Limit >= 0 && k < len(outRows) {
+			// ORDER BY ... LIMIT: only the k best rows survive the
+			// OFFSET/LIMIT slice below, so select them with a bounded
+			// heap — O(n log k) — instead of sorting everything.
+			idx = topKIndices(len(outRows), k, less)
+		} else {
+			idx = make([]int, len(outRows))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		}
+		sorted := make([]outRow, len(idx))
 		for i, j := range idx {
 			sorted[i] = outRows[j]
 		}
@@ -506,7 +548,7 @@ func (db *DB) materialiseRows(plan *selectPlan, ctx *evalCtx) (rows [][]sqltypes
 			orderApplied = handled && plan.path.satisfiesOrderBy
 		}
 		if !handled {
-			ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
+			ft.data.scan(ctx.snap, func(id rowID, vals []sqltypes.Value) bool {
 				ok, err := keep(vals)
 				if err != nil {
 					scanErr = err
@@ -549,7 +591,7 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		})
 	}
 	if hj := db.chooseHashSwap(plan); hj != nil {
-		return db.joinRowsSwapped(plan, ctx, newHashProber(plan.tables[0].data, hj).probe)
+		return db.joinRowsSwapped(plan, ctx, newHashProber(plan.tables[0].data, hj, ctx.snap).probe)
 	}
 	width := len(plan.env.cols)
 	rows := make([][]sqltypes.Value, 1)
@@ -567,7 +609,7 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		var hashP *hashProber
 		if plan.hashJoins != nil && probe == nil && !db.fullScanOnly {
 			if hj := plan.hashJoins[i]; hj != nil && len(rows) > 0 {
-				hashP = newHashProber(ft.data, hj)
+				hashP = newHashProber(ft.data, hj, ctx.snap)
 			}
 		}
 		var next [][]sqltypes.Value
@@ -643,7 +685,7 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 				}
 			}
 			if !probed && scanErr == nil {
-				ft.data.scan(func(id rowID, vals []sqltypes.Value) bool {
+				ft.data.scan(ctx.snap, func(id rowID, vals []sqltypes.Value) bool {
 					scanErr = appendRow(vals)
 					return scanErr == nil
 				})
@@ -679,7 +721,7 @@ func (db *DB) chooseSwap(plan *selectPlan) *joinProbe {
 	if db.fullScanOnly || plan.revProbe == nil || len(plan.tables) != 2 {
 		return nil
 	}
-	if fwd := plan.joins[1]; fwd != nil && plan.tables[0].data.live <= plan.tables[1].data.live {
+	if fwd := plan.joins[1]; fwd != nil && plan.tables[0].data.live.Load() <= plan.tables[1].data.live.Load() {
 		return nil
 	}
 	return plan.revProbe
@@ -698,7 +740,7 @@ func (db *DB) chooseHashSwap(plan *selectPlan) *hashJoinPlan {
 	if plan.joins[1] != nil || plan.revProbe != nil {
 		return nil // an index serves this join
 	}
-	if fwd := plan.hashJoins[1]; fwd != nil && plan.tables[1].data.live <= plan.tables[0].data.live {
+	if fwd := plan.hashJoins[1]; fwd != nil && plan.tables[1].data.live.Load() <= plan.tables[0].data.live.Load() {
 		return nil // forward hash already builds on the smaller (inner) side
 	}
 	return plan.revHash
@@ -720,7 +762,7 @@ func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probeFn func(*eval
 	// Scratch row for probe evaluation: the probe's expressions only
 	// reference table 1 slots, so the table 0 prefix can stay stale.
 	scratch := make([]sqltypes.Value, width)
-	t1.data.scan(func(_ rowID, v1 []sqltypes.Value) bool {
+	t1.data.scan(ctx.snap, func(_ rowID, v1 []sqltypes.Value) bool {
 		copy(scratch[start1:], v1)
 		ctx.vals = scratch
 		cands, handled := probeFn(ctx)
@@ -751,7 +793,7 @@ func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probeFn func(*eval
 			return true
 		}
 		keep := true
-		t0.data.scan(func(_ rowID, v0 []sqltypes.Value) bool {
+		t0.data.scan(ctx.snap, func(_ rowID, v0 []sqltypes.Value) bool {
 			keep = emit(v0)
 			return keep
 		})
@@ -876,6 +918,56 @@ func cmpSortCells(a, b *sortKeyCell) int {
 		return kindOrder()
 	}
 	return sqltypes.SortCompare(a.v, b.v)
+}
+
+// topKIndices returns the indices of the k least rows under less, in
+// sorted order, without sorting the rest: a size-k max-heap (root =
+// worst kept candidate) admits each row in O(log k), then the k
+// survivors sort among themselves. less must be total (topKIndices is
+// used with the position tiebreaker above), which also keeps the
+// selection stable: a later row never displaces an equal earlier one.
+func topKIndices(n, k int, less func(a, b int) bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	h := make([]int, 0, k)
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			// Pick the worse child (max-heap on "sorts after").
+			if c+1 < len(h) && less(h[c], h[c+1]) {
+				c++
+			}
+			if !less(h[i], h[c]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(h) < k {
+			h = append(h, i)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !less(h[p], h[c]) {
+					break
+				}
+				h[p], h[c] = h[c], h[p]
+				c = p
+			}
+			continue
+		}
+		if less(i, h[0]) {
+			h[0] = i
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[a], h[b]) })
+	return h
 }
 
 // runSelectNoFrom evaluates a FROM-less SELECT once against an empty

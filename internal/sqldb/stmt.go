@@ -56,7 +56,9 @@ func (s *Stmt) Text() string { return s.text }
 // the index without materialising rows), " group-ordered(COLS)" (the
 // scan emits rows clustered by the GROUP BY columns and groups are
 // folded one at a time), " hash-agg" (grouped fold through a hash
-// table) or " agg-fold" (a single-group fold, no GROUP BY). Joined
+// table) or " agg-fold" (a single-group fold, no GROUP BY). Plans whose
+// ORDER BY ... LIMIT runs as a bounded heap selection instead of a full
+// sort append " top-k". Joined
 // tables probed by an index nested-loop append " inl(ALIAS.COLS)" (or
 // " inl-rev(...)" for the two-table swap candidate that probes the
 // first table); unindexed equi-joins append " hash-join(ALIAS.COLS)"
@@ -93,6 +95,9 @@ func (s *Stmt) AccessPath() (string, error) {
 	case plan.aggregated:
 		out += " agg-fold"
 	}
+	if plan.topK {
+		out += " top-k"
+	}
 	for i, jp := range plan.joins {
 		if jp != nil {
 			out += " inl(" + plan.tables[i].alias + "." + jp.String() + ")"
@@ -112,9 +117,14 @@ func (s *Stmt) AccessPath() (string, error) {
 	return out, nil
 }
 
-// Exec runs the prepared statement in autocommit mode under the
-// exclusive writer lock (DML/DDL mutate shared state; a prepared SELECT
-// via Exec is allowed, with the result discarded).
+// Exec runs the prepared statement in autocommit mode. Single-table
+// DML against a table with no foreign keys (either direction) and no
+// DATALINK columns takes the sharded write path: the shared engine lock
+// plus that table's write latch, so writers on different tables commit
+// concurrently (and MVCC readers are never blocked). Everything else —
+// DDL, FK-bearing DML, link-control writes — falls back to the
+// exclusive writer lock. A prepared SELECT via Exec is allowed, with
+// the result discarded.
 func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
 	// SELECT via Exec: reuse the cached plan through the same path as
 	// Query. This is not just an optimisation — it keeps every binding
@@ -124,19 +134,55 @@ func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
 		return Result{}, err
 	}
 	db := s.db
+	db.mu.RLock()
+	if td := db.shardedTarget(s.ast); td != nil {
+		if db.closed {
+			db.mu.RUnlock()
+			return Result{}, fmt.Errorf("sqldb: database is closed")
+		}
+		// The write latch serialises writers of this one table; it also
+		// serialises bindings of this statement's shared AST (same
+		// statement → same table → same latch).
+		td.wmu.Lock()
+		tx := db.newTx()
+		res, _, err := db.execStmtLocked(tx, s.ast, args)
+		if err != nil {
+			rbErr := db.rollbackTx(tx)
+			td.wmu.Unlock()
+			db.mu.RUnlock()
+			return Result{}, errors.Join(err, rbErr)
+		}
+		finish, err := db.commitTx(tx)
+		// Release the latch only after commitTx published the stamp:
+		// the next writer on this table must observe these versions as
+		// committed, not in flight. All engine locks drop before
+		// finish() — its failure unwind and checkpoint re-check take
+		// db.mu exclusively.
+		td.wmu.Unlock()
+		db.mu.RUnlock()
+		if err != nil {
+			return Result{}, err
+		}
+		if err := finish(); err != nil {
+			return Result{}, err
+		}
+		return res, nil
+	}
+	db.mu.RUnlock()
+
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
 		return Result{}, fmt.Errorf("sqldb: database is closed")
 	}
-	tx := db.newTxLocked()
+	tx := db.newTx()
 	res, _, err := db.execStmtLocked(tx, s.ast, args)
 	if err != nil {
-		rbErr := db.rollbackLocked(tx)
+		rbErr := db.rollbackTx(tx)
 		db.mu.Unlock()
 		return Result{}, errors.Join(err, rbErr)
 	}
-	finish, err := db.commitLocked(tx)
+	finish, err := db.commitTx(tx)
 	db.mu.Unlock()
 	if err != nil {
 		return Result{}, err
@@ -147,6 +193,43 @@ func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
 		return Result{}, err
 	}
 	return res, nil
+}
+
+// shardedTarget classifies a statement for the sharded write path,
+// returning the target table when eligible: single-table DML whose
+// table declares no outgoing foreign keys, is referenced by no other
+// table's foreign keys, and has no DATALINK columns. Such a statement
+// reads and writes exactly one table's heap and indexes, so the
+// per-table write latch is a full substitute for the exclusive engine
+// lock. Caller holds db.mu (read mode suffices: the catalogue only
+// changes under the write lock).
+func (db *DB) shardedTarget(stmt Statement) *tableData {
+	var name string
+	switch s := stmt.(type) {
+	case *InsertStmt:
+		name = s.Table
+	case *UpdateStmt:
+		name = s.Table
+	case *DeleteStmt:
+		name = s.Table
+	default:
+		return nil
+	}
+	ts, ok := db.cat.Table(name)
+	if !ok {
+		return nil // let the exclusive path report the unknown table
+	}
+	if len(ts.ForeignKeys) > 0 || len(ts.DatalinkColumns()) > 0 {
+		return nil
+	}
+	for _, other := range db.cat.tables {
+		for _, fk := range other.ForeignKeys {
+			if strings.EqualFold(fk.RefTable, ts.Name) {
+				return nil
+			}
+		}
+	}
+	return db.data[strings.ToUpper(ts.Name)]
 }
 
 // Query runs a prepared SELECT under the shared read lock: any number of

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/sqltypes"
@@ -13,24 +14,206 @@ import (
 // including across WAL replay (IDs are allocated deterministically).
 type rowID uint64
 
-// storedRow is one heap row. Deleted rows remain as tombstones until
-// checkpoint compaction so that rowIDs stay stable for the undo log.
-type storedRow struct {
-	id      rowID
-	vals    []sqltypes.Value
-	deleted bool
+// ---------- MVCC stamps ----------
+//
+// Every row version and index entry carries a begin and an end stamp:
+//
+//	begin — the commit stamp of the transaction that created it,
+//	        uncommittedStamp while that transaction is in flight, or
+//	        abortedStamp if it rolled back;
+//	end   — 0 while current, uncommittedStamp while a deleting/updating
+//	        transaction is in flight, or the commit stamp that superseded
+//	        it.
+//
+// Commit stamps are boot-local: they are allocated monotonically under
+// DB.commitMu in WAL-stage order, so replay reconstructs the same
+// visibility order, and a freshly loaded snapshot collapses to stamp
+// baseStamp (visible to every reader).
+const (
+	txMark           = uint64(1) << 63 // set on all in-flight / aborted stamps
+	uncommittedStamp = txMark
+	abortedStamp     = txMark | 1
+	baseStamp        = uint64(1) // stamp of snapshot-loaded rows
+
+	// snapLatest is the visibility mode used by DML row matching and FK
+	// checks: see the latest non-aborted state, including this
+	// transaction's own uncommitted changes. Safe because same-table
+	// writers serialise on tableData.wmu (or on DB.mu for the global
+	// paths), so any in-flight stamp seen in this mode is our own.
+	snapLatest = ^uint64(0)
+)
+
+// visibleStamp reports whether a version/entry with the given begin and
+// end stamps is visible at snapshot snap.
+func visibleStamp(b, e, snap uint64) bool {
+	if snap == snapLatest {
+		return b != abortedStamp && e == 0
+	}
+	if b&txMark != 0 || b > snap {
+		return false // in flight, aborted, or committed after the snapshot
+	}
+	return e == 0 || e&txMark != 0 || e > snap
+}
+
+// rowVersion is one version of a heap row. vals is immutable after the
+// version is published; visibility is controlled entirely by the stamps.
+type rowVersion struct {
+	vals  []sqltypes.Value
+	prev  *rowVersion // next-older version
+	begin atomic.Uint64
+	end   atomic.Uint64
+}
+
+func (v *rowVersion) visibleAt(snap uint64) bool {
+	return visibleStamp(v.begin.Load(), v.end.Load(), snap)
+}
+
+// rowSlot anchors the version chain of one row id. Slots keep their
+// insertion-order position in tableData.slots for the life of the row,
+// so scan order is stable across updates (a new version replaces the
+// chain head in place).
+type rowSlot struct {
+	id   rowID
+	head atomic.Pointer[rowVersion] // newest first
+}
+
+// versionAt walks the chain newest→oldest and returns the version
+// visible at snap, if any. At most one version per row is visible at a
+// given snapshot (versions have disjoint [begin, end) ranges).
+func (s *rowSlot) versionAt(snap uint64) *rowVersion {
+	for v := s.head.Load(); v != nil; v = v.prev {
+		if v.visibleAt(snap) {
+			return v
+		}
+	}
+	return nil
+}
+
+// mvccRefs is a transaction's record of everything it stamped, kept on
+// txState until the commit is durable. Commit resolves the in-flight
+// stamps to the allocated commit stamp; abort (rollback, or unwinding an
+// unflushed suffix after an fsync failure) flips them back in O(touched)
+// without structural surgery — vacuum reclaims the husks later.
+type mvccRefs struct {
+	created    []*rowVersion
+	ended      []*rowVersion
+	createdIdx []*idxEntry
+	endedIdx   []*idxEntry
+	// undo reverses the structural side effects that are not
+	// stamp-guarded: unique-constraint map entries and live counters.
+	// Run in reverse order on abort.
+	undo []func()
+	// delta is the per-table net live-row change, applied to the
+	// committed live-count history at commit time.
+	delta map[*tableData]int64
+	// stamp is the commit stamp once allocated (0 until then); the
+	// unwind path uses it to pop live-history marks.
+	stamp uint64
+}
+
+func (r *mvccRefs) addDelta(td *tableData, d int64) {
+	if r.delta == nil {
+		r.delta = make(map[*tableData]int64, 2)
+	}
+	r.delta[td] += d
+}
+
+func (r *mvccRefs) empty() bool {
+	return len(r.created) == 0 && len(r.ended) == 0 &&
+		len(r.createdIdx) == 0 && len(r.endedIdx) == 0 && len(r.undo) == 0
+}
+
+// commit resolves every in-flight stamp to ts and records the live-count
+// marks. Must run under DB.commitMu so stamp order equals WAL order.
+func (r *mvccRefs) commit(ts uint64) {
+	r.stamp = ts
+	for _, v := range r.created {
+		v.begin.Store(ts)
+	}
+	for _, v := range r.ended {
+		v.end.Store(ts)
+	}
+	for _, e := range r.createdIdx {
+		e.begin.Store(ts)
+	}
+	for _, e := range r.endedIdx {
+		e.end.Store(ts)
+	}
+	for td, d := range r.delta {
+		td.pushLiveMark(ts, d)
+	}
+}
+
+// abort flips this transaction's stamps to the rolled-back state and
+// reverses its structural side effects. Safe both before commit
+// (rollback: stamps are still in-flight) and after (unwinding an
+// unflushed commit suffix: the DB is poisoned and the stamps are simply
+// overwritten; LIFO order across transactions keeps nested effects
+// consistent).
+func (r *mvccRefs) abort() {
+	for _, v := range r.created {
+		v.begin.Store(abortedStamp)
+	}
+	for _, v := range r.ended {
+		v.end.Store(0)
+	}
+	for _, e := range r.createdIdx {
+		e.begin.Store(abortedStamp)
+	}
+	for _, e := range r.endedIdx {
+		e.end.Store(0)
+	}
+	for i := len(r.undo) - 1; i >= 0; i-- {
+		r.undo[i]()
+	}
+	if r.stamp != 0 {
+		for td, d := range r.delta {
+			td.popLiveMark(r.stamp, d)
+		}
+	}
+}
+
+// liveMark is one point of a table's committed live-row-count history:
+// after the commit at stamp ts the table held live visible rows. The
+// history lets index-only COUNT(*) answer exactly for any open snapshot
+// while writers keep committing; vacuum prunes it back to one mark.
+type liveMark struct {
+	ts   uint64
+	live int64
 }
 
 // tableData is the heap + indexes for one table.
 type tableData struct {
 	schema *TableSchema
-	rows   []storedRow
-	byID   map[rowID]int // rowID → position in rows
-	live   int           // number of non-deleted rows
+
+	// wmu serialises writer statements on this table: a sharded DML
+	// statement holds it from row matching through commit-stamping, so
+	// "latest" visibility during matching can never observe another
+	// transaction's in-flight stamps. Global-barrier paths (DDL,
+	// explicit transactions, FK-involved DML, vacuum) already exclude
+	// everything via DB.mu and skip it.
+	wmu sync.Mutex
+
+	// latch guards the physical structure readers traverse: the slots
+	// slice header, the secondary-index trees/maps and the unique-index
+	// maps. Writers hold it exclusively only for short structural
+	// mutations; readers hold it in shared mode for bounded batches
+	// (see scanVisibleRange) and never nest two table latches, so
+	// reader/writer latch cycles cannot form.
+	latch sync.RWMutex
+
+	slots []*rowSlot
+	byID  sync.Map     // rowID → *rowSlot; lock-free point fetches
+	live  atomic.Int64 // latest committed+in-flight live rows (planner heuristics)
+	dead  atomic.Int64 // dead versions + index entries awaiting vacuum
+
+	histMu   sync.Mutex
+	liveHist []liveMark // committed live counts, ascending ts
 
 	// indexes maps upper-cased index name → secondary index (hash or
 	// ordered, single- or multi-column; see index.go). The PK and UNIQUE
-	// constraints get implicit composite indexes in uniqueIdx.
+	// constraints get implicit composite indexes in uniqueIdx. The map
+	// itself only changes under the DDL barrier.
 	indexes   map[string]secondaryIndex
 	uniqueIdx []*uniqueIndex // parallel to schema constraint list (PK first if present)
 
@@ -43,9 +226,9 @@ type tableData struct {
 
 func newTableData(schema *TableSchema) *tableData {
 	td := &tableData{
-		schema:  schema,
-		byID:    make(map[rowID]int),
-		indexes: make(map[string]secondaryIndex),
+		schema:   schema,
+		indexes:  make(map[string]secondaryIndex),
+		liveHist: []liveMark{{ts: 0, live: 0}},
 	}
 	if len(schema.PrimaryKey) > 0 {
 		td.uniqueIdx = append(td.uniqueIdx, newUniqueIndex("PRIMARY KEY", schema, schema.PrimaryKey))
@@ -56,102 +239,236 @@ func newTableData(schema *TableSchema) *tableData {
 	return td
 }
 
-// insert adds a row (already validated and coerced) and maintains indexes.
-func (td *tableData) insert(id rowID, vals []sqltypes.Value) error {
+// pushLiveMark records the committed live count after the commit at ts.
+func (td *tableData) pushLiveMark(ts uint64, delta int64) {
+	td.histMu.Lock()
+	last := td.liveHist[len(td.liveHist)-1].live
+	td.liveHist = append(td.liveHist, liveMark{ts: ts, live: last + delta})
+	td.histMu.Unlock()
+}
+
+// popLiveMark retracts the mark pushed at ts (fsync-failure unwind; the
+// suffix is popped LIFO so ts is always the newest mark for this table).
+func (td *tableData) popLiveMark(ts uint64, delta int64) {
+	td.histMu.Lock()
+	if n := len(td.liveHist); n > 0 && td.liveHist[n-1].ts == ts {
+		td.liveHist = td.liveHist[:n-1]
+	} else if n > 0 {
+		// Shouldn't happen (unwind is LIFO), but keep the history sane.
+		td.liveHist[n-1].live -= delta
+	}
+	td.histMu.Unlock()
+}
+
+// liveAt returns the committed live-row count visible at snap.
+func (td *tableData) liveAt(snap uint64) int64 {
+	if snap == snapLatest {
+		return td.live.Load()
+	}
+	td.histMu.Lock()
+	defer td.histMu.Unlock()
+	h := td.liveHist
+	i := sort.Search(len(h), func(i int) bool { return h[i].ts > snap })
+	if i == 0 {
+		return 0
+	}
+	return h[i-1].live
+}
+
+// resetLiveHist collapses the history to a single mark (vacuum: no
+// snapshot older than the barrier can still be open).
+func (td *tableData) resetLiveHist(ts uint64) {
+	td.histMu.Lock()
+	td.liveHist = append(td.liveHist[:0], liveMark{ts: ts, live: td.live.Load()})
+	td.histMu.Unlock()
+}
+
+// insert installs a new row as an uncommitted version and maintains
+// indexes. The caller owns the table's writer slot (wmu or the global
+// barrier).
+func (td *tableData) insert(id rowID, vals []sqltypes.Value, refs *mvccRefs) error {
 	for _, ui := range td.uniqueIdx {
 		if err := ui.check(vals, 0); err != nil {
 			return err
 		}
 	}
-	pos := len(td.rows)
-	td.rows = append(td.rows, storedRow{id: id, vals: vals})
-	td.byID[id] = pos
-	td.live++
+	v := &rowVersion{vals: vals}
+	v.begin.Store(uncommittedStamp)
+	s := &rowSlot{id: id}
+	s.head.Store(v)
+	td.byID.Store(id, s)
+	td.latch.Lock()
+	td.slots = append(td.slots, s)
+	for _, name := range td.indexNames() {
+		e := &idxEntry{id: id}
+		e.begin.Store(uncommittedStamp)
+		td.indexes[name].addRow(vals, e)
+		refs.createdIdx = append(refs.createdIdx, e)
+	}
+	td.latch.Unlock()
 	for _, ui := range td.uniqueIdx {
 		ui.add(vals, id)
 	}
-	for _, idx := range td.indexes {
-		idx.addRow(vals, id)
-	}
+	td.live.Add(1)
+	refs.created = append(refs.created, v)
+	refs.addDelta(td, 1)
+	refs.undo = append(refs.undo, func() {
+		for _, ui := range td.uniqueIdx {
+			ui.remove(vals, id)
+		}
+		td.live.Add(-1)
+		td.dead.Add(1)
+	})
 	return nil
 }
 
-// delete tombstones a row and removes it from indexes.
-func (td *tableData) delete(id rowID) ([]sqltypes.Value, error) {
-	pos, ok := td.byID[id]
-	if !ok || td.rows[pos].deleted {
+// delete ends the current version of a row (uncommitted end stamp) and
+// its index entries; nothing is removed structurally until vacuum.
+func (td *tableData) delete(id rowID, refs *mvccRefs) ([]sqltypes.Value, error) {
+	s, ok := td.slotFor(id)
+	if !ok {
 		return nil, fmt.Errorf("sqldb: row %d not found in %s", id, td.schema.Name)
 	}
-	vals := td.rows[pos].vals
-	td.rows[pos].deleted = true
-	td.live--
+	v := s.versionAt(snapLatest)
+	if v == nil {
+		return nil, fmt.Errorf("sqldb: row %d not found in %s", id, td.schema.Name)
+	}
+	vals := v.vals
+	v.end.Store(uncommittedStamp)
+	refs.ended = append(refs.ended, v)
+	td.latch.RLock()
+	for _, idx := range td.indexes {
+		if e := findCurrentEntry(idx, vals, id); e != nil {
+			e.end.Store(uncommittedStamp)
+			refs.endedIdx = append(refs.endedIdx, e)
+		}
+	}
+	td.latch.RUnlock()
 	for _, ui := range td.uniqueIdx {
 		ui.remove(vals, id)
 	}
-	for _, idx := range td.indexes {
-		idx.removeRow(vals, id)
-	}
+	td.live.Add(-1)
+	td.dead.Add(1)
+	refs.addDelta(td, -1)
+	refs.undo = append(refs.undo, func() {
+		for _, ui := range td.uniqueIdx {
+			ui.add(vals, id)
+		}
+		td.live.Add(1)
+		td.dead.Add(-1)
+	})
 	return vals, nil
 }
 
-// update replaces a row's values in place, maintaining indexes and
-// checking unique constraints against all rows but itself.
-func (td *tableData) update(id rowID, newVals []sqltypes.Value) ([]sqltypes.Value, error) {
-	pos, ok := td.byID[id]
-	if !ok || td.rows[pos].deleted {
+// update installs a new version at the head of the row's chain,
+// maintaining indexes and checking unique constraints against all rows
+// but itself. Index entries are touched only for keys that changed.
+func (td *tableData) update(id rowID, newVals []sqltypes.Value, refs *mvccRefs) ([]sqltypes.Value, error) {
+	s, ok := td.slotFor(id)
+	if !ok {
 		return nil, fmt.Errorf("sqldb: row %d not found in %s", id, td.schema.Name)
 	}
-	old := td.rows[pos].vals
+	v := s.versionAt(snapLatest)
+	if v == nil {
+		return nil, fmt.Errorf("sqldb: row %d not found in %s", id, td.schema.Name)
+	}
+	old := v.vals
 	for _, ui := range td.uniqueIdx {
 		if err := ui.check(newVals, id); err != nil {
 			return nil, err
 		}
 	}
+	nv := &rowVersion{vals: newVals, prev: s.head.Load()}
+	nv.begin.Store(uncommittedStamp)
+	v.end.Store(uncommittedStamp)
+	s.head.Store(nv)
+	refs.created = append(refs.created, nv)
+	refs.ended = append(refs.ended, v)
+	td.dead.Add(1) // the superseded version
+	td.latch.Lock()
+	for _, name := range td.indexNames() {
+		idx := td.indexes[name]
+		oldKey := idx.rowKeyOf(old)
+		newKey := idx.rowKeyOf(newVals)
+		if oldKey == newKey {
+			continue // entry stays valid for both versions
+		}
+		if e := findCurrentEntry(idx, old, id); e != nil {
+			e.end.Store(uncommittedStamp)
+			refs.endedIdx = append(refs.endedIdx, e)
+			td.dead.Add(1)
+		}
+		ne := &idxEntry{id: id}
+		ne.begin.Store(uncommittedStamp)
+		idx.addRow(newVals, ne)
+		refs.createdIdx = append(refs.createdIdx, ne)
+	}
+	td.latch.Unlock()
 	for _, ui := range td.uniqueIdx {
 		ui.remove(old, id)
 		ui.add(newVals, id)
 	}
-	for _, idx := range td.indexes {
-		idx.removeRow(old, id)
-		idx.addRow(newVals, id)
-	}
-	td.rows[pos].vals = newVals
+	refs.undo = append(refs.undo, func() {
+		for _, ui := range td.uniqueIdx {
+			ui.remove(newVals, id)
+			ui.add(old, id)
+		}
+		td.dead.Add(1) // the aborted new version
+	})
 	return old, nil
 }
 
-// fetch returns the live row values for id without touching the read
-// counter. Reader loops (index scans, join probes, boundary fetches)
-// use it with one batched heapReads.Add per call site, so the hot path
-// avoids a shared atomic RMW per row.
-func (td *tableData) fetch(id rowID) ([]sqltypes.Value, bool) {
-	pos, ok := td.byID[id]
-	if !ok || td.rows[pos].deleted {
+func (td *tableData) slotFor(id rowID) (*rowSlot, bool) {
+	v, ok := td.byID.Load(id)
+	if !ok {
 		return nil, false
 	}
-	return td.rows[pos].vals, true
+	return v.(*rowSlot), true
 }
 
-// get returns the live row values for id, counting the read. Used by
-// the low-frequency point paths (DML row collection under the writer
+// fetch returns the row values visible at snap without touching the
+// read counter. Reader loops (index scans, join probes, boundary
+// fetches) use it with one batched heapReads.Add per call site, so the
+// hot path avoids a shared atomic RMW per row. Lock-free: the slot map
+// and version stamps are safe under concurrent writers.
+func (td *tableData) fetch(id rowID, snap uint64) ([]sqltypes.Value, bool) {
+	s, ok := td.slotFor(id)
+	if !ok {
+		return nil, false
+	}
+	v := s.versionAt(snap)
+	if v == nil {
+		return nil, false
+	}
+	return v.vals, true
+}
+
+// get returns the row values visible at snap, counting the read. Used
+// by the low-frequency point paths (DML row collection under the writer
 // lock); reader loops use fetch + a batched count instead.
-func (td *tableData) get(id rowID) ([]sqltypes.Value, bool) {
-	vals, ok := td.fetch(id)
+func (td *tableData) get(id rowID, snap uint64) ([]sqltypes.Value, bool) {
+	vals, ok := td.fetch(id, snap)
 	if ok {
 		td.heapReads.Add(1)
 	}
 	return vals, ok
 }
 
-// scan calls f for each live row in insertion order; f returns false to stop.
-func (td *tableData) scan(f func(id rowID, vals []sqltypes.Value) bool) {
+// scan calls f for each row visible at snap in insertion order; f
+// returns false to stop. The latch is held only long enough to copy the
+// slots slice header, so long analytical scans never block writers.
+func (td *tableData) scan(snap uint64, f func(id rowID, vals []sqltypes.Value) bool) {
+	td.latch.RLock()
+	slots := td.slots
+	td.latch.RUnlock()
 	visited := int64(0)
-	for i := range td.rows {
-		r := &td.rows[i]
-		if r.deleted {
+	for _, s := range slots {
+		v := s.versionAt(snap)
+		if v == nil {
 			continue
 		}
 		visited++
-		if !f(r.id, r.vals) {
+		if !f(s.id, v.vals) {
 			break
 		}
 	}
@@ -170,7 +487,8 @@ func (td *tableData) indexOnColumns(cols []string) (secondaryIndex, bool) {
 }
 
 // indexNames returns the table's secondary index names, sorted, so the
-// planner's candidate walk is deterministic.
+// planner's candidate walk and writer entry-stamping order are
+// deterministic.
 func (td *tableData) indexNames() []string {
 	names := make([]string, 0, len(td.indexes))
 	for name := range td.indexes {
@@ -180,26 +498,39 @@ func (td *tableData) indexNames() []string {
 	return names
 }
 
-// compact rewrites the heap dropping tombstones; called at checkpoint.
-func (td *tableData) compact() {
-	if td.live == len(td.rows) {
-		return
-	}
-	kept := make([]storedRow, 0, td.live)
-	td.byID = make(map[rowID]int, td.live)
-	for _, r := range td.rows {
-		if r.deleted {
+// vacuum reclaims every dead row version and dead index entry. Caller
+// must hold the global barrier (DB.mu exclusively) with the WAL fenced,
+// so no snapshot is live and no commit can be unwound afterwards: a
+// version is reclaimable iff it is not the current committed version.
+func (td *tableData) vacuum(ts uint64) {
+	kept := make([]*rowSlot, 0, len(td.slots))
+	for _, s := range td.slots {
+		v := s.versionAt(snapLatest)
+		if v == nil {
+			td.byID.Delete(s.id)
 			continue
 		}
-		td.byID[r.id] = len(kept)
-		kept = append(kept, r)
+		v.prev = nil // drop older versions
+		s.head.Store(v)
+		kept = append(kept, s)
 	}
-	td.rows = kept
+	td.slots = kept
+	for _, idx := range td.indexes {
+		idx.sweepDead()
+	}
+	td.dead.Store(0)
+	td.resetLiveHist(ts)
 }
 
 // ---------- unique (PK / UNIQUE) indexes ----------
 
-// uniqueIndex enforces PRIMARY KEY / UNIQUE over a column tuple.
+// uniqueIndex enforces PRIMARY KEY / UNIQUE over a column tuple with
+// latest-state semantics: entries track the current (committed or
+// in-flight) holder of each key, eagerly maintained by writers and
+// structurally reversed on abort. Only writer paths touch it — the
+// planner serves readers from the MVCC-stamped secondary indexes — so
+// the owning writer serialisation (wmu / the global barrier) is its
+// only required protection.
 // SQL semantics: rows containing NULL in any constrained column are
 // exempt from uniqueness (except PK columns, which are NOT NULL anyway).
 type uniqueIndex struct {

@@ -180,8 +180,9 @@ func (w *walFile) poisoned() error {
 
 // stageTx appends BEGIN, the records and COMMIT to the pending buffer
 // and returns the transaction's commit sequence for waitDurable. Called
-// in commit order (the engine's writer lock serialises committers), so
-// on-disk order always matches in-memory commit order. No I/O here.
+// in commit order (DB.commitMu serialises committers, sharded and
+// global alike), so on-disk order always matches in-memory commit-stamp
+// order. No I/O here.
 func (w *walFile) stageTx(txID uint64, recs []walRecord) (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -584,8 +585,8 @@ func (db *DB) saveSnapshotLocked(gen uint64) (renamed bool, err error) {
 		return cleanup(err)
 	}
 	writeUint64(bw, gen)
-	writeUint64(bw, db.nextTx)
-	writeUint64(bw, uint64(db.nextRow))
+	writeUint64(bw, db.nextTx.Load())
+	writeUint64(bw, db.nextRow.Load())
 	// DDL log: replaying it rebuilds catalogue + indexes.
 	writeUint64(bw, uint64(len(db.ddlLog)))
 	for _, ddl := range db.ddlLog {
@@ -597,9 +598,11 @@ func (db *DB) saveSnapshotLocked(gen uint64) (renamed bool, err error) {
 	for _, name := range names {
 		td := db.data[name]
 		writeString(bw, name)
-		writeUint64(bw, uint64(td.live))
+		// Under the checkpoint barrier every stamp is resolved, so the
+		// latest-mode count equals the number of rows the scan writes.
+		writeUint64(bw, uint64(td.live.Load()))
 		var werr error
-		td.scan(func(id rowID, vals []sqltypes.Value) bool {
+		td.scan(snapLatest, func(id rowID, vals []sqltypes.Value) bool {
 			if werr = writeUint64(bw, uint64(id)); werr != nil {
 				return false
 			}
@@ -672,14 +675,16 @@ func (db *DB) loadSnapshotLocked() error {
 		return corrupt(err)
 	}
 	db.gen = gen
-	if db.nextTx, err = readUint64(br); err != nil {
+	nt, err := readUint64(br)
+	if err != nil {
 		return corrupt(err)
 	}
+	db.nextTx.Store(nt)
 	nr, err := readUint64(br)
 	if err != nil {
 		return corrupt(err)
 	}
-	db.nextRow = rowID(nr)
+	db.nextRow.Store(nr)
 	nDDL, err := readUint64(br)
 	if err != nil {
 		return corrupt(err)
@@ -697,6 +702,9 @@ func (db *DB) loadSnapshotLocked() error {
 	if err != nil {
 		return corrupt(err)
 	}
+	// Snapshot rows all collapse to one commit stamp, baseStamp: visible
+	// to every reader, ordered before everything the WAL replays on top.
+	var refs mvccRefs
 	for i := uint64(0); i < nTables; i++ {
 		name, err := readString(br)
 		if err != nil {
@@ -719,10 +727,13 @@ func (db *DB) loadSnapshotLocked() error {
 			if err != nil {
 				return corrupt(err)
 			}
-			if err := td.insert(rowID(id), vals); err != nil {
+			if err := td.insert(rowID(id), vals, &refs); err != nil {
 				return fmt.Errorf("sqldb: snapshot row replay: %w", err)
 			}
 		}
+	}
+	if !refs.empty() {
+		refs.commit(baseStamp)
 	}
 	return nil
 }

@@ -248,11 +248,11 @@ func TestGroupCommitFailureUnwindsReverseOrder(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tx := db.newTxLocked()
+		tx := db.newTx()
 		if _, _, err := db.execStmtLocked(tx, stmt, nil); err != nil {
 			t.Fatal(err)
 		}
-		finish, err := db.commitLocked(tx)
+		finish, err := db.commitTx(tx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -319,11 +319,11 @@ func TestGroupCommitBatches(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tx := db.newTxLocked()
+		tx := db.newTx()
 		if _, _, err := db.execStmtLocked(tx, stmt, []sqltypes.Value{sqltypes.NewInt(int64(i))}); err != nil {
 			t.Fatal(err)
 		}
-		if finishes[i], err = db.commitLocked(tx); err != nil {
+		if finishes[i], err = db.commitTx(tx); err != nil {
 			t.Fatal(err)
 		}
 	}
