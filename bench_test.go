@@ -883,6 +883,58 @@ func BenchmarkParallelQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_Telemetry pins the cost of the telemetry layer on
+// the query hot path. "untraced" is the default production
+// configuration — metrics registered, tracing threshold zero — and is
+// the number every other BenchmarkAblation_* implicitly includes;
+// "traced" sets a threshold high enough that every statement collects
+// a full EXPLAIN ANALYZE trace without ever hitting the slow log. The
+// untraced/traced gap is the price of always-on tracing; the contract
+// is that the untraced path stays within noise (<3%) of the
+// pre-telemetry engine.
+func BenchmarkAblation_Telemetry(b *testing.B) {
+	build := func() *sqldb.DB {
+		db, err := sqldb.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, sim VARCHAR(30), v DOUBLE)`); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			if _, err := db.Exec(`INSERT INTO t VALUES (?, ?, ?)`,
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewString(fmt.Sprintf("S%03d", i%100)),
+				sqltypes.NewDouble(float64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	const query = `SELECT COUNT(*), AVG(v) FROM t WHERE sim = ?`
+	arg := sqltypes.NewString("S042")
+
+	for _, mode := range []struct {
+		name      string
+		threshold time.Duration
+	}{
+		{"untraced", 0},
+		{"traced", time.Hour},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := build()
+			defer db.Close()
+			db.SetTraceThreshold(mode.threshold)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(query, arg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_TokenTTLZeroAlloc: repeated validation of the same
 // token (the browse-page hot path).
 func BenchmarkAblation_QBECompile(b *testing.B) {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/dlfs"
 	"repro/internal/dlfs/cluster"
 	"repro/internal/med"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -62,6 +63,10 @@ func main() {
 		log.Fatalf("dlfsd: %v", err)
 	}
 
+	// One registry per process: in gateway mode the cluster tier's
+	// counters land in it; in single-server mode it still serves the
+	// /metrics endpoint (empty exposition until metrics register).
+	metrics := telemetry.New()
 	var backend dlfs.Backend
 	switch {
 	case len(replicas) > 0:
@@ -72,6 +77,7 @@ func main() {
 			Tokens:            auth,
 			StatePath:         *state,
 			SpoolDir:          *spool,
+			Metrics:           metrics,
 		})
 		for _, spec := range replicas {
 			name, base, _ := strings.Cut(spec, "=")
@@ -98,9 +104,12 @@ func main() {
 		log.Printf("dlfsd: serving host %s from %s on %s (%d linked files)",
 			*host, *root, *listen, store.LinkedCount())
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
+	mux.Handle("/", dlfs.NewServer(backend))
 	srv := &http.Server{
 		Addr:         *listen,
-		Handler:      dlfs.NewServer(backend),
+		Handler:      mux,
 		ReadTimeout:  5 * time.Minute,
 		WriteTimeout: 30 * time.Minute, // large dataset downloads
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -58,6 +59,8 @@ func main() {
 		seedDemo = flag.Bool("seed-demo", false, "load the turbulence demo simulation")
 		adminPw  = flag.String("admin-password", "", "provision an 'admin' account with this password")
 		salvage  = flag.Bool("salvage", false, "accept committed-data loss on a corrupt WAL: recover the intact prefix instead of refusing to open")
+		slowLog  = flag.String("slow-query-log", "", "append EXPLAIN ANALYZE JSON lines for statements over -slow-query-threshold to this file")
+		slowThr  = flag.Duration("slow-query-threshold", 100*time.Millisecond, "statement wall time that counts as slow (with -slow-query-log)")
 	)
 	remotes := fsFlags{}
 	flag.Var(remotes, "fs", "remote file server as host=baseURL (repeatable)")
@@ -80,6 +83,16 @@ func main() {
 	if rec := a.DB.Recovery(); rec.Salvaged || rec.TruncatedBytes > 0 || rec.StaleWAL {
 		log.Printf("easiad: crash recovery: tail=%s truncated=%dB staleWAL=%v salvaged=%v replayed=%d tx",
 			rec.Tail, rec.TruncatedBytes, rec.StaleWAL, rec.Salvaged, rec.ReplayedTx)
+	}
+	if *slowLog != "" {
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("easiad: slow-query log: %v", err)
+		}
+		defer f.Close()
+		a.DB.SetSlowQueryLog(f)
+		a.DB.SetTraceThreshold(*slowThr)
+		log.Printf("easiad: tracing statements, logging those over %s to %s", *slowThr, *slowLog)
 	}
 
 	var localMgr *dlfs.Manager

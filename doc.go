@@ -271,4 +271,56 @@
 // an index nested-loop probe. The webui /status page surfaces the
 // replicated tier's health (replica-set members, open breakers, paths
 // awaiting re-replication) via core.Archive.HostStatuses.
+//
+// # Observability
+//
+// internal/telemetry is the dependency-free metrics core the whole
+// stack reports through: sharded atomic counters, gauges (including
+// scrape-time callbacks), and log-bucketed latency histograms with
+// p50/p95/p99 summaries, collected in named registries with optional
+// labels and rendered in Prometheus text exposition format
+// (Registry.WritePrometheus / Handler; telemetry.ContentType). A nil
+// metric handle no-ops, so instrumented code never checks whether
+// telemetry is wired.
+//
+// The engine registers its registry at Open — DB.Metrics /
+// DB.MetricsSnapshot — with families covering the commit pipeline
+// (sqldb_wal_fsync_ns, sqldb_wal_group_commit_batch,
+// sqldb_wal_poison_total, sqldb_commits_total), the plan cache
+// (sqldb_plan_cache_{hits,misses}_total, sqldb_plan_cache_entries),
+// contention (sqldb_latch_wait_ns for the sharded per-table latch,
+// sqldb_barrier_wait_ns for the exclusive barrier), and MVCC hygiene
+// (sqldb_vacuum_pass_ns, sqldb_vacuum_passes_total,
+// sqldb_vacuum_rows_reclaimed_total, sqldb_autovacuum_triggers_total,
+// sqldb_dead_rows, sqldb_snapshot_age_ns). The replicated file tier
+// registers dlfs_cluster_* counters and histograms on the registry
+// passed via cluster.Config.Metrics (failovers, breaker trips, 2PC
+// partial commits/writes, put latency, anti-entropy repair totals and
+// the pending-repair gauge); cluster.Stats remains as a thin view.
+//
+// Per-statement execution tracing upgrades Stmt.AccessPath into
+// EXPLAIN ANALYZE: Stmt.Trace forces a Trace for one execution —
+// per-plan-node wall time, output rows and heap row-version reads
+// (zero for index-only stages, asserted against DB.HeapRowReads),
+// plus the DML commit-pipeline breakdown (latch or barrier wait, WAL
+// staging, fsync wait, and the group-commit batch the fsync rode in).
+// DB.SetTraceThreshold(d) traces every statement and writes any whose
+// wall time reaches d to the slow-query log (DB.SetSlowQueryLog) as
+// one JSON object per line, counting them in
+// sqldb_slow_queries_total. The threshold-zero default collects
+// nothing on the statement path; BenchmarkAblation_Telemetry pins the
+// untraced configuration to within noise of the pre-telemetry engine
+// and prices always-on tracing.
+//
+// Exposure: the webui serves the archive-wide exposition at /metrics
+// (login-gated, like every page) via core.Archive.WriteMetrics, which
+// concatenates the engine registry with each attached file host's;
+// /status renders the headline numbers (WAL batch size, fsync
+// percentiles, plan-cache hit rate, dead-row debt, repair counts)
+// next to replica-set health. cmd/dlfsd mounts its process registry
+// at /metrics unauthenticated, in both single-server and gateway
+// modes. scripts/bench.sh folds easiabench -latency percentile series
+// into the BENCH_<date>.json record, and scripts/parallel_gate.sh +
+// the CI core-count guard turn BenchmarkParallelQuery into the
+// multi-core scaling regression gate.
 package repro

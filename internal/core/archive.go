@@ -21,6 +21,7 @@ import (
 	"repro/internal/script"
 	"repro/internal/sqldb"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 	"repro/internal/xuis"
 )
 
@@ -164,6 +165,9 @@ type HostStatus struct {
 	Members         []string
 	Down            []string
 	UnderReplicated []string
+	// Metrics is the host's telemetry snapshot (replica-set counters and
+	// latency summaries) when the host exposes one; nil otherwise.
+	Metrics []telemetry.Metric
 }
 
 // clusterStatus is the health surface a replicated host (e.g.
@@ -172,6 +176,52 @@ type clusterStatus interface {
 	Members() []string
 	Down() []string
 	UnderReplicated() []string
+}
+
+// metricsSource is the telemetry surface a host may expose in addition
+// to clusterStatus (cluster.ReplicaSet does).
+type metricsSource interface {
+	MetricsSnapshot() []telemetry.Metric
+}
+
+// metricsRegistry is the registry surface a host may expose; used by
+// WriteMetrics to render a host's full exposition (histogram buckets
+// included, which snapshots do not carry).
+type metricsRegistry interface {
+	Metrics() *telemetry.Registry
+}
+
+// WriteMetrics renders the archive's full telemetry — the SQL engine's
+// registry plus every registry exposed by a registered file-server
+// host — in Prometheus text exposition format. Registries shared by
+// several hosts (a common Config.Metrics) are written once.
+func (a *Archive) WriteMetrics(w io.Writer) error {
+	if err := a.DB.Metrics().WritePrometheus(w); err != nil {
+		return err
+	}
+	a.mu.RLock()
+	names := make([]string, 0, len(a.hosts))
+	for name := range a.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regs := make([]*telemetry.Registry, 0, len(names))
+	seen := make(map[*telemetry.Registry]bool)
+	for _, name := range names {
+		if mr, ok := a.hosts[name].(metricsRegistry); ok {
+			if reg := mr.Metrics(); reg != nil && !seen[reg] {
+				seen[reg] = true
+				regs = append(regs, reg)
+			}
+		}
+	}
+	a.mu.RUnlock()
+	for _, reg := range regs {
+		if err := reg.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // HostStatuses reports every registered file-server host, sorted by
@@ -197,6 +247,9 @@ func (a *Archive) HostStatuses() []HostStatus {
 			st.Members = cs.Members()
 			st.Down = cs.Down()
 			st.UnderReplicated = cs.UnderReplicated()
+		}
+		if ms, ok := h.(metricsSource); ok {
+			st.Metrics = ms.MetricsSnapshot()
 		}
 		out[i] = st
 	}

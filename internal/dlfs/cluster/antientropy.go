@@ -227,6 +227,14 @@ func (rs *ReplicaSet) Repair() (RepairStats, error) {
 			rs.mu.Unlock()
 		}
 	}
+	// Fold the pass into the cumulative tier counters; Pending is a
+	// level, not a total, so it sets the gauge.
+	rs.met.repairScanned.Add(int64(stats.Scanned))
+	rs.met.repairCopied.Add(int64(stats.Copied))
+	rs.met.repairRelinked.Add(int64(stats.Relinked))
+	rs.met.repairUnlinked.Add(int64(stats.Unlinked))
+	rs.met.repairErrors.Add(int64(stats.Errors))
+	rs.met.repairPending.Set(int64(stats.Pending))
 	return stats, errors.Join(errs...)
 }
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/iofault"
 	"repro/internal/med"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 )
 
 // Tier errors.
@@ -78,6 +79,11 @@ type Config struct {
 	// FS is the filesystem the repair-state checkpoint goes through;
 	// nil selects the real disk. Tests inject an iofault controller.
 	FS iofault.FS
+	// Metrics is the telemetry registry the tier's counters register
+	// into, letting a daemon share one /metrics endpoint across
+	// subsystems. Nil creates a private registry (reachable via
+	// ReplicaSet.Metrics).
+	Metrics *telemetry.Registry
 }
 
 // DefaultReplicationFactor is used when Config leaves it zero.
@@ -117,7 +123,9 @@ type txWork struct {
 	partial  bool               // some placed replica missed a prepare
 }
 
-// Stats counts tier events (observability and tests).
+// Stats counts tier events (observability and tests). It is a view
+// over the tier's telemetry counters — see ReplicaSet.Metrics for the
+// full registry including histograms and repair totals.
 type Stats struct {
 	Failovers      int // reads served by a non-first replica
 	PartialCommits int // commits that missed at least one replica
@@ -144,7 +152,7 @@ type ReplicaSet struct {
 	// through: the member still holds the staged transaction and its
 	// path reservations. Repair drains it (Commit is idempotent).
 	retryCommits map[uint64]map[string]*member
-	stats        Stats
+	met          clusterMetrics
 
 	repairTx uint64 // synthetic tx ids for repair-time unlinks
 
@@ -166,8 +174,13 @@ func New(cfg Config) *ReplicaSet {
 	if cfg.FS == nil {
 		cfg.FS = iofault.Disk{}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.New()
+	}
 	return &ReplicaSet{
 		cfg:          cfg,
+		met:          newClusterMetrics(reg),
 		members:      make(map[string]*member),
 		pending:      make(map[uint64]*txWork),
 		dirty:        make(map[string]dirtyState),
@@ -219,9 +232,12 @@ func (rs *ReplicaSet) Replicas(path string) []string {
 
 // Stats returns a snapshot of the tier counters.
 func (rs *ReplicaSet) Stats() Stats {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	return rs.stats
+	return Stats{
+		Failovers:               int(rs.met.failovers.Value()),
+		PartialCommits:          int(rs.met.partialCommits.Value()),
+		PartialWrites:           int(rs.met.partialWrites.Value()),
+		StateCheckpointFailures: int(rs.met.stateCkptFails.Value()),
+	}
 }
 
 // UnderReplicated lists the paths currently known to be missing a
@@ -508,7 +524,7 @@ func (rs *ReplicaSet) Commit(txID uint64) error {
 		for _, op := range w.ops {
 			rs.markDirtyLocked(op.Path, dirtyState{wantLinked: boolPtr(op.Kind == med.OpLink), opts: op.Opts})
 		}
-		rs.stats.PartialCommits++
+		rs.met.partialCommits.Inc()
 		rs.saveStateLocked()
 		rs.mu.Unlock()
 		return fmt.Errorf("cluster: commit tx %d reached no replica: %w", txID, errors.Join(errs...))
@@ -524,7 +540,7 @@ func (rs *ReplicaSet) Commit(txID uint64) error {
 		if len(missed) > 0 {
 			rs.retryCommits[txID] = missed
 		}
-		rs.stats.PartialCommits++
+		rs.met.partialCommits.Inc()
 		rs.saveStateLocked()
 		rs.mu.Unlock()
 	} else {
@@ -640,7 +656,7 @@ func (rs *ReplicaSet) EnsureLinked(path string, opts sqltypes.DatalinkOptions) e
 	if len(errs) > 0 || len(downPlaced) > 0 {
 		rs.mu.Lock()
 		rs.markDirtyLocked(path, dirtyState{wantLinked: boolPtr(true), opts: opts})
-		rs.stats.PartialWrites++
+		rs.met.partialWrites.Inc()
 		rs.mu.Unlock()
 	} else {
 		// Every placed replica holds the link: supersede any stale
@@ -658,6 +674,7 @@ func (rs *ReplicaSet) EnsureLinked(path string, opts sqltypes.DatalinkOptions) e
 // refusal every replica would agree on (WRITE PERMISSION BLOCKED, a
 // link-control reservation, a bad path) fails the write outright.
 func (rs *ReplicaSet) Put(path string, r io.Reader) (int64, error) {
+	start := time.Now()
 	up, downPlaced := rs.routeSnapshot(path)
 	if len(up) == 0 {
 		return 0, fmt.Errorf("%w: put %s", ErrNoReplica, path)
@@ -710,7 +727,7 @@ func (rs *ReplicaSet) Put(path string, r io.Reader) (int64, error) {
 	if len(errs) > 0 || len(downPlaced) > 0 {
 		rs.mu.Lock()
 		rs.markDirtyLocked(path, dirtyState{syncContent: true})
-		rs.stats.PartialWrites++
+		rs.met.partialWrites.Inc()
 		rs.mu.Unlock()
 	} else {
 		// Every placed replica holds the new bytes: the file exists
@@ -718,6 +735,7 @@ func (rs *ReplicaSet) Put(path string, r io.Reader) (int64, error) {
 		// verdict a Repair pass might otherwise apply on top of it.
 		rs.settleDirty(path, snapGen, settled{content: true})
 	}
+	rs.met.putNs.ObserveSince(start)
 	return sp.size, nil
 }
 
@@ -823,9 +841,7 @@ func (rs *ReplicaSet) eachReplica(path string, f func(*member) error) error {
 		if err == nil {
 			rs.noteSuccess(m)
 			if m != primary {
-				rs.mu.Lock()
-				rs.stats.Failovers++
-				rs.mu.Unlock()
+				rs.met.failovers.Inc()
 			}
 			return nil
 		}

@@ -98,6 +98,7 @@ func (rs *ReplicaSet) noteFailure(m *member) bool {
 	m.fails++
 	if !m.down && !m.held && m.fails >= rs.cfg.FailureThreshold {
 		m.down = true
+		rs.met.breakerTrips.Inc()
 		return true
 	}
 	return false

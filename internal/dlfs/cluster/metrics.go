@@ -1,0 +1,57 @@
+package cluster
+
+import "repro/internal/telemetry"
+
+// clusterMetrics holds the tier's metric handles, registered once at
+// New. The legacy Stats / RepairStats accessors are thin views over
+// these counters. Metric families:
+//
+//	dlfs_cluster_failovers_total                  reads served by a non-first replica
+//	dlfs_cluster_partial_commits_total            commits that missed a replica
+//	dlfs_cluster_partial_writes_total             puts/links that missed a replica
+//	dlfs_cluster_state_checkpoint_failures_total  repair-state checkpoints lost
+//	dlfs_cluster_breaker_trips_total              member circuits opened
+//	dlfs_cluster_put_ns                           fan-out Put latency histogram
+//	dlfs_cluster_repair_*_total                   cumulative Repair pass work
+//	dlfs_cluster_repair_pending                   paths still under-replicated
+type clusterMetrics struct {
+	reg *telemetry.Registry
+
+	failovers      *telemetry.Counter
+	partialCommits *telemetry.Counter
+	partialWrites  *telemetry.Counter
+	stateCkptFails *telemetry.Counter
+	breakerTrips   *telemetry.Counter
+	putNs          *telemetry.Histogram
+	repairScanned  *telemetry.Counter
+	repairCopied   *telemetry.Counter
+	repairRelinked *telemetry.Counter
+	repairUnlinked *telemetry.Counter
+	repairErrors   *telemetry.Counter
+	repairPending  *telemetry.Gauge
+}
+
+func newClusterMetrics(reg *telemetry.Registry) clusterMetrics {
+	return clusterMetrics{
+		reg:            reg,
+		failovers:      reg.Counter("dlfs_cluster_failovers_total", "Reads served by a non-first replica."),
+		partialCommits: reg.Counter("dlfs_cluster_partial_commits_total", "Link-control commits that missed at least one replica."),
+		partialWrites:  reg.Counter("dlfs_cluster_partial_writes_total", "Puts/links that missed at least one replica."),
+		stateCkptFails: reg.Counter("dlfs_cluster_state_checkpoint_failures_total", "Repair-state checkpoints that did not reach disk."),
+		breakerTrips:   reg.Counter("dlfs_cluster_breaker_trips_total", "Member circuit breakers opened by consecutive failures."),
+		putNs:          reg.Histogram("dlfs_cluster_put_ns", "Fan-out Put latency in nanoseconds."),
+		repairScanned:  reg.Counter("dlfs_cluster_repair_scanned_total", "Paths examined by anti-entropy passes."),
+		repairCopied:   reg.Counter("dlfs_cluster_repair_copied_total", "File bodies re-replicated by anti-entropy passes."),
+		repairRelinked: reg.Counter("dlfs_cluster_repair_relinked_total", "Links re-established by anti-entropy passes."),
+		repairUnlinked: reg.Counter("dlfs_cluster_repair_unlinked_total", "Stale links removed by anti-entropy passes."),
+		repairErrors:   reg.Counter("dlfs_cluster_repair_errors_total", "Per-replica repair failures."),
+		repairPending:  reg.Gauge("dlfs_cluster_repair_pending", "Paths still under-replicated after the latest Repair pass."),
+	}
+}
+
+// Metrics exposes the tier's telemetry registry (the one passed in
+// Config.Metrics, or the private registry New created).
+func (rs *ReplicaSet) Metrics() *telemetry.Registry { return rs.met.reg }
+
+// MetricsSnapshot captures every tier metric for status pages and tests.
+func (rs *ReplicaSet) MetricsSnapshot() []telemetry.Metric { return rs.met.reg.Snapshot() }

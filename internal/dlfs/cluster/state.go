@@ -64,11 +64,11 @@ func (rs *ReplicaSet) saveStateLocked() {
 	}
 	b, err := json.MarshalIndent(ps, "", "  ")
 	if err != nil {
-		rs.stats.StateCheckpointFailures++
+		rs.met.stateCkptFails.Inc()
 		return
 	}
 	if err := iofault.WriteFileAtomic(rs.cfg.FS, rs.cfg.StatePath, b, 0o644); err != nil {
-		rs.stats.StateCheckpointFailures++
+		rs.met.stateCkptFails.Inc()
 	}
 }
 

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -207,6 +208,18 @@ type DB struct {
 	// unprepared callers get statement caching for free.
 	plans *planCache
 
+	// met is the telemetry registry and resolved metric handles; always
+	// non-nil (set in OpenWith before any statement can run).
+	met *dbMetrics
+	// lastCommitWall is the wall-clock UnixNano of the newest published
+	// commit stamp, feeding the sqldb_snapshot_age_ns gauge.
+	lastCommitWall atomic.Int64
+	// traceThresholdNs > 0 turns on per-statement tracing; statements at
+	// or above it emit a slow-query JSON line. See SetTraceThreshold.
+	traceThresholdNs atomic.Int64
+	slowMu           sync.Mutex
+	slowLog          io.Writer
+
 	dir       string
 	fs        iofault.FS // filesystem all durability I/O goes through
 	gen       uint64     // checkpoint generation of the live snapshot+log
@@ -303,6 +316,7 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 	db.nextTx.Store(1)
 	db.nextRow.Store(1)
 	db.lastTS.Store(baseStamp)
+	db.met = newDBMetrics(db)
 	if db.fs == nil {
 		db.fs = iofault.Disk{}
 	}
@@ -391,6 +405,7 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	wal.setMetrics(db.met.walMetrics())
 	db.wal = wal
 	return db, nil
 }
@@ -606,6 +621,7 @@ func (db *DB) checkpointLocked() error {
 		db.poisonLocked(fmt.Errorf("rotating WAL onto generation %d: %v", db.gen, err))
 		return db.poisonErr
 	}
+	wal.setMetrics(db.met.walMetrics())
 	db.wal = wal
 	db.txSinceCheckpoint = 0
 	return nil
@@ -756,7 +772,9 @@ func (db *DB) commitTx(tx *txState) (func() error, error) {
 		ts := db.lastTS.Load() + 1
 		tx.refs.commit(ts)
 		db.lastTS.Store(ts)
+		db.lastCommitWall.Store(time.Now().UnixNano())
 	}
+	db.met.commits.Inc()
 	db.txSinceCheckpoint++
 	checkpointDue := db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery
 	wal := db.wal
@@ -910,10 +928,16 @@ func (db *DB) vacuumLocked() error {
 			return fmt.Errorf("sqldb: vacuum aborted, WAL flush failed: %w", err)
 		}
 	}
+	start := time.Now()
+	var reclaimed int64
 	ts := db.lastTS.Load()
 	for _, td := range db.data {
+		reclaimed += td.dead.Load()
 		td.vacuum(ts)
 	}
+	db.met.vacuumNs.ObserveSince(start)
+	db.met.vacuumPass.Inc()
+	db.met.vacuumRows.Add(reclaimed)
 	return nil
 }
 
@@ -934,6 +958,7 @@ func (db *DB) maybeAutoVacuum() {
 	if dead < threshold || !db.vacRunning.CompareAndSwap(false, true) {
 		return
 	}
+	db.met.autoVacuum.Inc()
 	db.vacWG.Add(1)
 	go func() {
 		defer db.vacWG.Done()

@@ -106,7 +106,7 @@ func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, e
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelectAt(plan, params, snapLatest)
+	return db.runSelectAt(plan, params, snapLatest, nil)
 }
 
 // planSelect resolves FROM items against the catalogue, binds every
@@ -255,12 +255,13 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 	// Pin the statement's snapshot: every scan, probe and index-only
 	// aggregate below answers as of this commit stamp, no matter what
 	// commits concurrently.
-	return db.runSelectAt(plan, params, db.readSnapshot())
+	return db.runSelectAt(plan, params, db.readSnapshot(), nil)
 }
 
 // runSelectAt is runSelect at an explicit snapshot (snapLatest for the
-// exclusive-lock transaction path).
-func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64) (*Rows, error) {
+// exclusive-lock transaction path). A non-nil tr collects per-node
+// timings and heap-read counts for EXPLAIN ANALYZE.
+func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64, tr *execTrace) (*Rows, error) {
 	if plan.noFrom {
 		return db.runSelectNoFrom(plan, params)
 	}
@@ -273,7 +274,9 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	// Index-only aggregation: COUNT/MIN/MAX over a residual-free path
 	// answered from the index without materialising candidate rows.
 	if plan.aggItems != nil && !db.fullScanOnly {
+		endAgg := tr.span("index-only-agg")
 		if out, handled := db.runIndexOnlyAgg(plan, ctx); handled {
+			endAgg(int64(len(out.Data)))
 			return out, nil
 		}
 	}
@@ -297,14 +300,24 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	// legacy materialise-then-group executor below survives behind
 	// SetLegacyAggregation as the ablation baseline and property oracle.
 	if aggregated && !db.legacyAggregation {
+		endFold := tr.span("fold-agg")
 		var err error
 		outRows, err = db.runFoldAggregate(plan, ctx)
 		if err != nil {
 			return nil, err
 		}
-	} else if rows, whereApplied, oa, err := db.materialiseRows(plan, ctx); err != nil {
-		return nil, err
+		endFold(int64(len(outRows)))
 	} else {
+		scanNode := "scan"
+		if len(plan.tables) > 1 {
+			scanNode = "join"
+		}
+		endScan := tr.span(scanNode)
+		rows, whereApplied, oa, err := db.materialiseRows(plan, ctx)
+		if err != nil {
+			return nil, err
+		}
+		endScan(int64(len(rows)))
 		orderApplied = oa
 
 		// WHERE (already fused into the single-table scan).
@@ -381,6 +394,7 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	// ORDER BY (skipped when the access path already delivered rows in
 	// order — the index scan replaces the sort).
 	if len(s.OrderBy) > 0 && !orderApplied {
+		endSort := tr.span("sort")
 		keys := make([][]sqltypes.Value, len(outRows))
 		for ri, r := range outRows {
 			ks := make([]sqltypes.Value, len(s.OrderBy))
@@ -458,6 +472,7 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 			sorted[i] = outRows[j]
 		}
 		outRows = sorted
+		endSort(int64(len(outRows)))
 	}
 
 	// OFFSET / LIMIT.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/sqltypes"
 )
@@ -78,8 +79,14 @@ func (s *Stmt) AccessPath() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return pathString(plan, sel), nil
+}
+
+// pathString renders a bound plan's access-path description — the
+// shared vocabulary of AccessPath and execution traces.
+func pathString(plan *selectPlan, sel *SelectStmt) string {
 	if plan.noFrom {
-		return "no-from", nil
+		return "no-from"
 	}
 	out := plan.path.String()
 	switch {
@@ -114,7 +121,7 @@ func (s *Stmt) AccessPath() (string, error) {
 	if plan.revHash != nil {
 		out += " hash-join-rev(" + plan.tables[0].alias + "." + plan.revHash.String() + ")"
 	}
-	return out, nil
+	return out
 }
 
 // Exec runs the prepared statement in autocommit mode. Single-table
@@ -126,33 +133,67 @@ func (s *Stmt) AccessPath() (string, error) {
 // exclusive writer lock. A prepared SELECT via Exec is allowed, with
 // the result discarded.
 func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
+	res, _, err := s.exec(args, false)
+	return res, err
+}
+
+// Trace executes the statement once with tracing forced on, regardless
+// of the database's trace threshold, and returns the execution trace —
+// EXPLAIN ANALYZE. SELECT traces carry the access path and per-node
+// timings; DML traces carry the commit-pipeline breakdown. The traced
+// execution's result is discarded; side effects of DML happen normally.
+func (s *Stmt) Trace(args ...sqltypes.Value) (*Trace, error) {
+	if _, ok := s.ast.(*SelectStmt); ok {
+		_, t, err := s.query(args, true)
+		return t, err
+	}
+	_, t, err := s.exec(args, true)
+	return t, err
+}
+
+// exec is Exec with optional tracing (forced, or threshold-armed).
+func (s *Stmt) exec(args []sqltypes.Value, force bool) (Result, *Trace, error) {
 	// SELECT via Exec: reuse the cached plan through the same path as
 	// Query. This is not just an optimisation — it keeps every binding
 	// of this statement's shared AST serialised under s.mu.
 	if _, ok := s.ast.(*SelectStmt); ok {
-		_, err := s.Query(args...)
-		return Result{}, err
+		_, t, err := s.query(args, force)
+		return Result{}, t, err
 	}
 	db := s.db
+	thr := db.traceThresholdNs.Load()
+	var tr *execTrace
+	if force || thr > 0 {
+		tr = db.newTrace(s.text, "exec")
+	}
 	db.mu.RLock()
 	if td := db.shardedTarget(s.ast); td != nil {
 		if db.closed {
 			db.mu.RUnlock()
-			return Result{}, fmt.Errorf("sqldb: database is closed")
+			return Result{}, nil, fmt.Errorf("sqldb: database is closed")
 		}
 		// The write latch serialises writers of this one table; it also
 		// serialises bindings of this statement's shared AST (same
 		// statement → same table → same latch).
+		latchStart := time.Now()
 		td.wmu.Lock()
+		latchNs := time.Since(latchStart).Nanoseconds()
+		db.met.latchWaitNs.Observe(latchNs)
 		tx := db.newTx()
+		tr.beginHeap()
+		endExec := tr.span("dml")
 		res, _, err := db.execStmtLocked(tx, s.ast, args)
 		if err != nil {
 			rbErr := db.rollbackTx(tx)
 			td.wmu.Unlock()
 			db.mu.RUnlock()
-			return Result{}, errors.Join(err, rbErr)
+			return Result{}, nil, errors.Join(err, rbErr)
 		}
+		endExec(int64(res.RowsAffected))
+		tr.endHeap()
+		stageStart := time.Now()
 		finish, err := db.commitTx(tx)
+		stageNs := time.Since(stageStart).Nanoseconds()
 		// Release the latch only after commitTx published the stamp:
 		// the next writer on this table must observe these versions as
 		// committed, not in flight. All engine locks drop before
@@ -161,38 +202,72 @@ func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
 		td.wmu.Unlock()
 		db.mu.RUnlock()
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
-		if err := finish(); err != nil {
-			return Result{}, err
+		if tr != nil {
+			tr.t.LatchWaitNs = latchNs
+			tr.t.WALStageNs = stageNs
 		}
-		return res, nil
+		if err := s.finishTraced(tr, tx, finish, thr, res); err != nil {
+			return Result{}, nil, err
+		}
+		return res, tr.trace(), nil
 	}
 	db.mu.RUnlock()
 
+	barrierStart := time.Now()
 	db.mu.Lock()
+	barrierNs := time.Since(barrierStart).Nanoseconds()
+	db.met.barrierNs.Observe(barrierNs)
 	if db.closed {
 		db.mu.Unlock()
-		return Result{}, fmt.Errorf("sqldb: database is closed")
+		return Result{}, nil, fmt.Errorf("sqldb: database is closed")
 	}
 	tx := db.newTx()
+	tr.beginHeap()
+	endExec := tr.span("dml")
 	res, _, err := db.execStmtLocked(tx, s.ast, args)
 	if err != nil {
 		rbErr := db.rollbackTx(tx)
 		db.mu.Unlock()
-		return Result{}, errors.Join(err, rbErr)
+		return Result{}, nil, errors.Join(err, rbErr)
 	}
+	endExec(int64(res.RowsAffected))
+	tr.endHeap()
+	stageStart := time.Now()
 	finish, err := db.commitTx(tx)
+	stageNs := time.Since(stageStart).Nanoseconds()
 	db.mu.Unlock()
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
+	}
+	if tr != nil {
+		tr.t.BarrierWaitNs = barrierNs
+		tr.t.WALStageNs = stageNs
 	}
 	// The fsync happens here, outside the writer lock, batched with any
 	// concurrently committing transactions (WAL group commit).
-	if err := finish(); err != nil {
-		return Result{}, err
+	if err := s.finishTraced(tr, tx, finish, thr, res); err != nil {
+		return Result{}, nil, err
 	}
-	return res, nil
+	return res, tr.trace(), nil
+}
+
+// finishTraced runs the commit's finish closure, timing the durability
+// wait and recording the group-commit batch the fsync rode in, then
+// closes the trace and hands it to the slow-query log.
+func (s *Stmt) finishTraced(tr *execTrace, tx *txState, finish func() error, thr int64, res Result) error {
+	fsyncStart := time.Now()
+	err := finish()
+	if tr != nil {
+		tr.t.FsyncWaitNs = time.Since(fsyncStart).Nanoseconds()
+		if tx.wal != nil {
+			tr.t.GroupCommitBatch = tx.wal.lastBatch.Load()
+		}
+		tr.finishRows(int64(res.RowsAffected))
+		s.db.noteSlow(tr, thr)
+	}
+	return err
 }
 
 // shardedTarget classifies a statement for the sharded write path,
@@ -237,21 +312,48 @@ func (db *DB) shardedTarget(stmt Statement) *tableData {
 // writers. The bound plan is reused as long as the schema epoch is
 // unchanged.
 func (s *Stmt) Query(args ...sqltypes.Value) (*Rows, error) {
+	rows, _, err := s.query(args, false)
+	return rows, err
+}
+
+// query is Query with optional tracing (forced, or threshold-armed).
+func (s *Stmt) query(args []sqltypes.Value, force bool) (*Rows, *Trace, error) {
 	sel, ok := s.ast.(*SelectStmt)
 	if !ok {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+		return nil, nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
 	}
 	db := s.db
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, fmt.Errorf("sqldb: database is closed")
+	thr := db.traceThresholdNs.Load()
+	var tr *execTrace
+	if force || thr > 0 {
+		tr = db.newTrace(s.text, "select")
 	}
-	plan, err := s.selectPlanLocked(sel)
+	rows, err := func() (*Rows, error) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		if db.closed {
+			return nil, fmt.Errorf("sqldb: database is closed")
+		}
+		plan, err := s.selectPlanLocked(sel)
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			tr.t.Path = pathString(plan, sel)
+		}
+		tr.beginHeap()
+		out, err := db.runSelectAt(plan, args, db.readSnapshot(), tr)
+		tr.endHeap()
+		return out, err
+	}()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return db.runSelect(plan, args)
+	if tr != nil {
+		tr.finishRows(int64(len(rows.Data)))
+		db.noteSlow(tr, thr)
+	}
+	return rows, tr.trace(), nil
 }
 
 // selectPlanLocked returns the statement's plan, (re)building it when
@@ -351,8 +453,10 @@ func (db *DB) PlanCacheLen() int { return db.plans.len() }
 // only drops the cache's reference.
 func (db *DB) preparedStmt(sql string) (*Stmt, error) {
 	if st, ok := db.plans.get(sql); ok {
+		db.met.planHits.Inc()
 		return st, nil
 	}
+	db.met.planMisses.Inc()
 	ast, err := Parse(sql)
 	if err != nil {
 		return nil, err

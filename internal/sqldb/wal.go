@@ -9,7 +9,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 
 	"repro/internal/iofault"
 	"repro/internal/sqltypes"
@@ -112,6 +115,29 @@ type walFile struct {
 	waiters      int  // committers inside waitDurable
 	flushes      int  // completed flush batches (observability/tests)
 	err          error // sticky write/sync failure (wraps ErrPoisoned)
+
+	met walMetrics // nil-safe handles; zero value records nothing
+	// lastBatch is the transaction count of the most recent flush batch,
+	// read by execution traces to report the group-commit batch a
+	// statement's fsync rode in (atomic: readers don't take w.mu).
+	lastBatch atomic.Int64
+}
+
+// walMetrics is the handle set the WAL writer records into. All fields
+// are nil-safe telemetry handles, so an unmetered walFile (zero value)
+// pays only a nil check per flush.
+type walMetrics struct {
+	fsyncNs *telemetry.Histogram // write+fsync latency per flush
+	batch   *telemetry.Histogram // transactions drained per flush
+	poison  *telemetry.Counter   // flush failures that poisoned the log
+}
+
+// setMetrics attaches metric handles; called once right after openWAL
+// (and after checkpoint rotation), before the log accepts commits.
+func (w *walFile) setMetrics(m walMetrics) {
+	w.mu.Lock()
+	w.met = m
+	w.mu.Unlock()
 }
 
 // frameBytes wraps payload in the length|crc frame header.
@@ -269,21 +295,28 @@ func (w *walFile) flushLocked() {
 	}
 	data := append([]byte(nil), w.pending.Bytes()...)
 	target := w.seq
+	batch := w.nPending
+	met := w.met
 	w.pending.Reset()
 	w.nPending = 0
 	w.mu.Unlock()
 
 	var err error
 	if len(data) > 0 {
+		start := time.Now()
 		if _, werr := w.f.Write(data); werr != nil {
 			err = werr
 		} else {
 			err = w.f.Sync()
 		}
+		met.fsyncNs.ObserveSince(start)
+		met.batch.Observe(int64(batch))
+		w.lastBatch.Store(int64(batch))
 	}
 
 	w.mu.Lock()
 	if err != nil && w.err == nil {
+		met.poison.Inc()
 		w.err = fmt.Errorf("%w: %v", ErrPoisoned, err)
 		// The batch's transactions will be rolled back and reported
 		// failed, but their frames may have physically reached the file

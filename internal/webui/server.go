@@ -9,10 +9,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ops"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 	"repro/internal/xuis"
 )
 
@@ -50,6 +52,7 @@ func NewServer(a *core.Archive) *Server {
 	s.mux.HandleFunc("/upload", s.withUser(s.handleUpload))
 	s.mux.HandleFunc("/xuis", s.withUser(s.handleXUIS))
 	s.mux.HandleFunc("/status", s.withUser(s.handleStatus))
+	s.mux.HandleFunc("/metrics", s.withUser(s.handleMetrics))
 	return s
 }
 
@@ -503,17 +506,128 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, u core.Use
 	s.renderOpResult(w, res, u)
 }
 
-// handleStatus surfaces the file-server tier's replication health: per
-// registered host, the replica-set members, the members whose breaker
-// is open (Down) and the paths awaiting re-replication
-// (UnderReplicated) — the PR-3 cluster state, now visible to operators.
+// statusMetric is one name/value row of the status page's summaries.
+type statusMetric struct {
+	Name, Value string
+}
+
+// statusHost decorates a host's replication health with the telemetry
+// rows worth an operator's glance.
+type statusHost struct {
+	core.HostStatus
+	MetricRows []statusMetric
+}
+
+// findMetric returns the snapshot entry with the given (unlabelled)
+// name, if present.
+func findMetric(ms []telemetry.Metric, name string) (telemetry.Metric, bool) {
+	for _, m := range ms {
+		if m.Name == name && len(m.Labels) == 0 {
+			return m, true
+		}
+	}
+	return telemetry.Metric{}, false
+}
+
+// engineSummary distils the SQL engine's metrics snapshot into the
+// status page's headline rows: group-commit behaviour, vacuum debt and
+// plan-cache effectiveness.
+func engineSummary(ms []telemetry.Metric) []statusMetric {
+	var rows []statusMetric
+	if m, ok := findMetric(ms, "sqldb_commits_total"); ok {
+		rows = append(rows, statusMetric{"Committed transactions", strconv.FormatInt(m.Value, 10)})
+	}
+	if m, ok := findMetric(ms, "sqldb_wal_group_commit_batch"); ok && m.Hist != nil {
+		rows = append(rows, statusMetric{"WAL group-commit batch (mean / p95)",
+			fmt.Sprintf("%d / %d", m.Hist.Mean(), m.Hist.P95)})
+	}
+	if m, ok := findMetric(ms, "sqldb_wal_fsync_ns"); ok && m.Hist != nil {
+		rows = append(rows, statusMetric{"WAL fsync latency (p50 / p99)",
+			fmt.Sprintf("%s / %s", time.Duration(m.Hist.P50), time.Duration(m.Hist.P99))})
+	}
+	hits, _ := findMetric(ms, "sqldb_plan_cache_hits_total")
+	misses, _ := findMetric(ms, "sqldb_plan_cache_misses_total")
+	if total := hits.Value + misses.Value; total > 0 {
+		rows = append(rows, statusMetric{"Plan-cache hit rate",
+			fmt.Sprintf("%.1f%% (%d of %d lookups)", 100*float64(hits.Value)/float64(total), hits.Value, total)})
+	}
+	if m, ok := findMetric(ms, "sqldb_dead_rows"); ok {
+		rows = append(rows, statusMetric{"Dead-row debt (awaiting vacuum)", strconv.FormatInt(m.Value, 10)})
+	}
+	passes, _ := findMetric(ms, "sqldb_vacuum_passes_total")
+	reclaimed, _ := findMetric(ms, "sqldb_vacuum_rows_reclaimed_total")
+	if passes.Value > 0 {
+		rows = append(rows, statusMetric{"Vacuum passes / rows reclaimed",
+			fmt.Sprintf("%d / %d", passes.Value, reclaimed.Value)})
+	}
+	if m, ok := findMetric(ms, "sqldb_slow_queries_total"); ok && m.Value > 0 {
+		rows = append(rows, statusMetric{"Slow queries over threshold", strconv.FormatInt(m.Value, 10)})
+	}
+	return rows
+}
+
+// hostSummary distils a replica set's metrics into the per-host rows:
+// failovers, breaker trips and cumulative repair outcomes.
+func hostSummary(ms []telemetry.Metric) []statusMetric {
+	if ms == nil {
+		return nil
+	}
+	var rows []statusMetric
+	if m, ok := findMetric(ms, "dlfs_cluster_failovers_total"); ok {
+		rows = append(rows, statusMetric{"Failovers", strconv.FormatInt(m.Value, 10)})
+	}
+	if m, ok := findMetric(ms, "dlfs_cluster_breaker_trips_total"); ok {
+		rows = append(rows, statusMetric{"Breaker trips", strconv.FormatInt(m.Value, 10)})
+	}
+	copied, _ := findMetric(ms, "dlfs_cluster_repair_copied_total")
+	relinked, _ := findMetric(ms, "dlfs_cluster_repair_relinked_total")
+	unlinked, _ := findMetric(ms, "dlfs_cluster_repair_unlinked_total")
+	rows = append(rows, statusMetric{"Repairs (copied / relinked / unlinked)",
+		fmt.Sprintf("%d / %d / %d", copied.Value, relinked.Value, unlinked.Value)})
+	if m, ok := findMetric(ms, "dlfs_cluster_repair_errors_total"); ok && m.Value > 0 {
+		rows = append(rows, statusMetric{"Repair errors", strconv.FormatInt(m.Value, 10)})
+	}
+	pc, _ := findMetric(ms, "dlfs_cluster_partial_commits_total")
+	pw, _ := findMetric(ms, "dlfs_cluster_partial_writes_total")
+	if pc.Value+pw.Value > 0 {
+		rows = append(rows, statusMetric{"Partial commits / writes",
+			fmt.Sprintf("%d / %d", pc.Value, pw.Value)})
+	}
+	return rows
+}
+
+// handleStatus surfaces the file-server tier's replication health and a
+// telemetry summary: per registered host, the replica-set members, the
+// members whose breaker is open (Down), the paths awaiting
+// re-replication (UnderReplicated) and the tier's repair counters;
+// above them, the SQL engine's headline metrics. The full exposition
+// lives at /metrics.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, u core.User) {
+	hs := s.archive.HostStatuses()
+	hosts := make([]statusHost, len(hs))
+	for i, h := range hs {
+		hosts[i] = statusHost{HostStatus: h, MetricRows: hostSummary(h.Metrics)}
+	}
 	_ = statusTmpl.Execute(w, struct {
-		Title string
-		User  core.User
-		Error string
-		Hosts []core.HostStatus
-	}{Title: "File-server status", User: u, Hosts: s.archive.HostStatuses()})
+		Title  string
+		User   core.User
+		Error  string
+		Engine []statusMetric
+		Hosts  []statusHost
+	}{
+		Title:  "File-server status",
+		User:   u,
+		Engine: engineSummary(s.archive.DB.MetricsSnapshot()),
+		Hosts:  hosts,
+	})
+}
+
+// handleMetrics serves the archive's full telemetry in Prometheus text
+// exposition format: the SQL engine's registry plus every registered
+// replica set's. Login-gated like every other page.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, u core.User) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = s.archive.WriteMetrics(w)
 }
 
 // handleXUIS serves the active specification as XML — the document that

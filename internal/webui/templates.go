@@ -164,7 +164,15 @@ var opResultTmpl = mustDefine("opresult", `
 
 var statusTmpl = mustDefine("status", `
 <p class="meta">Replication health of the registered file-server hosts
-(the DATALINK tier behind the archive's download links).</p>
+(the DATALINK tier behind the archive's download links) and the
+archive's telemetry headlines. The full Prometheus exposition is at
+<a href="/metrics">/metrics</a>.</p>
+{{if .Engine}}
+<h2>Archive engine</h2>
+<table class="results">
+{{range .Engine}}<tr><th>{{.Name}}</th><td>{{.Value}}</td></tr>
+{{end}}</table>
+{{end}}
 {{if not .Hosts}}<p>No file servers registered.</p>{{end}}
 {{range .Hosts}}
 <h2>{{.Host}}</h2>
@@ -178,7 +186,8 @@ var statusTmpl = mustDefine("status", `
  {{if .UnderReplicated}}<span class="err">{{len .UnderReplicated}}</span>:
   {{range $i, $p := .UnderReplicated}}{{if $i}}, {{end}}<code>{{$p}}</code>{{end}}
  {{else}}none{{end}}</td></tr>
-</table>
+{{range .MetricRows}}<tr><th>{{.Name}}</th><td>{{.Value}}</td></tr>
+{{end}}</table>
 {{else}}
 <p class="meta">single manager (no replica set)</p>
 {{end}}

@@ -51,7 +51,8 @@ BENCHTIME="${BENCHTIME:-0.5s}"
 DATE="$(date -u +%Y%m%d)"
 OUT="${OUT:-BENCH_${DATE}.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+LAT="$(mktemp)"
+trap 'rm -f "$RAW" "$LAT"' EXIT
 
 # No pipeline here: under plain sh `go test | tee` would exit with
 # tee's status and a failed bench run would still record a green JSON.
@@ -62,8 +63,23 @@ go test -run 'xxx' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem "$PKG" > 
 }
 cat "$RAW"
 
+# Per-query latency percentiles from the telemetry histograms: the
+# easiabench -latency mode emits a JSON array of
+# {name, count, mean_ns, p50_ns, p95_ns, p99_ns} that becomes the
+# "latency" key of the record. LATENCY_N=0 skips the run.
+LATENCY_N="${LATENCY_N:-2000}"
+if [ "$LATENCY_N" -gt 0 ]; then
+    go run ./cmd/easiabench -latency -latency-n "$LATENCY_N" > "$LAT" || {
+        echo "latency run failed" >&2
+        exit 1
+    }
+else
+    printf '[]\n' > "$LAT"
+fi
+
 # Convert `go test -bench` text output into a JSON array of
-# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+# {name, iterations, ns_per_op, bytes_per_op, allocs_per_op}, then
+# append the latency series.
 awk -v date="$DATE" '
 BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
 /^Benchmark/ {
@@ -79,7 +95,10 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n 
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
 }
-END { print "\n  ]\n}" }
+END { print "\n  ]," }
 ' "$RAW" > "$OUT"
+printf '  "latency": ' >> "$OUT"
+sed 's/^/  /; 1s/^  //' "$LAT" >> "$OUT"
+printf '}\n' >> "$OUT"
 
 echo "wrote $OUT"

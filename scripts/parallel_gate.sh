@@ -1,0 +1,72 @@
+#!/bin/sh
+# Multi-core scaling regression gate over BenchmarkParallelQuery.
+#
+# Asserts that the MVCC read path actually scales with cores:
+#   - read-only throughput at GOMAXPROCS=8 is at least MIN_SPEEDUP x
+#     the single-proc run (default 3.0 on >=4 cores, 1.5 on 2-3 cores);
+#   - the mixed 90/10 read/write workload at procs=8 stays within
+#     MIXED_SLACK (default 20%) of the read-only run, i.e. sharded
+#     single-table writers do not serialise readers.
+#
+# On a single-core machine the gate cannot measure scaling, so it
+# prints SKIP and exits 0 — CI marks the step skipped via its own
+# core-count check; this guard is the local-equivalent belt.
+#
+# Usage: scripts/parallel_gate.sh
+#   MIN_SPEEDUP=2.5 MIXED_SLACK=1.3 BENCHTIME=0.5s scripts/parallel_gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CORES="$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)"
+if [ "$CORES" -lt 2 ]; then
+    echo "SKIP: parallel gate needs >=2 cores, have $CORES"
+    exit 0
+fi
+if [ "$CORES" -ge 4 ]; then
+    MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
+else
+    # With 2-3 physical slots procs=8 just oversubscribes; only a
+    # modest speedup is physically available.
+    MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+fi
+MIXED_SLACK="${MIXED_SLACK:-1.20}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run 'xxx' -bench 'BenchmarkParallelQuery' -benchtime "$BENCHTIME" -count=1 . > "$RAW" 2>&1 || {
+    cat "$RAW"
+    echo "parallel gate: bench run failed" >&2
+    exit 1
+}
+cat "$RAW"
+
+awk -v min="$MIN_SPEEDUP" -v slack="$MIXED_SLACK" -v cores="$CORES" '
+/^BenchmarkParallelQuery\/read-only\/procs=1-/  { ro1 = $3 }
+/^BenchmarkParallelQuery\/read-only\/procs=8-/  { ro8 = $3 }
+/^BenchmarkParallelQuery\/mixed-90-10\/procs=8-/ { mx8 = $3 }
+END {
+    if (ro1 == "" || ro8 == "" || mx8 == "") {
+        print "parallel gate: missing benchmark lines (read-only procs=1/8, mixed procs=8)" > "/dev/stderr"
+        exit 1
+    }
+    speedup = ro1 / ro8
+    ratio = mx8 / ro8
+    printf "parallel gate: cores=%d read-only speedup procs=1->8: %.2fx (want >= %.2fx)\n", cores, speedup, min
+    printf "parallel gate: mixed/read-only ns ratio at procs=8: %.2f (want <= %.2f)\n", ratio, slack
+    fail = 0
+    if (speedup < min) {
+        printf "FAIL: read-only scaling regressed (%.2fx < %.2fx)\n", speedup, min > "/dev/stderr"
+        fail = 1
+    }
+    if (ratio > slack) {
+        printf "FAIL: writers slow concurrent readers too much (%.2f > %.2f)\n", ratio, slack > "/dev/stderr"
+        fail = 1
+    }
+    exit fail
+}
+' "$RAW"
+
+echo "parallel gate: OK"
