@@ -7,6 +7,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -933,6 +934,64 @@ func BenchmarkAblation_Telemetry(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAblation_Admission pins the overhead of statement
+// governance on the hot scan path: "ungoverned" is a plain Query on a
+// database with no admission semaphore configured (interrupt
+// checkpoints compile to nil-receiver fast paths); "governed" runs the
+// same scan through QueryContext with admission control, a statement
+// timeout, and a memory budget all armed. The contract is that the
+// governed path stays within noise (<3%) of the ungoverned one — the
+// semaphore is one channel op per statement and the per-row
+// checkpoint is a strided counter test.
+func BenchmarkAblation_Admission(b *testing.B) {
+	build := func(opts sqldb.Options) *sqldb.DB {
+		db, err := sqldb.OpenWith("", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY, sim VARCHAR(30), v DOUBLE)`); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			if _, err := db.Exec(`INSERT INTO t VALUES (?, ?, ?)`,
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewString(fmt.Sprintf("S%03d", i%100)),
+				sqltypes.NewDouble(float64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	const query = `SELECT COUNT(*), AVG(v) FROM t WHERE sim = ?`
+	arg := sqltypes.NewString("S042")
+
+	b.Run("ungoverned", func(b *testing.B) {
+		db := build(sqldb.Options{})
+		defer db.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(query, arg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("governed", func(b *testing.B) {
+		db := build(sqldb.Options{
+			MaxConcurrentStatements: runtime.GOMAXPROCS(0),
+			MemoryBudget:            64 << 20,
+		})
+		defer db.Close()
+		db.SetStatementTimeout(time.Minute)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryContext(ctx, query, arg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblation_TokenTTLZeroAlloc: repeated validation of the same

@@ -21,11 +21,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dlfs"
@@ -41,8 +45,10 @@ func main() {
 		root   = flag.String("root", "dlfs-data", "file store root directory (single-server mode)")
 		secret = flag.String("secret", "", "shared token secret (must match the archive server)")
 		ttl    = flag.Duration("ttl", med.DefaultTokenTTL, "default token lifetime")
-		rf     = flag.Int("rf", cluster.DefaultReplicationFactor, "replication factor (gateway mode)")
-		probe  = flag.Duration("probe", 2*time.Second, "health-probe / anti-entropy interval (gateway mode)")
+		rf      = flag.Int("rf", cluster.DefaultReplicationFactor, "replication factor (gateway mode)")
+		probe   = flag.Duration("probe", 2*time.Second, "health-probe / anti-entropy interval (gateway mode)")
+		rpcTO   = flag.Duration("rpc-timeout", 0, "per-attempt deadline for RPCs to peer daemons (gateway mode; 0 = unbounded)")
+		retries = flag.Int("rpc-retries", 0, "extra attempts for idempotent RPCs to peer daemons, with jittered exponential backoff (gateway mode)")
 		state  = flag.String("state", "", "repair-state checkpoint file (gateway mode): removal tombstones and pending repairs survive a restart")
 		spool  = flag.String("spool", "", "spool directory for fan-out/repair payloads (gateway mode; default OS temp dir, often RAM-backed tmpfs — use a real disk for large datasets)")
 	)
@@ -68,12 +74,15 @@ func main() {
 	// /metrics endpoint (empty exposition until metrics register).
 	metrics := telemetry.New()
 	var backend dlfs.Backend
+	var gateway *cluster.ReplicaSet
 	switch {
 	case len(replicas) > 0:
 		rs := cluster.New(cluster.Config{
 			Host:              *host,
 			ReplicationFactor: *rf,
 			ProbeInterval:     *probe,
+			RPCTimeout:        *rpcTO,
+			RetryAttempts:     *retries,
 			Tokens:            auth,
 			StatePath:         *state,
 			SpoolDir:          *spool,
@@ -88,11 +97,9 @@ func main() {
 		if err := rs.LoadState(); err != nil {
 			log.Fatalf("dlfsd: %v", err)
 		}
-		// The probe/repair loop runs for the process lifetime; the
-		// process exits via log.Fatal below, which performs no
-		// graceful shutdown (and would skip deferred calls anyway).
 		rs.Start()
 		backend = rs
+		gateway = rs
 		log.Printf("dlfsd: gateway for host %s over replicas %v (rf=%d, probe=%s) on %s",
 			*host, rs.Members(), *rf, *probe, *listen)
 	default:
@@ -113,5 +120,29 @@ func main() {
 		ReadTimeout:  5 * time.Minute,
 		WriteTimeout: 30 * time.Minute, // large dataset downloads
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful drain on SIGTERM/SIGINT: stop accepting connections,
+	// let in-flight transfers finish within a bounded window, then (in
+	// gateway mode) stop the probe/repair loop so a mid-pass repair
+	// completes its current step and the repair-state checkpoint is
+	// consistent on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("dlfsd: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("dlfsd: shutdown signal received, draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("dlfsd: shutdown: %v", err)
+		}
+		if gateway != nil {
+			gateway.Stop()
+		}
+	}
 }

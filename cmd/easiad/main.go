@@ -17,12 +17,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -157,7 +160,28 @@ func main() {
 		WriteTimeout: 10 * time.Minute,
 	}
 	log.Printf("easiad: web interface on %s (guest/guest to browse)", *listen)
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful drain on SIGTERM/SIGINT: stop accepting requests, give
+	// in-flight ones a bounded window to finish, then fall through to
+	// the deferred a.Close() — which itself drains admitted statements
+	// before tearing the engine down, so a statement mid-scan sees
+	// ErrClosed instead of a yanked WAL.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("easiad: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Print("easiad: shutdown signal received, draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("easiad: shutdown: %v", err)
+		}
+	}
 }
 
 // seed loads the demo content: one author, one simulation, a real

@@ -272,6 +272,44 @@
 // replicated tier's health (replica-set members, open breakers, paths
 // awaiting re-replication) via core.Archive.HostStatuses.
 //
+// # Cancellation, deadlines, and overload
+//
+// Every statement entry point has a context-aware form —
+// DB.QueryContext / DB.ExecContext and the Stmt equivalents — and
+// every streaming loop in the executor (heap and index scans, fold
+// aggregation, hash-join build and probe, top-k, sort, DML row loops)
+// polls a per-statement interrupt on an amortised stride, so
+// cancelling the context or exceeding the statement deadline (the
+// per-call context deadline, or the DB.SetStatementTimeout default
+// applied when a statement arrives without one) surfaces
+// sqldb.ErrCanceled / sqldb.ErrDeadlineExceeded within milliseconds
+// without poisoning the engine: reads hold no state beyond their
+// latch, and a cancelled DML unwinds its MVCC intents exactly like a
+// constraint failure. The cancellation boundary is the WAL stage —
+// the interrupt is checked one last time immediately before the
+// commit is staged; once staged, the statement commits and reports
+// success (the same at-most-once boundary a crash recovery exposes).
+//
+// Overload is governed by two budgets. Options.MaxConcurrentStatements
+// caps simultaneously executing statements with a fair admission
+// semaphore and a bounded wait queue (Options.AdmissionQueue, default
+// 4x); a statement arriving with the queue full is shed immediately
+// with ErrAdmissionRejected rather than piling latency onto everyone
+// else. Options.MemoryBudget bounds the bytes statements may retain
+// concurrently — hash-aggregation groups, join hash tables, sort keys
+// and materialised result rows are charged against it, and a
+// statement that would exceed the budget fails with ErrMemoryBudget
+// instead of taking the process down. DB.Close drains admitted
+// statements for a grace period (DB.CloseGrace) before tearing down
+// the WAL, so
+// shutdown is a drain, not an amputation; the easiad and dlfsd
+// daemons translate SIGTERM into exactly that drain. The remote file
+// tier applies the same discipline: dlfs.Client RPCs honour a context
+// (WithContext) and per-attempt deadline (SetRPCTimeout), idempotent
+// RPCs can retry with jittered exponential backoff (SetRetry), and
+// cluster fan-out reads stop failing over once the caller's context
+// ends (ReplicaSet.OpenContext/StatContext, cluster.Config.RPCTimeout).
+//
 // # Observability
 //
 // internal/telemetry is the dependency-free metrics core the whole
@@ -292,7 +330,11 @@
 // sqldb_barrier_wait_ns for the exclusive barrier), and MVCC hygiene
 // (sqldb_vacuum_pass_ns, sqldb_vacuum_passes_total,
 // sqldb_vacuum_rows_reclaimed_total, sqldb_autovacuum_triggers_total,
-// sqldb_dead_rows, sqldb_snapshot_age_ns). The replicated file tier
+// sqldb_dead_rows, sqldb_snapshot_age_ns), and statement governance
+// (sqldb_statements_{canceled,timed_out,shed}_total,
+// sqldb_admission_wait_ns, sqldb_admission_queue_depth,
+// sqldb_mem_budget_rejected_total, sqldb_mem_budget_bytes_in_use).
+// The replicated file tier
 // registers dlfs_cluster_* counters and histograms on the registry
 // passed via cluster.Config.Metrics (failovers, breaker trips, 2PC
 // partial commits/writes, put latency, anti-entropy repair totals and

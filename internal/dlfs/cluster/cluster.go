@@ -22,6 +22,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -60,6 +61,20 @@ type Config struct {
 	// ProbeInterval paces the background health checker and anti-entropy
 	// loop started by Start; 0 selects 2s.
 	ProbeInterval time.Duration
+	// RPCTimeout bounds each RPC attempt against a remote member; 0
+	// leaves attempts unbounded. Applied to capable nodes (remote
+	// clients) as they are registered with Add — a hung member then
+	// surfaces as a transport failure feeding its breaker instead of
+	// stalling a fan-out indefinitely.
+	RPCTimeout time.Duration
+	// RetryAttempts allows that many extra attempts (jittered
+	// exponential backoff, RetryBackoff base) for idempotent RPCs
+	// against remote members. 0 disables retries, keeping every fault
+	// visible to the breaker exactly once.
+	RetryAttempts int
+	// RetryBackoff is the base backoff between retry attempts; 0
+	// selects the client default (50ms).
+	RetryBackoff time.Duration
 	// Tokens mints internal access tokens so replication reads can copy
 	// READ PERMISSION DB files between members. It must share the secret
 	// with the members' validators. Without it, repairing such files
@@ -196,6 +211,18 @@ func New(cfg Config) *ReplicaSet {
 // placed file onto it.
 func (rs *ReplicaSet) Add(n Node) error {
 	name := strings.ToLower(n.Host())
+	// Apply the tier's RPC governance to nodes that support it (remote
+	// clients do; in-process managers have no wire to govern).
+	if rs.cfg.RPCTimeout > 0 {
+		if tn, ok := n.(interface{ SetRPCTimeout(time.Duration) }); ok {
+			tn.SetRPCTimeout(rs.cfg.RPCTimeout)
+		}
+	}
+	if rs.cfg.RetryAttempts > 0 {
+		if rn, ok := n.(interface{ SetRetry(int, time.Duration) }); ok {
+			rn.SetRetry(rs.cfg.RetryAttempts, rs.cfg.RetryBackoff)
+		}
+	}
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	if _, dup := rs.members[name]; dup {
@@ -778,14 +805,22 @@ func (sp *spool) Close() error {
 // every replica validates with the same authority, so failing over
 // would only mask the refusal.
 func (rs *ReplicaSet) Open(path, token string) (io.ReadCloser, dlfs.FileInfo, error) {
+	return rs.OpenContext(context.Background(), path, token)
+}
+
+// OpenContext is Open bounded by the caller's context: the failover
+// scan stops trying further replicas once ctx ends, and each attempt
+// against a context-capable node (a remote client) inherits ctx — its
+// cancellation aborts the in-flight RPC and any backoff wait.
+func (rs *ReplicaSet) OpenContext(ctx context.Context, path, token string) (io.ReadCloser, dlfs.FileInfo, error) {
 	var (
 		rc  io.ReadCloser
 		fi  dlfs.FileInfo
 		err error
 	)
-	err = rs.eachReplica(path, func(m *member) error {
+	err = rs.eachReplica(ctx, path, func(m *member, n Node) error {
 		var e error
-		rc, fi, e = m.node.Open(path, token)
+		rc, fi, e = n.Open(path, token)
 		return e
 	})
 	return rc, fi, err
@@ -793,10 +828,15 @@ func (rs *ReplicaSet) Open(path, token string) (io.ReadCloser, dlfs.FileInfo, er
 
 // Stat describes path, with the same failover as Open.
 func (rs *ReplicaSet) Stat(path string) (dlfs.FileInfo, error) {
+	return rs.StatContext(context.Background(), path)
+}
+
+// StatContext is Stat bounded by the caller's context (see OpenContext).
+func (rs *ReplicaSet) StatContext(ctx context.Context, path string) (dlfs.FileInfo, error) {
 	var fi dlfs.FileInfo
-	err := rs.eachReplica(path, func(m *member) error {
+	err := rs.eachReplica(ctx, path, func(m *member, n Node) error {
 		var e error
-		fi, e = m.node.Stat(path)
+		fi, e = n.Stat(path)
 		return e
 	})
 	return fi, err
@@ -805,8 +845,11 @@ func (rs *ReplicaSet) Stat(path string) (dlfs.FileInfo, error) {
 // eachReplica runs f against replicas of path until one succeeds:
 // healthy placed replicas in placement order, then the remaining
 // members (down or non-placed) as a last resort. Access-control errors
-// abort the scan immediately.
-func (rs *ReplicaSet) eachReplica(path string, f func(*member) error) error {
+// abort the scan immediately, and so does the caller's deadline — a
+// fan-out must not outlive the request that asked for it. f receives
+// the member (for breaker bookkeeping by callers that need it) and the
+// node to call, rebound to ctx when the node supports it.
+func (rs *ReplicaSet) eachReplica(ctx context.Context, path string, f func(*member, Node) error) error {
 	rs.mu.Lock()
 	placed := rs.placedLocked(path)
 	inPlaced := make(map[string]bool, len(placed))
@@ -837,7 +880,15 @@ func (rs *ReplicaSet) eachReplica(path string, f func(*member) error) error {
 	primary := placed[0]
 	var errs []error
 	for _, m := range tryOrder {
-		err := f(m)
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		node := m.node
+		if cn, ok := node.(ContextNode); ok {
+			node = cn.WithContext(ctx)
+		}
+		err := f(m, node)
 		if err == nil {
 			rs.noteSuccess(m)
 			if m != primary {
@@ -869,9 +920,9 @@ func (rs *ReplicaSet) Rename(oldPath, newPath string) error {
 		return fmt.Errorf("%w: rename %s", dlfs.ErrLinked, oldPath)
 	}
 	var rc io.ReadCloser
-	if err := rs.eachReplica(oldPath, func(m *member) error {
+	if err := rs.eachReplica(context.Background(), oldPath, func(m *member, n Node) error {
 		var e error
-		rc, _, e = m.node.Open(oldPath, "")
+		rc, _, e = n.Open(oldPath, "")
 		return e
 	}); err != nil {
 		return err

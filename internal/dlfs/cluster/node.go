@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"repro/internal/dlfs"
 	"repro/internal/med"
@@ -21,6 +23,15 @@ type Node interface {
 	Remove(path string) error
 	LinkStates() ([]dlfs.LinkState, error)
 	Ping() error
+}
+
+// ContextNode is an optional Node capability: a node that can rebind
+// its RPCs to a caller's context, so a fan-out's attempts are aborted
+// the moment the request that asked for them gives up. Remote client
+// nodes implement it; in-process managers (no wire, nothing to cancel)
+// do not.
+type ContextNode interface {
+	WithContext(ctx context.Context) Node
 }
 
 // managerNode adapts an in-process manager. Only LinkStates needs a
@@ -63,6 +74,17 @@ func (n clientNode) Rename(oldPath, newPath string) error     { return n.c.Renam
 func (n clientNode) Remove(path string) error                 { return n.c.Remove(path) }
 func (n clientNode) LinkStates() ([]dlfs.LinkState, error)    { return n.c.LinkStates() }
 func (n clientNode) Ping() error                              { return n.c.Ping() }
+
+// SetRPCTimeout forwards the tier's per-attempt deadline to the client
+// (applied by ReplicaSet.Add before the node is routed to).
+func (n clientNode) SetRPCTimeout(d time.Duration) { n.c.SetRPCTimeout(d) }
+
+// SetRetry forwards the tier's idempotent-retry policy to the client.
+func (n clientNode) SetRetry(extra int, base time.Duration) { n.c.SetRetry(extra, base) }
+
+// WithContext implements ContextNode: a view of this node whose RPCs
+// are bounded by ctx.
+func (n clientNode) WithContext(ctx context.Context) Node { return clientNode{n.c.WithContext(ctx)} }
 
 // countingReader counts bytes as the upload streams them, since the
 // wire protocol does not echo the stored size back.

@@ -1,0 +1,140 @@
+package dlfs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer serves /dlfm/stat after failing the first `fail` attempts
+// with 503, and always fails /dlfm/remove — counting every request so
+// tests can assert the exact retry discipline on the wire.
+type flakyServer struct {
+	statCalls   atomic.Int64
+	removeCalls atomic.Int64
+	fail        int64
+}
+
+func (f *flakyServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dlfm/stat", func(w http.ResponseWriter, r *http.Request) {
+		if f.statCalls.Add(1) <= f.fail {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"path": r.URL.Query().Get("path"), "size": 7, "mod_time": time.Now(), "linked": false,
+		})
+	})
+	mux.HandleFunc("/dlfm/remove", func(w http.ResponseWriter, r *http.Request) {
+		f.removeCalls.Add(1)
+		http.Error(w, "flaky", http.StatusServiceUnavailable)
+	})
+	return mux
+}
+
+// TestClientRetryIdempotent: with SetRetry, transient 502/503/504
+// responses to an idempotent RPC are retried with backoff until the
+// daemon recovers; without SetRetry the first fault surfaces (the
+// default, so fault injection and breaker accounting see every fault).
+func TestClientRetryIdempotent(t *testing.T) {
+	f := &flakyServer{fail: 2}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	c := NewClient("fs.sim:80", srv.URL, nil)
+	c.SetRetry(3, time.Millisecond)
+	fi, err := c.Stat("/d/f")
+	if err != nil {
+		t.Fatalf("Stat with retries: %v", err)
+	}
+	if fi.Size != 7 {
+		t.Fatalf("Stat size = %d, want 7", fi.Size)
+	}
+	if got := f.statCalls.Load(); got != 3 {
+		t.Fatalf("daemon saw %d stat attempts, want 3 (2 faults + 1 success)", got)
+	}
+
+	f.statCalls.Store(0)
+	bare := NewClient("fs.sim:80", srv.URL, nil)
+	if _, err := bare.Stat("/d/f"); err == nil {
+		t.Fatal("Stat without retries swallowed the 503")
+	}
+	if got := f.statCalls.Load(); got != 1 {
+		t.Fatalf("retry-less client issued %d attempts, want 1", got)
+	}
+}
+
+// TestClientNoRetryNonIdempotent: destructive RPCs are never retried —
+// replaying a Remove past an ambiguous failure could delete a file
+// relinked in between.
+func TestClientNoRetryNonIdempotent(t *testing.T) {
+	f := &flakyServer{}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	c := NewClient("fs.sim:80", srv.URL, nil)
+	c.SetRetry(5, time.Millisecond)
+	if err := c.Remove("/d/f"); err == nil {
+		t.Fatal("Remove against a failing daemon succeeded")
+	}
+	if got := f.removeCalls.Load(); got != 1 {
+		t.Fatalf("daemon saw %d remove attempts, want 1 (non-idempotent)", got)
+	}
+}
+
+// TestClientContextAbortsBackoff: a canceled caller context ends the
+// retry sequence immediately, including mid-backoff, and new attempts
+// are never issued against the wire.
+func TestClientContextAbortsBackoff(t *testing.T) {
+	f := &flakyServer{fail: 1 << 30} // never recovers
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	c := NewClient("fs.sim:80", srv.URL, nil).WithContext(ctx)
+	c.SetRetry(10, time.Second) // backoff windows far beyond the deadline
+
+	start := time.Now()
+	_, err := c.Stat("/d/f")
+	took := time.Since(start)
+	if err == nil {
+		t.Fatal("Stat succeeded against a permanently failing daemon")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Stat error = %v, want the caller's deadline", err)
+	}
+	if took > 500*time.Millisecond {
+		t.Fatalf("deadline-bounded Stat took %v — backoff ignored the context", took)
+	}
+	if got := f.statCalls.Load(); got > 2 {
+		t.Fatalf("daemon saw %d attempts inside a 30ms deadline, want <= 2", got)
+	}
+}
+
+// TestClientRPCTimeout: a per-attempt deadline bounds a stalled daemon
+// even when the caller context is unbounded.
+func TestClientRPCTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer srv.Close()
+	defer close(stall)
+
+	c := NewClient("fs.sim:80", srv.URL, nil)
+	c.SetRPCTimeout(25 * time.Millisecond)
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("Ping against a stalled daemon succeeded")
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("RPC timeout took %v to fire", took)
+	}
+}

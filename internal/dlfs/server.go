@@ -1,6 +1,7 @@
 package dlfs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,14 @@ type Backend interface {
 	Rename(oldPath, newPath string) error
 	Remove(path string) error
 	LinkStates() []LinkState
+}
+
+// ContextBackend is an optional Backend capability: reads bounded by
+// the caller's context. A gateway backend (cluster.ReplicaSet)
+// implements it so a client that disconnects mid-download stops the
+// replica failover scan instead of letting it run to completion.
+type ContextBackend interface {
+	OpenContext(ctx context.Context, path, token string) (io.ReadCloser, FileInfo, error)
 }
 
 // Server exposes a Backend over HTTP: the wire protocol between the
@@ -260,7 +269,16 @@ func (s *Server) handleFiles(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "%d bytes stored\n", n)
 	case http.MethodGet:
 		path, token := sqltypes.SplitTokenizedPath(raw)
-		rc, fi, err := s.mgr.Open(path, token)
+		var (
+			rc  io.ReadCloser
+			fi  FileInfo
+			err error
+		)
+		if cb, ok := s.mgr.(ContextBackend); ok {
+			rc, fi, err = cb.OpenContext(r.Context(), path, token)
+		} else {
+			rc, fi, err = s.mgr.Open(path, token)
+		}
 		if err != nil {
 			writeErr(w, err)
 			return

@@ -341,6 +341,10 @@ type groupFolder struct {
 	stopped   bool
 }
 
+// groupFootprint estimates the retained bytes of one hash-agg group:
+// the groupState shell plus one accumulator per aggregate slot.
+func groupFootprint(slots int) int64 { return 64 + 48*int64(slots) }
+
 func newGroupFolder(plan *selectPlan, streaming bool) *groupFolder {
 	f := &groupFolder{plan: plan, streaming: streaming}
 	if streaming {
@@ -391,6 +395,11 @@ func (f *groupFolder) add(row []sqltypes.Value, ctx *evalCtx) error {
 	} else {
 		gs = f.byKey[string(f.keyBuf)] // no-allocation map lookup
 		if gs == nil {
+			// A new hash-agg group retains its key and accumulators for
+			// the statement's lifetime: charge the memory budget.
+			if err := ctx.intr.charge(int64(len(f.keyBuf)) + groupFootprint(len(plan.aggCalls))); err != nil {
+				return err
+			}
 			gs = plan.newGroupState()
 			f.byKey[string(f.keyBuf)] = gs
 			f.groups = append(f.groups, gs)
@@ -430,6 +439,9 @@ func (db *DB) runFoldAggregate(plan *selectPlan, ctx *evalCtx) ([]outRow, error)
 		}
 		folder := newGroupFolder(plan, false)
 		for _, r := range rows {
+			if err := ctx.intr.check(); err != nil {
+				return nil, err
+			}
 			if s.Where != nil {
 				ctx.vals = r
 				v, err := evalExpr(s.Where, ctx)
@@ -483,6 +495,11 @@ func (db *DB) foldSingleTable(plan *selectPlan, ctx *evalCtx) ([]*groupState, er
 	var foldErr error
 	emit := func(f *groupFolder) func(id rowID, vals []sqltypes.Value) bool {
 		return func(_ rowID, vals []sqltypes.Value) bool {
+			// Per-row cancellation checkpoint for the fold scans.
+			if err := ctx.intr.check(); err != nil {
+				foldErr = err
+				return false
+			}
 			if s.Where != nil {
 				ctx.vals = vals
 				v, err := evalExpr(s.Where, ctx)
@@ -505,7 +522,11 @@ func (db *DB) foldSingleTable(plan *selectPlan, ctx *evalCtx) ([]*groupState, er
 	// zero heap fetches (aggplan.go). handled=false — probe misalignment
 	// or inexact keys — falls to the scan-and-fold paths below.
 	if plan.groupIdxFold != nil && !db.fullScanOnly {
-		if groups, handled := db.runGroupIndexFold(plan, ctx); handled {
+		groups, handled, err := db.runGroupIndexFold(plan, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
 			return groups, nil
 		}
 	}

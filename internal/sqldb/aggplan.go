@@ -294,21 +294,22 @@ func planGroupIndexFold(plan *selectPlan) {
 // handled=false (probe misalignment or inexact keys) sends the caller
 // to the ordinary scan-and-fold executor. Evaluation errors defer into
 // the accumulators and surface at finalize, exactly like the row-wise
-// fold (same messages, same HAVING-aware timing).
-func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*groupState, handled bool) {
+// fold (same messages, same HAVING-aware timing). Governance errors
+// (cancellation, deadline, memory budget) surface immediately.
+func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*groupState, handled bool, err error) {
 	gp := plan.groupIdxFold
 	path := plan.path
 	td := plan.tables[0].data
 	idx := td.indexes[path.idx]
 	if idx == nil {
-		return nil, false
+		return nil, false, nil
 	}
 	er, ok := exactKeyRange(td, path, ctx)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	if er.empty {
-		return nil, true
+		return nil, true, nil
 	}
 
 	reads := int64(0)
@@ -317,6 +318,7 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 	var (
 		cur       *groupState
 		curPrefix string
+		foldErr   error
 		decoded   = make([]sqltypes.Value, gp.walkLen) // per-slot scratch, reused per key
 	)
 	// foldRowsFallback folds one key's rows through the heap fetch (the
@@ -336,6 +338,12 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 	// synthetic first row for the scalar parts from the group's first
 	// key; a non-round-tripping component falls back to one real row.
 	startGroup := func(k, prefix string, ids []rowID) {
+		// Each open group retains its state for the statement's lifetime:
+		// charge the memory budget (surfaces through foldErr on the next
+		// visit, since this path cannot abort mid-key).
+		if gerr := ctx.intr.charge(int64(len(prefix)) + groupFootprint(len(plan.aggCalls))); gerr != nil {
+			foldErr = gerr
+		}
 		cur = plan.newGroupState()
 		groups = append(groups, cur)
 		curPrefix = prefix
@@ -362,6 +370,11 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 		}
 	}
 	visit := func(k string, ids []rowID) bool {
+		// Per-key cancellation checkpoint for the index-key fold.
+		if gerr := ctx.intr.check(); gerr != nil {
+			foldErr = gerr
+			return false
+		}
 		// One forward walk per key: delimit the group prefix and decode
 		// the aggregate-argument components. Any refusal (malformed key,
 		// non-round-tripping component) folds this key's rows through
@@ -434,11 +447,14 @@ func (db *DB) runGroupIndexFold(plan *selectPlan, ctx *evalCtx) (groups []*group
 	} else {
 		rix, okr := idx.(rangeIndex)
 		if !okr {
-			return nil, false
+			return nil, false, nil
 		}
 		scanVisibleRange(td, rix, er.lo, er.hi, false, ctx.snap, visit)
 	}
-	return groups, true
+	if foldErr != nil {
+		return nil, true, foldErr
+	}
+	return groups, true, nil
 }
 
 // exactRange is a resolved, exact key window over one index.
@@ -534,8 +550,9 @@ func exactKeyRange(td *tableData, path *accessPath, ctx *evalCtx) (exactRange, b
 // runIndexOnlyAgg answers the planned aggregate items from the index.
 // handled=false falls back to the row-materialising executor (probe
 // misalignment or inexact keys). COUNT items read zero heap rows;
-// MIN/MAX materialise only the boundary key's rows.
-func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
+// MIN/MAX materialise only the boundary key's rows. Governance errors
+// (cancellation, deadline) surface immediately.
+func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool, error) {
 	s := plan.stmt
 	td := plan.tables[0].data
 	path := plan.path
@@ -547,15 +564,16 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 	} else {
 		idx = td.indexes[path.idx]
 		if idx == nil {
-			return nil, false
+			return nil, false, nil
 		}
 		var ok bool
 		er, ok = exactKeyRange(td, path, ctx)
 		if !ok {
-			return nil, false
+			return nil, false, nil
 		}
 	}
 
+	var govErr error
 	count := int64(-1)
 	countRows := func() int64 {
 		if count >= 0 {
@@ -578,6 +596,10 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 				return 0
 			}
 			scanVisibleRange(td, rix, er.lo, er.hi, false, ctx.snap, func(_ string, ids []rowID) bool {
+				if err := ctx.intr.check(); err != nil {
+					govErr = err
+					return false
+				}
 				count += int64(len(ids))
 				return true
 			})
@@ -591,9 +613,15 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 		case "COUNT":
 			vals[i] = sqltypes.NewInt(countRows())
 		case "MIN":
-			vals[i] = boundaryAgg(td, idx, er, it.colPos, false, ctx.snap)
+			vals[i] = boundaryAgg(td, idx, er, it.colPos, false, ctx)
 		case "MAX":
-			vals[i] = boundaryAgg(td, idx, er, it.colPos, true, ctx.snap)
+			vals[i] = boundaryAgg(td, idx, er, it.colPos, true, ctx)
+		}
+		if govErr == nil {
+			govErr = ctx.intr.check()
+		}
+		if govErr != nil {
+			return nil, false, govErr
 		}
 	}
 
@@ -617,7 +645,7 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 			}
 		}
 	}
-	return out, true
+	return out, true, nil
 }
 
 // boundaryAgg finds MIN (desc=false) or MAX (desc=true) of colPos by
@@ -627,7 +655,8 @@ func (db *DB) runIndexOnlyAgg(plan *selectPlan, ctx *evalCtx) (*Rows, bool) {
 // rows are materialised and compared: distinct values can share a key
 // in the far-integer collision window, so that key is a tiny candidate
 // set, not a single row, and the fetch resolves the exact extremum.
-func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, desc bool, snap uint64) sqltypes.Value {
+func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, desc bool, ctx *evalCtx) sqltypes.Value {
+	snap := ctx.snap
 	if idx == nil || er.empty {
 		return sqltypes.Null
 	}
@@ -667,7 +696,12 @@ func boundaryAgg(td *tableData, idx secondaryIndex, er exactRange, colPos int, d
 		return best.IsNull() // stop after the first key with a value
 	}
 	// visitKey serves one key: decoded when possible, fetched when not.
+	// A cancellation mid-walk stops the scan; the sticky interrupt error
+	// is picked up by the caller's checkpoint right after the walk.
 	visitKey := func(k string, ids []rowID) bool {
+		if ctx.intr.check() != nil {
+			return false
+		}
 		if slot >= 0 {
 			if v, ok := decodeKeyColumn(k, slot, colKind); ok {
 				if v.IsNull() {

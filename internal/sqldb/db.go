@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -172,6 +173,11 @@ type indexDef struct {
 //     The walFile has its own mutex and must never be touched under mu
 //     except through stageTx/checkpointLocked/vacuumLocked.
 type DB struct {
+	// governState holds the statement-governance machinery: default
+	// statement timeout, memory budget pool, admission semaphore and
+	// the Close drain bookkeeping. See govern.go.
+	governState
+
 	mu      sync.RWMutex
 	cat     *Catalog
 	data    map[string]*tableData
@@ -274,6 +280,19 @@ type Options struct {
 	// before the damage and truncates the rest. RecoveryInfo.Salvaged
 	// reports that it happened.
 	Salvage bool
+	// MaxConcurrentStatements bounds how many statements execute at
+	// once. Over the limit, arrivals wait in a bounded queue (length
+	// AdmissionQueue); a full queue sheds with ErrAdmissionRejected.
+	// Zero disables admission control.
+	MaxConcurrentStatements int
+	// AdmissionQueue is the admission wait-queue bound; defaults to
+	// 4×MaxConcurrentStatements when zero.
+	AdmissionQueue int
+	// MemoryBudget caps the bytes buffered by hash aggregation, join
+	// hash builds and sort/materialise buffers across all concurrent
+	// statements; a statement that would exceed it fails with
+	// ErrMemoryBudget. Zero means unlimited.
+	MemoryBudget int64
 }
 
 // RecoveryInfo describes what crash recovery found and did during Open.
@@ -316,6 +335,7 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 	db.nextTx.Store(1)
 	db.nextRow.Store(1)
 	db.lastTS.Store(baseStamp)
+	db.initGovern(opts)
 	db.met = newDBMetrics(db)
 	if db.fs == nil {
 		db.fs = iofault.Disk{}
@@ -448,12 +468,35 @@ func (db *DB) applyWALRecord(rec walRecord, refs *mvccRefs) error {
 	return nil
 }
 
-// Close flushes a final checkpoint and releases the WAL. A poisoned
-// database skips the checkpoint (its durability is already suspect; the
-// on-disk state from the last successful fsync is what recovery will
-// use) but still releases the log's descriptor. Any background vacuum
-// is waited out before Close returns.
+// Close drains in-flight statements, flushes a final checkpoint and
+// releases the WAL. The drain is cooperative: Close first broadcasts
+// cancellation (new statements are refused with ErrClosed, running
+// statements observe the broadcast at their next interrupt checkpoint
+// and fail with ErrCanceled), then waits up to CloseGrace for the
+// admitted set to finish before proceeding to teardown — at which point
+// mu.Lock still serialises with any straggler holding the read lock. A
+// poisoned database skips the checkpoint (its durability is already
+// suspect; the on-disk state from the last successful fsync is what
+// recovery will use) but still releases the log's descriptor. Any
+// background vacuum is waited out, and the slow-query log writer is
+// flushed and closed, before Close returns.
 func (db *DB) Close() error {
+	// Stop admission and cancel in-flight statements. Idempotent.
+	db.closeOnce.Do(func() {
+		db.closingFlag.Store(true)
+		close(db.closing)
+	})
+	drained := make(chan struct{})
+	go func() {
+		db.stmtWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(db.CloseGrace):
+		// A statement ignored the broadcast past the grace period.
+		// Teardown proceeds; mu.Lock below is the hard barrier.
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -472,6 +515,20 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 	// A pending auto-vacuum observes closed under mu.Lock and bails.
 	db.vacWG.Wait()
+	// Flush and release the slow-query log so buffered trace lines are
+	// not lost when the process exits right after Close.
+	db.slowMu.Lock()
+	if db.slowLog != nil {
+		type flusher interface{ Flush() error }
+		if f, ok := db.slowLog.(flusher); ok {
+			err = errors.Join(err, f.Flush())
+		}
+		if c, ok := db.slowLog.(io.Closer); ok {
+			err = errors.Join(err, c.Close())
+		}
+		db.slowLog = nil
+	}
+	db.slowMu.Unlock()
 	return err
 }
 
@@ -639,6 +696,21 @@ func (db *DB) Exec(sql string, args ...sqltypes.Value) (Result, error) {
 	return st.Exec(args...)
 }
 
+// ExecContext is Exec with cooperative cancellation: the statement is
+// subject to admission control, the ctx deadline (or the
+// SetStatementTimeout default when ctx has none) and per-row
+// cancellation checkpoints, returning ErrCanceled/ErrDeadlineExceeded
+// when stopped. A DML statement canceled before its WAL frames are
+// staged rolls back cleanly; once staged, it commits (see the
+// cancellation-boundary notes in govern.go).
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (Result, error) {
+	st, err := db.preparedStmt(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return st.ExecContext(ctx, args...)
+}
+
 // ExecScript runs a semicolon-separated DDL/DML script, each statement
 // autocommitted.
 func (db *DB) ExecScript(sql string) error {
@@ -682,6 +754,18 @@ func (db *DB) Query(sql string, args ...sqltypes.Value) (*Rows, error) {
 	return st.Query(args...)
 }
 
+// QueryContext is Query with cooperative cancellation: admission
+// control, deadline (ctx's own or the SetStatementTimeout default) and
+// per-row checkpoints in every scan, join, sort and fold loop. A
+// canceled read leaves no latches held and the database unpoisoned.
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (*Rows, error) {
+	st, err := db.preparedStmt(sql)
+	if err != nil {
+		return nil, err
+	}
+	return st.QueryContext(ctx, args...)
+}
+
 // ---------- transactions ----------
 
 // txState is the in-flight transaction bookkeeping.
@@ -690,6 +774,11 @@ type txState struct {
 	refs     mvccRefs // everything this transaction stamped (see storage.go)
 	redo     []walRecord
 	usedLink bool
+
+	// intr is the owning statement's cancellation checker; nil for
+	// internal executions (scripts, replay, explicit Tx). DML row loops
+	// poll it so a canceled statement unwinds before its WAL stage.
+	intr *interrupt
 
 	// Group-commit fields, set when the transaction's frames are staged
 	// in the WAL: its commit sequence and the log it was staged into
@@ -1024,7 +1113,7 @@ func (tx *Tx) Query(sql string, args ...sqltypes.Value) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
 	}
-	return tx.db.execSelectLocked(sel, args)
+	return tx.db.execSelectLocked(sel, args, tx.state.intr)
 }
 
 // Commit makes the transaction durable and releases the lock. The

@@ -30,7 +30,7 @@ func (db *DB) execStmtLocked(tx *txState, stmt Statement, params []sqltypes.Valu
 		res, err := db.execDeleteLocked(tx, s, params)
 		return res, nil, err
 	case *SelectStmt:
-		rows, err := db.execSelectLocked(s, params)
+		rows, err := db.execSelectLocked(s, params, tx.intr)
 		return Result{RowsAffected: 0}, rows, err
 	default:
 		return Result{}, nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
@@ -233,9 +233,12 @@ func (db *DB) execInsertLocked(tx *txState, s *InsertStmt, params []sqltypes.Val
 		}
 	}
 
-	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest}
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest, intr: tx.intr}
 	inserted := 0
 	for _, exprRow := range s.Rows {
+		if err := ctx.intr.check(); err != nil {
+			return Result{}, err
+		}
 		if len(exprRow) != len(colPos) {
 			return Result{}, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprRow), len(colPos))
 		}
@@ -305,14 +308,17 @@ func (db *DB) execUpdateLocked(tx *txState, s *UpdateStmt, params []sqltypes.Val
 	}
 
 	// Phase 1: collect matching rows (stable against mutation).
-	ids, err := db.matchRowsLocked(td, schema, s.Where, params)
+	ids, err := db.matchRowsLocked(td, schema, s.Where, params, tx.intr)
 	if err != nil {
 		return Result{}, err
 	}
 
-	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest}
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest, intr: tx.intr}
 	updated := 0
 	for _, id := range ids {
+		if err := ctx.intr.check(); err != nil {
+			return Result{}, err
+		}
 		old, ok := td.get(id, snapLatest)
 		if !ok {
 			continue
@@ -372,12 +378,15 @@ func (db *DB) execDeleteLocked(tx *txState, s *DeleteStmt, params []sqltypes.Val
 			return Result{}, err
 		}
 	}
-	ids, err := db.matchRowsLocked(td, schema, s.Where, params)
+	ids, err := db.matchRowsLocked(td, schema, s.Where, params, tx.intr)
 	if err != nil {
 		return Result{}, err
 	}
 	deleted := 0
 	for _, id := range ids {
+		if err := tx.intr.check(); err != nil {
+			return Result{}, err
+		}
 		old, ok := td.get(id, snapLatest)
 		if !ok {
 			continue
@@ -405,14 +414,18 @@ func (db *DB) execDeleteLocked(tx *txState, s *DeleteStmt, params []sqltypes.Val
 // re-applied to every candidate so index-path and scan-path semantics
 // are identical (the old equality fast path skipped that residual check,
 // which let encoded-key over-approximations reach UPDATE/DELETE).
-func (db *DB) matchRowsLocked(td *tableData, schema *TableSchema, where Expr, params []sqltypes.Value) ([]rowID, error) {
+func (db *DB) matchRowsLocked(td *tableData, schema *TableSchema, where Expr, params []sqltypes.Value, ic *interrupt) ([]rowID, error) {
 	// Latest-mode visibility: DML must see the current state, including
 	// this transaction's own earlier writes (the owning writer slot —
 	// wmu or the global lock — guarantees no foreign in-flight stamps).
-	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest}
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snapLatest, intr: ic}
 	var ids []rowID
 	var evalErr error
 	visit := func(id rowID, vals []sqltypes.Value) bool {
+		if err := ic.check(); err != nil {
+			evalErr = err
+			return false
+		}
 		if where == nil {
 			ids = append(ids, id)
 			return true

@@ -98,6 +98,11 @@ type evalCtx struct {
 	params []sqltypes.Value
 	now    time.Time
 	snap   uint64
+
+	// intr is the owning statement's cancellation checker and memory
+	// account (govern.go); nil — the ungoverned internal path — makes
+	// every check/charge a no-op.
+	intr *interrupt
 }
 
 // evalExpr computes e over the context. SQL three-valued logic is

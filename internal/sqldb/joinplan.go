@@ -141,11 +141,17 @@ func (hp *hashJoinPlan) String() string {
 // encoding of the join columns. Rows with a NULL join column never
 // match any probe (the equality is UNKNOWN) and are left out. The
 // stored row slices are referenced, not copied — the join row assembly
-// copies values out under the engine lock, like every probe path.
-func buildJoinHash(td *tableData, hp *hashJoinPlan, snap uint64) map[string][][]sqltypes.Value {
+// copies values out under the engine lock, like every probe path. The
+// build is a cancellation checkpoint and charges every retained entry
+// (key bytes + a row reference) against the statement memory budget.
+func buildJoinHash(td *tableData, hp *hashJoinPlan, ctx *evalCtx) (map[string][][]sqltypes.Value, error) {
 	m := make(map[string][][]sqltypes.Value)
 	var buf []byte
-	td.scan(snap, func(_ rowID, vals []sqltypes.Value) bool {
+	var buildErr error
+	td.scan(ctx.snap, func(_ rowID, vals []sqltypes.Value) bool {
+		if buildErr = ctx.intr.check(); buildErr != nil {
+			return false
+		}
 		buf = buf[:0]
 		for _, p := range hp.colPos {
 			if vals[p].IsNull() {
@@ -153,11 +159,17 @@ func buildJoinHash(td *tableData, hp *hashJoinPlan, snap uint64) map[string][][]
 			}
 			buf = appendKey(buf, vals[p])
 		}
+		if buildErr = ctx.intr.charge(int64(len(buf)) + rowFootprint(0)); buildErr != nil {
+			return false
+		}
 		k := string(buf)
 		m[k] = append(m[k], vals)
 		return true
 	})
-	return m
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return m, nil
 }
 
 // hashProber probes one prebuilt join hash table, reusing its key
@@ -169,8 +181,12 @@ type hashProber struct {
 	buf   []byte
 }
 
-func newHashProber(td *tableData, hp *hashJoinPlan, snap uint64) *hashProber {
-	return &hashProber{table: buildJoinHash(td, hp, snap), hp: hp}
+func newHashProber(td *tableData, hp *hashJoinPlan, ctx *evalCtx) (*hashProber, error) {
+	table, err := buildJoinHash(td, hp, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &hashProber{table: table, hp: hp}, nil
 }
 
 // probe returns the candidate rows for the outer row currently in

@@ -26,6 +26,13 @@ import (
 //	sqldb_dead_rows                    gauge      dead-version debt awaiting vacuum
 //	sqldb_snapshot_age_ns              gauge      age of the newest commit stamp
 //	sqldb_slow_queries_total           counter    statements over the trace threshold
+//	sqldb_statements_canceled_total    counter    statements stopped by cancellation
+//	sqldb_statements_timed_out_total   counter    statements stopped by their deadline
+//	sqldb_statements_shed_total        counter    statements rejected at admission
+//	sqldb_admission_wait_ns            histogram  time queued statements waited for a slot
+//	sqldb_admission_queue_depth        gauge      statements currently queued for admission
+//	sqldb_mem_budget_rejected_total    counter    statements stopped by the memory budget
+//	sqldb_mem_budget_bytes_in_use      gauge      bytes charged against the memory budget
 type dbMetrics struct {
 	reg *telemetry.Registry
 
@@ -42,6 +49,12 @@ type dbMetrics struct {
 	vacuumRows  *telemetry.Counter
 	autoVacuum  *telemetry.Counter
 	slowQueries *telemetry.Counter
+
+	stmtCanceled    *telemetry.Counter
+	stmtTimedOut    *telemetry.Counter
+	stmtShed        *telemetry.Counter
+	admissionWaitNs *telemetry.Histogram
+	memRejected     *telemetry.Counter
 }
 
 // newDBMetrics builds the registry and registers the engine's metric
@@ -64,6 +77,12 @@ func newDBMetrics(db *DB) *dbMetrics {
 		vacuumRows:  reg.Counter("sqldb_vacuum_rows_reclaimed_total", "Dead row versions and index entries reclaimed by vacuum."),
 		autoVacuum:  reg.Counter("sqldb_autovacuum_triggers_total", "Background auto-vacuum passes triggered."),
 		slowQueries: reg.Counter("sqldb_slow_queries_total", "Statements that exceeded the trace threshold."),
+
+		stmtCanceled:    reg.Counter("sqldb_statements_canceled_total", "Statements stopped by context cancellation or shutdown."),
+		stmtTimedOut:    reg.Counter("sqldb_statements_timed_out_total", "Statements stopped by their deadline."),
+		stmtShed:        reg.Counter("sqldb_statements_shed_total", "Statements rejected at admission (queue full)."),
+		admissionWaitNs: reg.Histogram("sqldb_admission_wait_ns", "Time queued statements waited for an admission slot in nanoseconds."),
+		memRejected:     reg.Counter("sqldb_mem_budget_rejected_total", "Statements stopped by the memory budget."),
 	}
 	reg.GaugeFunc("sqldb_dead_rows", "Dead row versions and index entries awaiting vacuum.", db.deadRowDebt)
 	reg.GaugeFunc("sqldb_snapshot_age_ns", "Age of the newest published commit stamp in nanoseconds.", func() int64 {
@@ -75,6 +94,12 @@ func newDBMetrics(db *DB) *dbMetrics {
 	})
 	reg.GaugeFunc("sqldb_plan_cache_entries", "Statements currently held by the plan cache.", func() int64 {
 		return int64(db.plans.len())
+	})
+	reg.GaugeFunc("sqldb_admission_queue_depth", "Statements currently queued for admission.", func() int64 {
+		return db.admitWaiting.Load()
+	})
+	reg.GaugeFunc("sqldb_mem_budget_bytes_in_use", "Bytes currently charged against the statement memory budget.", func() int64 {
+		return db.memUsed.Load()
 	})
 	return m
 }

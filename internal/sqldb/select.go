@@ -101,12 +101,12 @@ type outRow struct {
 // script path — so the query runs in latest-mode visibility: it must
 // see the enclosing transaction's own uncommitted writes, and no other
 // writer can be in flight under the exclusive lock.
-func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value) (*Rows, error) {
+func (db *DB) execSelectLocked(s *SelectStmt, params []sqltypes.Value, ic *interrupt) (*Rows, error) {
 	plan, err := db.planSelect(s)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelectAt(plan, params, snapLatest, nil)
+	return db.runSelectAt(plan, params, snapLatest, nil, ic)
 }
 
 // planSelect resolves FROM items against the catalogue, binds every
@@ -255,13 +255,15 @@ func (db *DB) runSelect(plan *selectPlan, params []sqltypes.Value) (*Rows, error
 	// Pin the statement's snapshot: every scan, probe and index-only
 	// aggregate below answers as of this commit stamp, no matter what
 	// commits concurrently.
-	return db.runSelectAt(plan, params, db.readSnapshot(), nil)
+	return db.runSelectAt(plan, params, db.readSnapshot(), nil, nil)
 }
 
 // runSelectAt is runSelect at an explicit snapshot (snapLatest for the
 // exclusive-lock transaction path). A non-nil tr collects per-node
-// timings and heap-read counts for EXPLAIN ANALYZE.
-func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64, tr *execTrace) (*Rows, error) {
+// timings and heap-read counts for EXPLAIN ANALYZE. A non-nil ic makes
+// every streaming loop below a cancellation checkpoint and charges
+// buffered state against the memory budget.
+func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64, tr *execTrace, ic *interrupt) (*Rows, error) {
 	if plan.noFrom {
 		return db.runSelectNoFrom(plan, params)
 	}
@@ -269,13 +271,17 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	aggregated := plan.aggregated
 	orderBound := plan.orderBound
 
-	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snap}
+	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snap, intr: ic}
 
 	// Index-only aggregation: COUNT/MIN/MAX over a residual-free path
 	// answered from the index without materialising candidate rows.
 	if plan.aggItems != nil && !db.fullScanOnly {
 		endAgg := tr.span("index-only-agg")
-		if out, handled := db.runIndexOnlyAgg(plan, ctx); handled {
+		out, handled, err := db.runIndexOnlyAgg(plan, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
 			endAgg(int64(len(out.Data)))
 			return out, nil
 		}
@@ -363,6 +369,9 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 			}
 		} else {
 			for _, r := range rows {
+				if err := ctx.intr.check(); err != nil {
+					return nil, err
+				}
 				ctx.vals = r
 				vals := make([]sqltypes.Value, len(proj))
 				for i, e := range proj {
@@ -397,6 +406,14 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 		endSort := tr.span("sort")
 		keys := make([][]sqltypes.Value, len(outRows))
 		for ri, r := range outRows {
+			// Sort-key assembly is both a cancellation checkpoint and a
+			// sort-buffer charge: the key set is O(rows × order cols).
+			if err := ctx.intr.check(); err != nil {
+				return nil, err
+			}
+			if err := ctx.intr.charge(rowFootprint(len(s.OrderBy))); err != nil {
+				return nil, err
+			}
 			ks := make([]sqltypes.Value, len(s.OrderBy))
 			for oi, o := range s.OrderBy {
 				var v sqltypes.Value
@@ -526,6 +543,11 @@ func (db *DB) materialiseRows(plan *selectPlan, ctx *evalCtx) (rows [][]sqltypes
 		ft := tables[0]
 		var scanErr error
 		keep := func(vals []sqltypes.Value) (bool, error) {
+			// Per-row cancellation checkpoint for both the access-path
+			// and heap scans below.
+			if err := ctx.intr.check(); err != nil {
+				return false, err
+			}
 			if s.Where == nil {
 				return true, nil
 			}
@@ -548,6 +570,11 @@ func (db *DB) materialiseRows(plan *selectPlan, ctx *evalCtx) (rows [][]sqltypes
 			var scanHandledErr error
 			handled, scanHandledErr = scanAccessPath(ft.data, plan.path, ctx, func(_ rowID, vals []sqltypes.Value) bool {
 				ok, err := keep(vals)
+				if err == nil && ok {
+					// Retained rows buffer until projection/sort: charge
+					// them against the memory budget.
+					err = ctx.intr.charge(rowFootprint(len(vals)))
+				}
 				if err != nil {
 					scanErr = err
 					return false
@@ -565,6 +592,9 @@ func (db *DB) materialiseRows(plan *selectPlan, ctx *evalCtx) (rows [][]sqltypes
 		if !handled {
 			ft.data.scan(ctx.snap, func(id rowID, vals []sqltypes.Value) bool {
 				ok, err := keep(vals)
+				if err == nil && ok {
+					err = ctx.intr.charge(rowFootprint(len(vals)))
+				}
 				if err != nil {
 					scanErr = err
 					return false
@@ -606,7 +636,11 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		})
 	}
 	if hj := db.chooseHashSwap(plan); hj != nil {
-		return db.joinRowsSwapped(plan, ctx, newHashProber(plan.tables[0].data, hj, ctx.snap).probe)
+		hp, err := newHashProber(plan.tables[0].data, hj, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return db.joinRowsSwapped(plan, ctx, hp.probe)
 	}
 	width := len(plan.env.cols)
 	rows := make([][]sqltypes.Value, 1)
@@ -624,7 +658,11 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		var hashP *hashProber
 		if plan.hashJoins != nil && probe == nil && !db.fullScanOnly {
 			if hj := plan.hashJoins[i]; hj != nil && len(rows) > 0 {
-				hashP = newHashProber(ft.data, hj, ctx.snap)
+				var err error
+				hashP, err = newHashProber(ft.data, hj, ctx)
+				if err != nil {
+					return nil, err
+				}
 			}
 		}
 		var next [][]sqltypes.Value
@@ -647,6 +685,14 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 		scanInto := func(base []sqltypes.Value) error {
 			matched := false
 			appendRow := func(vals []sqltypes.Value) error {
+				// Per-row checkpoint + joined-row buffer charge: the
+				// nested loop assembles and retains every combined row.
+				if err := ctx.intr.check(); err != nil {
+					return err
+				}
+				if err := ctx.intr.charge(rowFootprint(width)); err != nil {
+					return err
+				}
 				combined := make([]sqltypes.Value, len(base), width)
 				copy(combined, base)
 				combined = append(combined, vals...)
@@ -778,10 +824,24 @@ func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probeFn func(*eval
 	// reference table 1 slots, so the table 0 prefix can stay stale.
 	scratch := make([]sqltypes.Value, width)
 	t1.data.scan(ctx.snap, func(_ rowID, v1 []sqltypes.Value) bool {
+		// Outer-row checkpoint: probes that match nothing still visit
+		// every outer row.
+		if err := ctx.intr.check(); err != nil {
+			outerErr = err
+			return false
+		}
 		copy(scratch[start1:], v1)
 		ctx.vals = scratch
 		cands, handled := probeFn(ctx)
 		emit := func(v0 []sqltypes.Value) bool {
+			gerr := ctx.intr.check()
+			if gerr == nil {
+				gerr = ctx.intr.charge(rowFootprint(width))
+			}
+			if gerr != nil {
+				outerErr = gerr
+				return false
+			}
 			combined := make([]sqltypes.Value, width)
 			copy(combined, v0)
 			copy(combined[start1:], v1)

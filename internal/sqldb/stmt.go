@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -133,8 +134,25 @@ func pathString(plan *selectPlan, sel *SelectStmt) string {
 // exclusive writer lock. A prepared SELECT via Exec is allowed, with
 // the result discarded.
 func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
-	res, _, err := s.exec(args, false)
+	res, _, err := s.exec(nil, args, false)
 	return res, err
+}
+
+// ExecContext is Exec under cooperative cancellation: admission
+// control, the ctx deadline (or the SetStatementTimeout default) and
+// per-row interrupt checkpoints. Canceled DML unwinds cleanly via the
+// MVCC abort path when stopped before its WAL frames are staged; once
+// staged, it commits (see govern.go for the boundary).
+func (s *Stmt) ExecContext(ctx context.Context, args ...sqltypes.Value) (Result, error) {
+	res, _, err := s.exec(ctx, args, false)
+	return res, err
+}
+
+// QueryContext is Query under cooperative cancellation — see
+// DB.QueryContext.
+func (s *Stmt) QueryContext(ctx context.Context, args ...sqltypes.Value) (*Rows, error) {
+	rows, _, err := s.query(ctx, args, false)
+	return rows, err
 }
 
 // Trace executes the statement once with tracing forced on, regardless
@@ -144,20 +162,22 @@ func (s *Stmt) Exec(args ...sqltypes.Value) (Result, error) {
 // execution's result is discarded; side effects of DML happen normally.
 func (s *Stmt) Trace(args ...sqltypes.Value) (*Trace, error) {
 	if _, ok := s.ast.(*SelectStmt); ok {
-		_, t, err := s.query(args, true)
+		_, t, err := s.query(nil, args, true)
 		return t, err
 	}
-	_, t, err := s.exec(args, true)
+	_, t, err := s.exec(nil, args, true)
 	return t, err
 }
 
-// exec is Exec with optional tracing (forced, or threshold-armed).
-func (s *Stmt) exec(args []sqltypes.Value, force bool) (Result, *Trace, error) {
+// exec is Exec with optional tracing (forced, or threshold-armed) and
+// optional cancellation (ctx may be nil: background, default timeout
+// still applies).
+func (s *Stmt) exec(ctx context.Context, args []sqltypes.Value, force bool) (Result, *Trace, error) {
 	// SELECT via Exec: reuse the cached plan through the same path as
 	// Query. This is not just an optimisation — it keeps every binding
 	// of this statement's shared AST serialised under s.mu.
 	if _, ok := s.ast.(*SelectStmt); ok {
-		_, t, err := s.query(args, force)
+		_, t, err := s.query(ctx, args, force)
 		return Result{}, t, err
 	}
 	db := s.db
@@ -166,11 +186,19 @@ func (s *Stmt) exec(args []sqltypes.Value, force bool) (Result, *Trace, error) {
 	if force || thr > 0 {
 		tr = db.newTrace(s.text, "exec")
 	}
+	// Admission + deadline gate. Acquired before any engine lock, so a
+	// queued statement holds nothing while it waits.
+	ic, release, err := db.admitStatement(ctx)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	defer release()
+	tr.setDeadline(ic)
 	db.mu.RLock()
 	if td := db.shardedTarget(s.ast); td != nil {
 		if db.closed {
 			db.mu.RUnlock()
-			return Result{}, nil, fmt.Errorf("sqldb: database is closed")
+			return Result{}, nil, ErrClosed
 		}
 		// The write latch serialises writers of this one table; it also
 		// serialises bindings of this statement's shared AST (same
@@ -180,13 +208,20 @@ func (s *Stmt) exec(args []sqltypes.Value, force bool) (Result, *Trace, error) {
 		latchNs := time.Since(latchStart).Nanoseconds()
 		db.met.latchWaitNs.Observe(latchNs)
 		tx := db.newTx()
+		tx.intr = ic
 		tr.beginHeap()
 		endExec := tr.span("dml")
 		res, _, err := db.execStmtLocked(tx, s.ast, args)
+		if err == nil {
+			// Last cancellation checkpoint: past this poll the
+			// transaction stages its WAL frames and commits.
+			err = ic.poll()
+		}
 		if err != nil {
 			rbErr := db.rollbackTx(tx)
 			td.wmu.Unlock()
 			db.mu.RUnlock()
+			db.traceCanceled(tr, ic, thr)
 			return Result{}, nil, errors.Join(err, rbErr)
 		}
 		endExec(int64(res.RowsAffected))
@@ -221,15 +256,21 @@ func (s *Stmt) exec(args []sqltypes.Value, force bool) (Result, *Trace, error) {
 	db.met.barrierNs.Observe(barrierNs)
 	if db.closed {
 		db.mu.Unlock()
-		return Result{}, nil, fmt.Errorf("sqldb: database is closed")
+		return Result{}, nil, ErrClosed
 	}
 	tx := db.newTx()
+	tx.intr = ic
 	tr.beginHeap()
 	endExec := tr.span("dml")
 	res, _, err := db.execStmtLocked(tx, s.ast, args)
+	if err == nil {
+		// Same pre-WAL-stage cancellation boundary as the sharded path.
+		err = ic.poll()
+	}
 	if err != nil {
 		rbErr := db.rollbackTx(tx)
 		db.mu.Unlock()
+		db.traceCanceled(tr, ic, thr)
 		return Result{}, nil, errors.Join(err, rbErr)
 	}
 	endExec(int64(res.RowsAffected))
@@ -312,12 +353,13 @@ func (db *DB) shardedTarget(stmt Statement) *tableData {
 // writers. The bound plan is reused as long as the schema epoch is
 // unchanged.
 func (s *Stmt) Query(args ...sqltypes.Value) (*Rows, error) {
-	rows, _, err := s.query(args, false)
+	rows, _, err := s.query(nil, args, false)
 	return rows, err
 }
 
-// query is Query with optional tracing (forced, or threshold-armed).
-func (s *Stmt) query(args []sqltypes.Value, force bool) (*Rows, *Trace, error) {
+// query is Query with optional tracing (forced, or threshold-armed) and
+// optional cancellation (ctx may be nil).
+func (s *Stmt) query(ctx context.Context, args []sqltypes.Value, force bool) (*Rows, *Trace, error) {
 	sel, ok := s.ast.(*SelectStmt)
 	if !ok {
 		return nil, nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
@@ -328,11 +370,17 @@ func (s *Stmt) query(args []sqltypes.Value, force bool) (*Rows, *Trace, error) {
 	if force || thr > 0 {
 		tr = db.newTrace(s.text, "select")
 	}
+	ic, release, err := db.admitStatement(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	tr.setDeadline(ic)
 	rows, err := func() (*Rows, error) {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
 		if db.closed {
-			return nil, fmt.Errorf("sqldb: database is closed")
+			return nil, ErrClosed
 		}
 		plan, err := s.selectPlanLocked(sel)
 		if err != nil {
@@ -342,11 +390,12 @@ func (s *Stmt) query(args []sqltypes.Value, force bool) (*Rows, *Trace, error) {
 			tr.t.Path = pathString(plan, sel)
 		}
 		tr.beginHeap()
-		out, err := db.runSelectAt(plan, args, db.readSnapshot(), tr)
+		out, err := db.runSelectAt(plan, args, db.readSnapshot(), tr, ic)
 		tr.endHeap()
 		return out, err
 	}()
 	if err != nil {
+		db.traceCanceled(tr, ic, thr)
 		return nil, nil, err
 	}
 	if tr != nil {

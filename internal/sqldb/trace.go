@@ -44,6 +44,15 @@ type Trace struct {
 	// Slow is set when the statement exceeded the slow-query threshold
 	// (always false for traces forced via Stmt.Trace under the threshold).
 	Slow bool `json:"slow,omitempty"`
+
+	// CancelReason records why a governed statement stopped early:
+	// "canceled", "deadline", "memory" or "shutdown". Empty for
+	// statements that ran to completion.
+	CancelReason string `json:"cancel_reason,omitempty"`
+	// DeadlineNs is the statement's remaining deadline budget at
+	// admission (ctx deadline or the SetStatementTimeout default);
+	// zero when the statement had no deadline.
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
 }
 
 // execTrace is the in-flight collector behind a Trace. A nil *execTrace
@@ -126,6 +135,28 @@ func (tr *execTrace) trace() *Trace {
 		return nil
 	}
 	return tr.t
+}
+
+// setDeadline records the statement's deadline budget on the trace.
+func (tr *execTrace) setDeadline(ic *interrupt) {
+	if tr == nil || ic == nil {
+		return
+	}
+	tr.t.DeadlineNs = ic.deadlineNs
+}
+
+// traceCanceled closes and logs the trace of a statement that failed
+// under governance, tagging it with the cancel reason so the slow-query
+// log distinguishes a deadline kill from a plain slow statement. A
+// statement that failed for non-governance reasons (ic.reason empty)
+// is left untraced, as before.
+func (db *DB) traceCanceled(tr *execTrace, ic *interrupt, thresholdNs int64) {
+	if tr == nil || ic == nil || ic.reason == "" {
+		return
+	}
+	tr.t.CancelReason = ic.reason
+	tr.finishRows(tr.t.Rows)
+	db.noteSlow(tr, thresholdNs)
 }
 
 // noteSlow marks and logs the trace when it crossed the threshold:

@@ -563,6 +563,21 @@ func engineSummary(ms []telemetry.Metric) []statusMetric {
 	if m, ok := findMetric(ms, "sqldb_slow_queries_total"); ok && m.Value > 0 {
 		rows = append(rows, statusMetric{"Slow queries over threshold", strconv.FormatInt(m.Value, 10)})
 	}
+	// Overload posture: how deep the admission queue is right now, and
+	// how many statements have been shed, timed out or canceled so far.
+	if m, ok := findMetric(ms, "sqldb_admission_queue_depth"); ok {
+		rows = append(rows, statusMetric{"Admission queue depth", strconv.FormatInt(m.Value, 10)})
+	}
+	shed, _ := findMetric(ms, "sqldb_statements_shed_total")
+	timedOut, _ := findMetric(ms, "sqldb_statements_timed_out_total")
+	canceled, _ := findMetric(ms, "sqldb_statements_canceled_total")
+	if shed.Value+timedOut.Value+canceled.Value > 0 {
+		rows = append(rows, statusMetric{"Statements shed / timed out / canceled",
+			fmt.Sprintf("%d / %d / %d", shed.Value, timedOut.Value, canceled.Value)})
+	}
+	if m, ok := findMetric(ms, "sqldb_mem_budget_rejected_total"); ok && m.Value > 0 {
+		rows = append(rows, statusMetric{"Memory-budget rejections", strconv.FormatInt(m.Value, 10)})
+	}
 	return rows
 }
 

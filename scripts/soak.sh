@@ -11,6 +11,11 @@
 #   SOAK_SCHEDULES=100 scripts/soak.sh
 #   SOAK_SEED=$(date +%s) scripts/soak.sh   # a fresh seed band
 #   NORACE=1 scripts/soak.sh        # ~5x faster, for huge sweeps
+#   SOAK_CHAOS=1 scripts/soak.sh    # also run the crash+cancel chaos
+#                                   # schedules (admission pressure,
+#                                   # randomly canceled statements, and
+#                                   # the canceled-never-visible oracle
+#                                   # on top of the durability contract)
 #
 # Schedule i uses seed SOAK_SEED+i, so a failure report names the exact
 # seed to replay: SOAK_SEED=<seed> SOAK_SCHEDULES=1 scripts/soak.sh
@@ -28,8 +33,12 @@ SOAK_SEED="${SOAK_SEED:-1}"
 RACE="-race"
 [ -n "$NORACE" ] && RACE=""
 
-echo "soak: $SOAK_SCHEDULES schedules, base seed $SOAK_SEED${RACE:+, race detector on}"
+RUN='TestCrashRecoverySoak|TestSoakHonestRefusal|TestCheckpointCrashWindows|TestWALTailCorpus|TestFsyncPoisonsDB'
+[ -n "$SOAK_CHAOS" ] && RUN="$RUN|TestChaosCancelSoak"
+
+echo "soak: $SOAK_SCHEDULES schedules, base seed $SOAK_SEED${RACE:+, race detector on}${SOAK_CHAOS:+, chaos cancel schedules on}"
 SOAK_SCHEDULES="$SOAK_SCHEDULES" SOAK_SEED="$SOAK_SEED" \
+	CHAOS_SCHEDULES="$SOAK_SCHEDULES" CHAOS_SEED="$SOAK_SEED" \
 	go test $RACE -count=1 -timeout 60m \
-	-run 'TestCrashRecoverySoak|TestSoakHonestRefusal|TestCheckpointCrashWindows|TestWALTailCorpus|TestFsyncPoisonsDB' \
+	-run "$RUN" \
 	./internal/sqldb/
