@@ -187,6 +187,52 @@
 //     and TestAutoVacuum pin these contracts down; BenchmarkParallelQuery
 //     tracks read scaling and the 90/10 mixed workload.
 //
+// # Result pipeline and caching
+//
+// SELECT results flow through an arena/columnar pipeline rather than a
+// per-row make on the heap:
+//
+//   - Arena ownership. Every statement carves its result rows from a
+//     per-statement bump allocator (rowArena) backed by pooled
+//     fixed-size Value chunks. The returned Rows owns the arena:
+//     Rows.Close releases every chunk back to the pool wholesale — one
+//     pool round-trip per statement instead of one allocation per row —
+//     after which the row slices must not be touched. Rows.Detach
+//     copies the rows out into plain heap memory first, so detached
+//     results stay valid indefinitely (the contract long-lived callers
+//     rely on); Close is idempotent and nil-safe either way.
+//     Intermediate join rows live in a separate scratch arena released
+//     when the statement returns — projection always copies surviving
+//     values into the result arena, so no scratch reference escapes.
+//     Single-table unsorted projections additionally batch rows through
+//     a columnar buffer (colBatch) and fill column-at-a-time before
+//     transposing into arena rows (BenchmarkAblation_Arena tracks the
+//     B/op and allocs/op win; DB.SetLegacyResultAlloc restores the
+//     per-row make path as the ablation baseline, and
+//     TestArenaLegacyEquivalence proves the two paths row-identical).
+//
+//   - Result cache. DB.SetResultCache(bytes) arms an opt-in LRU of
+//     complete SELECT results keyed by statement text plus bound
+//     arguments (the canonical key.go encoding, sharing its documented
+//     far-integer collision window). An entry records the schema epoch
+//     and the snapshot it was computed at; a lookup serves it only when
+//     the epoch still matches, every referenced table's last committed
+//     write stamp is ≤ the entry's snapshot, and the reader's snapshot
+//     is ≥ it — so a cached read can never observe staler data than a
+//     fresh execution (TestResultCacheConcurrentNoStaleReads). Commits
+//     eagerly drop entries for the tables they touched and DDL flushes
+//     the cache with the epoch bump; both are reclamation, not the
+//     correctness mechanism — the serve-time stamp check is. Statements
+//     with volatile functions (NOW, CURRENT_TIMESTAMP) bypass the
+//     cache, explicit-transaction reads never consult it (they run in
+//     latest-state mode), and a statement that fails or is canceled
+//     mid-fill publishes nothing. Entries are byte- and row-capped,
+//     charged against Options.MemoryBudget while resident (refunded on
+//     eviction), and observable via the sqldb_result_cache_* metrics,
+//     the " cached" AccessPath suffix and the trace cache:"hit|miss|
+//     bypass" tag (BenchmarkAblation_OpCache tracks the repeated-query
+//     win).
+//
 // # Durability and recovery contract
 //
 // All storage-tier I/O goes through internal/iofault: an FS abstraction

@@ -470,7 +470,7 @@ func (db *DB) runFoldAggregate(plan *selectPlan, ctx *evalCtx) ([]outRow, error)
 				continue
 			}
 		}
-		vals := make([]sqltypes.Value, len(plan.proj))
+		vals := ctx.ar.alloc(len(plan.proj))
 		for i, e := range plan.proj {
 			v, err := evalAggFold(e, plan, gs, ctx)
 			if err != nil {

@@ -1,0 +1,188 @@
+package sqldb
+
+import (
+	"sync"
+
+	"repro/internal/sqltypes"
+)
+
+// Arena/columnar result pipeline.
+//
+// Plain projections historically materialised one make([]Value, ncols)
+// per output row — the dominant allocation cost of the browse-style
+// queries the archive UI issues constantly (~36MB and ~100k allocs per
+// 100k projected rows). Two mechanisms remove it:
+//
+//   - rowArena: a chunked bump allocator over []sqltypes.Value slabs.
+//     Every projected row of one statement is carved out of the same
+//     few chunks, and the whole set is released wholesale — returned to
+//     a process-wide pool — when the owning Rows is Closed. Value
+//     structs are copied into the arena by value; string/BLOB payloads
+//     are immutable Go strings shared with storage, so the arena never
+//     needs to own byte data to stay safe.
+//
+//   - colBatch: a per-column batch buffer the streaming projection
+//     fills column-at-a-time (plain copy loops for bare column
+//     references, one evalExpr sweep per computed column) and then
+//     transposes into arena-backed rows. Projection cost becomes a few
+//     tight loops per 1024 rows instead of an interpreter dispatch and
+//     an allocation per row.
+//
+// Ownership rules (the contract doc.go documents for callers):
+//
+//   - Rows returned by Query/QueryContext/Stmt.Query own their arena.
+//     Rows.Close releases it; after Close the Data slices are invalid.
+//     Close is optional — an unclosed result is reclaimed by the GC
+//     like any other value, the chunks just miss the reuse pool.
+//   - Rows.Detach copies the result out of its arena onto the plain
+//     heap (and releases the arena), for callers that retain results
+//     indefinitely while closing eagerly elsewhere.
+//   - A nil *rowArena is the legacy allocation path: alloc falls back
+//     to make, byte-for-byte the pre-arena behaviour. This is the
+//     ablation baseline behind DB.SetLegacyResultAlloc and the oracle
+//     the arena property tests compare against.
+//
+// Intermediate join rows use a second, scratch arena that is released
+// when the statement finishes (the result rows copy values out of
+// them, never alias them), so the reuse benefits extend to the join
+// paths without pinning intermediates in the result's arena.
+
+// arenaChunkValues is the slab size in Value slots: 8192 × 32 bytes =
+// 256 KiB per chunk, large enough that a 100k-row projection needs a
+// few dozen chunk grabs, small enough that tiny results waste little.
+const arenaChunkValues = 8192
+
+// arenaChunkPool recycles slabs across statements. Chunks are zeroed
+// before being returned so a pooled slab never pins old string payloads
+// and a use-after-Close reads NULLs, not another statement's rows.
+var arenaChunkPool = sync.Pool{
+	New: func() any { return make([]sqltypes.Value, arenaChunkValues) },
+}
+
+// rowArena is a chunked bump allocator for result-row value slices.
+// Not safe for concurrent use: each statement execution owns its own.
+type rowArena struct {
+	cur    []sqltypes.Value   // remaining free slots of the newest chunk
+	chunks [][]sqltypes.Value // full-capacity slabs, for release
+}
+
+// alloc returns a zeroed n-slot slice backed by the arena (capacity
+// exactly n, so appends can never bleed into a neighbouring row). A nil
+// arena falls back to make — the legacy path. Requests larger than a
+// chunk are served straight from the heap.
+func (a *rowArena) alloc(n int) []sqltypes.Value {
+	return a.allocCap(n, n)
+}
+
+// allocCap is alloc with extra capacity (len n, cap c ≥ n): the join
+// assembly builds combined rows by appending to a base prefix, and the
+// reserved capacity keeps that append inside the arena region.
+func (a *rowArena) allocCap(n, c int) []sqltypes.Value {
+	if c < n {
+		c = n
+	}
+	if a == nil || c > arenaChunkValues {
+		return make([]sqltypes.Value, n, c)
+	}
+	if c > len(a.cur) {
+		chunk := arenaChunkPool.Get().([]sqltypes.Value)
+		a.chunks = append(a.chunks, chunk)
+		a.cur = chunk
+	}
+	s := a.cur[:n:c]
+	a.cur = a.cur[c:]
+	return s
+}
+
+// release returns every chunk to the pool, zeroed. The arena is
+// reusable (empty) afterwards; any slice previously handed out is
+// invalid. Nil-safe.
+func (a *rowArena) release() {
+	if a == nil {
+		return
+	}
+	for i, chunk := range a.chunks {
+		clear(chunk)
+		arenaChunkPool.Put(chunk) //nolint:staticcheck // slabs are slice values by design
+		a.chunks[i] = nil
+	}
+	a.chunks = a.chunks[:0]
+	a.cur = nil
+}
+
+// colBatchRows is how many source rows a colBatch buffers per flush.
+const colBatchRows = 1024
+
+// colBatch is the columnar projection buffer: source rows accumulate
+// (by reference — single-table scans alias storage rows, which is safe
+// under the statement's read lock), then flush projects them one
+// COLUMN at a time into per-column slabs and transposes the slabs into
+// arena-backed output rows.
+type colBatch struct {
+	proj   []Expr
+	colIdx []int // source slot for bare ColRef projections; -1 = general expr
+	cols   [][]sqltypes.Value
+	src    [][]sqltypes.Value
+}
+
+func newColBatch(proj []Expr) *colBatch {
+	cb := &colBatch{
+		proj:   proj,
+		colIdx: make([]int, len(proj)),
+		cols:   make([][]sqltypes.Value, len(proj)),
+		src:    make([][]sqltypes.Value, 0, colBatchRows),
+	}
+	for i, e := range proj {
+		cb.colIdx[i] = -1
+		if cr, ok := e.(*ColRef); ok && cr.Index >= 0 {
+			cb.colIdx[i] = cr.Index
+		}
+		cb.cols[i] = make([]sqltypes.Value, colBatchRows)
+	}
+	return cb
+}
+
+// push buffers one source row, reporting whether the batch is full and
+// must be flushed before the next push.
+func (cb *colBatch) push(row []sqltypes.Value) bool {
+	cb.src = append(cb.src, row)
+	return len(cb.src) == colBatchRows
+}
+
+// flush projects the buffered rows column-at-a-time and appends the
+// transposed, arena-backed rows to out.Data. The batch is empty after
+// a successful flush.
+func (cb *colBatch) flush(ctx *evalCtx, ar *rowArena, out *Rows) error {
+	n := len(cb.src)
+	if n == 0 {
+		return nil
+	}
+	for j := range cb.proj {
+		col := cb.cols[j]
+		if k := cb.colIdx[j]; k >= 0 {
+			// Bare column reference: a plain copy loop, no dispatch.
+			for i := 0; i < n; i++ {
+				col[i] = cb.src[i][k]
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			ctx.vals = cb.src[i]
+			v, err := evalExpr(cb.proj[j], ctx)
+			if err != nil {
+				return err
+			}
+			col[i] = v
+		}
+	}
+	ncols := len(cb.proj)
+	for i := 0; i < n; i++ {
+		row := ar.alloc(ncols)
+		for j := 0; j < ncols; j++ {
+			row[j] = cb.cols[j][i]
+		}
+		out.Data = append(out.Data, row)
+	}
+	cb.src = cb.src[:0]
+	return nil
+}

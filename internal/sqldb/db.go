@@ -65,6 +65,15 @@ type Result struct {
 // it shares no mutable state with the engine, so it stays valid (and
 // safe to read from any goroutine) after the query returns, concurrent
 // with later writes.
+//
+// Result rows are backed by a per-statement arena (arena.go). Close
+// releases the arena's chunks to a reuse pool wholesale; after Close
+// the Data slices must not be read. Close is optional — an unclosed
+// result is reclaimed by the GC like any other value, its chunks just
+// miss the pool. Callers that retain a result indefinitely while
+// closing eagerly elsewhere call Detach first, which copies the rows
+// onto the plain heap (the detached-Rows contract: detach forces a
+// copy-out, after which Close is a no-op).
 type Rows struct {
 	Columns []string
 	Kinds   []sqltypes.Kind
@@ -73,6 +82,48 @@ type Rows struct {
 	// colIdx caches upper-cased column name → position so per-cell Get
 	// calls (the result-page render path) avoid an O(columns) scan.
 	colIdx map[string]int
+
+	// arena backs the Data row slices when the statement ran on the
+	// arena path; nil for legacy-allocated, detached and cache-served
+	// results (whose rows live on the plain heap).
+	arena *rowArena
+}
+
+// Close releases the result's arena-backed row storage to the reuse
+// pool. The Data slices are invalid afterwards. Nil-safe, idempotent,
+// and a no-op for detached or legacy-allocated results.
+func (r *Rows) Close() {
+	if r == nil || r.arena == nil {
+		return
+	}
+	ar := r.arena
+	r.arena = nil
+	r.Data = nil
+	ar.release()
+}
+
+// Detach copies the result out of its arena onto the plain heap, so it
+// stays valid indefinitely even if the arena's chunks are recycled.
+// After Detach, Close is a no-op. Nil-safe; detaching an already plain
+// result does nothing.
+func (r *Rows) Detach() {
+	if r == nil || r.arena == nil {
+		return
+	}
+	ar := r.arena
+	r.arena = nil
+	if n := len(r.Data); n > 0 {
+		ncols := 0
+		for _, row := range r.Data {
+			ncols += len(row)
+		}
+		flat := make([]sqltypes.Value, 0, ncols)
+		for i, row := range r.Data {
+			flat = append(flat, row...)
+			r.Data[i] = flat[len(flat)-len(row) : len(flat) : len(flat)]
+		}
+	}
+	ar.release()
 }
 
 // newRows builds a result shell with the column-lookup cache populated.
@@ -247,6 +298,16 @@ type DB struct {
 	// materialise-then-group executor instead of the fold pipeline —
 	// the ablation baseline and property oracle. See SetLegacyAggregation.
 	legacyAggregation bool
+
+	// legacyResults disables the arena/columnar result path: every
+	// result row is an individual make, the pre-arena behaviour — the
+	// ablation baseline and property oracle. See SetLegacyResultAlloc.
+	legacyResults bool
+
+	// rcache is the opt-in query result cache (resultcache.go); nil
+	// when disabled. Swapped atomically so the read path loads it
+	// without touching mu's write side.
+	rcache atomic.Pointer[resultCache]
 
 	// fullScanOnly disables index access paths at execution time (the
 	// planner still runs; its choice is ignored). Ablation and
@@ -567,6 +628,49 @@ func (db *DB) SetLegacyAggregation(on bool) {
 	db.legacyAggregation = on
 }
 
+// SetLegacyResultAlloc routes (on=true) result materialisation through
+// the pre-arena allocator — one make([]Value, ...) per output row —
+// instead of the per-statement arena and columnar projection batches
+// (arena.go). Results are identical (the arena property tests compare
+// the two); this is the ablation baseline for BenchmarkAblation_Arena
+// and the oracle those tests use.
+func (db *DB) SetLegacyResultAlloc(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.legacyResults = on
+}
+
+// SetResultCache enables the query result cache with the given byte
+// capacity, or disables it (bytes <= 0). The cache serves repeated
+// auto-commit SELECTs from completed small result sets, invalidated by
+// table writes (commit-stamp publication) and DDL (schema epoch), so a
+// hit is always exactly what re-running the statement at the caller's
+// snapshot would return — see resultcache.go for the visibility
+// contract. Cached bytes are charged against Options.MemoryBudget when
+// one is set. Enabling replaces (and empties) any previous cache.
+func (db *DB) SetResultCache(bytes int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	old := db.rcache.Load()
+	if bytes <= 0 {
+		db.rcache.Store(nil)
+	} else {
+		db.rcache.Store(newResultCache(db, bytes))
+	}
+	if old != nil {
+		old.flush() // refund budget charges
+	}
+}
+
+// flushResultCache empties the result cache, if enabled. Called at
+// every schema-epoch bump: DDL changes what a statement text means, so
+// nothing cached under the old catalogue may be served.
+func (db *DB) flushResultCache() {
+	if rc := db.rcache.Load(); rc != nil {
+		rc.flush()
+	}
+}
+
 // HeapRowReads reports how many rows have been materialised out of the
 // named table's heap since it was created (point gets plus scan
 // visits). Access-path introspection: the index-only aggregate tests
@@ -868,6 +972,15 @@ func (db *DB) commitTx(tx *txState) (func() error, error) {
 	checkpointDue := db.CheckpointEvery > 0 && db.txSinceCheckpoint >= db.CheckpointEvery
 	wal := db.wal
 	db.commitMu.Unlock()
+	// Result-cache invalidation rides the commit-stamp publish: every
+	// entry over a table this transaction touched is dropped. Running
+	// after the commitMu release is safe — the per-table lastWrite stamp
+	// (stored inside refs.commit above, before lastTS advanced) is the
+	// serve-time correctness backstop; this sweep just reclaims memory
+	// eagerly. See resultcache.go.
+	if rc := db.rcache.Load(); rc != nil && len(tx.refs.touched) > 0 {
+		rc.invalidateTables(tx.refs.touched)
+	}
 	linkCtl := db.linkCtl
 	finish := func() error {
 		if staged {

@@ -84,6 +84,7 @@ func (db *DB) execCreateTableLocked(tx *txState, s *CreateTableStmt) (Result, *R
 	ddl := renderCreateTable(s)
 	db.ddlLog = append(db.ddlLog, ddl)
 	db.schemaEpoch++ // invalidate cached plans
+	db.flushResultCache()
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }
@@ -128,6 +129,7 @@ func (db *DB) execDropTableLocked(tx *txState, s *DropTableStmt) (Result, *Rows,
 	ddl := "DROP TABLE " + schema.Name
 	db.ddlLog = append(db.ddlLog, ddl)
 	db.schemaEpoch++ // invalidate cached plans
+	db.flushResultCache()
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }
@@ -185,6 +187,7 @@ func (db *DB) execCreateIndexLocked(tx *txState, s *CreateIndexStmt) (Result, *R
 	ddl := fmt.Sprintf("CREATE INDEX %s ON %s (%s) USING %s", name, schema.Name, strings.Join(cols, ", "), kind)
 	db.ddlLog = append(db.ddlLog, ddl)
 	db.schemaEpoch++ // invalidate cached plans
+	db.flushResultCache()
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }
@@ -202,6 +205,7 @@ func (db *DB) execDropIndexLocked(tx *txState, s *DropIndexStmt) (Result, *Rows,
 	ddl := "DROP INDEX " + name
 	db.ddlLog = append(db.ddlLog, ddl)
 	db.schemaEpoch++ // invalidate cached plans
+	db.flushResultCache()
 	tx.redo = append(tx.redo, walRecord{op: walOpDDL, ddl: ddl})
 	return Result{}, nil, nil
 }

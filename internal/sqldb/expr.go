@@ -103,6 +103,20 @@ type evalCtx struct {
 	// account (govern.go); nil — the ungoverned internal path — makes
 	// every check/charge a no-op.
 	intr *interrupt
+
+	// ar backs the statement's result rows (owned by the returned Rows,
+	// released on Rows.Close); scratch backs intermediate rows — joined
+	// tuples the projection copies out of — and is released when the
+	// statement finishes. Both nil on the legacy allocation path, which
+	// makes every arena alloc an ordinary make (see arena.go).
+	ar      *rowArena
+	scratch *rowArena
+
+	// keyBuf is a statement-scoped scratch buffer for canonical key
+	// encoding (index nested-loop probes build one prefix per OUTER
+	// row); reusing it keeps the probe loop allocation-free. Safe
+	// because an evalCtx is owned by one statement execution.
+	keyBuf []byte
 }
 
 // evalExpr computes e over the context. SQL three-valued logic is

@@ -334,7 +334,11 @@ func probeJoin(td *tableData, p *joinProbe, ctx *evalCtx) (cands [][]sqltypes.Va
 	if idx == nil {
 		return nil, false
 	}
-	var prefix []byte
+	// One probe prefix is built per outer row: reuse the statement's key
+	// buffer (the string conversions below copy) so the nested-loop probe
+	// allocates nothing per row.
+	prefix := ctx.keyBuf[:0]
+	defer func() { ctx.keyBuf = prefix }()
 	for j := 0; j < p.nEq; j++ {
 		v, err := evalExpr(p.eqs[j], ctx)
 		if err != nil {

@@ -33,6 +33,11 @@ import (
 //	sqldb_admission_queue_depth        gauge      statements currently queued for admission
 //	sqldb_mem_budget_rejected_total    counter    statements stopped by the memory budget
 //	sqldb_mem_budget_bytes_in_use      gauge      bytes charged against the memory budget
+//	sqldb_result_cache_hits_total      counter    result-cache hits (statement not re-executed)
+//	sqldb_result_cache_misses_total    counter    result-cache misses on cacheable statements
+//	sqldb_result_cache_evictions_total counter    entries evicted by LRU capacity pressure
+//	sqldb_result_cache_invalidations_total counter entries dropped by table writes
+//	sqldb_result_cache_bytes           gauge      bytes currently held by the result cache
 type dbMetrics struct {
 	reg *telemetry.Registry
 
@@ -55,6 +60,11 @@ type dbMetrics struct {
 	stmtShed        *telemetry.Counter
 	admissionWaitNs *telemetry.Histogram
 	memRejected     *telemetry.Counter
+
+	rcHits          *telemetry.Counter
+	rcMisses        *telemetry.Counter
+	rcEvicts        *telemetry.Counter
+	rcInvalidations *telemetry.Counter
 }
 
 // newDBMetrics builds the registry and registers the engine's metric
@@ -83,6 +93,11 @@ func newDBMetrics(db *DB) *dbMetrics {
 		stmtShed:        reg.Counter("sqldb_statements_shed_total", "Statements rejected at admission (queue full)."),
 		admissionWaitNs: reg.Histogram("sqldb_admission_wait_ns", "Time queued statements waited for an admission slot in nanoseconds."),
 		memRejected:     reg.Counter("sqldb_mem_budget_rejected_total", "Statements stopped by the memory budget."),
+
+		rcHits:          reg.Counter("sqldb_result_cache_hits_total", "Result-cache hits (statement answered without execution)."),
+		rcMisses:        reg.Counter("sqldb_result_cache_misses_total", "Result-cache misses on cacheable statements."),
+		rcEvicts:        reg.Counter("sqldb_result_cache_evictions_total", "Result-cache entries evicted by LRU capacity pressure."),
+		rcInvalidations: reg.Counter("sqldb_result_cache_invalidations_total", "Result-cache entries dropped by table writes."),
 	}
 	reg.GaugeFunc("sqldb_dead_rows", "Dead row versions and index entries awaiting vacuum.", db.deadRowDebt)
 	reg.GaugeFunc("sqldb_snapshot_age_ns", "Age of the newest published commit stamp in nanoseconds.", func() int64 {
@@ -100,6 +115,12 @@ func newDBMetrics(db *DB) *dbMetrics {
 	})
 	reg.GaugeFunc("sqldb_mem_budget_bytes_in_use", "Bytes currently charged against the statement memory budget.", func() int64 {
 		return db.memUsed.Load()
+	})
+	reg.GaugeFunc("sqldb_result_cache_bytes", "Bytes currently held by the result cache.", func() int64 {
+		if rc := db.rcache.Load(); rc != nil {
+			return rc.bytesUsed()
+		}
+		return 0
 	})
 	return m
 }

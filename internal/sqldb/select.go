@@ -84,6 +84,50 @@ type selectPlan struct {
 	// instead of a full sort. Advisory (the executor re-checks row
 	// counts at run time); AccessPath renders it as " top-k".
 	topK bool
+
+	// cacheable marks plans whose result is a pure function of (bound
+	// args, visible data): no volatile function — NOW() /
+	// CURRENT_TIMESTAMP — anywhere in the statement. Only cacheable
+	// plans may be served from or stored into the result cache.
+	cacheable bool
+}
+
+// planVolatile reports whether any expression in the statement calls a
+// volatile function, whose value changes between executions even when
+// no data changed.
+func planVolatile(plan *selectPlan) bool {
+	s := plan.stmt
+	vol := false
+	check := func(e Expr) {
+		if e == nil || vol {
+			return
+		}
+		walkExpr(e, func(x Expr) bool {
+			if fc, ok := x.(*FuncCall); ok {
+				switch strings.ToUpper(fc.Name) {
+				case "NOW", "CURRENT_TIMESTAMP":
+					vol = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for _, e := range plan.proj {
+		check(e)
+	}
+	check(s.Where)
+	for _, g := range s.GroupBy {
+		check(g)
+	}
+	check(s.Having)
+	for _, o := range s.OrderBy {
+		check(o.Expr)
+	}
+	for _, fi := range s.From {
+		check(fi.JoinCond)
+	}
+	return vol
 }
 
 // outRow is one projected output row awaiting DISTINCT/ORDER BY/LIMIT.
@@ -136,6 +180,7 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 			plan.proj = append(plan.proj, item.Expr)
 			plan.labels = append(plan.labels, label)
 		}
+		plan.cacheable = !planVolatile(plan)
 		return plan, nil
 	}
 
@@ -244,6 +289,7 @@ func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
 	}
 	plan.topK = len(s.OrderBy) > 0 && s.Limit >= 0 &&
 		(plan.path == nil || !plan.path.satisfiesOrderBy)
+	plan.cacheable = !planVolatile(plan)
 	return plan, nil
 }
 
@@ -272,6 +318,18 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	orderBound := plan.orderBound
 
 	ctx := &evalCtx{params: params, now: db.nowFn(), snap: snap, intr: ic}
+	if !db.legacyResults {
+		// Result rows live in ar, owned by the returned Rows and released
+		// on Rows.Close. Intermediate joined rows live in scratch, whose
+		// chunks go back to the pool as soon as the statement finishes —
+		// everything that references them (outRow.src/group, groupState
+		// first rows) dies with this call; the projection copied their
+		// values out into ar. A nil arena (legacy mode) makes every arena
+		// alloc an ordinary make — see arena.go.
+		ctx.ar = &rowArena{}
+		ctx.scratch = &rowArena{}
+		defer ctx.scratch.release()
+	}
 
 	// Index-only aggregation: COUNT/MIN/MAX over a residual-free path
 	// answered from the index without materialising candidate rows.
@@ -297,6 +355,24 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	columns := make([]string, len(labels))
 	copy(columns, labels)
 	out := newRows(columns, kinds)
+	out.arena = ctx.ar
+
+	// Streaming columnar projection: a plain single-table SELECT with no
+	// DISTINCT/ORDER BY to reshape the row set projects straight from
+	// the scan through per-column batches into arena rows — no outRow
+	// buffering, no per-row allocation, and an early stop at
+	// OFFSET+LIMIT (legal: with no ORDER BY the row order is whatever
+	// the scan delivers, and both paths scan in the same order).
+	if !aggregated && !s.Distinct && len(s.OrderBy) == 0 &&
+		len(plan.tables) == 1 && ctx.ar != nil {
+		endScan := tr.span("scan")
+		if err := db.projectSingleTable(plan, ctx, out); err != nil {
+			return nil, err
+		}
+		endScan(int64(len(out.Data)))
+		backfillKinds(out)
+		return out, nil
+	}
 
 	var outRows []outRow
 	orderApplied := false
@@ -357,7 +433,7 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 						continue
 					}
 				}
-				vals := make([]sqltypes.Value, len(proj))
+				vals := ctx.ar.alloc(len(proj))
 				for i, e := range proj {
 					v, err := evalAgg(e, g, ctx)
 					if err != nil {
@@ -373,7 +449,7 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 					return nil, err
 				}
 				ctx.vals = r
-				vals := make([]sqltypes.Value, len(proj))
+				vals := ctx.ar.alloc(len(proj))
 				for i, e := range proj {
 					v, err := evalExpr(e, ctx)
 					if err != nil {
@@ -405,16 +481,21 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	if len(s.OrderBy) > 0 && !orderApplied {
 		endSort := tr.span("sort")
 		keys := make([][]sqltypes.Value, len(outRows))
+		// One flat backing for the whole key set instead of a slice per
+		// row: the keys are transient (dead once the sort returns), so
+		// they stay off the arena — plain heap, but a single allocation.
+		nOrd := len(s.OrderBy)
+		flatKeys := make([]sqltypes.Value, len(outRows)*nOrd)
 		for ri, r := range outRows {
 			// Sort-key assembly is both a cancellation checkpoint and a
 			// sort-buffer charge: the key set is O(rows × order cols).
 			if err := ctx.intr.check(); err != nil {
 				return nil, err
 			}
-			if err := ctx.intr.charge(rowFootprint(len(s.OrderBy))); err != nil {
+			if err := ctx.intr.charge(rowFootprint(nOrd)); err != nil {
 				return nil, err
 			}
-			ks := make([]sqltypes.Value, len(s.OrderBy))
+			ks := flatKeys[ri*nOrd : (ri+1)*nOrd : (ri+1)*nOrd]
 			for oi, o := range s.OrderBy {
 				var v sqltypes.Value
 				var err error
@@ -508,7 +589,12 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 	for i, r := range outRows {
 		out.Data[i] = r.vals
 	}
-	// Backfill unknown kinds from the data.
+	backfillKinds(out)
+	return out, nil
+}
+
+// backfillKinds resolves statically unknown result kinds from the data.
+func backfillKinds(out *Rows) {
 	for ci, k := range out.Kinds {
 		if k != sqltypes.KindNull {
 			continue
@@ -520,7 +606,90 @@ func (db *DB) runSelectAt(plan *selectPlan, params []sqltypes.Value, snap uint64
 			}
 		}
 	}
-	return out, nil
+}
+
+// projectSingleTable is the streaming columnar projection fast path:
+// scan the single FROM table with the WHERE fused in, skip OFFSET kept
+// rows, stop after LIMIT projected rows, and project through colBatch
+// into arena-backed rows appended to out.Data. Requires ctx.ar != nil;
+// only reached for non-aggregated, non-DISTINCT, unordered plans.
+func (db *DB) projectSingleTable(plan *selectPlan, ctx *evalCtx, out *Rows) error {
+	s := plan.stmt
+	if s.Limit == 0 {
+		return nil
+	}
+	ft := plan.tables[0]
+	// Presize the row-pointer slice: append-doubling over 100k rows is
+	// itself a measurable share of the legacy path's bytes/op.
+	est := ft.data.live.Load()
+	if s.Limit >= 0 && int64(s.Limit) < est {
+		est = int64(s.Limit)
+	}
+	if est > 1<<20 {
+		est = 1 << 20
+	}
+	if est > 0 && out.Data == nil {
+		out.Data = make([][]sqltypes.Value, 0, est)
+	}
+	cb := newColBatch(plan.proj)
+	skip := s.Offset
+	kept := 0
+	charge := rowFootprint(len(plan.proj))
+	var scanErr error
+	visit := func(vals []sqltypes.Value) bool {
+		// Per-row cancellation checkpoint for both scan flavours below.
+		if err := ctx.intr.check(); err != nil {
+			scanErr = err
+			return false
+		}
+		if s.Where != nil {
+			ctx.vals = vals
+			v, err := evalExpr(s.Where, ctx)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if v.IsNull() || !truthy(v) {
+				return true
+			}
+		}
+		if skip > 0 {
+			skip--
+			return true
+		}
+		// Projected rows are retained in the result: charge the budget.
+		if err := ctx.intr.charge(charge); err != nil {
+			scanErr = err
+			return false
+		}
+		if cb.push(vals) {
+			if err := cb.flush(ctx, ctx.ar, out); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		kept++
+		return s.Limit < 0 || kept < s.Limit
+	}
+	handled := false
+	if plan.path != nil && !db.fullScanOnly {
+		var err error
+		handled, err = scanAccessPath(ft.data, plan.path, ctx, func(_ rowID, vals []sqltypes.Value) bool {
+			return visit(vals)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if !handled && scanErr == nil {
+		ft.data.scan(ctx.snap, func(_ rowID, vals []sqltypes.Value) bool {
+			return visit(vals)
+		})
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	return cb.flush(ctx, ctx.ar, out)
 }
 
 // materialiseRows collects the candidate row set for the non-folding
@@ -693,7 +862,11 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 				if err := ctx.intr.charge(rowFootprint(width)); err != nil {
 					return err
 				}
-				combined := make([]sqltypes.Value, len(base), width)
+				// Joined rows are statement-lifetime intermediates: they
+				// live in the scratch arena (released when the statement
+				// finishes), never in the result arena — the projection
+				// copies values out of them.
+				combined := ctx.scratch.allocCap(len(base), width)
 				copy(combined, base)
 				combined = append(combined, vals...)
 				if cond != nil {
@@ -755,7 +928,7 @@ func (db *DB) joinRows(plan *selectPlan, ctx *evalCtx) ([][]sqltypes.Value, erro
 				return scanErr
 			}
 			if left && !matched {
-				combined := make([]sqltypes.Value, len(base), width)
+				combined := ctx.scratch.allocCap(len(base), width)
 				copy(combined, base)
 				for range ft.schema.Cols {
 					combined = append(combined, sqltypes.Null)
@@ -842,7 +1015,7 @@ func (db *DB) joinRowsSwapped(plan *selectPlan, ctx *evalCtx, probeFn func(*eval
 				outerErr = gerr
 				return false
 			}
-			combined := make([]sqltypes.Value, width)
+			combined := ctx.scratch.alloc(width)
 			copy(combined, v0)
 			copy(combined[start1:], v1)
 			if cond != nil {
@@ -895,8 +1068,9 @@ type sortKeyCell struct {
 // sorts (the common case) pay one kind sweep and nothing else.
 func annotateSortKeys(keys [][]sqltypes.Value, ncols int) [][]sortKeyCell {
 	cells := make([][]sortKeyCell, len(keys))
+	flat := make([]sortKeyCell, len(keys)*ncols) // one backing, not one per row
 	for ri, ks := range keys {
-		row := make([]sortKeyCell, ncols)
+		row := flat[ri*ncols : (ri+1)*ncols : (ri+1)*ncols]
 		for oi := 0; oi < ncols; oi++ {
 			row[oi].v = ks[oi]
 		}

@@ -64,7 +64,8 @@ func (s *Stmt) Text() string { return s.text }
 // tables probed by an index nested-loop append " inl(ALIAS.COLS)" (or
 // " inl-rev(...)" for the two-table swap candidate that probes the
 // first table); unindexed equi-joins append " hash-join(ALIAS.COLS)"
-// (or " hash-join-rev(...)").
+// (or " hash-join-rev(...)"). A statement with a live result-cache
+// entry appends " cached" — its repeats are served without execution.
 //
 // EXPLAIN-style introspection for tests and diagnostics; building the
 // plan on demand, it reflects the live schema epoch, so it shows the
@@ -80,7 +81,13 @@ func (s *Stmt) AccessPath() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return pathString(plan, sel), nil
+	out := pathString(plan, sel)
+	// A live result-cache entry for this statement means repeats are
+	// answered without execution: surface it like the other strategies.
+	if rc := s.db.rcache.Load(); rc != nil && plan.cacheable && rc.hasStmt(s.text) {
+		out += " cached"
+	}
+	return out, nil
 }
 
 // pathString renders a bound plan's access-path description — the
@@ -376,6 +383,7 @@ func (s *Stmt) query(ctx context.Context, args []sqltypes.Value, force bool) (*R
 	}
 	defer release()
 	tr.setDeadline(ic)
+	cacheState := ""
 	rows, err := func() (*Rows, error) {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
@@ -389,11 +397,45 @@ func (s *Stmt) query(ctx context.Context, args []sqltypes.Value, force bool) (*R
 		if tr != nil {
 			tr.t.Path = pathString(plan, sel)
 		}
+		snap := db.readSnapshot()
+		// Result-cache consult: only cacheable plans (no volatile
+		// functions), only this auto-commit path — Tx/script SELECTs run
+		// in latest-mode visibility and never reach here.
+		rc := db.rcache.Load()
+		var key string
+		if rc != nil {
+			if plan.cacheable {
+				key = cacheKey(s.text, args)
+				if out := rc.lookup(key, db.schemaEpoch, snap); out != nil {
+					cacheState = "hit"
+					if tr != nil {
+						tr.t.Path += " cached"
+					}
+					return out, nil
+				}
+				cacheState = "miss"
+			} else {
+				cacheState = "bypass"
+			}
+		}
 		tr.beginHeap()
-		out, err := db.runSelectAt(plan, args, db.readSnapshot(), tr, ic)
+		out, err := db.runSelectAt(plan, args, snap, tr, ic)
 		tr.endHeap()
+		if err == nil && cacheState == "miss" {
+			// Only COMPLETED results are published: any error above —
+			// including cancellation mid-fill — returns before this
+			// point, so a partial result can never be served.
+			tables := make([]*tableData, len(plan.tables))
+			for i, t := range plan.tables {
+				tables[i] = t.data
+			}
+			rc.insert(key, s.text, tables, out, snap, db.schemaEpoch)
+		}
 		return out, err
 	}()
+	if tr != nil {
+		tr.t.Cache = cacheState
+	}
 	if err != nil {
 		db.traceCanceled(tr, ic, thr)
 		return nil, nil, err

@@ -106,9 +106,26 @@ type mvccRefs struct {
 	// delta is the per-table net live-row change, applied to the
 	// committed live-count history at commit time.
 	delta map[*tableData]int64
+	// touched lists every table this transaction wrote (including
+	// updates, which leave delta untouched). Commit publishes the commit
+	// stamp to each table's lastWrite — the result cache's serve-time
+	// staleness check — and the commit hook drops cached entries over
+	// them. Tiny (statements touch a handful of tables), so a linear
+	// dedupe beats a map.
+	touched []*tableData
 	// stamp is the commit stamp once allocated (0 until then); the
 	// unwind path uses it to pop live-history marks.
 	stamp uint64
+}
+
+// touch records td in the transaction's written-tables set.
+func (r *mvccRefs) touch(td *tableData) {
+	for _, t := range r.touched {
+		if t == td {
+			return
+		}
+	}
+	r.touched = append(r.touched, td)
 }
 
 func (r *mvccRefs) addDelta(td *tableData, d int64) {
@@ -141,6 +158,13 @@ func (r *mvccRefs) commit(ts uint64) {
 	}
 	for td, d := range r.delta {
 		td.pushLiveMark(ts, d)
+	}
+	// Publish the write stamp per table BEFORE lastTS advances (both
+	// happen under commitMu): any reader whose snapshot can see this
+	// transaction observes lastWrite >= its stamps, which is what lets
+	// the result cache reject entries built before this write.
+	for _, td := range r.touched {
+		td.lastWrite.Store(ts)
 	}
 }
 
@@ -222,6 +246,12 @@ type tableData struct {
 	// index-only aggregate tests assert "reads zero table rows" with;
 	// atomic because SELECTs run concurrently under the read lock.
 	heapReads atomic.Int64
+
+	// lastWrite is the newest commit stamp that wrote this table,
+	// published under DB.commitMu before lastTS advances. The result
+	// cache serves an entry only when every source table's lastWrite is
+	// <= the stamp the entry was built at (resultcache.go).
+	lastWrite atomic.Uint64
 }
 
 func newTableData(schema *TableSchema) *tableData {
@@ -292,6 +322,7 @@ func (td *tableData) insert(id rowID, vals []sqltypes.Value, refs *mvccRefs) err
 			return err
 		}
 	}
+	refs.touch(td)
 	v := &rowVersion{vals: vals}
 	v.begin.Store(uncommittedStamp)
 	s := &rowSlot{id: id}
@@ -334,6 +365,7 @@ func (td *tableData) delete(id rowID, refs *mvccRefs) ([]sqltypes.Value, error) 
 		return nil, fmt.Errorf("sqldb: row %d not found in %s", id, td.schema.Name)
 	}
 	vals := v.vals
+	refs.touch(td)
 	v.end.Store(uncommittedStamp)
 	refs.ended = append(refs.ended, v)
 	td.latch.RLock()
@@ -378,6 +410,7 @@ func (td *tableData) update(id rowID, newVals []sqltypes.Value, refs *mvccRefs) 
 			return nil, err
 		}
 	}
+	refs.touch(td)
 	nv := &rowVersion{vals: newVals, prev: s.head.Load()}
 	nv.begin.Store(uncommittedStamp)
 	v.end.Store(uncommittedStamp)

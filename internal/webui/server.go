@@ -551,6 +551,16 @@ func engineSummary(ms []telemetry.Metric) []statusMetric {
 		rows = append(rows, statusMetric{"Plan-cache hit rate",
 			fmt.Sprintf("%.1f%% (%d of %d lookups)", 100*float64(hits.Value)/float64(total), hits.Value, total)})
 	}
+	// Result-cache effectiveness: only shown once the cache has seen
+	// traffic (hits+misses counts every cacheable lookup).
+	rcHits, _ := findMetric(ms, "sqldb_result_cache_hits_total")
+	rcMisses, _ := findMetric(ms, "sqldb_result_cache_misses_total")
+	if total := rcHits.Value + rcMisses.Value; total > 0 {
+		bytes, _ := findMetric(ms, "sqldb_result_cache_bytes")
+		rows = append(rows, statusMetric{"Result-cache hit rate",
+			fmt.Sprintf("%.1f%% (%d of %d lookups, %d bytes held)",
+				100*float64(rcHits.Value)/float64(total), rcHits.Value, total, bytes.Value)})
+	}
 	if m, ok := findMetric(ms, "sqldb_dead_rows"); ok {
 		rows = append(rows, statusMetric{"Dead-row debt (awaiting vacuum)", strconv.FormatInt(m.Value, 10)})
 	}

@@ -30,6 +30,11 @@
 #                                      index-only fold
 #   BenchmarkAblation_HashJoin       — hash join vs cross product on an
 #                                      unindexed 1k×1k equi-join
+#   BenchmarkAblation_Arena          — arena/columnar result path vs
+#                                      legacy per-row allocation on a
+#                                      100k-row projection (B/op guard)
+#   BenchmarkAblation_OpCache        — result cache on vs off on a
+#                                      repeated parameterized browse query
 #   BenchmarkAblation_GroupCommit    — WAL group commit vs serial fsyncs
 #                                      (parallel vs serial committers)
 #   BenchmarkAblation_Failover       — token-checked read latency through
@@ -62,6 +67,21 @@ go test -run 'xxx' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem "$PKG" > 
     exit 1
 }
 cat "$RAW"
+
+# Allocation-regression guard: the arena result path exists to keep the
+# projection hot path allocation-free, so fail the run if the arena
+# sub-benchmark crept back above the pinned allocs/op ceiling. Skipped
+# when the pattern filtered the benchmark out of this run.
+ARENA_ALLOC_CEILING="${ARENA_ALLOC_CEILING:-5000}"
+awk -v ceiling="$ARENA_ALLOC_CEILING" '
+$1 ~ /^BenchmarkAblation_Arena\/arena/ {
+    for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+    if (allocs + 0 > ceiling + 0) {
+        printf "allocation regression: %s at %s allocs/op exceeds ceiling %s\n", $1, allocs, ceiling > "/dev/stderr"
+        exit 1
+    }
+}
+' "$RAW" || exit 1
 
 # Per-query latency percentiles from the telemetry histograms: the
 # easiabench -latency mode emits a JSON array of
